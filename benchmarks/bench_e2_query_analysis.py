@@ -1,0 +1,82 @@
+"""E2 — Detailed fragmentation / query analysis statistic (Fig. 2, §3.3).
+
+Regenerates, for the winning fragmentation of E1, the detailed statistic the
+tool's analysis layer shows: the database statistic (#pages, #fragments,
+fragment sizes), the I/O access statistic per query class (#accessed fragments
+and pages, #I/Os), the I/O response times and the prefetch granule suggestion.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import build_database_statistics, build_query_statistics
+
+from conftest import print_table
+
+
+def run_e2(recommendation, workload):
+    """Build both statistic families for the winning candidate."""
+    candidate = recommendation.best
+    return (
+        build_database_statistics(candidate),
+        build_query_statistics(candidate, workload),
+    )
+
+
+def test_e2_query_analysis(benchmark, apb_recommendation, apb_workload):
+    database, query_stats = benchmark.pedantic(
+        run_e2, args=(apb_recommendation, apb_workload), iterations=1, rounds=3
+    )
+    candidate = apb_recommendation.best
+
+    print()
+    print(f"E2: fragmentation / query analysis for {candidate.label}")
+    print_table(
+        "E2a: database statistic",
+        ["#fragments", "fact pages", "bitmap pages", "avg frag pages", "min", "max", "size CV"],
+        [[
+            f"{database.fragment_count:,}",
+            f"{database.fact_pages:,}",
+            f"{database.bitmap_pages:,}",
+            f"{database.avg_fragment_pages:,.1f}",
+            f"{database.min_fragment_pages:,}",
+            f"{database.max_fragment_pages:,}",
+            f"{database.fragment_size_cv:.3f}",
+        ]],
+    )
+    print_table(
+        "E2b: I/O access statistic and response times per query class",
+        ["query class", "share", "#fragments", "fact pages", "bitmap pages", "#I/Os",
+         "I/O cost [ms]", "response [ms]", "disks"],
+        [
+            [
+                stat.query_name,
+                f"{stat.workload_share:.1%}",
+                f"{stat.fragments_accessed:,.1f}",
+                f"{stat.fact_pages_accessed:,.0f}",
+                f"{stat.bitmap_pages_accessed:,.0f}",
+                f"{stat.io_requests:,.0f}",
+                f"{stat.io_cost_ms:,.1f}",
+                f"{stat.response_time_ms:,.1f}",
+                stat.disks_used,
+            ]
+            for stat in query_stats
+        ],
+    )
+    print(f"E2c: prefetch granule suggestion: {candidate.prefetch.describe()}")
+
+    # Shape assertions ----------------------------------------------------------
+    # Every workload class is covered and shares sum to one.
+    assert len(query_stats) == len(apb_workload)
+    assert sum(s.workload_share for s in query_stats) == 1.0 or abs(
+        sum(s.workload_share for s in query_stats) - 1.0
+    ) < 1e-9
+    # The database statistic is internally consistent.
+    assert database.min_fragment_pages <= database.avg_fragment_pages <= database.max_fragment_pages
+    assert database.fragment_count == candidate.fragment_count
+    # Queries restricting fragmentation dimensions are confined to a subset of
+    # the fragments; at least one class must demonstrate confinement.
+    assert any(s.fragment_hit_ratio < 0.5 for s in query_stats)
+    # Every class produces I/O and a positive response time.
+    assert all(s.io_requests > 0 and s.response_time_ms > 0 for s in query_stats)
+    # The prefetch suggestion distinguishes fact and bitmap granules.
+    assert candidate.prefetch.fact_pages >= candidate.prefetch.bitmap_pages

@@ -1,0 +1,89 @@
+"""E5 — Prefetch granule sensitivity (§3.1/§3.2).
+
+Regenerates the response-time-vs-prefetch-granule curve for the winning
+fragmentation and compares WARLOCK's auto-chosen granules (separately for fact
+table and bitmaps) against fixed settings.  The paper highlights that the
+prefetch size is performance sensitive and that optimal values for fact tables
+and bitmaps "strongly differ with respect to fragment sizes".
+"""
+
+from __future__ import annotations
+
+from repro import IOCostModel
+from repro.storage import PrefetchSetting
+
+from conftest import print_table
+
+GRANULES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def run_e5(recommendation, workload, system):
+    """Evaluate the winning candidate under a sweep of fixed fact granules."""
+    candidate = recommendation.best
+    model = IOCostModel(system)
+    sweep = {}
+    for granule in GRANULES:
+        setting = PrefetchSetting.fixed(granule, max(1, granule // 8))
+        evaluation = model.evaluate(
+            candidate.layout, workload, candidate.bitmap_scheme, setting
+        )
+        sweep[granule] = evaluation
+    auto_eval = model.evaluate(
+        candidate.layout, workload, candidate.bitmap_scheme, candidate.prefetch
+    )
+    return sweep, auto_eval
+
+
+def test_e5_prefetch_sensitivity(benchmark, apb_recommendation, apb_workload, apb_system):
+    sweep, auto_eval = benchmark.pedantic(
+        run_e5, args=(apb_recommendation, apb_workload, apb_system), iterations=1, rounds=1
+    )
+    candidate = apb_recommendation.best
+
+    rows = [
+        [
+            f"{granule}",
+            f"{evaluation.total_io_requests:,.0f}",
+            f"{evaluation.total_io_cost_ms:,.0f}",
+            f"{evaluation.total_response_time_ms:,.0f}",
+        ]
+        for granule, evaluation in sweep.items()
+    ]
+    rows.append(
+        [
+            f"auto ({candidate.prefetch.fact_pages}/{candidate.prefetch.bitmap_pages})",
+            f"{auto_eval.total_io_requests:,.0f}",
+            f"{auto_eval.total_io_cost_ms:,.0f}",
+            f"{auto_eval.total_response_time_ms:,.0f}",
+        ]
+    )
+    print_table(
+        f"E5: prefetch granule sweep on {candidate.label}",
+        ["fact granule [pages]", "I/O requests", "I/O cost [ms]", "response [ms]"],
+        rows,
+    )
+
+    responses = {g: e.total_response_time_ms for g, e in sweep.items()}
+    requests = {g: e.total_io_requests for g, e in sweep.items()}
+
+    # Larger granules strictly reduce the request count for scan-dominated work.
+    assert requests[1] > requests[16] >= requests[256]
+    # The single-page granule is clearly worse than a tuned one (sensitivity).
+    assert responses[1] > min(responses.values()) * 1.2
+    # The auto-chosen granules are within 10% of the best fixed granule of the sweep.
+    assert auto_eval.total_response_time_ms <= min(responses.values()) * 1.10
+    # Fact and bitmap granules differ, reflecting the very different extents.
+    assert candidate.prefetch.fact_pages != candidate.prefetch.bitmap_pages
+
+
+def test_e5_auto_granules_differ_between_object_classes(benchmark, apb_recommendation):
+    """The auto-optimizer picks a larger granule for fact fragments than for bitmaps."""
+    candidate = apb_recommendation.best
+
+    def read_setting():
+        return candidate.prefetch
+
+    setting = benchmark(read_setting)
+    print()
+    print(f"E5b: auto prefetch suggestion -> {setting.describe()}")
+    assert setting.fact_pages > setting.bitmap_pages

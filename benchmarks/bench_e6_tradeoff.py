@@ -1,0 +1,104 @@
+"""E6 — Throughput vs. response time trade-off and the leading-X% heuristic (§3.2).
+
+Regenerates the scatter of all evaluated candidates (I/O cost vs. response
+time) and shows how the choice of the leading fraction X changes the final top
+list.  The paper's claim: the two goals are often contradicting — candidates
+that decluster query hits achieve small response times at high I/O cost and
+vice versa — and the I/O-cost-first heuristic finds good compromises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import rank_candidates
+
+from conftest import print_table
+
+FRACTIONS = (0.10, 0.25, 0.50, 1.00)
+
+
+def run_e6(recommendation):
+    """Rank the already evaluated candidates under several leading fractions."""
+    candidates = list(recommendation.evaluated)
+    return {
+        fraction: rank_candidates(candidates, top_fraction=fraction, top_candidates=5)
+        for fraction in FRACTIONS
+    }
+
+
+def test_e6_tradeoff_and_leading_fraction(benchmark, apb_recommendation):
+    rankings = benchmark.pedantic(run_e6, args=(apb_recommendation,), iterations=1, rounds=3)
+    candidates = list(apb_recommendation.evaluated)
+
+    # Scatter of the candidate space.
+    print_table(
+        "E6a: I/O cost vs. response time of every evaluated candidate",
+        ["fragmentation", "fragments", "I/O cost [ms]", "response [ms]"],
+        [
+            [c.label, f"{c.fragment_count:,}", f"{c.io_cost_ms:,.0f}", f"{c.response_time_ms:,.0f}"]
+            for c in sorted(candidates, key=lambda c: c.io_cost_ms)
+        ],
+    )
+
+    # Winner per leading fraction.
+    print_table(
+        "E6b: final winner vs. leading fraction X",
+        ["X", "winner", "winner I/O cost [ms]", "winner response [ms]"],
+        [
+            [
+                f"{fraction:.0%}",
+                ranking[0].label,
+                f"{ranking[0].io_cost_ms:,.0f}",
+                f"{ranking[0].response_time_ms:,.0f}",
+            ]
+            for fraction, ranking in rankings.items()
+        ],
+    )
+
+    io_costs = np.array([c.io_cost_ms for c in candidates])
+    responses = np.array([c.response_time_ms for c in candidates])
+
+    # The trade-off exists somewhere in the candidate space: there is at least
+    # one pair of candidates where one has less I/O cost but a higher response
+    # time than the other (otherwise the two goals would never contradict and
+    # the two-phase heuristic would be pointless).
+    conflict = any(
+        (io_costs[i] < io_costs[j] and responses[i] > responses[j])
+        or (io_costs[j] < io_costs[i] and responses[j] > responses[i])
+        for i in range(len(candidates))
+        for j in range(i + 1, len(candidates))
+    )
+    assert conflict
+
+    # A larger X admits more candidates, so the winning response time can only improve.
+    winner_response = [rankings[f][0].response_time_ms for f in FRACTIONS]
+    assert all(a >= b - 1e-9 for a, b in zip(winner_response, winner_response[1:]))
+
+    # A smaller X keeps the winner's I/O cost closer to the minimum.
+    winner_io = {f: rankings[f][0].io_cost_ms for f in FRACTIONS}
+    assert winner_io[0.10] <= winner_io[1.00] + 1e-9
+
+
+def test_e6_declustering_correlation(benchmark, apb_recommendation):
+    """More fragments means less response time but not less I/O work (rank correlation)."""
+
+    def correlations():
+        candidates = list(apb_recommendation.evaluated)
+        fragments = np.array([c.fragment_count for c in candidates], dtype=float)
+        responses = np.array([c.response_time_ms for c in candidates])
+        io_costs = np.array([c.io_cost_ms for c in candidates])
+        response_corr = np.corrcoef(np.log(fragments), responses)[0, 1]
+        io_corr = np.corrcoef(np.log(fragments), io_costs)[0, 1]
+        return response_corr, io_corr
+
+    response_corr, io_corr = benchmark(correlations)
+    print()
+    print(
+        f"E6c: correlation of log(#fragments) with response time {response_corr:+.2f} "
+        f"and with I/O cost {io_corr:+.2f}"
+    )
+    # Declustering broadly helps response time (negative correlation) and does
+    # not reduce total I/O work to the same degree.
+    assert response_corr < 0.3
+    assert io_corr > response_corr

@@ -1,0 +1,141 @@
+"""E8 — Bitmap scheme: standard vs. encoded bitmaps, space vs. I/O (§2, §3.2, §3.3).
+
+Regenerates the bitmap-scheme analysis: the space/I/O behaviour of the
+heuristic scheme (standard bitmaps on low-cardinality attributes,
+hierarchically encoded bitmaps on high-cardinality attributes), compared
+against an all-standard scheme, an all-encoded scheme, a scheme with
+user-excluded indexes (the interactive space-saving knob of §3.3) and no
+bitmaps at all.
+
+The bitmap join indexes exist "to avoid costly fact table scans", so the I/O
+comparison is carried out on the *unfragmented* fact table — the layout on
+which every residual predicate must be answered by bitmaps or by a full scan.
+The space comparison is independent of the fragmentation (bitmap fragments
+always mirror the fact fragments).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BitmapType, FragmentationSpec, IOCostModel, build_layout, design_bitmap_scheme
+from repro.bitmap import BitmapScheme
+from repro.storage import PrefetchSetting
+
+from conftest import print_table
+
+PREFETCH = PrefetchSetting.fixed(32, 4)
+
+
+def build_schemes(schema, workload):
+    """The bitmap scheme variants compared by the experiment."""
+    heuristic = design_bitmap_scheme(schema, workload)
+    all_standard = design_bitmap_scheme(schema, workload, cardinality_threshold=10_000_000)
+    all_encoded = design_bitmap_scheme(schema, workload, cardinality_threshold=1)
+    slim = heuristic.without(("product", "code"), ("customer", "store"))
+    return {
+        "no bitmaps": BitmapScheme(),
+        "heuristic (standard<=64, else encoded)": heuristic,
+        "all standard": all_standard,
+        "all encoded": all_encoded,
+        "heuristic minus code/store indexes": slim,
+    }
+
+
+def run_e8(workload, system, schema):
+    """Evaluate the unfragmented fact table under each bitmap scheme variant."""
+    layout = build_layout(schema, FragmentationSpec.none(), page_size_bytes=system.page_size_bytes)
+    model = IOCostModel(system)
+    results = {}
+    for label, scheme in build_schemes(schema, workload).items():
+        evaluation = model.evaluate(layout, workload, scheme, PREFETCH)
+        results[label] = (scheme, evaluation)
+    return results
+
+
+def test_e8_bitmap_schemes(benchmark, apb_workload, apb_system, apb_schema):
+    results = benchmark.pedantic(
+        run_e8, args=(apb_workload, apb_system, apb_schema), iterations=1, rounds=1
+    )
+    fact_rows = apb_schema.fact_table().row_count
+    page_size = apb_system.page_size_bytes
+
+    rows = []
+    for label, (scheme, evaluation) in results.items():
+        rows.append(
+            [
+                label,
+                f"{len(scheme)}",
+                f"{scheme.total_storage_bits_per_row}",
+                f"{scheme.storage_pages(fact_rows, page_size):,}",
+                f"{evaluation.total_pages_accessed:,.0f}",
+                f"{evaluation.total_io_cost_ms:,.0f}",
+                f"{evaluation.total_response_time_ms:,.0f}",
+            ]
+        )
+    print_table(
+        "E8: bitmap scheme variants on the unfragmented fact table",
+        ["scheme", "#indexes", "bits/row", "bitmap pages", "pages/query",
+         "I/O cost [ms]", "response [ms]"],
+        rows,
+    )
+
+    heuristic_scheme, heuristic_eval = results["heuristic (standard<=64, else encoded)"]
+    standard_scheme, standard_eval = results["all standard"]
+    encoded_scheme, encoded_eval = results["all encoded"]
+    _, no_bitmap_eval = results["no bitmaps"]
+    slim_scheme, slim_eval = results["heuristic minus code/store indexes"]
+
+    # The heuristic mixes both index kinds.
+    kinds = {index.bitmap_type for index in heuristic_scheme}
+    assert kinds == {BitmapType.STANDARD, BitmapType.ENCODED}
+    # Encoded bitmaps save an order of magnitude of space on the high-cardinality
+    # attributes compared to an all-standard scheme.
+    assert (
+        heuristic_scheme.total_storage_bits_per_row
+        < standard_scheme.total_storage_bits_per_row / 10
+    )
+    assert encoded_scheme.total_storage_bits_per_row <= heuristic_scheme.total_storage_bits_per_row
+    # Bitmap join indexes avoid costly fact-table scans: the workload's overall
+    # I/O work drops (the gain is bounded by the low-selectivity reporting
+    # classes, which scan regardless of indexes) ...
+    assert heuristic_eval.total_io_cost_ms < no_bitmap_eval.total_io_cost_ms
+    assert heuristic_eval.total_pages_accessed < no_bitmap_eval.total_pages_accessed
+    # ... and the highly selective drill-down class (product code + month) avoids
+    # its full scan almost entirely: an order-of-magnitude reduction.
+    selective = "Q6-month-code"
+    pages_with = heuristic_eval.cost_for(selective).profile.fact_pages_accessed
+    pages_without = no_bitmap_eval.cost_for(selective).profile.fact_pages_accessed
+    print(
+        f"E8c: fact pages of {selective}: {pages_without:,.0f} without bitmaps vs. "
+        f"{pages_with:,.0f} with the heuristic scheme"
+    )
+    assert pages_with < pages_without / 10
+    # Excluding indexes saves space but costs I/O (the space/time knob of §3.3).
+    assert slim_scheme.storage_pages(fact_rows, page_size) < heuristic_scheme.storage_pages(
+        fact_rows, page_size
+    )
+    assert slim_eval.total_io_cost_ms >= heuristic_eval.total_io_cost_ms - 1e-9
+    # Standard bitmaps on the high-cardinality attributes read fewer bitmap pages
+    # per predicate (one bitmap per value) but cost vastly more space, which is
+    # exactly the trade-off the heuristic threshold manages.
+    assert standard_eval.total_pages_accessed <= heuristic_eval.total_pages_accessed + 1e-6
+
+
+def test_e8_bitmap_space_accounting(benchmark, apb_schema, apb_workload, apb_system):
+    """Bitmap storage grows linearly with the fact table and is charged per fragment."""
+    scheme = design_bitmap_scheme(apb_schema, apb_workload)
+    fact_rows = apb_schema.fact_table().row_count
+
+    def storage():
+        return scheme.storage_pages(fact_rows, apb_system.page_size_bytes)
+
+    pages = benchmark(storage)
+    print()
+    print(
+        f"E8b: heuristic bitmap scheme stores {scheme.total_storage_bits_per_row} bits/row "
+        f"-> {pages:,} pages for {fact_rows:,} rows"
+    )
+    assert pages > 0
+    double = scheme.storage_pages(2 * fact_rows, apb_system.page_size_bytes)
+    assert double == pytest.approx(2 * pages, rel=0.01)

@@ -1,0 +1,128 @@
+"""E9 — Validation of the analytical I/O model against the replay simulator (§3.2, ref. [3]).
+
+The original authors validated their analytical model against a testbed; this
+reproduction validates it against the Monte-Carlo disk replay simulator: for
+the top candidates of E1, the analytically predicted I/O cost and response time
+are compared with simulated values, and the ranking the two methods induce is
+checked for agreement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DiskSimulator
+
+from conftest import print_table
+
+QUERIES_PER_CLASS = 8
+
+
+def run_e9(recommendation, workload, system):
+    """Simulate the workload on every ranked candidate."""
+    simulator = DiskSimulator(system)
+    results = []
+    for ranked in recommendation.ranked:
+        candidate = ranked.candidate
+        simulated = simulator.run_workload(
+            candidate.layout,
+            workload,
+            candidate.bitmap_scheme,
+            candidate.allocation,
+            candidate.prefetch,
+            queries_per_class=QUERIES_PER_CLASS,
+            seed=0,
+        )
+        results.append((candidate, simulated))
+    return results
+
+
+def test_e9_model_validation(benchmark, apb_recommendation, apb_workload, apb_system):
+    results = benchmark.pedantic(
+        run_e9, args=(apb_recommendation, apb_workload, apb_system), iterations=1, rounds=1
+    )
+
+    rows = []
+    busy_errors = []
+    response_errors = []
+    for candidate, simulated in results:
+        busy_error = abs(candidate.io_cost_ms - simulated.weighted_busy_ms) / simulated.weighted_busy_ms
+        response_error = (
+            abs(candidate.response_time_ms - simulated.weighted_response_ms)
+            / simulated.weighted_response_ms
+        )
+        busy_errors.append(busy_error)
+        response_errors.append(response_error)
+        rows.append(
+            [
+                candidate.label,
+                f"{candidate.io_cost_ms:,.0f}",
+                f"{simulated.weighted_busy_ms:,.0f}",
+                f"{busy_error:.1%}",
+                f"{candidate.response_time_ms:,.0f}",
+                f"{simulated.weighted_response_ms:,.0f}",
+                f"{response_error:.1%}",
+            ]
+        )
+    print_table(
+        "E9: analytical model vs. Monte-Carlo replay (top candidates)",
+        ["fragmentation", "I/O cost model", "I/O cost sim", "err",
+         "response model", "response sim", "err"],
+        rows,
+    )
+
+    model_busy = np.array([c.io_cost_ms for c, _ in results])
+    sim_busy = np.array([s.weighted_busy_ms for _, s in results])
+    model_resp = np.array([c.response_time_ms for c, _ in results])
+    sim_resp = np.array([s.weighted_response_ms for _, s in results])
+
+    # Busy time (total I/O work) must agree tightly — it does not depend on
+    # placement or instance sampling noise.
+    assert float(np.median(busy_errors)) < 0.25
+    # Response time agrees within a generous bound (instance variance, skew).
+    assert float(np.median(response_errors)) < 0.5
+    # The candidate orderings induced by model and simulation correlate strongly.
+    if len(results) >= 3:
+        busy_corr = np.corrcoef(_ranks(model_busy), _ranks(sim_busy))[0, 1]
+        resp_corr = np.corrcoef(_ranks(model_resp), _ranks(sim_resp))[0, 1]
+        print(f"E9b: rank correlation — I/O cost {busy_corr:+.2f}, response time {resp_corr:+.2f}")
+        assert busy_corr > 0.6
+        assert resp_corr > 0.3
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Rank transform (average-free, sufficient for correlation of distinct values)."""
+    order = np.argsort(values)
+    ranks = np.empty_like(order)
+    ranks[order] = np.arange(len(values))
+    return ranks.astype(float)
+
+
+def test_e9_batch_throughput_follows_io_cost(benchmark, apb_recommendation, apb_workload, apb_system):
+    """Multi-user replay: total batch makespan tracks the I/O-cost metric, which is
+    why WARLOCK ranks by I/O cost first."""
+    import numpy as np
+    from repro.simulation import instantiate_query
+
+    simulator = DiskSimulator(apb_system)
+    candidates = [r.candidate for r in apb_recommendation.ranked[:3]]
+
+    def batch_makespans():
+        makespans = {}
+        for candidate in candidates:
+            rng = np.random.default_rng(1)
+            instances = [
+                instantiate_query(candidate.layout, qc, candidate.bitmap_scheme, rng)
+                for qc in apb_workload
+                for _ in range(2)
+            ]
+            result = simulator.run_batch(instances, candidate.allocation, candidate.prefetch)
+            makespans[candidate.label] = result.makespan_ms
+        return makespans
+
+    makespans = benchmark.pedantic(batch_makespans, iterations=1, rounds=1)
+    print()
+    print("E9c: 16-query batch makespan per candidate")
+    for label, makespan in makespans.items():
+        print(f"  {label}: {makespan:,.0f} ms")
+    assert all(makespan > 0 for makespan in makespans.values())

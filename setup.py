@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described in ``pyproject.toml``; this file only exists so
+that legacy editable installs (``pip install -e . --no-use-pep517``) work in
+offline environments that lack the ``wheel`` package required by PEP 660.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""Logical round-robin allocation.
+
+Fact-table and bitmap fragments are stored on disk "according to a logical
+order of the fragmentation dimensions": fragments are enumerated in the
+lexicographic (C-) order of their fragmentation attribute values and dealt to
+the disks in turn.  Neighbouring fragments — which a hierarchically restricted
+star query tends to touch together — therefore land on different disks, which
+maximizes the I/O parallelism available to a single query.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.allocation.placement import Allocation, fragment_total_pages
+from repro.bitmap import BitmapScheme
+from repro.errors import AllocationError
+from repro.fragmentation import FragmentationLayout
+from repro.storage import SystemParameters
+
+__all__ = ["round_robin_allocation"]
+
+
+def round_robin_allocation(
+    layout: FragmentationLayout,
+    system: SystemParameters,
+    bitmap_scheme: Optional[BitmapScheme] = None,
+    start_disk: int = 0,
+) -> Allocation:
+    """Place the fragments of ``layout`` round-robin over the system's disks.
+
+    Parameters
+    ----------
+    layout:
+        The fragmentation layout to place.
+    system:
+        Target system (number of disks).
+    bitmap_scheme:
+        Bitmap indexes co-located with the fact fragments; their pages are
+        charged to the same disk.
+    start_disk:
+        Disk receiving the first fragment (useful to stagger multiple fact
+        tables over the same disk pool).
+    """
+    if not 0 <= start_disk < system.num_disks:
+        raise AllocationError(
+            f"start_disk {start_disk} out of range [0, {system.num_disks})"
+        )
+    fragment_count = layout.fragment_count
+    assignment = (np.arange(fragment_count, dtype=np.int64) + start_disk) % system.num_disks
+    pages = fragment_total_pages(layout, bitmap_scheme)
+    return Allocation(
+        layout=layout,
+        system=system,
+        disk_of_fragment=assignment,
+        fragment_pages=pages,
+        scheme="round_robin",
+    )

@@ -1,0 +1,164 @@
+"""ASCII bar charts for terminal reports.
+
+The Java GUI visualized disk occupancy, access distributions and candidate
+comparisons graphically; the CLI replacement renders the same information as
+horizontal ASCII bar charts so that the "visualized allocation scheme" of the
+demo survives in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.candidates import FragmentationCandidate
+from repro.errors import ReportError
+
+__all__ = ["bar_chart", "occupancy_chart", "access_profile_chart", "tradeoff_chart"]
+
+#: Character used to draw bars.
+_BAR = "#"
+
+
+def bar_chart(
+    values: Union[Sequence[float], Dict[str, float]],
+    labels: Optional[Sequence[str]] = None,
+    width: int = 50,
+    value_format: str = "{:,.0f}",
+    title: Optional[str] = None,
+) -> str:
+    """Render a horizontal bar chart.
+
+    Parameters
+    ----------
+    values:
+        The bar values — a sequence, or a mapping from label to value.
+    labels:
+        Bar labels (ignored when ``values`` is a mapping; generated indices
+        when omitted).
+    width:
+        Width of the longest bar in characters.
+    value_format:
+        Format string applied to the numeric value printed after each bar.
+    title:
+        Optional title line.
+    """
+    if isinstance(values, dict):
+        labels = list(values.keys())
+        data = [float(v) for v in values.values()]
+    else:
+        data = [float(v) for v in values]
+        if labels is None:
+            labels = [str(index) for index in range(len(data))]
+        else:
+            labels = [str(label) for label in labels]
+    if not data:
+        raise ReportError("bar_chart needs at least one value")
+    if len(labels) != len(data):
+        raise ReportError(
+            f"bar_chart got {len(labels)} labels for {len(data)} values"
+        )
+    if width <= 0:
+        raise ReportError(f"width must be positive, got {width}")
+    if any(value < 0 for value in data):
+        raise ReportError("bar_chart only renders non-negative values")
+
+    maximum = max(data)
+    label_width = max(len(label) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, data):
+        bar_length = int(round(width * value / maximum)) if maximum > 0 else 0
+        bar = _BAR * bar_length
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+            f"{value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def occupancy_chart(
+    candidate: FragmentationCandidate, max_disks: int = 32, width: int = 50
+) -> str:
+    """Disk occupancy of a candidate's allocation as a bar chart.
+
+    Disks beyond ``max_disks`` are aggregated into min/max summary lines to
+    keep the chart readable for large configurations.
+    """
+    occupancy = candidate.allocation.occupancy_pages
+    title = (
+        f"Disk occupancy [pages] — {candidate.label} "
+        f"({candidate.allocation.scheme}, {occupancy.size} disks)"
+    )
+    if occupancy.size <= max_disks:
+        labels = [f"disk {index}" for index in range(occupancy.size)]
+        return bar_chart(occupancy.tolist(), labels, width=width, title=title)
+    order = np.argsort(-occupancy)
+    top = order[: max_disks // 2]
+    bottom = order[-(max_disks - max_disks // 2):]
+    chosen = list(top) + list(bottom)
+    labels = [f"disk {int(index)}" for index in chosen]
+    values = [float(occupancy[int(index)]) for index in chosen]
+    chart = bar_chart(values, labels, width=width, title=title)
+    return (
+        f"{chart}\n(showing the {len(top)} most and {len(bottom)} least occupied of "
+        f"{occupancy.size} disks)"
+    )
+
+
+def access_profile_chart(
+    pages_per_disk: Sequence[float], query_name: str, width: int = 50, max_disks: int = 32
+) -> str:
+    """Per-disk access profile of one query class as a bar chart."""
+    values = [float(v) for v in pages_per_disk]
+    if not values:
+        raise ReportError("access_profile_chart needs at least one disk")
+    title = f"Disk access profile [pages/query] — {query_name}"
+    if len(values) <= max_disks:
+        labels = [f"disk {index}" for index in range(len(values))]
+        return bar_chart(values, labels, width=width, value_format="{:,.1f}", title=title)
+    # Aggregate into max_disks buckets of neighbouring disks.
+    buckets = np.array_split(np.asarray(values), max_disks)
+    labels = []
+    start = 0
+    aggregated = []
+    for bucket in buckets:
+        end = start + len(bucket) - 1
+        labels.append(f"disks {start}-{end}")
+        aggregated.append(float(np.sum(bucket)))
+        start = end + 1
+    chart = bar_chart(aggregated, labels, width=width, value_format="{:,.1f}", title=title)
+    return f"{chart}\n(neighbouring disks aggregated into {max_disks} buckets)"
+
+
+def tradeoff_chart(
+    candidates: Sequence[FragmentationCandidate], width: int = 50, metric: str = "both"
+) -> str:
+    """I/O cost and response time of several candidates as paired bar charts."""
+    if not candidates:
+        raise ReportError("tradeoff_chart needs at least one candidate")
+    if metric not in ("both", "io_cost", "response_time"):
+        raise ReportError(f"unknown metric {metric!r}")
+    sections: List[str] = []
+    labels = [candidate.label for candidate in candidates]
+    if metric in ("both", "io_cost"):
+        sections.append(
+            bar_chart(
+                [candidate.io_cost_ms for candidate in candidates],
+                labels,
+                width=width,
+                title="I/O cost [ms] per candidate",
+            )
+        )
+    if metric in ("both", "response_time"):
+        sections.append(
+            bar_chart(
+                [candidate.response_time_ms for candidate in candidates],
+                labels,
+                width=width,
+                title="Response time [ms] per candidate",
+            )
+        )
+    return "\n\n".join(sections)

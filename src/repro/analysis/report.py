@@ -1,0 +1,172 @@
+"""Plain-text report rendering.
+
+The Java tool visualized its results in a GUI; this reproduction renders the
+same content as monospaced text tables: the ranked candidate list, the detailed
+fragmentation / query analysis (Fig. 2), the physical allocation scheme and a
+combined full report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import build_database_statistics, build_query_statistics
+from repro.core.advisor import Recommendation
+from repro.core.candidates import FragmentationCandidate
+from repro.errors import ReportError
+from repro.workload import QueryMix
+
+__all__ = [
+    "format_table",
+    "format_ranking_table",
+    "format_query_analysis",
+    "format_allocation_report",
+    "format_full_report",
+]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Render a simple monospaced table with right-padded columns."""
+    header_list = [str(h) for h in headers]
+    row_list = [[str(cell) for cell in row] for row in rows]
+    for row in row_list:
+        if len(row) != len(header_list):
+            raise ReportError(
+                f"table row has {len(row)} cells but {len(header_list)} headers"
+            )
+    widths = [len(h) for h in header_list]
+    for row in row_list:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header_list, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in row_list:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_ranking_table(recommendation: Recommendation) -> str:
+    """The ranked list of fragmentation candidates (the advisor's headline output)."""
+    headers = [
+        "rank",
+        "fragmentation",
+        "fragments",
+        "I/O cost [ms]",
+        "response [ms]",
+        "I/O-cost rank",
+        "allocation",
+    ]
+    rows = []
+    for ranked in recommendation.ranked:
+        candidate = ranked.candidate
+        rows.append(
+            [
+                f"{ranked.final_rank}",
+                candidate.label,
+                f"{candidate.fragment_count:,}",
+                f"{candidate.io_cost_ms:,.0f}",
+                f"{candidate.response_time_ms:,.0f}",
+                f"{ranked.io_rank}",
+                candidate.allocation.scheme,
+            ]
+        )
+    title = (
+        f"Top fragmentation candidates for {recommendation.schema.name} "
+        f"({recommendation.exclusion_report.surviving_count} evaluated, "
+        f"{recommendation.exclusion_report.excluded_count} excluded by thresholds)"
+    )
+    return f"{title}\n\n{format_table(headers, rows)}"
+
+
+def format_query_analysis(
+    candidate: FragmentationCandidate, workload: QueryMix
+) -> str:
+    """The detailed fragmentation / query analysis of one candidate (Fig. 2)."""
+    database = build_database_statistics(candidate)
+    query_stats = build_query_statistics(candidate, workload)
+
+    lines: List[str] = []
+    lines.append(f"Fragmentation analysis: {candidate.label}")
+    lines.append("")
+    lines.append("Database statistic")
+    lines.append(
+        format_table(
+            ["#fragments", "fact pages", "bitmap pages", "avg frag pages",
+             "min frag pages", "max frag pages", "size CV"],
+            [[
+                f"{database.fragment_count:,}",
+                f"{database.fact_pages:,}",
+                f"{database.bitmap_pages:,}",
+                f"{database.avg_fragment_pages:,.1f}",
+                f"{database.min_fragment_pages:,}",
+                f"{database.max_fragment_pages:,}",
+                f"{database.fragment_size_cv:.3f}",
+            ]],
+        )
+    )
+    lines.append("")
+    lines.append("I/O access statistic and response times per query class")
+    lines.append(
+        format_table(
+            ["query class", "share", "#fragments", "fact pages", "bitmap pages",
+             "#I/Os", "I/O cost [ms]", "response [ms]", "disks"],
+            [
+                [
+                    stat.query_name,
+                    f"{stat.workload_share:.1%}",
+                    f"{stat.fragments_accessed:,.1f}",
+                    f"{stat.fact_pages_accessed:,.0f}",
+                    f"{stat.bitmap_pages_accessed:,.0f}",
+                    f"{stat.io_requests:,.0f}",
+                    f"{stat.io_cost_ms:,.1f}",
+                    f"{stat.response_time_ms:,.1f}",
+                    f"{stat.disks_used}",
+                ]
+                for stat in query_stats
+            ],
+        )
+    )
+    lines.append("")
+    lines.append(f"Prefetch granule suggestion: {candidate.prefetch.describe()}")
+    lines.append(candidate.bitmap_scheme.describe())
+    return "\n".join(lines)
+
+
+def format_allocation_report(candidate: FragmentationCandidate, top_disks: int = 5) -> str:
+    """The physical allocation scheme: occupancy distribution and extremes."""
+    allocation = candidate.allocation
+    occupancy = allocation.occupancy_pages
+    order = np.argsort(-occupancy)
+    lines = [f"Physical allocation scheme for {candidate.label}"]
+    lines.append(f"  {allocation.describe()}")
+    lines.append(f"  fragments per disk: min {int(allocation.fragments_per_disk.min())}, "
+                 f"max {int(allocation.fragments_per_disk.max())}")
+    most = ", ".join(
+        f"disk {int(d)}: {occupancy[d]:,.0f} pages" for d in order[:top_disks]
+    )
+    least = ", ".join(
+        f"disk {int(d)}: {occupancy[d]:,.0f} pages" for d in order[-top_disks:][::-1]
+    )
+    lines.append(f"  most occupied:  {most}")
+    lines.append(f"  least occupied: {least}")
+    if not allocation.fits_capacity():
+        lines.append(
+            "  WARNING: the most occupied disk exceeds the configured disk capacity"
+        )
+    return "\n".join(lines)
+
+
+def format_full_report(recommendation: Recommendation, detail_top: int = 1) -> str:
+    """The combined report: ranking, detailed analysis and allocation of the top candidates."""
+    if detail_top < 0:
+        raise ReportError(f"detail_top must be non-negative, got {detail_top}")
+    sections = [recommendation.describe(), "", format_ranking_table(recommendation)]
+    for ranked in recommendation.ranked[:detail_top]:
+        sections.append("")
+        sections.append(format_query_analysis(ranked.candidate, recommendation.workload))
+        sections.append("")
+        sections.append(format_allocation_report(ranked.candidate))
+    return "\n".join(sections)

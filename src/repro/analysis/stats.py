@@ -1,0 +1,149 @@
+"""Statistics objects rendered by the analysis layer.
+
+Two statistic families appear in the paper's Fig. 2:
+
+* the **database statistic** of a fragmentation: number of pages, number of
+  fragments and fragment sizes (plus, in this reproduction, the bitmap space),
+* the **I/O access statistic** per query class: accessed fragments and pages,
+  number of I/Os, I/O response time and the prefetch granule suggestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.candidates import FragmentationCandidate
+from repro.errors import ReportError
+from repro.workload import QueryMix
+
+__all__ = [
+    "DatabaseStatistics",
+    "QueryClassStatistics",
+    "build_database_statistics",
+    "build_query_statistics",
+]
+
+
+@dataclass(frozen=True)
+class DatabaseStatistics:
+    """Database statistic of one fragmentation candidate."""
+
+    fragmentation: str
+    fragment_count: int
+    fact_pages: int
+    bitmap_pages: int
+    avg_fragment_pages: float
+    min_fragment_pages: int
+    max_fragment_pages: int
+    fragment_size_cv: float
+
+    @property
+    def total_pages(self) -> int:
+        """Fact plus bitmap pages."""
+        return self.fact_pages + self.bitmap_pages
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict form for JSON output."""
+        return {
+            "fragmentation": self.fragmentation,
+            "fragment_count": self.fragment_count,
+            "fact_pages": self.fact_pages,
+            "bitmap_pages": self.bitmap_pages,
+            "total_pages": self.total_pages,
+            "avg_fragment_pages": self.avg_fragment_pages,
+            "min_fragment_pages": self.min_fragment_pages,
+            "max_fragment_pages": self.max_fragment_pages,
+            "fragment_size_cv": self.fragment_size_cv,
+        }
+
+
+@dataclass(frozen=True)
+class QueryClassStatistics:
+    """I/O access statistic of one query class on one candidate."""
+
+    query_name: str
+    workload_share: float
+    fragments_accessed: float
+    fragments_total: int
+    fact_pages_accessed: float
+    bitmap_pages_accessed: float
+    io_requests: float
+    io_cost_ms: float
+    response_time_ms: float
+    disks_used: int
+    sequential_access: bool
+
+    @property
+    def pages_accessed(self) -> float:
+        """Fact plus bitmap pages accessed."""
+        return self.fact_pages_accessed + self.bitmap_pages_accessed
+
+    @property
+    def fragment_hit_ratio(self) -> float:
+        """Fraction of all fragments the class touches."""
+        if self.fragments_total == 0:
+            return 0.0
+        return self.fragments_accessed / self.fragments_total
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict form for JSON output."""
+        return {
+            "query": self.query_name,
+            "share": self.workload_share,
+            "fragments_accessed": self.fragments_accessed,
+            "fragment_hit_ratio": self.fragment_hit_ratio,
+            "fact_pages_accessed": self.fact_pages_accessed,
+            "bitmap_pages_accessed": self.bitmap_pages_accessed,
+            "io_requests": self.io_requests,
+            "io_cost_ms": self.io_cost_ms,
+            "response_time_ms": self.response_time_ms,
+            "disks_used": self.disks_used,
+            "sequential": float(self.sequential_access),
+        }
+
+
+def build_database_statistics(candidate: FragmentationCandidate) -> DatabaseStatistics:
+    """Derive the database statistic of a candidate."""
+    layout = candidate.layout
+    return DatabaseStatistics(
+        fragmentation=candidate.label,
+        fragment_count=layout.fragment_count,
+        fact_pages=layout.total_fact_pages,
+        bitmap_pages=candidate.bitmap_storage_pages,
+        avg_fragment_pages=layout.average_fragment_pages,
+        min_fragment_pages=layout.min_fragment_pages,
+        max_fragment_pages=layout.max_fragment_pages,
+        fragment_size_cv=layout.fragment_size_cv,
+    )
+
+
+def build_query_statistics(
+    candidate: FragmentationCandidate, workload: QueryMix
+) -> List[QueryClassStatistics]:
+    """Derive the per-query-class I/O access statistics of a candidate."""
+    statistics = []
+    shares = workload.shares()
+    for cost in candidate.evaluation.per_class:
+        if cost.query_name not in shares:
+            raise ReportError(
+                f"evaluation contains query class {cost.query_name!r} that is "
+                f"not part of the supplied workload"
+            )
+        profile = cost.profile
+        statistics.append(
+            QueryClassStatistics(
+                query_name=cost.query_name,
+                workload_share=shares[cost.query_name],
+                fragments_accessed=profile.fragments_accessed,
+                fragments_total=profile.fragments_total,
+                fact_pages_accessed=profile.fact_pages_accessed,
+                bitmap_pages_accessed=profile.bitmap_pages_accessed,
+                io_requests=profile.total_io_requests,
+                io_cost_ms=cost.io_cost_ms,
+                response_time_ms=cost.response_time_ms,
+                disks_used=cost.disks_used,
+                sequential_access=profile.sequential_fact_access,
+            )
+        )
+    return statistics

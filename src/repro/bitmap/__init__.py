@@ -1,0 +1,19 @@
+"""Bitmap join index substrate (§2, §3.2 of the paper).
+
+WARLOCK supports standard bitmaps and (hierarchically) encoded bitmaps working
+as bitmap join indexes to avoid costly fact-table scans.  The advisor designs a
+bitmap scheme per fragmentation: standard bitmaps on low-cardinality attributes
+and encoded bitmaps on high-cardinality attributes.  Bitmap fragments follow
+the fact-table fragmentation exactly so indicator bits stay aligned with fact
+rows.
+"""
+
+from repro.bitmap.index import BitmapIndex, BitmapType
+from repro.bitmap.scheme import BitmapScheme, design_bitmap_scheme
+
+__all__ = [
+    "BitmapType",
+    "BitmapIndex",
+    "BitmapScheme",
+    "design_bitmap_scheme",
+]

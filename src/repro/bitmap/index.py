@@ -1,0 +1,177 @@
+"""Bitmap join index model.
+
+Two index kinds are supported, mirroring the paper:
+
+* **standard bitmaps** — one bitmap (one bit per fact row) per distinct value of
+  the indexed attribute.  Evaluating a predicate selecting ``k`` values reads
+  ``k`` bitmaps.  Storage grows linearly with the attribute cardinality, which
+  is why WARLOCK restricts standard bitmaps to low-cardinality attributes.
+
+* **(hierarchically) encoded bitmaps** — the attribute value is binary-encoded
+  into ``ceil(log2(cardinality))`` bit slices; equality predicates read all
+  slices regardless of how many values they select.  Storage grows
+  logarithmically, which suits high-cardinality attributes.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.errors import BitmapError
+from repro.schema import StarSchema
+
+__all__ = ["BitmapType", "BitmapIndex"]
+
+
+class BitmapType(enum.Enum):
+    """Kind of bitmap join index."""
+
+    STANDARD = "standard"
+    ENCODED = "encoded"
+
+    @property
+    def label(self) -> str:
+        """Human readable label for reports."""
+        return {
+            BitmapType.STANDARD: "standard",
+            BitmapType.ENCODED: "hierarchically encoded",
+        }[self]
+
+
+def _encoded_bits(cardinality: int) -> int:
+    """Bit slices needed to encode ``cardinality`` distinct values."""
+    if cardinality <= 1:
+        return 1
+    return int(math.ceil(math.log2(cardinality)))
+
+
+@dataclass(frozen=True)
+class BitmapIndex:
+    """A bitmap join index on one dimension attribute of the fact table.
+
+    Parameters
+    ----------
+    dimension / level:
+        The indexed dimension attribute.
+    bitmap_type:
+        Standard or encoded.
+    cardinality:
+        Number of distinct values of the attribute (taken from the schema by
+        the scheme designer; stored here so the index is self-contained).
+    """
+
+    dimension: str
+    level: str
+    bitmap_type: BitmapType
+    cardinality: int
+
+    def __post_init__(self) -> None:
+        if not self.dimension or not self.level:
+            raise BitmapError("bitmap index needs dimension and level names")
+        if not isinstance(self.bitmap_type, BitmapType):
+            raise BitmapError(
+                f"bitmap_type must be a BitmapType, got {self.bitmap_type!r}"
+            )
+        if self.cardinality <= 0:
+            raise BitmapError(
+                f"bitmap index on {self.dimension}.{self.level}: cardinality "
+                f"must be positive, got {self.cardinality}"
+            )
+
+    # -- storage ---------------------------------------------------------------
+
+    @property
+    def storage_bits_per_row(self) -> int:
+        """Bits stored per fact row by this index (all bitmaps / slices)."""
+        if self.bitmap_type is BitmapType.STANDARD:
+            return self.cardinality
+        return _encoded_bits(self.cardinality)
+
+    def storage_bytes(self, row_count: float) -> float:
+        """Total storage of the index for ``row_count`` fact rows, in bytes."""
+        if row_count < 0:
+            raise BitmapError(f"row_count must be non-negative, got {row_count}")
+        return self.storage_bits_per_row * row_count / 8.0
+
+    def storage_pages(self, row_count: float, page_size_bytes: int) -> int:
+        """Total pages of the index for ``row_count`` fact rows."""
+        if page_size_bytes <= 0:
+            raise BitmapError(
+                f"page_size_bytes must be positive, got {page_size_bytes}"
+            )
+        return int(math.ceil(self.storage_bytes(row_count) / page_size_bytes))
+
+    # -- query-time reads --------------------------------------------------------
+
+    def bits_read_per_row(self, value_count: int = 1) -> int:
+        """Bits read per fact row to evaluate a predicate selecting ``value_count`` values."""
+        if value_count <= 0:
+            raise BitmapError(f"value_count must be positive, got {value_count}")
+        if value_count > self.cardinality:
+            raise BitmapError(
+                f"predicate selects {value_count} values but "
+                f"{self.dimension}.{self.level} only has {self.cardinality}"
+            )
+        if self.bitmap_type is BitmapType.STANDARD:
+            return value_count
+        return _encoded_bits(self.cardinality)
+
+    def read_bytes(self, row_count: float, value_count: int = 1) -> float:
+        """Bytes read to evaluate the predicate over ``row_count`` fact rows."""
+        if row_count < 0:
+            raise BitmapError(f"row_count must be non-negative, got {row_count}")
+        return self.bits_read_per_row(value_count) * row_count / 8.0
+
+    def read_pages(
+        self, row_count: float, page_size_bytes: int, value_count: int = 1
+    ) -> int:
+        """Pages read to evaluate the predicate over ``row_count`` fact rows."""
+        if page_size_bytes <= 0:
+            raise BitmapError(
+                f"page_size_bytes must be positive, got {page_size_bytes}"
+            )
+        read_bytes = self.read_bytes(row_count, value_count)
+        if read_bytes == 0:
+            return 0
+        return int(math.ceil(read_bytes / page_size_bytes))
+
+    # -- construction helpers ------------------------------------------------------
+
+    @classmethod
+    def for_attribute(
+        cls,
+        schema: StarSchema,
+        dimension: str,
+        level: str,
+        cardinality_threshold: int = 64,
+    ) -> "BitmapIndex":
+        """Build the index WARLOCK's heuristic would pick for an attribute.
+
+        Standard bitmaps for attributes whose cardinality does not exceed
+        ``cardinality_threshold``, encoded bitmaps otherwise.
+        """
+        if cardinality_threshold <= 0:
+            raise BitmapError(
+                f"cardinality_threshold must be positive, got {cardinality_threshold}"
+            )
+        cardinality = schema.level_cardinality(dimension, level)
+        bitmap_type = (
+            BitmapType.STANDARD
+            if cardinality <= cardinality_threshold
+            else BitmapType.ENCODED
+        )
+        return cls(
+            dimension=dimension,
+            level=level,
+            bitmap_type=bitmap_type,
+            cardinality=cardinality,
+        )
+
+    def describe(self) -> str:
+        """Human readable one-liner for reports."""
+        return (
+            f"{self.dimension}.{self.level}: {self.bitmap_type.label} bitmap, "
+            f"{self.cardinality:,} values, {self.storage_bits_per_row} bit(s)/row"
+        )

@@ -1,0 +1,316 @@
+"""Command-line front end (replaces the original Java GUI).
+
+The CLI exposes the advisor pipeline on the bundled configurations or on a
+JSON-described schema/workload::
+
+    warlock recommend --dataset apb1 --disks 64 --top 10
+    warlock analyze   --dataset retail --disks 32
+    warlock simulate  --dataset apb1 --disks 64 --queries 20
+    warlock recommend --config my_warehouse.json
+
+The JSON configuration format mirrors the input layer of the paper: a star
+schema block (dimensions with hierarchy cardinalities, fact tables), a DBS &
+disk parameter block and a weighted query mix.  See ``example_config()`` for a
+template.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Tuple
+
+from repro.analysis import (
+    format_allocation_report,
+    format_full_report,
+    format_query_analysis,
+    format_ranking_table,
+    occupancy_chart,
+)
+from repro.core import AdvisorConfig, Warlock
+from repro.costmodel import resolve_prefetch_setting
+from repro.datasets import (
+    apb1_query_mix,
+    apb1_schema,
+    retail_query_mix,
+    retail_schema,
+)
+from repro.errors import WarlockError
+from repro.io import example_config, load_config_file, recommendation_to_dict
+from repro.schema import StarSchema
+from repro.simulation import DiskSimulator
+from repro.storage import SystemParameters
+from repro.workload import QueryMix
+
+__all__ = ["main", "build_parser", "load_config", "example_config"]
+
+
+def load_config(path: str) -> Tuple[StarSchema, QueryMix, SystemParameters]:
+    """Load schema, workload and system parameters from a JSON file.
+
+    Thin alias of :func:`repro.io.load_config_file`, kept on the CLI module for
+    convenience ("the CLI's config format").
+    """
+    return load_config_file(path)
+
+
+# ---------------------------------------------------------------------------
+# Dataset / argument resolution
+# ---------------------------------------------------------------------------
+
+def _resolve_inputs(args: argparse.Namespace) -> Tuple[StarSchema, QueryMix, SystemParameters]:
+    if args.config:
+        schema, workload, system = load_config(args.config)
+    else:
+        if args.dataset == "apb1":
+            schema = apb1_schema(scale=args.scale, skew={"product": args.skew} if args.skew else None)
+            workload = apb1_query_mix()
+        elif args.dataset == "retail":
+            schema = retail_schema(scale=args.scale)
+            workload = retail_query_mix()
+        else:
+            raise WarlockError(f"unknown dataset {args.dataset!r}")
+        system = SystemParameters(num_disks=args.disks, architecture=args.architecture)
+    if args.disks is not None and not args.config:
+        system = system.with_disks(args.disks)
+    return schema, workload, system
+
+
+def _advisor(args: argparse.Namespace) -> Warlock:
+    schema, workload, system = _resolve_inputs(args)
+    config = AdvisorConfig(
+        top_fraction=args.top_fraction,
+        top_candidates=args.top,
+        max_fragments=args.max_fragments,
+    )
+    return Warlock(schema, workload, system, config)
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    advisor = _advisor(args)
+    recommendation = advisor.recommend()
+    if args.json:
+        payload = recommendation_to_dict(recommendation)
+        # Convenience aliases for scripts that only need the headline counts.
+        payload["excluded"] = recommendation.exclusion_report.excluded_count
+        payload["evaluated"] = recommendation.exclusion_report.surviving_count
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_ranking_table(recommendation))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    advisor = _advisor(args)
+    recommendation = advisor.recommend()
+    candidate = (
+        recommendation.candidate(args.fragmentation)
+        if args.fragmentation
+        else recommendation.best
+    )
+    print(format_query_analysis(candidate, advisor.workload))
+    print()
+    print(format_allocation_report(candidate))
+    print()
+    print(occupancy_chart(candidate))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    advisor = _advisor(args)
+    recommendation = advisor.recommend()
+    print(format_full_report(recommendation, detail_top=args.detail_top))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    advisor = _advisor(args)
+    recommendation = advisor.recommend()
+    candidate = (
+        recommendation.candidate(args.fragmentation)
+        if args.fragmentation
+        else recommendation.best
+    )
+    simulator = DiskSimulator(advisor.system)
+    prefetch = resolve_prefetch_setting(
+        candidate.layout, advisor.workload, candidate.bitmap_scheme, advisor.system
+    )
+    result = simulator.run_workload(
+        candidate.layout,
+        advisor.workload,
+        candidate.bitmap_scheme,
+        candidate.allocation,
+        prefetch,
+        queries_per_class=args.queries,
+        seed=args.seed,
+    )
+    print(f"Simulating {candidate.label} on {advisor.system.describe()}")
+    print(result.describe())
+    print(
+        f"Analytical prediction: response {candidate.response_time_ms:,.1f} ms, "
+        f"I/O cost {candidate.io_cost_ms:,.1f} ms"
+    )
+    return 0
+
+
+def _cmd_suggest(args: argparse.Namespace) -> int:
+    """Print the workload-driven dimension ranking and fragmentation suggestion."""
+    from repro.analysis import format_table
+    from repro.graph import dimension_ranking, suggest_fragmentation_dimensions
+
+    schema, workload, _system = _resolve_inputs(args)
+    ranking = dimension_ranking(schema, workload)
+    print(f"Dimension access shares for {schema.name} ({len(workload)} query classes)")
+    print(
+        format_table(
+            ["dimension", "workload share restricting it"],
+            [[name, f"{share:.1%}"] for name, share in ranking],
+        )
+    )
+    suggestion = suggest_fragmentation_dimensions(
+        schema, workload, max_dimensions=args.max_dimensions
+    )
+    print()
+    print("Suggested fragmentation dimensions (pre-selection, cost model decides levels):")
+    print("  " + (", ".join(suggestion) if suggestion else "(none)"))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """Run the interactive what-if studies for the recommended fragmentation."""
+    from repro.tuning import architecture_study, disk_count_study, prefetch_study
+
+    advisor = _advisor(args)
+    recommendation = advisor.recommend()
+    candidate = (
+        recommendation.candidate(args.fragmentation)
+        if args.fragmentation
+        else recommendation.best
+    )
+    spec = candidate.spec
+    print(f"What-if studies for {spec.label} on {advisor.system.describe()}")
+    print()
+    disks = disk_count_study(
+        advisor.schema, advisor.workload, advisor.system, spec, config=advisor.config
+    )
+    print(disks.format())
+    print()
+    architecture = architecture_study(
+        advisor.schema, advisor.workload, advisor.system, spec, config=advisor.config
+    )
+    print(architecture.format())
+    print()
+    prefetch = prefetch_study(
+        advisor.schema, advisor.workload, advisor.system, spec, config=advisor.config
+    )
+    print(prefetch.format())
+    return 0
+
+
+def _cmd_example_config(args: argparse.Namespace) -> int:
+    print(json.dumps(example_config(), indent=2))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        choices=["apb1", "retail"],
+        default="apb1",
+        help="bundled dataset to use when no --config is given",
+    )
+    parser.add_argument("--config", help="JSON configuration file (see example-config)")
+    parser.add_argument("--scale", type=float, default=0.1, help="fact table scale factor")
+    parser.add_argument("--skew", type=float, default=0.0, help="zipf theta for the product dimension (apb1 only)")
+    parser.add_argument("--disks", type=int, default=64, help="number of disks")
+    parser.add_argument(
+        "--architecture",
+        default="shared_disk",
+        help="parallel architecture: shared_disk or shared_everything",
+    )
+    parser.add_argument("--top", type=int, default=10, help="candidates in the final ranking")
+    parser.add_argument(
+        "--top-fraction",
+        type=float,
+        default=0.25,
+        help="leading fraction (by I/O cost) re-ranked by response time",
+    )
+    parser.add_argument(
+        "--max-fragments", type=int, default=100_000, help="exclusion threshold on fragment count"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``warlock`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="warlock",
+        description="WARLOCK: data allocation advisor for parallel data warehouses",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    recommend = subparsers.add_parser("recommend", help="print the ranked candidate list")
+    _add_common_arguments(recommend)
+    recommend.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    recommend.set_defaults(func=_cmd_recommend)
+
+    analyze = subparsers.add_parser("analyze", help="detailed query/allocation analysis")
+    _add_common_arguments(analyze)
+    analyze.add_argument("--fragmentation", help="label of the candidate to analyze (default: best)")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    report = subparsers.add_parser("report", help="full report (ranking + analysis)")
+    _add_common_arguments(report)
+    report.add_argument("--detail-top", type=int, default=1, help="candidates analyzed in detail")
+    report.set_defaults(func=_cmd_report)
+
+    simulate = subparsers.add_parser("simulate", help="replay the workload on the recommended allocation")
+    _add_common_arguments(simulate)
+    simulate.add_argument("--fragmentation", help="label of the candidate to simulate (default: best)")
+    simulate.add_argument("--queries", type=int, default=10, help="query instances per class")
+    simulate.add_argument("--seed", type=int, default=0, help="random seed")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    suggest = subparsers.add_parser(
+        "suggest", help="rank dimensions by workload affinity and suggest fragmentation dimensions"
+    )
+    _add_common_arguments(suggest)
+    suggest.add_argument(
+        "--max-dimensions", type=int, default=3, help="maximum suggested fragmentation dimensions"
+    )
+    suggest.set_defaults(func=_cmd_suggest)
+
+    tune = subparsers.add_parser(
+        "tune", help="run disk/architecture/prefetch what-if studies for the recommended fragmentation"
+    )
+    _add_common_arguments(tune)
+    tune.add_argument("--fragmentation", help="label of the candidate to study (default: best)")
+    tune.set_defaults(func=_cmd_tune)
+
+    example = subparsers.add_parser("example-config", help="print a JSON configuration template")
+    example.set_defaults(func=_cmd_example_config)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except WarlockError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,227 @@
+"""The WARLOCK advisor: input layer -> prediction layer -> recommendation.
+
+:class:`Warlock` is the top-level object a DBA (or a GUI / CLI front end)
+interacts with.  It takes the three input blocks of the paper's input layer —
+the star schema, the DBS & disk parameters and the weighted star query mix —
+and produces a :class:`Recommendation`: the ranked list of fragmentation
+candidates, each complete with bitmap scheme, prefetch suggestion, disk
+allocation and per-query-class cost prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.allocation import choose_allocation
+from repro.bitmap import BitmapScheme, design_bitmap_scheme
+from repro.core.candidates import FragmentationCandidate
+from repro.core.config import AdvisorConfig
+from repro.core.ranking import RankedCandidate, rank_candidates
+from repro.core.thresholds import ExclusionReport, evaluate_thresholds
+from repro.costmodel import IOCostModel, resolve_prefetch_setting
+from repro.errors import AdvisorError
+from repro.fragmentation import (
+    FragmentationSpec,
+    build_layout,
+    enumerate_point_fragmentations,
+)
+from repro.schema import StarSchema, validate_schema
+from repro.storage import SystemParameters
+from repro.workload import QueryMix
+
+__all__ = ["Warlock", "Recommendation"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's output: ranked candidates plus provenance."""
+
+    ranked: Tuple[RankedCandidate, ...]
+    evaluated: Tuple[FragmentationCandidate, ...]
+    exclusion_report: ExclusionReport
+    config: AdvisorConfig
+    schema: StarSchema
+    workload: QueryMix
+    system: SystemParameters
+
+    @property
+    def best(self) -> FragmentationCandidate:
+        """The top-ranked fragmentation candidate."""
+        if not self.ranked:
+            raise AdvisorError("the recommendation contains no ranked candidates")
+        return self.ranked[0].candidate
+
+    def candidate(self, label: str) -> FragmentationCandidate:
+        """Look up an evaluated candidate by its fragmentation label."""
+        for candidate in self.evaluated:
+            if candidate.label == label:
+                return candidate
+        raise AdvisorError(f"no evaluated candidate labelled {label!r}")
+
+    def describe(self) -> str:
+        """Compact multi-line summary of the ranked list."""
+        lines = [
+            f"WARLOCK recommendation for schema {self.schema.name!r} "
+            f"({self.system.describe()})",
+            self.exclusion_report.describe().splitlines()[0],
+            f"Top {len(self.ranked)} fragmentations "
+            f"(leading {self.config.top_fraction:.0%} by I/O cost, ranked by "
+            f"response time):",
+        ]
+        lines.extend(f"  {ranked.describe()}" for ranked in self.ranked)
+        return "\n".join(lines)
+
+
+class Warlock:
+    """The data allocation advisor.
+
+    Parameters
+    ----------
+    schema:
+        Star schema (dimensions with hierarchy cardinalities, fact tables with
+        row counts and sizes, optional skew).
+    workload:
+        Weighted star-query mix.
+    system:
+        DBS & disk parameters.
+    config:
+        Advisor tunables; defaults follow the paper.
+    fact_table:
+        Name of the fact table to fragment; the schema's primary fact table
+        when omitted.
+    """
+
+    def __init__(
+        self,
+        schema: StarSchema,
+        workload: QueryMix,
+        system: SystemParameters,
+        config: Optional[AdvisorConfig] = None,
+        fact_table: Optional[str] = None,
+    ) -> None:
+        self.schema = schema
+        self.workload = workload
+        self.system = system
+        self.config = config if config is not None else AdvisorConfig()
+        self.fact = schema.fact_table(fact_table)
+        self.schema_warnings = validate_schema(schema)
+        workload.validate(schema)
+        self._cost_model = IOCostModel(system)
+
+    # -- candidate generation -------------------------------------------------------
+
+    def generate_specs(self) -> Tuple[List[FragmentationSpec], ExclusionReport]:
+        """Enumerate point fragmentations and apply the exclusion thresholds."""
+        report = ExclusionReport()
+        surviving: List[FragmentationSpec] = []
+        for spec in enumerate_point_fragmentations(
+            self.schema,
+            fact_table=self.fact.name,
+            max_dimensions=self.config.max_fragmentation_dimensions,
+            include_baseline=self.config.include_baseline,
+        ):
+            violations = evaluate_thresholds(
+                spec, self.schema, self.fact, self.system, self.config
+            )
+            report.record(spec, violations)
+            if not violations:
+                surviving.append(spec)
+        if not surviving:
+            raise AdvisorError(
+                "all fragmentation candidates were excluded by the thresholds; "
+                "relax min/max fragment bounds or check the system parameters"
+            )
+        return surviving, report
+
+    # -- evaluation ---------------------------------------------------------------------
+
+    def design_bitmaps(self) -> BitmapScheme:
+        """Design the workload-driven bitmap scheme (shared across candidates)."""
+        return design_bitmap_scheme(
+            self.schema,
+            self.workload,
+            fact_table=self.fact.name,
+            cardinality_threshold=self.config.bitmap_cardinality_threshold,
+        )
+
+    def evaluate_spec(
+        self,
+        spec: FragmentationSpec,
+        bitmap_scheme: Optional[BitmapScheme] = None,
+    ) -> FragmentationCandidate:
+        """Fully evaluate a single fragmentation candidate."""
+        if bitmap_scheme is None:
+            bitmap_scheme = self.design_bitmaps()
+        layout = build_layout(
+            self.schema,
+            spec,
+            fact_table=self.fact.name,
+            page_size_bytes=self.system.page_size_bytes,
+            max_fragments=max(self.config.max_fragments, 1),
+        )
+        prefetch = resolve_prefetch_setting(
+            layout, self.workload, bitmap_scheme, self.system
+        )
+        evaluation = self._cost_model.evaluate(
+            layout, self.workload, bitmap_scheme, prefetch
+        )
+        allocation = choose_allocation(
+            layout,
+            self.system,
+            bitmap_scheme,
+            skew_threshold_cv=self.config.allocation_skew_cv,
+        )
+        return FragmentationCandidate(
+            spec=spec,
+            layout=layout,
+            bitmap_scheme=bitmap_scheme,
+            prefetch=prefetch,
+            evaluation=evaluation,
+            allocation=allocation,
+        )
+
+    def evaluate_candidates(
+        self, specs: Optional[List[FragmentationSpec]] = None
+    ) -> Tuple[List[FragmentationCandidate], ExclusionReport]:
+        """Evaluate every surviving candidate (or an explicit list of specs)."""
+        if specs is None:
+            specs, report = self.generate_specs()
+        else:
+            report = ExclusionReport()
+        bitmap_scheme = self.design_bitmaps()
+        candidates = [self.evaluate_spec(spec, bitmap_scheme) for spec in specs]
+        return candidates, report
+
+    # -- recommendation --------------------------------------------------------------------
+
+    def recommend(self) -> Recommendation:
+        """Run the full pipeline and return the ranked recommendation."""
+        specs, report = self.generate_specs()
+        candidates, _ = self.evaluate_candidates(specs)
+        ranked = rank_candidates(
+            candidates,
+            top_fraction=self.config.top_fraction,
+            top_candidates=self.config.top_candidates,
+        )
+        return Recommendation(
+            ranked=tuple(ranked),
+            evaluated=tuple(candidates),
+            exclusion_report=report,
+            config=self.config,
+            schema=self.schema,
+            workload=self.workload,
+            system=self.system,
+        )
+
+    # -- analysis convenience -----------------------------------------------------------------
+
+    def analyze(self, candidate: FragmentationCandidate) -> str:
+        """Render the detailed per-query-class statistic for ``candidate``.
+
+        Thin convenience wrapper over :func:`repro.analysis.format_query_analysis`
+        (imported lazily to keep the core free of presentation dependencies).
+        """
+        from repro.analysis import format_query_analysis
+
+        return format_query_analysis(candidate, self.workload)

@@ -1,0 +1,120 @@
+"""Two-phase ranking heuristic (§3.2 of the paper).
+
+Throughput (total I/O work) and response time are often contradicting goals: a
+broadly declustered fragmentation achieves high parallelism and low response
+times but more total I/O; a clustered one minimizes I/O volume but offers
+little parallelism.  WARLOCK uses a simple heuristic preferring fragmentations
+that reduce overall I/O requirements (also the right goal for multi-user
+throughput): it first orders all candidates by the overall I/O access cost of
+the query mix, keeps the leading ``X%``, and ranks those by the overall I/O
+response time.  The resulting top list is presented to the user.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.candidates import FragmentationCandidate
+from repro.errors import AdvisorError
+
+__all__ = ["RankedCandidate", "rank_candidates"]
+
+
+@dataclass(frozen=True)
+class RankedCandidate:
+    """A candidate annotated with its ranking positions.
+
+    ``io_rank`` is the candidate's position in the first phase (1 = lowest I/O
+    cost over all evaluated candidates); ``final_rank`` its position in the
+    final (response-time) ordering of the leading X%.
+    """
+
+    candidate: FragmentationCandidate
+    io_rank: int
+    final_rank: int
+
+    @property
+    def label(self) -> str:
+        """Fragmentation label of the wrapped candidate."""
+        return self.candidate.label
+
+    @property
+    def io_cost_ms(self) -> float:
+        """Workload-weighted I/O cost of the wrapped candidate."""
+        return self.candidate.io_cost_ms
+
+    @property
+    def response_time_ms(self) -> float:
+        """Workload-weighted response time of the wrapped candidate."""
+        return self.candidate.response_time_ms
+
+    def describe(self) -> str:
+        """One ranked line: final rank, label, metrics, first-phase rank."""
+        return (
+            f"#{self.final_rank:<2d} {self.candidate.describe()} "
+            f"(I/O-cost rank {self.io_rank})"
+        )
+
+
+def rank_candidates(
+    candidates: Sequence[FragmentationCandidate],
+    top_fraction: float = 0.25,
+    top_candidates: int = 10,
+) -> List[RankedCandidate]:
+    """Apply the twofold ranking and return the final top list.
+
+    Parameters
+    ----------
+    candidates:
+        Evaluated candidates (any order).
+    top_fraction:
+        Fraction ``X`` of candidates (by I/O cost) admitted to the second
+        phase.  At least one candidate is always admitted.
+    top_candidates:
+        Length of the returned list (fewer when not enough candidates survive).
+
+    Returns
+    -------
+    list of RankedCandidate
+        Ordered by ascending response time among the leading X% by I/O cost.
+
+    Raises
+    ------
+    AdvisorError
+        When no candidates are supplied or the fraction is out of range.
+    """
+    if not candidates:
+        raise AdvisorError("cannot rank an empty candidate list")
+    if not 0 < top_fraction <= 1:
+        raise AdvisorError(f"top_fraction must be in (0, 1], got {top_fraction}")
+    if top_candidates <= 0:
+        raise AdvisorError(f"top_candidates must be positive, got {top_candidates}")
+
+    # Phase 1: order by overall I/O access cost (ties: fewer fragments first,
+    # then label for determinism).
+    by_io = sorted(
+        candidates,
+        key=lambda c: (c.io_cost_ms, c.fragment_count, c.label),
+    )
+    io_rank = {id(candidate): rank + 1 for rank, candidate in enumerate(by_io)}
+
+    leading_count = max(1, int(math.ceil(top_fraction * len(by_io))))
+    leading = by_io[:leading_count]
+
+    # Phase 2: rank the leading X% by overall I/O response time.
+    by_response = sorted(
+        leading,
+        key=lambda c: (c.response_time_ms, c.io_cost_ms, c.label),
+    )
+
+    ranked = [
+        RankedCandidate(
+            candidate=candidate,
+            io_rank=io_rank[id(candidate)],
+            final_rank=rank + 1,
+        )
+        for rank, candidate in enumerate(by_response[:top_candidates])
+    ]
+    return ranked

@@ -1,0 +1,133 @@
+"""Exclusion thresholds on the fragmentation candidate space.
+
+The prediction layer applies thresholds to exclude fragmentations "that, for
+instance, cause fragment sizes to drop below the prefetching granule etc."
+before the expensive cost evaluation runs.  Each rule is cheap: it only needs
+the fragment count the spec induces and the fact-table volume, not a
+materialized layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import AdvisorConfig
+from repro.fragmentation import FragmentationSpec
+from repro.schema import FactTable, StarSchema
+from repro.storage import SystemParameters
+
+__all__ = ["evaluate_thresholds", "ExclusionReport"]
+
+#: Prefetch granule (pages) assumed by the minimum-fragment-size threshold when
+#: the system asks for auto-optimized prefetching.  Matches a common 128 KB
+#: prefetch unit on 8 KB pages.
+DEFAULT_PREFETCH_HINT_PAGES = 16
+
+
+def _prefetch_hint_pages(system: SystemParameters) -> int:
+    """Prefetch granule used as the minimum-fragment-size hint."""
+    if not system.fact_prefetch_is_auto:
+        return int(system.prefetch_pages_fact)
+    return DEFAULT_PREFETCH_HINT_PAGES
+
+
+def evaluate_thresholds(
+    spec: FragmentationSpec,
+    schema: StarSchema,
+    fact: FactTable,
+    system: SystemParameters,
+    config: AdvisorConfig,
+) -> List[str]:
+    """Return the list of threshold violations of ``spec`` (empty = candidate survives).
+
+    The rules, in evaluation order:
+
+    1. *minimum fragment count* — the candidate must produce at least one
+       fragment per disk, otherwise parallel I/O cannot use the configuration;
+    2. *maximum fragment count* — overly fine fragmentations explode catalogue
+       and management overhead;
+    3. *minimum fragment size* — the average fragment must not drop below the
+       prefetching granule;
+    4. *capacity* — the fact table (ignoring bitmaps) must fit the disk pool.
+    """
+    violations: List[str] = []
+    fragment_count = spec.fragment_count(schema)
+
+    min_fragments = config.resolved_min_fragments(system.num_disks)
+    if spec.is_fragmented and fragment_count < min_fragments:
+        violations.append(
+            f"only {fragment_count:,} fragments (< minimum {min_fragments:,}, "
+            f"one per disk)"
+        )
+
+    if fragment_count > config.max_fragments:
+        violations.append(
+            f"{fragment_count:,} fragments exceed the maximum of "
+            f"{config.max_fragments:,}"
+        )
+
+    total_pages = fact.pages(system.page_size_bytes)
+    average_fragment_pages = total_pages / fragment_count
+    min_pages = config.resolved_min_fragment_pages(_prefetch_hint_pages(system))
+    if average_fragment_pages < min_pages:
+        violations.append(
+            f"average fragment size {average_fragment_pages:,.1f} pages drops "
+            f"below the prefetching granule ({min_pages} pages)"
+        )
+
+    if total_pages > system.total_capacity_pages:
+        violations.append(
+            f"fact table needs {total_pages:,} pages but the disk pool only "
+            f"holds {system.total_capacity_pages:,}"
+        )
+
+    return violations
+
+
+@dataclass
+class ExclusionReport:
+    """Book-keeping of which candidates the thresholds excluded and why."""
+
+    considered: int = 0
+    excluded: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def record(self, spec: FragmentationSpec, violations: List[str]) -> None:
+        """Record the outcome of threshold evaluation for one candidate."""
+        self.considered += 1
+        if violations:
+            self.excluded[spec.label] = tuple(violations)
+
+    @property
+    def excluded_count(self) -> int:
+        """Number of candidates the thresholds removed."""
+        return len(self.excluded)
+
+    @property
+    def surviving_count(self) -> int:
+        """Number of candidates that passed all thresholds."""
+        return self.considered - self.excluded_count
+
+    def reasons_for(self, label: str) -> Optional[Tuple[str, ...]]:
+        """The violation list of an excluded candidate, or ``None`` if it survived."""
+        return self.excluded.get(label)
+
+    def violation_histogram(self) -> Dict[str, int]:
+        """How often each violation kind (first word group) was triggered."""
+        histogram: Dict[str, int] = {}
+        for violations in self.excluded.values():
+            for violation in violations:
+                key = violation.split("(")[0].strip()
+                histogram[key] = histogram.get(key, 0) + 1
+        return histogram
+
+    def describe(self) -> str:
+        """Human-readable summary used in reports."""
+        lines = [
+            f"Candidate space: {self.considered:,} point fragmentations considered, "
+            f"{self.excluded_count:,} excluded by thresholds, "
+            f"{self.surviving_count:,} evaluated"
+        ]
+        for label, violations in sorted(self.excluded.items()):
+            lines.append(f"  excluded {label}: {'; '.join(violations)}")
+        return "\n".join(lines)

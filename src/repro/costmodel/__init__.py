@@ -1,0 +1,37 @@
+"""Analytical I/O cost model (prediction layer, §3.2; stands in for ref. [3]).
+
+For every fragmentation candidate the model predicts
+
+* the I/O *access cost* (device busy time — the throughput-oriented metric), and
+* the I/O *response time* (elapsed time exploiting parallel disks),
+
+for each query class of the workload and aggregated over the weighted mix.
+The twofold metric feeds the advisor's ranking heuristic.
+"""
+
+from repro.costmodel.formulas import (
+    cardenas_pages,
+    expected_distinct_ancestors,
+    pages_for_rows,
+    yao_pages,
+)
+from repro.costmodel.access import QueryAccessProfile, estimate_access
+from repro.costmodel.model import (
+    IOCostModel,
+    QueryCost,
+    WorkloadEvaluation,
+    resolve_prefetch_setting,
+)
+
+__all__ = [
+    "yao_pages",
+    "cardenas_pages",
+    "pages_for_rows",
+    "expected_distinct_ancestors",
+    "QueryAccessProfile",
+    "estimate_access",
+    "IOCostModel",
+    "QueryCost",
+    "WorkloadEvaluation",
+    "resolve_prefetch_setting",
+]

@@ -1,0 +1,19 @@
+"""Ready-made schemas and workloads.
+
+The demo uses "various schemas and workloads, including APB-1-based
+configurations".  This package provides an APB-1-style configuration, a retail
+warehouse configuration and a synthetic generator, each with a matching query
+mix, so examples, tests and benchmark harnesses run out of the box.
+"""
+
+from repro.datasets.apb1 import apb1_query_mix, apb1_schema
+from repro.datasets.retail import retail_query_mix, retail_schema
+from repro.datasets.synthetic import synthetic_schema
+
+__all__ = [
+    "apb1_schema",
+    "apb1_query_mix",
+    "retail_schema",
+    "retail_query_mix",
+    "synthetic_schema",
+]

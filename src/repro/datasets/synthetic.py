@@ -1,0 +1,109 @@
+"""Synthetic star schema generator.
+
+Used by the property-based tests and the threshold/ablation benchmarks to
+exercise the advisor on schemas of arbitrary shape (number of dimensions,
+hierarchy depth, cardinality spread, skew).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.schema import Dimension, FactTable, Level, Measure, StarSchema
+from repro.skew import SkewSpec
+
+__all__ = ["synthetic_schema"]
+
+
+def synthetic_schema(
+    num_dimensions: int = 4,
+    levels_per_dimension: int = 3,
+    bottom_cardinality: int = 1000,
+    fact_rows: int = 10_000_000,
+    fact_row_size_bytes: int = 64,
+    skew_thetas: Optional[Sequence[float]] = None,
+    seed: Optional[int] = 7,
+    name: str = "synthetic",
+) -> StarSchema:
+    """Generate a synthetic star schema.
+
+    Each dimension gets ``levels_per_dimension`` levels whose cardinalities
+    grow geometrically from a small top level to ``bottom_cardinality`` (with a
+    little random jitter so dimensions are not identical).
+
+    Parameters
+    ----------
+    num_dimensions:
+        Number of dimensions referenced by the fact table.
+    levels_per_dimension:
+        Hierarchy depth of every dimension.
+    bottom_cardinality:
+        Cardinality of the bottom level of every dimension (before jitter).
+    fact_rows / fact_row_size_bytes:
+        Fact-table volume.
+    skew_thetas:
+        Optional per-dimension Zipf thetas (recycled if shorter than
+        ``num_dimensions``).
+    seed:
+        Seed for the jitter; ``None`` disables jitter entirely.
+    name:
+        Schema name prefix.
+    """
+    if num_dimensions <= 0:
+        raise SchemaError(f"num_dimensions must be positive, got {num_dimensions}")
+    if levels_per_dimension <= 0:
+        raise SchemaError(
+            f"levels_per_dimension must be positive, got {levels_per_dimension}"
+        )
+    if bottom_cardinality <= 0:
+        raise SchemaError(
+            f"bottom_cardinality must be positive, got {bottom_cardinality}"
+        )
+
+    rng = np.random.default_rng(seed) if seed is not None else None
+    dimensions = []
+    for dim_index in range(num_dimensions):
+        if rng is not None:
+            jitter = float(rng.uniform(0.7, 1.3))
+        else:
+            jitter = 1.0
+        bottom = max(2, int(round(bottom_cardinality * jitter)))
+        # Geometric progression from a small top level down to `bottom`.
+        ratio = bottom ** (1.0 / levels_per_dimension)
+        cardinalities = []
+        for level_index in range(levels_per_dimension):
+            cardinality = max(2, int(round(ratio ** (level_index + 1))))
+            if cardinalities and cardinality <= cardinalities[-1]:
+                cardinality = cardinalities[-1] + 1
+            cardinalities.append(cardinality)
+        cardinalities[-1] = max(cardinalities[-1], bottom)
+        levels = [
+            Level(f"d{dim_index}_l{level_index}", cardinality)
+            for level_index, cardinality in enumerate(cardinalities)
+        ]
+        theta = 0.0
+        if skew_thetas:
+            theta = float(skew_thetas[dim_index % len(skew_thetas)])
+        dimensions.append(
+            Dimension(
+                name=f"dim{dim_index}",
+                levels=levels,
+                skew=SkewSpec(theta=theta),
+            )
+        )
+
+    fact = FactTable(
+        name="facts",
+        row_count=fact_rows,
+        row_size_bytes=fact_row_size_bytes,
+        dimension_names=tuple(d.name for d in dimensions),
+        measures=(Measure("value", 8),),
+    )
+    return StarSchema(
+        name=f"{name}({num_dimensions}d x {levels_per_dimension}l)",
+        dimensions=dimensions,
+        fact_tables=(fact,),
+    )

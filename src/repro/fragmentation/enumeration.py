@@ -1,0 +1,99 @@
+"""Enumeration of the fragmentation candidate space.
+
+WARLOCK's prediction layer generates every *point* fragmentation: for each
+dimension it may either skip the dimension or pick exactly one of its hierarchy
+levels as the fragmentation attribute.  The candidate space therefore has
+``prod_d (levels_d + 1) - 1`` non-empty members (plus the unfragmented
+baseline), which stays small even for rich schemas and is subsequently pruned
+by the exclusion thresholds of :mod:`repro.core.thresholds`.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, List, Optional
+
+from repro.errors import FragmentationError
+from repro.schema import FactTable, StarSchema
+from repro.fragmentation.spec import FragmentationAttribute, FragmentationSpec
+
+__all__ = ["enumerate_point_fragmentations", "count_point_fragmentations"]
+
+
+def _axis_choices(
+    schema: StarSchema, fact: FactTable
+) -> List[List[Optional[FragmentationAttribute]]]:
+    """Per-dimension choices: ``None`` (skip) or one attribute per level."""
+    choices: List[List[Optional[FragmentationAttribute]]] = []
+    for dimension_name in fact.dimension_names:
+        dimension = schema.dimension(dimension_name)
+        axis: List[Optional[FragmentationAttribute]] = [None]
+        axis.extend(
+            FragmentationAttribute(dimension=dimension.name, level=level.name)
+            for level in dimension.levels
+        )
+        choices.append(axis)
+    return choices
+
+
+def count_point_fragmentations(
+    schema: StarSchema,
+    fact_table: Optional[str] = None,
+    max_dimensions: Optional[int] = None,
+    include_baseline: bool = False,
+) -> int:
+    """Size of the candidate space ``enumerate_point_fragmentations`` would yield."""
+    return sum(
+        1
+        for _ in enumerate_point_fragmentations(
+            schema,
+            fact_table=fact_table,
+            max_dimensions=max_dimensions,
+            include_baseline=include_baseline,
+        )
+    )
+
+
+def enumerate_point_fragmentations(
+    schema: StarSchema,
+    fact_table: Optional[str] = None,
+    max_dimensions: Optional[int] = None,
+    include_baseline: bool = False,
+) -> Iterator[FragmentationSpec]:
+    """Yield every point fragmentation of the fact table.
+
+    Parameters
+    ----------
+    schema:
+        The star schema.
+    fact_table:
+        Name of the fact table to fragment; the primary fact table when omitted.
+    max_dimensions:
+        Upper bound on the fragmentation dimensionality (``None`` = no bound).
+    include_baseline:
+        Whether to also yield the unfragmented baseline spec.
+
+    Yields
+    ------
+    FragmentationSpec
+        Candidates in a deterministic order (dimension declaration order,
+        coarser levels before finer levels, lower dimensionality first is *not*
+        guaranteed — ranking happens later).
+    """
+    if max_dimensions is not None and max_dimensions < 0:
+        raise FragmentationError(
+            f"max_dimensions must be non-negative, got {max_dimensions}"
+        )
+    fact = schema.fact_table(fact_table)
+    choices = _axis_choices(schema, fact)
+
+    if include_baseline:
+        yield FragmentationSpec.none()
+
+    for combination in product(*choices):
+        attributes = tuple(attr for attr in combination if attr is not None)
+        if not attributes:
+            continue
+        if max_dimensions is not None and len(attributes) > max_dimensions:
+            continue
+        yield FragmentationSpec(attributes)

@@ -1,0 +1,121 @@
+"""Directed graph view of a star schema.
+
+Node naming convention:
+
+* ``dim:<dimension>`` — one node per dimension,
+* ``level:<dimension>.<level>`` — one node per hierarchy level,
+* ``fact:<fact table>`` — one node per fact table.
+
+Edge kinds (stored in the ``kind`` edge attribute):
+
+* ``hierarchy`` — from a coarser level to the next finer level of the same
+  dimension,
+* ``has_level`` — from a dimension to each of its levels,
+* ``references`` — from a fact table to each dimension it references.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import networkx as nx
+
+from repro.errors import SchemaError
+from repro.schema import StarSchema
+
+__all__ = ["build_schema_graph", "hierarchy_path", "shared_dimensions"]
+
+
+def _dim_node(dimension: str) -> str:
+    return f"dim:{dimension}"
+
+
+def _level_node(dimension: str, level: str) -> str:
+    return f"level:{dimension}.{level}"
+
+
+def _fact_node(fact: str) -> str:
+    return f"fact:{fact}"
+
+
+def build_schema_graph(schema: StarSchema) -> nx.DiGraph:
+    """Build the directed schema graph of ``schema``.
+
+    Nodes carry ``kind`` (``dimension`` / ``level`` / ``fact``) plus the
+    relevant metadata (cardinality for levels, row counts for facts), so the
+    graph is self-contained for visualization or export.
+    """
+    graph = nx.DiGraph(name=schema.name)
+    for dimension in schema.dimensions:
+        graph.add_node(
+            _dim_node(dimension.name),
+            kind="dimension",
+            dimension=dimension.name,
+            levels=len(dimension.levels),
+            skew_theta=dimension.skew.theta,
+        )
+        previous = None
+        for level in dimension.levels:
+            node = _level_node(dimension.name, level.name)
+            graph.add_node(
+                node,
+                kind="level",
+                dimension=dimension.name,
+                level=level.name,
+                cardinality=level.cardinality,
+            )
+            graph.add_edge(_dim_node(dimension.name), node, kind="has_level")
+            if previous is not None:
+                graph.add_edge(previous, node, kind="hierarchy")
+            previous = node
+    for fact in schema.fact_tables:
+        graph.add_node(
+            _fact_node(fact.name),
+            kind="fact",
+            fact=fact.name,
+            row_count=fact.row_count,
+            row_size_bytes=fact.row_size_bytes,
+        )
+        for dimension_name in fact.dimension_names:
+            graph.add_edge(
+                _fact_node(fact.name), _dim_node(dimension_name), kind="references"
+            )
+    return graph
+
+
+def hierarchy_path(
+    schema: StarSchema, dimension: str, from_level: str, to_level: str
+) -> List[str]:
+    """Level names on the hierarchy path from ``from_level`` down to ``to_level``.
+
+    Both endpoints are included.  Raises :class:`SchemaError` when ``from_level``
+    is not an ancestor (or the same level) of ``to_level``.
+    """
+    graph = build_schema_graph(schema)
+    source = _level_node(dimension, from_level)
+    target = _level_node(dimension, to_level)
+    if source not in graph or target not in graph:
+        raise SchemaError(
+            f"unknown level in hierarchy_path: {dimension}.{from_level} / "
+            f"{dimension}.{to_level}"
+        )
+    hierarchy = graph.edge_subgraph(
+        [(u, v) for u, v, data in graph.edges(data=True) if data["kind"] == "hierarchy"]
+    ).copy() if graph.edges else nx.DiGraph()
+    if source == target:
+        return [from_level]
+    try:
+        nodes = nx.shortest_path(hierarchy, source, target)
+    except (nx.NetworkXNoPath, nx.NodeNotFound) as error:
+        raise SchemaError(
+            f"{dimension}.{from_level} is not an ancestor of {dimension}.{to_level}"
+        ) from error
+    return [graph.nodes[node]["level"] for node in nodes]
+
+
+def shared_dimensions(schema: StarSchema, fact_a: str, fact_b: str) -> Tuple[str, ...]:
+    """Dimensions referenced by both fact tables (conformed dimensions)."""
+    table_a = schema.fact_table(fact_a)
+    table_b = schema.fact_table(fact_b)
+    shared = [name for name in table_a.dimension_names if name in table_b.dimension_names]
+    return tuple(shared)

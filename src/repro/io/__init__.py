@@ -1,0 +1,38 @@
+"""Configuration and result (de)serialization.
+
+The original tool persisted nothing beyond the GUI session; a library needs a
+plain, documented interchange format.  This package provides:
+
+* a JSON-friendly configuration format mirroring the input layer of the paper
+  (star schema, DBS & disk parameters, weighted query mix), used by the CLI's
+  ``--config`` option and by embedding applications, and
+* exporters that turn a recommendation into plain dictionaries for downstream
+  tooling (dashboards, notebooks, regression baselines).
+"""
+
+from repro.io.config import (
+    example_config,
+    load_config_file,
+    parse_config,
+    schema_from_dict,
+    schema_to_dict,
+    system_from_dict,
+    system_to_dict,
+    workload_from_list,
+    workload_to_list,
+)
+from repro.io.export import candidate_to_dict, recommendation_to_dict
+
+__all__ = [
+    "example_config",
+    "parse_config",
+    "load_config_file",
+    "schema_from_dict",
+    "schema_to_dict",
+    "system_from_dict",
+    "system_to_dict",
+    "workload_from_list",
+    "workload_to_list",
+    "candidate_to_dict",
+    "recommendation_to_dict",
+]

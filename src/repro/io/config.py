@@ -1,0 +1,285 @@
+"""JSON-friendly configuration format for the input layer.
+
+The format mirrors the three input blocks of the paper (§3.1):
+
+.. code-block:: json
+
+    {
+      "schema":   { "name": "...", "dimensions": [...], "fact_tables": [...] },
+      "system":   { "num_disks": 64, "page_size_bytes": 8192, "disk": {...}, ... },
+      "workload": [ { "name": "...", "weight": 3, "restrictions": [["time", "month", 1]] } ]
+    }
+
+Every ``*_to_*`` / ``*_from_*`` pair round-trips, so configurations can be
+generated programmatically, saved, edited by hand and re-loaded.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import SchemaError, StorageError, WorkloadError
+from repro.schema import Dimension, FactTable, Level, Measure, StarSchema
+from repro.skew import SkewSpec
+from repro.storage import DiskParameters, SystemParameters
+from repro.workload import DimensionRestriction, QueryClass, QueryMix
+
+__all__ = [
+    "schema_from_dict",
+    "schema_to_dict",
+    "system_from_dict",
+    "system_to_dict",
+    "workload_from_list",
+    "workload_to_list",
+    "parse_config",
+    "load_config_file",
+    "example_config",
+]
+
+
+# ---------------------------------------------------------------------------
+# Schema
+# ---------------------------------------------------------------------------
+
+def schema_from_dict(config: Dict[str, Any]) -> StarSchema:
+    """Build a :class:`StarSchema` from its dictionary form."""
+    try:
+        dimension_configs = config["dimensions"]
+        fact_configs = config["fact_tables"]
+    except KeyError as error:
+        raise SchemaError(f"schema config is missing the {error.args[0]!r} block") from error
+
+    dimensions = []
+    for dim in dimension_configs:
+        dimensions.append(
+            Dimension(
+                name=dim["name"],
+                levels=[Level(str(name), int(card)) for name, card in dim["levels"]],
+                skew=SkewSpec(theta=float(dim.get("zipf_theta", 0.0))),
+                row_size_bytes=int(dim.get("row_size_bytes", 64)),
+            )
+        )
+    fact_tables = []
+    for fact in fact_configs:
+        fact_tables.append(
+            FactTable(
+                name=fact["name"],
+                row_count=int(fact["row_count"]),
+                row_size_bytes=int(fact["row_size_bytes"]),
+                dimension_names=tuple(fact["dimensions"]),
+                measures=tuple(
+                    Measure(str(name), int(size)) for name, size in fact.get("measures", [])
+                ),
+            )
+        )
+    return StarSchema(
+        name=config.get("name", "configured_schema"),
+        dimensions=dimensions,
+        fact_tables=fact_tables,
+    )
+
+
+def schema_to_dict(schema: StarSchema) -> Dict[str, Any]:
+    """Dictionary form of a :class:`StarSchema` (inverse of :func:`schema_from_dict`)."""
+    return {
+        "name": schema.name,
+        "dimensions": [
+            {
+                "name": dimension.name,
+                "levels": [[level.name, level.cardinality] for level in dimension.levels],
+                "zipf_theta": dimension.skew.theta,
+                "row_size_bytes": dimension.row_size_bytes,
+            }
+            for dimension in schema.dimensions
+        ],
+        "fact_tables": [
+            {
+                "name": fact.name,
+                "row_count": fact.row_count,
+                "row_size_bytes": fact.row_size_bytes,
+                "dimensions": list(fact.dimension_names),
+                "measures": [[measure.name, measure.size_bytes] for measure in fact.measures],
+            }
+            for fact in schema.fact_tables
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# System
+# ---------------------------------------------------------------------------
+
+def system_from_dict(config: Dict[str, Any]) -> SystemParameters:
+    """Build :class:`SystemParameters` from its dictionary form."""
+    if not isinstance(config, dict):
+        raise StorageError("system config must be a JSON object")
+    disk_config = config.get("disk", {})
+    disk = DiskParameters(
+        capacity_gb=float(disk_config.get("capacity_gb", 36.0)),
+        avg_seek_ms=float(disk_config.get("avg_seek_ms", 6.0)),
+        avg_rotational_ms=float(disk_config.get("avg_rotational_ms", 3.0)),
+        transfer_mb_per_s=float(disk_config.get("transfer_mb_per_s", 25.0)),
+    )
+    return SystemParameters(
+        num_disks=int(config.get("num_disks", 64)),
+        disk=disk,
+        page_size_bytes=int(config.get("page_size_bytes", 8192)),
+        architecture=config.get("architecture", "shared_disk"),
+        num_nodes=config.get("num_nodes"),
+        prefetch_pages_fact=config.get("prefetch_pages_fact", "auto"),
+        prefetch_pages_bitmap=config.get("prefetch_pages_bitmap", "auto"),
+        coordination_overhead_ms=config.get("coordination_overhead_ms"),
+    )
+
+
+def system_to_dict(system: SystemParameters) -> Dict[str, Any]:
+    """Dictionary form of :class:`SystemParameters`."""
+    payload: Dict[str, Any] = {
+        "num_disks": system.num_disks,
+        "page_size_bytes": system.page_size_bytes,
+        "architecture": system.architecture.value,
+        "disk": {
+            "capacity_gb": system.disk.capacity_gb,
+            "avg_seek_ms": system.disk.avg_seek_ms,
+            "avg_rotational_ms": system.disk.avg_rotational_ms,
+            "transfer_mb_per_s": system.disk.transfer_mb_per_s,
+        },
+        "prefetch_pages_fact": system.prefetch_pages_fact,
+        "prefetch_pages_bitmap": system.prefetch_pages_bitmap,
+    }
+    if system.num_nodes is not None:
+        payload["num_nodes"] = system.num_nodes
+    if system.coordination_overhead_ms is not None:
+        payload["coordination_overhead_ms"] = system.coordination_overhead_ms
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Workload
+# ---------------------------------------------------------------------------
+
+def workload_from_list(config: Sequence[Dict[str, Any]]) -> QueryMix:
+    """Build a :class:`QueryMix` from its list-of-dicts form."""
+    if not config:
+        raise WorkloadError("workload config must contain at least one query class")
+    classes = []
+    for entry in config:
+        restrictions = []
+        for restriction in entry.get("restrictions", []):
+            if len(restriction) < 2:
+                raise WorkloadError(
+                    f"restriction {restriction!r} must be [dimension, level] or "
+                    f"[dimension, level, value_count]"
+                )
+            dimension, level = restriction[0], restriction[1]
+            value_count = int(restriction[2]) if len(restriction) > 2 else 1
+            restrictions.append(
+                DimensionRestriction(str(dimension), str(level), value_count)
+            )
+        classes.append(
+            QueryClass(
+                name=entry["name"],
+                restrictions=restrictions,
+                weight=float(entry.get("weight", 1.0)),
+                fact_table=entry.get("fact_table"),
+            )
+        )
+    return QueryMix(classes)
+
+
+def workload_to_list(workload: QueryMix) -> List[Dict[str, Any]]:
+    """List-of-dicts form of a :class:`QueryMix`."""
+    payload = []
+    for query_class in workload:
+        entry: Dict[str, Any] = {
+            "name": query_class.name,
+            "weight": query_class.weight,
+            "restrictions": [
+                [restriction.dimension, restriction.level, restriction.value_count]
+                for restriction in query_class.restrictions
+            ],
+        }
+        if query_class.fact_table is not None:
+            entry["fact_table"] = query_class.fact_table
+        payload.append(entry)
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Whole configurations
+# ---------------------------------------------------------------------------
+
+def parse_config(raw: Dict[str, Any]) -> Tuple[StarSchema, QueryMix, SystemParameters]:
+    """Parse a complete configuration dictionary into the three input blocks."""
+    if "schema" not in raw:
+        raise SchemaError("configuration is missing the 'schema' block")
+    if "workload" not in raw:
+        raise WorkloadError("configuration is missing the 'workload' block")
+    schema = schema_from_dict(raw["schema"])
+    system = system_from_dict(raw.get("system", {}))
+    workload = workload_from_list(raw["workload"])
+    workload.validate(schema)
+    return schema, workload, system
+
+
+def load_config_file(path: str) -> Tuple[StarSchema, QueryMix, SystemParameters]:
+    """Load and parse a JSON configuration file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    return parse_config(raw)
+
+
+def example_config() -> Dict[str, Any]:
+    """A small, valid configuration template (printed by ``warlock example-config``)."""
+    return {
+        "schema": {
+            "name": "my_warehouse",
+            "dimensions": [
+                {
+                    "name": "time",
+                    "levels": [["year", 3], ["month", 36]],
+                    "zipf_theta": 0.0,
+                },
+                {
+                    "name": "product",
+                    "levels": [["group", 50], ["item", 5000]],
+                    "zipf_theta": 0.5,
+                },
+            ],
+            "fact_tables": [
+                {
+                    "name": "sales",
+                    "row_count": 10000000,
+                    "row_size_bytes": 64,
+                    "dimensions": ["time", "product"],
+                    "measures": [["revenue", 8]],
+                }
+            ],
+        },
+        "system": {
+            "num_disks": 32,
+            "page_size_bytes": 8192,
+            "architecture": "shared_disk",
+            "disk": {
+                "capacity_gb": 36.0,
+                "avg_seek_ms": 6.0,
+                "avg_rotational_ms": 3.0,
+                "transfer_mb_per_s": 25.0,
+            },
+            "prefetch_pages_fact": "auto",
+            "prefetch_pages_bitmap": "auto",
+        },
+        "workload": [
+            {
+                "name": "monthly-by-group",
+                "weight": 3,
+                "restrictions": [["time", "month", 1], ["product", "group", 1]],
+            },
+            {
+                "name": "yearly-report",
+                "weight": 1,
+                "restrictions": [["time", "year", 1]],
+            },
+        ],
+    }

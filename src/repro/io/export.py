@@ -1,0 +1,114 @@
+"""Exporters: recommendations and candidates as plain dictionaries.
+
+The exported structures are JSON-serializable and stable across versions, so
+downstream tooling (dashboards, regression baselines, notebooks) can consume
+the advisor's output without importing the library's classes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.analysis import build_database_statistics, build_query_statistics
+from repro.core import FragmentationCandidate, Recommendation
+
+__all__ = ["candidate_to_dict", "recommendation_to_dict"]
+
+
+def candidate_to_dict(
+    candidate: FragmentationCandidate, include_allocation: bool = False
+) -> Dict[str, Any]:
+    """Plain-dict form of one evaluated candidate.
+
+    Parameters
+    ----------
+    candidate:
+        The candidate to export.
+    include_allocation:
+        When true, the per-fragment disk assignment is included (can be large
+        for fine fragmentations, hence opt-in).
+    """
+    payload: Dict[str, Any] = {
+        "fragmentation": candidate.label,
+        "attributes": [
+            {"dimension": attribute.dimension, "level": attribute.level}
+            for attribute in candidate.spec.attributes
+        ],
+        "metrics": candidate.summary(),
+        "database_statistics": build_database_statistics(candidate).as_dict(),
+        "per_class": candidate.evaluation.as_dict(),
+        "bitmap_scheme": [
+            {
+                "dimension": index.dimension,
+                "level": index.level,
+                "type": index.bitmap_type.value,
+                "cardinality": index.cardinality,
+                "bits_per_row": index.storage_bits_per_row,
+            }
+            for index in candidate.bitmap_scheme
+        ],
+        "prefetch": {
+            "fact_pages": candidate.prefetch.fact_pages,
+            "bitmap_pages": candidate.prefetch.bitmap_pages,
+            "fact_policy": candidate.prefetch.fact_policy.value,
+            "bitmap_policy": candidate.prefetch.bitmap_policy.value,
+        },
+        "allocation": candidate.allocation.occupancy_summary(),
+    }
+    if include_allocation:
+        payload["allocation"]["disk_of_fragment"] = (
+            candidate.allocation.disk_of_fragment.tolist()
+        )
+    return payload
+
+
+def recommendation_to_dict(
+    recommendation: Recommendation,
+    include_all_candidates: bool = False,
+    include_query_statistics: bool = True,
+) -> Dict[str, Any]:
+    """Plain-dict form of a full recommendation.
+
+    Parameters
+    ----------
+    recommendation:
+        The advisor output to export.
+    include_all_candidates:
+        Include every evaluated candidate's summary (not just the ranked ones).
+    include_query_statistics:
+        Include the per-query-class statistics of the winning candidate.
+    """
+    payload: Dict[str, Any] = {
+        "schema": recommendation.schema.name,
+        "system": recommendation.system.describe(),
+        "config": {
+            "top_fraction": recommendation.config.top_fraction,
+            "top_candidates": recommendation.config.top_candidates,
+            "max_fragments": recommendation.config.max_fragments,
+        },
+        "candidate_space": {
+            "considered": recommendation.exclusion_report.considered,
+            "excluded": recommendation.exclusion_report.excluded_count,
+            "evaluated": recommendation.exclusion_report.surviving_count,
+        },
+        "ranked": [
+            {
+                "final_rank": ranked.final_rank,
+                "io_rank": ranked.io_rank,
+                **candidate_to_dict(ranked.candidate),
+            }
+            for ranked in recommendation.ranked
+        ],
+    }
+    if include_query_statistics and recommendation.ranked:
+        payload["best_query_statistics"] = [
+            statistic.as_dict()
+            for statistic in build_query_statistics(
+                recommendation.best, recommendation.workload
+            )
+        ]
+    if include_all_candidates:
+        payload["evaluated"] = [
+            candidate.summary() for candidate in recommendation.evaluated
+        ]
+    return payload

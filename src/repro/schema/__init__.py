@@ -1,0 +1,25 @@
+"""Relational star schema model (WARLOCK input layer, §2 / §3.1).
+
+A star schema consists of denormalized, hierarchically organized dimension
+tables and one or more fact tables.  Each dimension level is represented by a
+dimension attribute; fact tables hold measure attributes and refer to the
+dimensions by foreign keys.
+"""
+
+from repro.schema.star import (
+    Dimension,
+    FactTable,
+    Level,
+    Measure,
+    StarSchema,
+)
+from repro.schema.validation import validate_schema
+
+__all__ = [
+    "Level",
+    "Dimension",
+    "Measure",
+    "FactTable",
+    "StarSchema",
+    "validate_schema",
+]

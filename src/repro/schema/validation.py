@@ -1,0 +1,97 @@
+"""Cross-object validation of star schema definitions.
+
+The dataclass constructors in :mod:`repro.schema.star` already enforce local
+invariants (positive cardinalities, non-decreasing hierarchies, ...).  This
+module adds the cross-cutting checks WARLOCK's input layer performs before a
+schema is handed to the prediction layer, and returns human-readable warnings
+for conditions that are legal but usually indicate a mis-specified schema.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SchemaError
+from repro.schema.star import StarSchema
+
+__all__ = ["validate_schema"]
+
+#: A fact table whose bottom-level dimension cardinality product is smaller than
+#: its row count cannot distribute rows injectively; that is fine (facts repeat
+#: dimension combinations), but the reverse by a huge margin is suspicious.
+_SPARSITY_WARNING_FACTOR = 1_000_000.0
+
+
+def validate_schema(schema: StarSchema, strict: bool = False) -> List[str]:
+    """Validate ``schema`` and return a list of warning strings.
+
+    Parameters
+    ----------
+    schema:
+        The schema to validate.
+    strict:
+        When true, warnings are escalated to :class:`~repro.errors.SchemaError`.
+
+    Returns
+    -------
+    list of str
+        Human-readable warnings (empty when the schema looks clean).
+
+    Raises
+    ------
+    SchemaError
+        For outright inconsistencies, or for warnings when ``strict`` is set.
+    """
+    warnings: List[str] = []
+
+    for fact in schema.fact_tables:
+        dimensions = schema.dimensions_of(fact)
+
+        combination_space = 1.0
+        for dimension in dimensions:
+            combination_space *= dimension.cardinality
+
+        if combination_space > fact.row_count * _SPARSITY_WARNING_FACTOR:
+            warnings.append(
+                f"fact table {fact.name!r}: the dimension value space "
+                f"({combination_space:.3g} combinations) exceeds the row count "
+                f"({fact.row_count:,}) by more than a factor of "
+                f"{_SPARSITY_WARNING_FACTOR:.0e}; fragment size estimates will "
+                f"be extremely sparse"
+            )
+
+        key_bytes = 8 * len(dimensions)
+        if fact.row_size_bytes < key_bytes:
+            warnings.append(
+                f"fact table {fact.name!r}: row_size_bytes "
+                f"({fact.row_size_bytes}) is smaller than the space needed for "
+                f"{len(dimensions)} foreign keys (~{key_bytes} bytes)"
+            )
+
+    for dimension in schema.dimensions:
+        if dimension.top_level.cardinality == dimension.bottom_level.cardinality and (
+            len(dimension.levels) > 1
+        ):
+            warnings.append(
+                f"dimension {dimension.name!r}: top and bottom levels have the "
+                f"same cardinality; the hierarchy is degenerate"
+            )
+        if dimension.bottom_level.cardinality == 1:
+            warnings.append(
+                f"dimension {dimension.name!r}: bottom level has cardinality 1; "
+                f"it cannot be used for fragmentation or bitmap selection"
+            )
+
+    referenced = {name for fact in schema.fact_tables for name in fact.dimension_names}
+    unreferenced = [d.name for d in schema.dimensions if d.name not in referenced]
+    if unreferenced:
+        warnings.append(
+            "dimensions not referenced by any fact table: " + ", ".join(unreferenced)
+        )
+
+    if strict and warnings:
+        raise SchemaError(
+            f"schema {schema.name!r} failed strict validation:\n  - "
+            + "\n  - ".join(warnings)
+        )
+    return warnings

@@ -1,0 +1,297 @@
+"""Concrete query instances.
+
+A query *class* describes which dimensions a query restricts and at which
+level; a query *instance* fixes the actual restriction values (e.g. ``month =
+'1999-03'`` instead of "some month").  Instances matter because, under data
+skew, the amount of data behind different values differs widely — the
+analytical model reasons about expectations, the simulator replays concrete
+instances.
+
+Value selection honours the hierarchy containment used by the fragmentation
+layouts: the ranked bottom-level values of a dimension are split into
+contiguous, (near-)equally sized blocks per coarser level, so value ``v`` of a
+coarse level always contains the same block of fine values that
+:func:`repro.fragmentation.layout.dimension_row_shares` aggregates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bitmap import BitmapScheme
+from repro.errors import SimulationError
+from repro.fragmentation import FragmentationLayout, dimension_row_shares
+from repro.workload import QueryClass
+from repro.costmodel.access import (
+    DEFAULT_POSITIONING_PAGE_EQUIVALENT,
+    SEQUENTIAL_DENSITY_THRESHOLD,
+)
+from repro.costmodel.formulas import cardenas_pages
+
+__all__ = ["QueryInstance", "instantiate_query"]
+
+
+@dataclass(frozen=True)
+class QueryInstance:
+    """One concrete query with its physical access plan on a layout."""
+
+    query_name: str
+    #: Flat indices of the accessed fragments.
+    fragment_indices: np.ndarray
+    #: Fact-table pages read from each accessed fragment.
+    fact_pages: np.ndarray
+    #: Bitmap pages read from each accessed fragment.
+    bitmap_pages: np.ndarray
+    #: True when fragments are scanned sequentially (prefetch applies).
+    sequential: bool
+
+    @property
+    def fragments_accessed(self) -> int:
+        """Number of fragments the instance touches."""
+        return int(self.fragment_indices.size)
+
+    @property
+    def total_fact_pages(self) -> float:
+        """Total fact pages read."""
+        return float(self.fact_pages.sum())
+
+    @property
+    def total_bitmap_pages(self) -> float:
+        """Total bitmap pages read."""
+        return float(self.bitmap_pages.sum())
+
+    @property
+    def total_pages(self) -> float:
+        """Total pages read (fact plus bitmap)."""
+        return self.total_fact_pages + self.total_bitmap_pages
+
+
+def _block_boundaries(fine_cardinality: int, coarse_cardinality: int) -> np.ndarray:
+    """Boundaries splitting ``fine_cardinality`` ranked values into coarse blocks."""
+    boundaries = np.linspace(0, fine_cardinality, coarse_cardinality + 1)
+    return np.round(boundaries).astype(int)
+
+
+def _children_of(coarse_value: int, fine_cardinality: int, coarse_cardinality: int) -> np.ndarray:
+    """Fine-level value indices contained in one coarse-level value."""
+    boundaries = _block_boundaries(fine_cardinality, coarse_cardinality)
+    return np.arange(boundaries[coarse_value], boundaries[coarse_value + 1])
+
+def _parent_of(fine_value: int, fine_cardinality: int, coarse_cardinality: int) -> int:
+    """Coarse-level ancestor of one fine-level value."""
+    boundaries = _block_boundaries(fine_cardinality, coarse_cardinality)
+    parent = int(np.searchsorted(boundaries, fine_value, side="right") - 1)
+    return min(max(parent, 0), coarse_cardinality - 1)
+
+
+def _sample_values(
+    layout: FragmentationLayout,
+    dimension_name: str,
+    level_name: str,
+    value_count: int,
+    rng: np.random.Generator,
+    weighted: bool,
+) -> np.ndarray:
+    """Sample ``value_count`` distinct values of ``dimension.level``.
+
+    With ``weighted=True`` values are drawn proportionally to the amount of
+    fact data behind them (frequent values are queried more often), which is
+    the realistic behaviour under skew; otherwise uniformly.
+    """
+    dimension = layout.schema.dimension(dimension_name)
+    cardinality = dimension.level(level_name).cardinality
+    if value_count > cardinality:
+        raise SimulationError(
+            f"cannot sample {value_count} values from {dimension_name}.{level_name} "
+            f"with only {cardinality} values"
+        )
+    if weighted and dimension.skew.is_skewed:
+        probabilities = dimension_row_shares(dimension, level_name)
+        return rng.choice(cardinality, size=value_count, replace=False, p=probabilities)
+    return rng.choice(cardinality, size=value_count, replace=False)
+
+
+def instantiate_query(
+    layout: FragmentationLayout,
+    query: QueryClass,
+    bitmap_scheme: BitmapScheme,
+    rng: Optional[np.random.Generator] = None,
+    weighted_values: bool = True,
+) -> QueryInstance:
+    """Draw a concrete instance of ``query`` and derive its physical access plan.
+
+    Parameters
+    ----------
+    layout:
+        Materialized fragmentation the instance runs against.
+    query:
+        The query class to instantiate.
+    bitmap_scheme:
+        Bitmap indexes available for residual filtering.
+    rng:
+        Numpy random generator (a fresh default generator when omitted).
+    weighted_values:
+        Draw restriction values proportionally to the data behind them (True,
+        realistic under skew) or uniformly (False).
+    """
+    generator = rng if rng is not None else np.random.default_rng()
+    schema = layout.schema
+    query.validate(schema)
+
+    # --- per-axis accessed values and residual restrictions -----------------------
+    axis_values: List[np.ndarray] = []
+    # (dimension, level, value_count, residual_fraction) — residual_fraction is
+    # the share of rows inside the accessed fragments still qualifying for the
+    # restriction (the fragmentation already confined the rest).
+    residual: List[Tuple[str, str, int, float]] = []
+    for axis_index, attribute in enumerate(layout.spec.attributes):
+        dimension = schema.dimension(attribute.dimension)
+        axis_cardinality = layout.axis_cardinalities[axis_index]
+        restriction = query.restriction_on(attribute.dimension)
+        if restriction is None:
+            axis_values.append(np.arange(axis_cardinality))
+            continue
+        level_cardinality = dimension.level(restriction.level).cardinality
+        chosen = _sample_values(
+            layout,
+            attribute.dimension,
+            restriction.level,
+            restriction.value_count,
+            generator,
+            weighted_values,
+        )
+        if dimension.is_coarser_or_equal(restriction.level, attribute.level):
+            # Coarse restriction: the accessed axis values are the union of the
+            # children blocks of the chosen coarse values.
+            blocks = [
+                _children_of(int(value), axis_cardinality, level_cardinality)
+                for value in chosen
+            ]
+            values = np.unique(np.concatenate(blocks)) if blocks else np.array([], int)
+            axis_values.append(values)
+        else:
+            # Fine restriction: accessed axis values are the ancestors of the
+            # chosen fine values; residual filtering inside those fragments.
+            parents = np.unique(
+                np.array(
+                    [
+                        _parent_of(int(value), level_cardinality, axis_cardinality)
+                        for value in chosen
+                    ],
+                    dtype=int,
+                )
+            )
+            axis_values.append(parents)
+            selected_fraction = restriction.value_count / level_cardinality
+            accessed_fraction = parents.size / axis_cardinality
+            residual_fraction = min(1.0, selected_fraction / accessed_fraction)
+            residual.append(
+                (
+                    attribute.dimension,
+                    restriction.level,
+                    restriction.value_count,
+                    residual_fraction,
+                )
+            )
+
+    for restriction in query.restrictions:
+        if not layout.spec.uses_dimension(restriction.dimension):
+            residual.append(
+                (
+                    restriction.dimension,
+                    restriction.level,
+                    restriction.value_count,
+                    restriction.selectivity(schema),
+                )
+            )
+
+    # --- flat fragment indices ------------------------------------------------------
+    if layout.spec.is_fragmented:
+        grids = np.meshgrid(*axis_values, indexing="ij")
+        flat = np.zeros(grids[0].shape, dtype=np.int64)
+        for grid, cardinality in zip(grids, layout.axis_cardinalities):
+            flat = flat * cardinality + grid
+        fragment_indices = flat.reshape(-1)
+    else:
+        fragment_indices = np.array([0], dtype=np.int64)
+
+    fragment_rows = layout.fragment_rows[fragment_indices]
+    fragment_pages = layout.fragment_fact_pages[fragment_indices].astype(np.float64)
+
+    # --- residual filtering: selectivity and candidate bitmap plan --------------------
+    residual_selectivity = 1.0
+    forced_scan = False
+    bits_per_row_read = 0.0
+    for dimension_name, level_name, value_count, residual_fraction in residual:
+        residual_selectivity *= min(1.0, residual_fraction)
+        index = bitmap_scheme.index_for(dimension_name, level_name)
+        if index is None:
+            forced_scan = True
+            continue
+        bits_per_row_read += index.bits_read_per_row(value_count)
+
+    scan_pages = np.maximum(fragment_pages, 1.0)
+
+    if not residual or forced_scan or bits_per_row_read == 0:
+        # Only the scan plan exists (no residual predicates, or one of them has
+        # no index so everything must be scanned anyway).
+        return QueryInstance(
+            query_name=query.name,
+            fragment_indices=fragment_indices,
+            fact_pages=scan_pages,
+            bitmap_pages=np.zeros_like(fragment_rows),
+            sequential=True,
+        )
+
+    # Bitmap plan: read the relevant bitmap fragments, then only qualifying pages.
+    bitmap_bytes = fragment_rows * bits_per_row_read / 8.0
+    candidate_bitmap_pages = np.maximum(
+        np.ceil(bitmap_bytes / layout.page_size_bytes), 1.0
+    )
+    qualifying = fragment_rows * residual_selectivity
+    touched = np.array(
+        [
+            cardenas_pages(rows, pages, rows_selected)
+            for rows, pages, rows_selected in zip(
+                fragment_rows, fragment_pages, qualifying
+            )
+        ]
+    )
+    touched = np.minimum(np.maximum(touched, 0.0), fragment_pages)
+    density = float(touched.sum() / max(fragment_pages.sum(), 1.0))
+    bitmap_sequential = density >= SEQUENTIAL_DENSITY_THRESHOLD
+
+    # Access path selection mirroring the analytical model.  When the qualifying
+    # pages are dense, the bitmap plan degenerates to the scan plus extra bitmap
+    # I/O and can never win; when they are sparse, random single-page reads pay
+    # one positioning each and the plan wins only if the saved transfer volume
+    # outweighs that overhead.
+    pos_eq = DEFAULT_POSITIONING_PAGE_EQUIVALENT
+    num_fragments = float(fragment_indices.size)
+    if not bitmap_sequential:
+        scan_cost = float(scan_pages.sum()) + num_fragments * pos_eq
+        bitmap_cost = (
+            float(touched.sum()) * (1.0 + pos_eq)
+            + float(candidate_bitmap_pages.sum())
+            + num_fragments * pos_eq
+        )
+        if bitmap_cost < scan_cost:
+            return QueryInstance(
+                query_name=query.name,
+                fragment_indices=fragment_indices,
+                fact_pages=touched,
+                bitmap_pages=candidate_bitmap_pages,
+                sequential=False,
+            )
+
+    return QueryInstance(
+        query_name=query.name,
+        fragment_indices=fragment_indices,
+        fact_pages=scan_pages,
+        bitmap_pages=np.zeros_like(fragment_rows),
+        sequential=True,
+    )

@@ -1,0 +1,293 @@
+"""Disk replay simulation.
+
+The simulator maps a query instance's fragment accesses onto the disks of an
+allocation, turns them into disk requests (prefetch-aware, mirroring the
+request construction of the analytical model) and accumulates per-disk service
+times.  Three entry points exist:
+
+* :meth:`DiskSimulator.run_instance` — replay one concrete query,
+* :meth:`DiskSimulator.run_workload` — Monte-Carlo replay of a query mix
+  (samples classes by weight, instances per class), reporting per-class and
+  aggregate statistics,
+* :meth:`DiskSimulator.run_batch` — replay a set of queries submitted
+  concurrently, processing each disk's request queue in FIFO order (a simple
+  event-driven multi-user experiment).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.allocation import Allocation
+from repro.bitmap import BitmapScheme
+from repro.errors import SimulationError
+from repro.fragmentation import FragmentationLayout
+from repro.storage import PrefetchSetting, SystemParameters
+from repro.workload import QueryMix
+from repro.simulation.instance import QueryInstance, instantiate_query
+
+__all__ = [
+    "SimulatedQueryResult",
+    "WorkloadSimulationResult",
+    "BatchSimulationResult",
+    "DiskSimulator",
+]
+
+
+@dataclass(frozen=True)
+class SimulatedQueryResult:
+    """Outcome of replaying a single query instance."""
+
+    query_name: str
+    response_time_ms: float
+    busy_time_ms: float
+    io_requests: float
+    pages_transferred: float
+    disks_used: int
+    per_disk_busy_ms: np.ndarray
+
+    @property
+    def parallelism(self) -> float:
+        """Achieved I/O parallelism (busy time over response time)."""
+        if self.response_time_ms == 0:
+            return 1.0
+        return self.busy_time_ms / self.response_time_ms
+
+
+@dataclass(frozen=True)
+class WorkloadSimulationResult:
+    """Aggregated outcome of a Monte-Carlo workload replay."""
+
+    per_class_response_ms: Dict[str, float]
+    per_class_busy_ms: Dict[str, float]
+    per_class_samples: Dict[str, int]
+    weighted_response_ms: float
+    weighted_busy_ms: float
+    response_std_ms: float
+
+    def describe(self) -> str:
+        """Human-readable per-class summary."""
+        lines = ["Simulated workload (per query class):"]
+        for name in sorted(self.per_class_response_ms):
+            lines.append(
+                f"  {name}: response {self.per_class_response_ms[name]:,.1f} ms, "
+                f"busy {self.per_class_busy_ms[name]:,.1f} ms "
+                f"({self.per_class_samples[name]} samples)"
+            )
+        lines.append(
+            f"  weighted: response {self.weighted_response_ms:,.1f} ms, busy "
+            f"{self.weighted_busy_ms:,.1f} ms"
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class BatchSimulationResult:
+    """Outcome of replaying a batch of concurrently submitted queries."""
+
+    makespan_ms: float
+    per_query_completion_ms: Dict[str, float]
+    per_disk_busy_ms: np.ndarray
+    total_requests: float
+
+    @property
+    def average_completion_ms(self) -> float:
+        """Mean completion time over the batch."""
+        if not self.per_query_completion_ms:
+            return 0.0
+        return float(np.mean(list(self.per_query_completion_ms.values())))
+
+    @property
+    def disk_utilisation(self) -> float:
+        """Mean disk busy time divided by the makespan."""
+        if self.makespan_ms == 0:
+            return 0.0
+        return float(self.per_disk_busy_ms.mean() / self.makespan_ms)
+
+
+class DiskSimulator:
+    """Replay simulator bound to a system configuration."""
+
+    def __init__(self, system: SystemParameters) -> None:
+        if not isinstance(system, SystemParameters):
+            raise SimulationError(
+                f"system must be SystemParameters, got {type(system).__name__}"
+            )
+        self.system = system
+
+    # -- request construction --------------------------------------------------------
+
+    def _fragment_requests(
+        self,
+        instance: QueryInstance,
+        prefetch: PrefetchSetting,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-fragment request counts and transferred pages (fact + bitmap)."""
+        if instance.sequential:
+            fact_requests = np.ceil(instance.fact_pages / prefetch.fact_pages)
+            fact_transferred = fact_requests * prefetch.fact_pages
+            fact_transferred = np.maximum(fact_transferred, instance.fact_pages)
+        else:
+            fact_requests = np.ceil(instance.fact_pages)
+            fact_transferred = instance.fact_pages
+        bitmap_requests = np.where(
+            instance.bitmap_pages > 0,
+            np.ceil(instance.bitmap_pages / prefetch.bitmap_pages),
+            0.0,
+        )
+        bitmap_transferred = np.maximum(
+            bitmap_requests * prefetch.bitmap_pages, instance.bitmap_pages
+        )
+        bitmap_transferred = np.where(instance.bitmap_pages > 0, bitmap_transferred, 0.0)
+        return fact_requests + bitmap_requests, fact_transferred + bitmap_transferred
+
+    def _per_disk_times(
+        self,
+        instance: QueryInstance,
+        allocation: Allocation,
+        prefetch: PrefetchSetting,
+    ) -> Tuple[np.ndarray, float, float]:
+        """Per-disk busy time plus total requests and pages for one instance."""
+        if allocation.layout.fragment_count != instance.fragment_indices.max(initial=0) + 1 and (
+            instance.fragment_indices.size
+            and instance.fragment_indices.max() >= allocation.layout.fragment_count
+        ):
+            raise SimulationError(
+                "query instance references fragments outside the allocation's layout"
+            )
+        requests, transferred = self._fragment_requests(instance, prefetch)
+        disk = self.system.disk
+        page_time = disk.page_transfer_time_ms(self.system.page_size_bytes)
+        per_fragment_time = (
+            requests * disk.positioning_time_ms + transferred * page_time
+        )
+        per_disk = np.zeros(self.system.num_disks, dtype=np.float64)
+        disks_of_fragments = allocation.disk_of_fragment[instance.fragment_indices]
+        np.add.at(per_disk, disks_of_fragments, per_fragment_time)
+        return per_disk, float(requests.sum()), float(transferred.sum())
+
+    # -- single query ---------------------------------------------------------------------
+
+    def run_instance(
+        self,
+        instance: QueryInstance,
+        allocation: Allocation,
+        prefetch: PrefetchSetting,
+    ) -> SimulatedQueryResult:
+        """Replay one query instance against an allocation."""
+        per_disk, total_requests, total_pages = self._per_disk_times(
+            instance, allocation, prefetch
+        )
+        disks_used = int(np.count_nonzero(per_disk))
+        busy = float(per_disk.sum())
+        coordination = self.system.effective_coordination_overhead_ms * max(1, disks_used)
+        response = float(per_disk.max(initial=0.0)) + coordination
+        return SimulatedQueryResult(
+            query_name=instance.query_name,
+            response_time_ms=response,
+            busy_time_ms=busy,
+            io_requests=total_requests,
+            pages_transferred=total_pages,
+            disks_used=max(1, disks_used),
+            per_disk_busy_ms=per_disk,
+        )
+
+    # -- workload Monte-Carlo ----------------------------------------------------------------
+
+    def run_workload(
+        self,
+        layout: FragmentationLayout,
+        workload: QueryMix,
+        bitmap_scheme: BitmapScheme,
+        allocation: Allocation,
+        prefetch: PrefetchSetting,
+        queries_per_class: int = 10,
+        seed: Optional[int] = None,
+        weighted_values: bool = True,
+    ) -> WorkloadSimulationResult:
+        """Monte-Carlo replay: ``queries_per_class`` instances of every class."""
+        if queries_per_class <= 0:
+            raise SimulationError(
+                f"queries_per_class must be positive, got {queries_per_class}"
+            )
+        rng = np.random.default_rng(seed)
+        per_class_response: Dict[str, float] = {}
+        per_class_busy: Dict[str, float] = {}
+        per_class_samples: Dict[str, int] = {}
+        all_responses: List[float] = []
+        weighted_response = 0.0
+        weighted_busy = 0.0
+        for query_class, share in workload.weighted_items():
+            responses = []
+            busies = []
+            for _ in range(queries_per_class):
+                instance = instantiate_query(
+                    layout,
+                    query_class,
+                    bitmap_scheme,
+                    rng=rng,
+                    weighted_values=weighted_values,
+                )
+                result = self.run_instance(instance, allocation, prefetch)
+                responses.append(result.response_time_ms)
+                busies.append(result.busy_time_ms)
+            mean_response = float(np.mean(responses))
+            mean_busy = float(np.mean(busies))
+            per_class_response[query_class.name] = mean_response
+            per_class_busy[query_class.name] = mean_busy
+            per_class_samples[query_class.name] = queries_per_class
+            weighted_response += share * mean_response
+            weighted_busy += share * mean_busy
+            all_responses.extend(responses)
+        return WorkloadSimulationResult(
+            per_class_response_ms=per_class_response,
+            per_class_busy_ms=per_class_busy,
+            per_class_samples=per_class_samples,
+            weighted_response_ms=weighted_response,
+            weighted_busy_ms=weighted_busy,
+            response_std_ms=float(np.std(all_responses)) if all_responses else 0.0,
+        )
+
+    # -- concurrent batch ------------------------------------------------------------------------
+
+    def run_batch(
+        self,
+        instances: Sequence[QueryInstance],
+        allocation: Allocation,
+        prefetch: PrefetchSetting,
+    ) -> BatchSimulationResult:
+        """Replay a batch of queries submitted at the same time.
+
+        Each disk processes the requests assigned to it in submission order
+        (FIFO); a query completes when its last request completes.  This is the
+        multi-user scenario in which total I/O work — not single-query
+        parallelism — limits performance, the motivation for WARLOCK's
+        I/O-cost-first ranking.
+        """
+        if not instances:
+            raise SimulationError("run_batch needs at least one query instance")
+        disk_clock = np.zeros(self.system.num_disks, dtype=np.float64)
+        per_query_completion: Dict[str, float] = {}
+        total_requests = 0.0
+        for batch_index, instance in enumerate(instances):
+            per_disk, requests, _pages = self._per_disk_times(
+                instance, allocation, prefetch
+            )
+            total_requests += requests
+            disk_clock += per_disk
+            completion = float(disk_clock[per_disk > 0].max()) if np.any(per_disk > 0) else float(
+                disk_clock.max(initial=0.0)
+            )
+            name = f"{instance.query_name}#{batch_index}"
+            per_query_completion[name] = completion
+        makespan = float(disk_clock.max(initial=0.0))
+        return BatchSimulationResult(
+            makespan_ms=makespan,
+            per_query_completion_ms=per_query_completion,
+            per_disk_busy_ms=disk_clock,
+            total_requests=total_requests,
+        )

@@ -1,0 +1,31 @@
+"""Data-skew modelling (WARLOCK input layer, §3.1).
+
+WARLOCK lets the DBA specify a Zipf-like data distribution at the bottom level
+of each dimension.  This package provides the distribution itself plus a small
+descriptor object (:class:`SkewSpec`) that schema definitions attach to a
+dimension.
+"""
+
+from repro.skew.distribution import (
+    SkewSpec,
+    ZipfDistribution,
+    uniform_probabilities,
+    zipf_probabilities,
+)
+from repro.skew.metrics import (
+    coefficient_of_variation,
+    gini_coefficient,
+    skew_classification,
+    top_fraction_share,
+)
+
+__all__ = [
+    "SkewSpec",
+    "ZipfDistribution",
+    "uniform_probabilities",
+    "zipf_probabilities",
+    "coefficient_of_variation",
+    "gini_coefficient",
+    "top_fraction_share",
+    "skew_classification",
+]

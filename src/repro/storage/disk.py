@@ -1,0 +1,119 @@
+"""Physical disk parameter model.
+
+WARLOCK's cost model charges each disk request a positioning overhead (average
+seek plus average rotational delay) and a transfer time proportional to the
+number of pages moved.  Prefetching amortizes the positioning overhead over a
+multi-page granule, which is why the prefetch size is performance sensitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+
+__all__ = ["DiskParameters"]
+
+_BYTES_PER_MB = 1024 * 1024
+_BYTES_PER_GB = 1024 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DiskParameters:
+    """Service-time characteristics and capacity of a single disk.
+
+    Parameters
+    ----------
+    capacity_gb:
+        Usable capacity of the disk in gigabytes.
+    avg_seek_ms:
+        Average seek time per request, in milliseconds.
+    avg_rotational_ms:
+        Average rotational latency per request, in milliseconds (typically half
+        a revolution).
+    transfer_mb_per_s:
+        Sustained sequential transfer rate in megabytes per second.
+    """
+
+    capacity_gb: float = 36.0
+    avg_seek_ms: float = 6.0
+    avg_rotational_ms: float = 3.0
+    transfer_mb_per_s: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_gb <= 0:
+            raise StorageError(f"capacity_gb must be positive, got {self.capacity_gb}")
+        if self.avg_seek_ms < 0:
+            raise StorageError(f"avg_seek_ms must be non-negative, got {self.avg_seek_ms}")
+        if self.avg_rotational_ms < 0:
+            raise StorageError(
+                f"avg_rotational_ms must be non-negative, got {self.avg_rotational_ms}"
+            )
+        if self.transfer_mb_per_s <= 0:
+            raise StorageError(
+                f"transfer_mb_per_s must be positive, got {self.transfer_mb_per_s}"
+            )
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Capacity in bytes."""
+        return int(self.capacity_gb * _BYTES_PER_GB)
+
+    @property
+    def positioning_time_ms(self) -> float:
+        """Average positioning overhead (seek + rotational delay) per request."""
+        return self.avg_seek_ms + self.avg_rotational_ms
+
+    def transfer_time_ms(self, num_bytes: float) -> float:
+        """Time to transfer ``num_bytes`` once positioned, in milliseconds."""
+        if num_bytes < 0:
+            raise StorageError(f"num_bytes must be non-negative, got {num_bytes}")
+        return num_bytes / (self.transfer_mb_per_s * _BYTES_PER_MB) * 1000.0
+
+    def page_transfer_time_ms(self, page_size_bytes: int) -> float:
+        """Time to transfer a single page once positioned, in milliseconds."""
+        if page_size_bytes <= 0:
+            raise StorageError(
+                f"page_size_bytes must be positive, got {page_size_bytes}"
+            )
+        return self.transfer_time_ms(page_size_bytes)
+
+    def request_time_ms(self, pages: float, page_size_bytes: int) -> float:
+        """Service time of one request reading ``pages`` consecutive pages."""
+        if pages < 0:
+            raise StorageError(f"pages must be non-negative, got {pages}")
+        if pages == 0:
+            return 0.0
+        return self.positioning_time_ms + pages * self.page_transfer_time_ms(
+            page_size_bytes
+        )
+
+    def capacity_pages(self, page_size_bytes: int) -> int:
+        """Number of pages that fit on the disk."""
+        if page_size_bytes <= 0:
+            raise StorageError(
+                f"page_size_bytes must be positive, got {page_size_bytes}"
+            )
+        return self.capacity_bytes // page_size_bytes
+
+    @classmethod
+    def modern(cls) -> "DiskParameters":
+        """A modern (for 2001) high-end SCSI disk: 73 GB, fast positioning."""
+        return cls(
+            capacity_gb=73.0,
+            avg_seek_ms=4.7,
+            avg_rotational_ms=2.0,
+            transfer_mb_per_s=50.0,
+        )
+
+    @classmethod
+    def legacy(cls) -> "DiskParameters":
+        """A slower, smaller legacy disk, useful for sensitivity studies."""
+        return cls(
+            capacity_gb=9.0,
+            avg_seek_ms=9.5,
+            avg_rotational_ms=4.2,
+            transfer_mb_per_s=10.0,
+        )

@@ -1,0 +1,183 @@
+"""Prefetch granule modelling and optimization.
+
+Reading a run of consecutive useful pages with a prefetch granule of ``G``
+pages issues ``ceil(run / G)`` disk requests.  Each request pays the
+positioning overhead once and transfers a full granule, so the last request of
+a run may transfer pages that are not needed ("over-read").  Small granules
+waste positioning time, large granules waste transfer time; the trade-off
+depends on how many consecutive useful pages a query typically touches per
+fragment, which in turn depends on the fragmentation (fragment sizes of fact
+tables and bitmaps strongly differ).  This is why WARLOCK optionally derives
+the granule itself, separately for fact-table and bitmap access.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.storage.disk import DiskParameters
+
+__all__ = [
+    "PrefetchPolicy",
+    "PrefetchSetting",
+    "prefetch_candidates",
+    "optimal_prefetch_pages",
+    "expected_run_read_time_ms",
+]
+
+#: Largest prefetch granule considered by the optimizer, in pages.  512 pages of
+#: 8 KB is a 4 MB request, beyond which positioning overhead is negligible.
+MAX_PREFETCH_PAGES = 512
+
+
+class PrefetchPolicy(enum.Enum):
+    """How the prefetch granule for an object class was determined."""
+
+    FIXED = "fixed"
+    AUTO = "auto"
+
+
+def prefetch_candidates(max_pages: int = MAX_PREFETCH_PAGES) -> List[int]:
+    """Candidate granules considered by the optimizer: powers of two up to ``max_pages``."""
+    if max_pages <= 0:
+        raise StorageError(f"max_pages must be positive, got {max_pages}")
+    candidates = []
+    granule = 1
+    while granule <= max_pages:
+        candidates.append(granule)
+        granule *= 2
+    if candidates[-1] != max_pages:
+        candidates.append(max_pages)
+    return candidates
+
+
+def expected_run_read_time_ms(
+    run_pages: float,
+    granule_pages: int,
+    disk: DiskParameters,
+    page_size_bytes: int,
+) -> float:
+    """Expected time to read a run of ``run_pages`` consecutive useful pages.
+
+    The run is read with ``ceil(run/granule)`` requests, each paying the
+    positioning overhead and transferring a full granule (the trailing request
+    over-reads).  ``run_pages`` may be fractional because it is usually an
+    expectation over a query mix.
+    """
+    if run_pages < 0:
+        raise StorageError(f"run_pages must be non-negative, got {run_pages}")
+    if granule_pages <= 0:
+        raise StorageError(f"granule_pages must be positive, got {granule_pages}")
+    if run_pages == 0:
+        return 0.0
+    requests = max(1.0, -(-run_pages // granule_pages))
+    pages_transferred = requests * granule_pages
+    return requests * disk.positioning_time_ms + pages_transferred * (
+        disk.page_transfer_time_ms(page_size_bytes)
+    )
+
+
+def optimal_prefetch_pages(
+    run_lengths_pages: Sequence[float],
+    disk: DiskParameters,
+    page_size_bytes: int,
+    weights: Sequence[float] = (),
+    max_pages: int = MAX_PREFETCH_PAGES,
+) -> int:
+    """Granule minimizing the weighted expected read time over typical run lengths.
+
+    Parameters
+    ----------
+    run_lengths_pages:
+        Typical numbers of consecutive useful pages read per fragment per
+        query class (one entry per query class).
+    disk, page_size_bytes:
+        Disk characteristics used for timing.
+    weights:
+        Optional weights matching ``run_lengths_pages`` (query class shares of
+        the workload).  Uniform when omitted.
+    max_pages:
+        Largest granule to consider.
+
+    Returns
+    -------
+    int
+        The optimal granule in pages (ties resolved towards the smaller
+        granule, which wastes less buffer space).
+    """
+    runs = [float(r) for r in run_lengths_pages if r is not None]
+    if not runs:
+        raise StorageError("optimal_prefetch_pages requires at least one run length")
+    if any(r < 0 for r in runs):
+        raise StorageError("run lengths must be non-negative")
+    if weights:
+        if len(weights) != len(runs):
+            raise StorageError(
+                f"weights length ({len(weights)}) must match run lengths "
+                f"({len(runs)})"
+            )
+        weight_list = [float(w) for w in weights]
+        if any(w < 0 for w in weight_list):
+            raise StorageError("weights must be non-negative")
+        if sum(weight_list) == 0:
+            weight_list = [1.0] * len(runs)
+    else:
+        weight_list = [1.0] * len(runs)
+
+    best_granule = 1
+    best_cost = float("inf")
+    for granule in prefetch_candidates(max_pages):
+        cost = sum(
+            weight * expected_run_read_time_ms(run, granule, disk, page_size_bytes)
+            for run, weight in zip(runs, weight_list)
+        )
+        if cost < best_cost - 1e-12:
+            best_cost = cost
+            best_granule = granule
+    return best_granule
+
+
+@dataclass(frozen=True)
+class PrefetchSetting:
+    """Resolved prefetch granules for one fragmentation candidate.
+
+    ``fact_pages`` / ``bitmap_pages`` are the granules (in pages) the cost model
+    uses for fact-table and bitmap fragment access; the policies record whether
+    each value was fixed by the DBA or derived by the optimizer, so the
+    analysis layer can print a "prefetch granule suggestion".
+    """
+
+    fact_pages: int
+    bitmap_pages: int
+    fact_policy: PrefetchPolicy = PrefetchPolicy.FIXED
+    bitmap_policy: PrefetchPolicy = PrefetchPolicy.FIXED
+
+    def __post_init__(self) -> None:
+        if self.fact_pages <= 0:
+            raise StorageError(
+                f"fact prefetch granule must be positive, got {self.fact_pages}"
+            )
+        if self.bitmap_pages <= 0:
+            raise StorageError(
+                f"bitmap prefetch granule must be positive, got {self.bitmap_pages}"
+            )
+
+    def describe(self) -> str:
+        """Human readable summary, e.g. ``fact: 16 pages (auto), bitmap: 4 pages (fixed)``."""
+        return (
+            f"fact: {self.fact_pages} pages ({self.fact_policy.value}), "
+            f"bitmap: {self.bitmap_pages} pages ({self.bitmap_policy.value})"
+        )
+
+    @classmethod
+    def fixed(cls, fact_pages: int, bitmap_pages: int) -> "PrefetchSetting":
+        """Construct a setting where both granules were fixed by the DBA."""
+        return cls(
+            fact_pages=fact_pages,
+            bitmap_pages=bitmap_pages,
+            fact_policy=PrefetchPolicy.FIXED,
+            bitmap_policy=PrefetchPolicy.FIXED,
+        )

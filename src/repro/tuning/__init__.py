@@ -1,0 +1,29 @@
+"""Interactive fine-tuning studies (§3.3 of the paper).
+
+WARLOCK "provides several options to facilitate interactive fine tuning: disk
+parameters, query load specifics and bitmap configurations can be interactively
+adapted to examine the performance variations they imply."  This package
+formalizes those what-if studies as functions that re-evaluate a fragmentation
+under systematically varied inputs and return a :class:`TuningStudy` — a small
+result table the analysis layer (or the CLI / a notebook) can render directly.
+"""
+
+from repro.tuning.studies import (
+    TuningStudy,
+    architecture_study,
+    bitmap_exclusion_study,
+    disk_count_study,
+    prefetch_study,
+    skew_study,
+    workload_weight_study,
+)
+
+__all__ = [
+    "TuningStudy",
+    "disk_count_study",
+    "architecture_study",
+    "prefetch_study",
+    "bitmap_exclusion_study",
+    "skew_study",
+    "workload_weight_study",
+]

@@ -1,0 +1,290 @@
+"""What-if studies over a fixed fragmentation.
+
+Every study follows the same pattern: keep the schema, workload and
+fragmentation fixed, vary exactly one input (disk count, architecture, prefetch
+granule, bitmap exclusions, skew, query weights), re-run the evaluation and
+collect the headline metrics per setting.  The result is a
+:class:`TuningStudy`, which knows how to render itself as a text table and how
+to report the best setting for a chosen metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core import AdvisorConfig, Warlock
+from repro.errors import AdvisorError
+from repro.fragmentation import FragmentationSpec
+from repro.schema import StarSchema
+from repro.storage import SystemParameters
+from repro.workload import QueryMix
+
+__all__ = [
+    "TuningStudy",
+    "disk_count_study",
+    "architecture_study",
+    "prefetch_study",
+    "bitmap_exclusion_study",
+    "skew_study",
+    "workload_weight_study",
+]
+
+#: Metric columns every study records per setting.
+_METRIC_COLUMNS = (
+    "io_cost_ms",
+    "response_time_ms",
+    "pages_accessed",
+    "io_requests",
+    "bitmap_pages",
+    "occupancy_cv",
+    "allocation_scheme",
+)
+
+
+@dataclass(frozen=True)
+class TuningStudy:
+    """Result of one what-if study.
+
+    ``records`` maps the varied setting (rendered as a string) to the metric
+    dict of the candidate evaluated under that setting.
+    """
+
+    name: str
+    parameter: str
+    records: Tuple[Tuple[str, Dict[str, object]], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise AdvisorError(f"tuning study {self.name!r} has no records")
+
+    @property
+    def settings(self) -> List[str]:
+        """The varied settings, in evaluation order."""
+        return [setting for setting, _ in self.records]
+
+    def metrics_for(self, setting: str) -> Dict[str, object]:
+        """Metric record of one setting."""
+        for candidate_setting, record in self.records:
+            if candidate_setting == setting:
+                return record
+        raise AdvisorError(f"study {self.name!r} has no setting {setting!r}")
+
+    def best_setting(self, metric: str = "response_time_ms") -> str:
+        """Setting minimizing ``metric`` (ties resolved towards the earlier setting)."""
+        numeric = [
+            (setting, record[metric])
+            for setting, record in self.records
+            if isinstance(record.get(metric), (int, float))
+        ]
+        if not numeric:
+            raise AdvisorError(
+                f"study {self.name!r} has no numeric values for metric {metric!r}"
+            )
+        return min(numeric, key=lambda item: item[1])[0]
+
+    def series(self, metric: str) -> List[Tuple[str, float]]:
+        """(setting, value) pairs of a numeric metric, in evaluation order."""
+        return [
+            (setting, float(record[metric]))
+            for setting, record in self.records
+            if isinstance(record.get(metric), (int, float))
+        ]
+
+    def format(self) -> str:
+        """Render the study as a text table."""
+        from repro.analysis import format_table
+
+        headers = [self.parameter, "I/O cost [ms]", "response [ms]", "pages/query",
+                   "I/O requests", "bitmap pages", "occupancy CV", "allocation"]
+        rows = []
+        for setting, record in self.records:
+            rows.append(
+                [
+                    setting,
+                    f"{record['io_cost_ms']:,.0f}",
+                    f"{record['response_time_ms']:,.0f}",
+                    f"{record['pages_accessed']:,.0f}",
+                    f"{record['io_requests']:,.0f}",
+                    f"{record['bitmap_pages']:,}",
+                    f"{record['occupancy_cv']:.3f}",
+                    str(record["allocation_scheme"]),
+                ]
+            )
+        return f"{self.name}\n{format_table(headers, rows)}"
+
+
+def _candidate_metrics(candidate) -> Dict[str, object]:
+    """Extract the standard metric record from an evaluated candidate."""
+    summary = candidate.summary()
+    return {column: summary[column] for column in _METRIC_COLUMNS}
+
+
+def _evaluate(
+    schema: StarSchema,
+    workload: QueryMix,
+    system: SystemParameters,
+    spec: FragmentationSpec,
+    config: Optional[AdvisorConfig],
+    bitmap_exclude: Sequence[Tuple[str, str]] = (),
+):
+    """Evaluate ``spec`` under one concrete input setting."""
+    advisor = Warlock(schema, workload, system, config)
+    scheme = advisor.design_bitmaps()
+    if bitmap_exclude:
+        scheme = scheme.without(*bitmap_exclude)
+    return advisor.evaluate_spec(spec, scheme)
+
+
+def disk_count_study(
+    schema: StarSchema,
+    workload: QueryMix,
+    system: SystemParameters,
+    spec: FragmentationSpec,
+    disk_counts: Sequence[int] = (8, 16, 32, 64, 128),
+    config: Optional[AdvisorConfig] = None,
+) -> TuningStudy:
+    """Vary the number of disks (the classic scale-out question)."""
+    if not disk_counts:
+        raise AdvisorError("disk_count_study needs at least one disk count")
+    records = []
+    for disks in disk_counts:
+        candidate = _evaluate(schema, workload, system.with_disks(disks), spec, config)
+        records.append((str(disks), _candidate_metrics(candidate)))
+    return TuningStudy(
+        name=f"Disk-count study for {spec.label}",
+        parameter="disks",
+        records=tuple(records),
+    )
+
+
+def architecture_study(
+    schema: StarSchema,
+    workload: QueryMix,
+    system: SystemParameters,
+    spec: FragmentationSpec,
+    config: Optional[AdvisorConfig] = None,
+) -> TuningStudy:
+    """Compare Shared Everything and Shared Disk for the same fragmentation."""
+    records = []
+    for architecture in ("shared_everything", "shared_disk"):
+        candidate = _evaluate(
+            schema, workload, system.with_architecture(architecture), spec, config
+        )
+        records.append((architecture, _candidate_metrics(candidate)))
+    return TuningStudy(
+        name=f"Architecture study for {spec.label}",
+        parameter="architecture",
+        records=tuple(records),
+    )
+
+
+def prefetch_study(
+    schema: StarSchema,
+    workload: QueryMix,
+    system: SystemParameters,
+    spec: FragmentationSpec,
+    fact_granules: Sequence[Union[int, str]] = (1, 4, 16, 64, 256, "auto"),
+    config: Optional[AdvisorConfig] = None,
+) -> TuningStudy:
+    """Vary the fact-table prefetch granule (bitmap granule stays on auto)."""
+    if not fact_granules:
+        raise AdvisorError("prefetch_study needs at least one granule")
+    records = []
+    for granule in fact_granules:
+        varied = system.with_prefetch(fact=granule)
+        candidate = _evaluate(schema, workload, varied, spec, config)
+        label = "auto" if isinstance(granule, str) else f"{granule} pages"
+        record = _candidate_metrics(candidate)
+        record["resolved_fact_granule"] = candidate.prefetch.fact_pages
+        records.append((label, record))
+    return TuningStudy(
+        name=f"Prefetch study for {spec.label}",
+        parameter="fact prefetch",
+        records=tuple(records),
+    )
+
+
+def bitmap_exclusion_study(
+    schema: StarSchema,
+    workload: QueryMix,
+    system: SystemParameters,
+    spec: FragmentationSpec,
+    exclusions: Sequence[Sequence[Tuple[str, str]]] = ((),),
+    config: Optional[AdvisorConfig] = None,
+) -> TuningStudy:
+    """Vary the set of excluded bitmap indexes (the space-saving knob of §3.3)."""
+    if not exclusions:
+        raise AdvisorError("bitmap_exclusion_study needs at least one exclusion set")
+    records = []
+    for excluded in exclusions:
+        excluded = tuple(excluded)
+        candidate = _evaluate(
+            schema, workload, system, spec, config, bitmap_exclude=excluded
+        )
+        label = (
+            "all suggested indexes"
+            if not excluded
+            else "without " + ", ".join(f"{d}.{l}" for d, l in excluded)
+        )
+        records.append((label, _candidate_metrics(candidate)))
+    return TuningStudy(
+        name=f"Bitmap exclusion study for {spec.label}",
+        parameter="bitmap scheme",
+        records=tuple(records),
+    )
+
+
+def skew_study(
+    schema_factory,
+    workload: QueryMix,
+    system: SystemParameters,
+    spec: FragmentationSpec,
+    thetas: Sequence[float] = (0.0, 0.5, 1.0),
+    config: Optional[AdvisorConfig] = None,
+) -> TuningStudy:
+    """Vary the data skew.
+
+    ``schema_factory`` is a callable mapping a Zipf theta to a schema (for
+    instance ``lambda theta: apb1_schema(skew={"product": theta})``), because
+    skew is a schema property rather than a system parameter.
+    """
+    if not thetas:
+        raise AdvisorError("skew_study needs at least one theta")
+    records = []
+    for theta in thetas:
+        schema = schema_factory(theta)
+        candidate = _evaluate(schema, workload, system, spec, config)
+        records.append((f"{theta:.2f}", _candidate_metrics(candidate)))
+    return TuningStudy(
+        name=f"Skew study for {spec.label}",
+        parameter="zipf theta",
+        records=tuple(records),
+    )
+
+
+def workload_weight_study(
+    schema: StarSchema,
+    workload: QueryMix,
+    system: SystemParameters,
+    spec: FragmentationSpec,
+    reweightings: Dict[str, Dict[str, float]],
+    config: Optional[AdvisorConfig] = None,
+) -> TuningStudy:
+    """Vary the query-class weights ("query load specifics can be adapted").
+
+    ``reweightings`` maps a label to the weight overrides passed to
+    :meth:`repro.workload.QueryMix.reweighted`.  The unmodified mix is always
+    evaluated first under the label ``"baseline"``.
+    """
+    records = []
+    baseline = _evaluate(schema, workload, system, spec, config)
+    records.append(("baseline", _candidate_metrics(baseline)))
+    for label, weights in reweightings.items():
+        candidate = _evaluate(schema, workload.reweighted(weights), system, spec, config)
+        records.append((label, _candidate_metrics(candidate)))
+    return TuningStudy(
+        name=f"Workload weight study for {spec.label}",
+        parameter="workload",
+        records=tuple(records),
+    )

@@ -1,0 +1,24 @@
+"""Star-query workload model (WARLOCK input layer, §3.1).
+
+Similar to APB-1, the workload is described as a set of weighted query classes.
+Each class is characterized by the subset of dimensions it accesses (and at
+which hierarchy level it restricts them) and its relative share of the
+workload.
+"""
+
+from repro.workload.query import DimensionRestriction, QueryClass
+from repro.workload.mix import QueryMix
+from repro.workload.generator import (
+    random_query_class,
+    random_query_mix,
+    drill_down_series,
+)
+
+__all__ = [
+    "DimensionRestriction",
+    "QueryClass",
+    "QueryMix",
+    "random_query_class",
+    "random_query_mix",
+    "drill_down_series",
+]

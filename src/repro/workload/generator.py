@@ -1,0 +1,149 @@
+"""Synthetic workload generators.
+
+The demo lets attendants "enter their own data warehouse schema and query mix".
+These generators produce plausible star-query workloads for arbitrary schemas,
+which the examples, tests and benchmark harnesses use when no hand-written mix
+is available.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.schema import StarSchema
+from repro.workload.mix import QueryMix
+from repro.workload.query import DimensionRestriction, QueryClass
+
+__all__ = ["random_query_class", "random_query_mix", "drill_down_series"]
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def random_query_class(
+    schema: StarSchema,
+    name: str,
+    rng: Optional[np.random.Generator] = None,
+    min_dimensions: int = 1,
+    max_dimensions: Optional[int] = None,
+    weight: float = 1.0,
+) -> QueryClass:
+    """Generate one random star query class for ``schema``.
+
+    The class restricts a random subset of the primary fact table's dimensions,
+    each at a uniformly chosen hierarchy level, with a point restriction.
+
+    Parameters
+    ----------
+    schema:
+        Target schema.
+    name:
+        Name of the generated class.
+    rng:
+        Numpy random generator; a fresh default generator is used when omitted.
+    min_dimensions / max_dimensions:
+        Bounds on how many dimensions the class restricts.  ``max_dimensions``
+        defaults to the number of dimensions of the primary fact table.
+    weight:
+        Weight of the generated class.
+    """
+    generator = rng if rng is not None else _rng(None)
+    fact = schema.fact_table()
+    dims = list(fact.dimension_names)
+    if max_dimensions is None:
+        max_dimensions = len(dims)
+    max_dimensions = min(max_dimensions, len(dims))
+    if min_dimensions < 1 or min_dimensions > max_dimensions:
+        raise WorkloadError(
+            f"invalid dimension bounds [{min_dimensions}, {max_dimensions}] for "
+            f"{len(dims)} dimensions"
+        )
+    count = int(generator.integers(min_dimensions, max_dimensions + 1))
+    chosen = generator.choice(len(dims), size=count, replace=False)
+    restrictions = []
+    for index in sorted(chosen):
+        dimension = schema.dimension(dims[index])
+        level = dimension.levels[int(generator.integers(0, len(dimension.levels)))]
+        restrictions.append(
+            DimensionRestriction(dimension=dimension.name, level=level.name)
+        )
+    return QueryClass(name=name, restrictions=restrictions, weight=weight)
+
+
+def random_query_mix(
+    schema: StarSchema,
+    num_classes: int = 6,
+    seed: Optional[int] = None,
+    min_dimensions: int = 1,
+    max_dimensions: Optional[int] = None,
+) -> QueryMix:
+    """Generate a random weighted query mix of ``num_classes`` classes.
+
+    Weights are drawn from a Dirichlet-like scheme (exponential draws) so some
+    classes dominate the workload, as is typical for reporting workloads.
+    """
+    if num_classes <= 0:
+        raise WorkloadError(f"num_classes must be positive, got {num_classes}")
+    generator = _rng(seed)
+    raw_weights = generator.exponential(scale=1.0, size=num_classes) + 0.05
+    classes: List[QueryClass] = []
+    for index in range(num_classes):
+        classes.append(
+            random_query_class(
+                schema,
+                name=f"Q{index + 1}",
+                rng=generator,
+                min_dimensions=min_dimensions,
+                max_dimensions=max_dimensions,
+                weight=float(raw_weights[index]),
+            )
+        )
+    return QueryMix(classes)
+
+
+def drill_down_series(
+    schema: StarSchema,
+    dimension: str,
+    weight: float = 1.0,
+    other_restrictions: Sequence[DimensionRestriction] = (),
+    name_prefix: Optional[str] = None,
+) -> List[QueryClass]:
+    """A drill-down series: one query class per hierarchy level of ``dimension``.
+
+    Drill-down navigation (year -> quarter -> month ...) is the canonical OLAP
+    access pattern; a series of classes that restrict the same dimension at
+    successively finer levels exercises exactly the hierarchical-containment
+    behaviour MDHF exploits.
+
+    Parameters
+    ----------
+    schema:
+        Target schema.
+    dimension:
+        Dimension to drill down.
+    weight:
+        Weight of each generated class.
+    other_restrictions:
+        Restrictions shared by every class in the series (e.g. a fixed product
+        group).
+    name_prefix:
+        Prefix for class names; defaults to the dimension name.
+    """
+    dim = schema.dimension(dimension)
+    prefix = name_prefix if name_prefix is not None else dimension
+    series = []
+    for level in dim.levels:
+        restrictions = list(other_restrictions)
+        restrictions.append(DimensionRestriction(dimension=dimension, level=level.name))
+        series.append(
+            QueryClass(
+                name=f"{prefix}-by-{level.name}",
+                restrictions=restrictions,
+                weight=weight,
+            )
+        )
+    return series

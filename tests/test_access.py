@@ -1,0 +1,213 @@
+"""Unit tests for repro.costmodel.access: MDHF access semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DimensionRestriction,
+    FragmentationSpec,
+    QueryClass,
+    build_layout,
+    design_bitmap_scheme,
+)
+from repro.bitmap import BitmapScheme
+from repro.costmodel import estimate_access
+from repro.storage import PrefetchSetting
+
+PREFETCH = PrefetchSetting.fixed(8, 2)
+
+
+def layout_for(schema, *pairs):
+    return build_layout(schema, FragmentationSpec.of(*pairs))
+
+
+class TestFragmentConfinement:
+    def test_restriction_at_fragmentation_level(self, toy_schema, toy_workload):
+        """A point restriction at the fragmentation level touches exactly one slice."""
+        layout = layout_for(toy_schema, ("time", "quarter"))
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        query = QueryClass("q", [DimensionRestriction("time", "quarter")])
+        profile = estimate_access(layout, query, scheme, PREFETCH)
+        assert profile.fragments_accessed == pytest.approx(1.0)
+        assert profile.fragment_hit_ratio == pytest.approx(1 / 8)
+
+    def test_restriction_coarser_than_fragmentation(self, toy_schema, toy_workload):
+        """Restricting a coarser level selects the whole sub-tree of fragments."""
+        layout = layout_for(toy_schema, ("time", "month"))
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        query = QueryClass("q", [DimensionRestriction("time", "year")])
+        profile = estimate_access(layout, query, scheme, PREFETCH)
+        # One of two years -> 12 of 24 months.
+        assert profile.fragments_accessed == pytest.approx(12.0)
+
+    def test_restriction_finer_than_fragmentation(self, toy_schema, toy_workload):
+        """Restricting a finer level still confines access to one fragment."""
+        layout = layout_for(toy_schema, ("time", "quarter"))
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        query = QueryClass("q", [DimensionRestriction("time", "month")])
+        profile = estimate_access(layout, query, scheme, PREFETCH)
+        assert profile.fragments_accessed == pytest.approx(1.0)
+
+    def test_unrestricted_fragmentation_dimension(self, toy_schema, toy_workload):
+        """A query not restricting any fragmentation dimension touches every fragment."""
+        layout = layout_for(toy_schema, ("time", "quarter"))
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        query = QueryClass("q", [DimensionRestriction("product", "group")])
+        profile = estimate_access(layout, query, scheme, PREFETCH)
+        assert profile.fragments_accessed == pytest.approx(8.0)
+        assert profile.fragment_hit_ratio == pytest.approx(1.0)
+
+    def test_multidimensional_confinement_multiplies(self, toy_schema, toy_workload):
+        layout = layout_for(toy_schema, ("time", "quarter"), ("product", "group"))
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        query = QueryClass(
+            "q",
+            [
+                DimensionRestriction("time", "quarter"),
+                DimensionRestriction("product", "group"),
+            ],
+        )
+        profile = estimate_access(layout, query, scheme, PREFETCH)
+        assert profile.fragments_accessed == pytest.approx(1.0)
+        assert profile.fragments_total == 80
+
+    def test_unfragmented_baseline_touches_single_fragment(self, toy_schema, toy_workload):
+        layout = build_layout(toy_schema, FragmentationSpec.none())
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        query = QueryClass("q", [DimensionRestriction("time", "month")])
+        profile = estimate_access(layout, query, scheme, PREFETCH)
+        assert profile.fragments_accessed == pytest.approx(1.0)
+        assert profile.fragments_total == 1
+
+    def test_range_restriction_scales_fragments(self, toy_schema, toy_workload):
+        layout = layout_for(toy_schema, ("time", "month"))
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        query = QueryClass("q", [DimensionRestriction("time", "month", value_count=6)])
+        profile = estimate_access(layout, query, scheme, PREFETCH)
+        assert profile.fragments_accessed == pytest.approx(6.0)
+
+
+class TestRowAndPageEstimates:
+    def test_qualifying_rows_match_selectivity(self, toy_schema, toy_workload):
+        layout = layout_for(toy_schema, ("time", "quarter"))
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        query = QueryClass(
+            "q",
+            [
+                DimensionRestriction("time", "month"),
+                DimensionRestriction("product", "group"),
+            ],
+        )
+        profile = estimate_access(layout, query, scheme, PREFETCH)
+        expected = 1_000_000 * (1 / 24) * (1 / 10)
+        assert profile.qualifying_rows == pytest.approx(expected, rel=1e-6)
+
+    def test_qualifying_never_exceeds_rows_in_fragments(self, toy_schema, toy_workload):
+        layout = layout_for(toy_schema, ("store", "region"))
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        for query in toy_workload:
+            profile = estimate_access(layout, query, scheme, PREFETCH)
+            assert profile.qualifying_rows <= profile.rows_in_accessed_fragments + 1e-6
+
+    def test_pages_bounded_by_fragment_pages(self, toy_schema, toy_workload):
+        layout = layout_for(toy_schema, ("time", "quarter"), ("product", "group"))
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        for query in toy_workload:
+            profile = estimate_access(layout, query, scheme, PREFETCH)
+            upper = profile.fragments_accessed * profile.fact_pages_per_fragment
+            assert profile.fact_pages_accessed <= upper + 1e-6
+
+    def test_full_scan_when_no_bitmap(self, toy_schema):
+        """Residual restriction without a bitmap forces a scan of accessed fragments."""
+        layout = layout_for(toy_schema, ("time", "quarter"))
+        empty_scheme = BitmapScheme()
+        query = QueryClass("q", [DimensionRestriction("product", "group")])
+        profile = estimate_access(layout, query, empty_scheme, PREFETCH)
+        assert profile.forced_full_scan
+        assert profile.sequential_fact_access
+        assert profile.fact_pages_accessed == pytest.approx(
+            profile.fragments_accessed * profile.fact_pages_per_fragment
+        )
+        assert profile.bitmap_pages_accessed == 0.0
+
+    def test_bitmap_reduces_fact_pages_for_selective_query(self, toy_schema):
+        """With a very selective residual predicate, bitmaps avoid the full scan."""
+        from repro.bitmap import BitmapIndex, BitmapType
+
+        layout = layout_for(toy_schema, ("time", "quarter"))
+        scheme = BitmapScheme(
+            [
+                BitmapIndex("product", "item", BitmapType.ENCODED, 200),
+                BitmapIndex("store", "store", BitmapType.ENCODED, 40),
+            ]
+        )
+        # Combined selectivity 1/8000: only a handful of rows qualify per
+        # fragment, so the bitmap plan clearly beats scanning the fragments.
+        query = QueryClass(
+            "q",
+            [
+                DimensionRestriction("product", "item"),
+                DimensionRestriction("store", "store"),
+            ],
+        )
+        with_bitmap = estimate_access(layout, query, scheme, PREFETCH)
+        without_bitmap = estimate_access(layout, query, BitmapScheme(), PREFETCH)
+        assert with_bitmap.fact_pages_accessed < without_bitmap.fact_pages_accessed
+        assert with_bitmap.bitmap_pages_accessed > 0
+        assert ("product", "item") in with_bitmap.bitmap_attributes_used
+        assert not with_bitmap.sequential_fact_access
+
+    def test_scan_chosen_when_bitmap_plan_not_worthwhile(self, toy_schema, toy_workload):
+        """A mildly selective predicate keeps the (cheaper) sequential scan plan."""
+        layout = layout_for(toy_schema, ("time", "quarter"))
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        query = QueryClass("q", [DimensionRestriction("product", "group")])
+        profile = estimate_access(layout, query, scheme, PREFETCH)
+        assert profile.sequential_fact_access
+        assert profile.bitmap_pages_accessed == 0.0
+        assert profile.bitmap_attributes_used == ()
+        # The scan plan can never read more than all pages of the accessed fragments.
+        assert profile.fact_pages_accessed == pytest.approx(
+            profile.fragments_accessed * profile.fact_pages_per_fragment
+        )
+
+    def test_no_bitmap_access_when_fragmentation_resolves_query(self, toy_schema, toy_workload):
+        layout = layout_for(toy_schema, ("time", "quarter"))
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        query = QueryClass("q", [DimensionRestriction("time", "quarter")])
+        profile = estimate_access(layout, query, scheme, PREFETCH)
+        assert profile.bitmap_pages_accessed == 0.0
+        assert profile.bitmap_attributes_used == ()
+
+    def test_total_properties_consistent(self, toy_schema, toy_workload):
+        layout = layout_for(toy_schema, ("time", "quarter"))
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        query = toy_workload.query_class("monthly-by-group")
+        profile = estimate_access(layout, query, scheme, PREFETCH)
+        assert profile.total_pages_accessed == pytest.approx(
+            profile.fact_pages_accessed + profile.bitmap_pages_accessed
+        )
+        assert profile.total_io_requests == pytest.approx(
+            profile.fact_io_requests + profile.bitmap_io_requests
+        )
+
+
+class TestPrefetchEffect:
+    def test_larger_prefetch_fewer_requests_for_scans(self, toy_schema, toy_workload):
+        layout = layout_for(toy_schema, ("time", "quarter"))
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        query = QueryClass("q", [DimensionRestriction("time", "quarter")])
+        small = estimate_access(layout, query, scheme, PrefetchSetting.fixed(1, 1))
+        large = estimate_access(layout, query, scheme, PrefetchSetting.fixed(64, 1))
+        assert large.fact_io_requests < small.fact_io_requests
+        # Touched pages are identical; only the request count changes.
+        assert large.fact_pages_accessed == pytest.approx(small.fact_pages_accessed)
+
+    def test_bitmap_prefetch_affects_bitmap_requests(self, toy_schema, toy_workload):
+        layout = layout_for(toy_schema, ("time", "quarter"))
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        query = QueryClass("q", [DimensionRestriction("product", "item")])
+        small = estimate_access(layout, query, scheme, PrefetchSetting.fixed(8, 1))
+        large = estimate_access(layout, query, scheme, PrefetchSetting.fixed(8, 16))
+        assert large.bitmap_io_requests <= small.bitmap_io_requests

@@ -1,0 +1,179 @@
+"""Unit tests for repro.bitmap: index types, sizing, scheme design and exclusion."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import BitmapIndex, BitmapScheme, BitmapType, design_bitmap_scheme
+from repro.errors import BitmapError
+
+
+class TestBitmapIndex:
+    def test_standard_storage_linear_in_cardinality(self):
+        index = BitmapIndex("channel", "channel", BitmapType.STANDARD, cardinality=9)
+        assert index.storage_bits_per_row == 9
+
+    def test_encoded_storage_logarithmic(self):
+        index = BitmapIndex("product", "code", BitmapType.ENCODED, cardinality=9000)
+        assert index.storage_bits_per_row == math.ceil(math.log2(9000))
+
+    def test_encoded_cardinality_one(self):
+        index = BitmapIndex("d", "l", BitmapType.ENCODED, cardinality=1)
+        assert index.storage_bits_per_row == 1
+
+    def test_standard_reads_value_count_bitmaps(self):
+        index = BitmapIndex("time", "month", BitmapType.STANDARD, cardinality=24)
+        assert index.bits_read_per_row(1) == 1
+        assert index.bits_read_per_row(6) == 6
+
+    def test_encoded_reads_all_slices(self):
+        index = BitmapIndex("product", "code", BitmapType.ENCODED, cardinality=9000)
+        assert index.bits_read_per_row(1) == index.storage_bits_per_row
+        assert index.bits_read_per_row(50) == index.storage_bits_per_row
+
+    def test_read_more_values_than_cardinality_rejected(self):
+        index = BitmapIndex("time", "year", BitmapType.STANDARD, cardinality=2)
+        with pytest.raises(BitmapError):
+            index.bits_read_per_row(3)
+
+    def test_storage_bytes_and_pages(self):
+        index = BitmapIndex("channel", "channel", BitmapType.STANDARD, cardinality=8)
+        # 8 bits per row -> 1 byte per row.
+        assert index.storage_bytes(1000) == pytest.approx(1000)
+        assert index.storage_pages(1000, 8192) == 1
+        assert index.storage_pages(10_000, 8192) == 2
+
+    def test_read_pages(self):
+        index = BitmapIndex("channel", "channel", BitmapType.STANDARD, cardinality=8)
+        assert index.read_pages(8192 * 8, 8192, value_count=1) == 1
+        assert index.read_pages(0, 8192) == 0
+
+    def test_for_attribute_heuristic(self, toy_schema):
+        low = BitmapIndex.for_attribute(toy_schema, "store", "region", cardinality_threshold=64)
+        high = BitmapIndex.for_attribute(toy_schema, "product", "item", cardinality_threshold=64)
+        assert low.bitmap_type is BitmapType.STANDARD
+        assert high.bitmap_type is BitmapType.ENCODED
+        assert high.cardinality == 200
+
+    def test_for_attribute_invalid_threshold(self, toy_schema):
+        with pytest.raises(BitmapError):
+            BitmapIndex.for_attribute(toy_schema, "time", "month", cardinality_threshold=0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(BitmapError):
+            BitmapIndex("", "l", BitmapType.STANDARD, 4)
+        with pytest.raises(BitmapError):
+            BitmapIndex("d", "l", BitmapType.STANDARD, 0)
+        with pytest.raises(BitmapError):
+            BitmapIndex("d", "l", "standard", 4)  # type: ignore[arg-type]
+
+    def test_invalid_read_arguments(self):
+        index = BitmapIndex("d", "l", BitmapType.STANDARD, 4)
+        with pytest.raises(BitmapError):
+            index.bits_read_per_row(0)
+        with pytest.raises(BitmapError):
+            index.storage_bytes(-1)
+        with pytest.raises(BitmapError):
+            index.read_pages(100, 0)
+
+    def test_describe(self):
+        text = BitmapIndex("time", "month", BitmapType.STANDARD, 24).describe()
+        assert "time.month" in text and "standard" in text
+
+
+class TestBitmapScheme:
+    def make_scheme(self) -> BitmapScheme:
+        return BitmapScheme(
+            [
+                BitmapIndex("time", "month", BitmapType.STANDARD, 24),
+                BitmapIndex("product", "item", BitmapType.ENCODED, 200),
+            ]
+        )
+
+    def test_lookup(self):
+        scheme = self.make_scheme()
+        assert scheme.index_for("time", "month") is not None
+        assert scheme.index_for("time", "year") is None
+        assert len(scheme.indexes_on("product")) == 1
+        assert len(scheme) == 2
+        assert not scheme.is_empty
+
+    def test_as_mapping(self):
+        mapping = self.make_scheme().as_mapping()
+        assert ("time", "month") in mapping
+
+    def test_storage_totals(self):
+        scheme = self.make_scheme()
+        assert scheme.total_storage_bits_per_row == 24 + 8
+        assert scheme.storage_bytes(1000) == pytest.approx(1000 * 32 / 8)
+        assert scheme.storage_pages(1000, 8192) >= 1
+
+    def test_without(self):
+        scheme = self.make_scheme().without(("time", "month"))
+        assert scheme.index_for("time", "month") is None
+        assert len(scheme) == 1
+
+    def test_without_unknown(self):
+        with pytest.raises(BitmapError):
+            self.make_scheme().without(("time", "week"))
+
+    def test_restricted_to(self):
+        scheme = self.make_scheme().restricted_to(["product"])
+        assert len(scheme) == 1
+        assert scheme.indexes[0].dimension == "product"
+
+    def test_duplicate_rejected(self):
+        index = BitmapIndex("time", "month", BitmapType.STANDARD, 24)
+        with pytest.raises(BitmapError):
+            BitmapScheme([index, index])
+
+    def test_empty_scheme(self):
+        scheme = BitmapScheme()
+        assert scheme.is_empty
+        assert scheme.total_storage_bits_per_row == 0
+        assert "none" in scheme.describe()
+
+    def test_describe(self):
+        text = self.make_scheme().describe()
+        assert "time.month" in text and "bit(s) per fact row" in text
+
+
+class TestDesignBitmapScheme:
+    def test_covers_workload_attributes(self, toy_schema, toy_workload):
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        restricted = {
+            (r.dimension, r.level)
+            for qc in toy_workload
+            for r in qc.restrictions
+        }
+        assert set(scheme.as_mapping()) == restricted
+
+    def test_cardinality_threshold_switches_type(self, toy_schema, toy_workload):
+        generous = design_bitmap_scheme(
+            toy_schema, toy_workload, cardinality_threshold=1000
+        )
+        strict = design_bitmap_scheme(toy_schema, toy_workload, cardinality_threshold=1)
+        assert all(i.bitmap_type is BitmapType.STANDARD for i in generous)
+        assert all(i.bitmap_type is BitmapType.ENCODED for i in strict)
+
+    def test_exclusion(self, toy_schema, toy_workload):
+        scheme = design_bitmap_scheme(
+            toy_schema, toy_workload, exclude=[("product", "item")]
+        )
+        assert scheme.index_for("product", "item") is None
+
+    def test_deterministic_order(self, toy_schema, toy_workload):
+        scheme_a = design_bitmap_scheme(toy_schema, toy_workload)
+        scheme_b = design_bitmap_scheme(toy_schema, toy_workload)
+        assert [i.describe() for i in scheme_a] == [i.describe() for i in scheme_b]
+
+    def test_space_shrinks_with_exclusion(self, toy_schema, toy_workload):
+        full = design_bitmap_scheme(toy_schema, toy_workload)
+        reduced = design_bitmap_scheme(
+            toy_schema, toy_workload, exclude=[("product", "item")]
+        )
+        assert (
+            reduced.total_storage_bits_per_row < full.total_storage_bits_per_row
+        )

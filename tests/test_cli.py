@@ -1,0 +1,110 @@
+"""Tests for the command-line front end (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, example_config, load_config, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_recommend_defaults(self):
+        args = build_parser().parse_args(["recommend"])
+        assert args.dataset == "apb1"
+        assert args.disks == 64
+        assert args.top == 10
+
+    def test_simulate_arguments(self):
+        args = build_parser().parse_args(
+            ["simulate", "--dataset", "retail", "--queries", "5", "--seed", "9"]
+        )
+        assert args.dataset == "retail"
+        assert args.queries == 5
+        assert args.seed == 9
+
+
+class TestCommands:
+    COMMON = ["--scale", "0.01", "--disks", "16", "--max-fragments", "20000"]
+
+    def test_recommend_table(self, capsys):
+        assert main(["recommend", *self.COMMON, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Top fragmentation candidates" in out
+        assert "I/O cost" in out
+
+    def test_recommend_json(self, capsys):
+        assert main(["recommend", *self.COMMON, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["evaluated"] > 0
+        assert payload["ranked"]
+        assert "fragmentation" in payload["ranked"][0]
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", *self.COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "Database statistic" in out
+        assert "Physical allocation scheme" in out
+
+    def test_report(self, capsys):
+        assert main(["report", *self.COMMON, "--detail-top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "WARLOCK recommendation" in out
+        assert "Prefetch granule suggestion" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", *self.COMMON, "--queries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Simulated workload" in out
+        assert "Analytical prediction" in out
+
+    def test_retail_dataset(self, capsys):
+        assert main(["recommend", "--dataset", "retail", *self.COMMON, "--top", "2"]) == 0
+        assert "Top fragmentation candidates" in capsys.readouterr().out
+
+    def test_suggest(self, capsys):
+        assert main(["suggest", *self.COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "Dimension access shares" in out
+        assert "Suggested fragmentation dimensions" in out
+        assert "time" in out
+
+    def test_tune(self, capsys):
+        assert main(["tune", *self.COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "Disk-count study" in out
+        assert "Architecture study" in out
+        assert "Prefetch study" in out
+
+    def test_example_config_prints_json(self, capsys):
+        assert main(["example-config"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "schema" in payload and "workload" in payload and "system" in payload
+
+    def test_error_exit_code(self, capsys):
+        # A max-fragments threshold of 1 excludes every candidate.
+        code = main(["recommend", *self.COMMON[:-2], "--max-fragments", "1"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestConfigFile:
+    def test_roundtrip_through_json_config(self, tmp_path, capsys):
+        config_path = tmp_path / "config.json"
+        config_path.write_text(json.dumps(example_config()))
+        schema, workload, system = load_config(str(config_path))
+        assert schema.name == "my_warehouse"
+        assert len(workload) == 2
+        assert system.num_disks == 32
+        workload.validate(schema)
+
+    def test_cli_with_config_file(self, tmp_path, capsys):
+        config_path = tmp_path / "config.json"
+        config_path.write_text(json.dumps(example_config()))
+        assert main(["recommend", "--config", str(config_path), "--top", "3"]) == 0
+        assert "Top fragmentation candidates" in capsys.readouterr().out

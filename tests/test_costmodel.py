@@ -1,0 +1,204 @@
+"""Unit tests for repro.costmodel.model: I/O cost, response time, workload evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DimensionRestriction,
+    FragmentationSpec,
+    IOCostModel,
+    QueryClass,
+    QueryMix,
+    SystemParameters,
+    build_layout,
+    design_bitmap_scheme,
+    resolve_prefetch_setting,
+)
+from repro.errors import CostModelError
+from repro.storage import PrefetchPolicy, PrefetchSetting
+
+PREFETCH = PrefetchSetting.fixed(8, 2)
+
+
+@pytest.fixture
+def toy_setup(toy_schema, toy_workload, small_system):
+    layout = build_layout(toy_schema, FragmentationSpec.of(("time", "quarter"), ("product", "group")))
+    scheme = design_bitmap_scheme(toy_schema, toy_workload)
+    model = IOCostModel(small_system)
+    return layout, scheme, model
+
+
+class TestIOCostModel:
+    def test_rejects_bad_system(self):
+        with pytest.raises(CostModelError):
+            IOCostModel("not-a-system")  # type: ignore[arg-type]
+
+    def test_io_cost_positive(self, toy_setup, toy_workload):
+        layout, scheme, model = toy_setup
+        for query in toy_workload:
+            cost = model.query_cost(layout, query, scheme, PREFETCH)
+            assert cost.io_cost_ms > 0
+            assert cost.response_time_ms > 0
+
+    def test_io_cost_composition(self, toy_setup, toy_workload):
+        """Busy time is positioning per request plus transfer per page."""
+        layout, scheme, model = toy_setup
+        query = toy_workload.query_class("yearly-report")
+        profile = model.query_cost(layout, query, scheme, PREFETCH).profile
+        io_cost = model.io_cost_ms(profile, PREFETCH)
+        disk = model.system.disk
+        lower_bound = (
+            profile.total_io_requests * disk.positioning_time_ms
+            + profile.total_pages_accessed
+            * disk.page_transfer_time_ms(model.system.page_size_bytes)
+        )
+        assert io_cost >= lower_bound - 1e-6
+
+    def test_disks_used_bounded(self, toy_setup, toy_workload):
+        layout, scheme, model = toy_setup
+        for query in toy_workload:
+            cost = model.query_cost(layout, query, scheme, PREFETCH)
+            assert 1 <= cost.disks_used <= model.system.num_disks
+            assert cost.disks_used <= max(1, cost.profile.fragments_accessed)
+
+    def test_response_time_below_io_cost_when_parallel(self, toy_setup, toy_workload):
+        """Queries spread over several disks finish faster than their total work."""
+        layout, scheme, model = toy_setup
+        query = toy_workload.query_class("yearly-report")  # touches many fragments
+        cost = model.query_cost(layout, query, scheme, PREFETCH)
+        assert cost.disks_used > 1
+        assert cost.response_time_ms < cost.io_cost_ms
+
+    def test_single_fragment_query_serial(self, toy_setup, toy_workload):
+        layout, scheme, model = toy_setup
+        query = QueryClass(
+            "pinpoint",
+            [
+                DimensionRestriction("time", "quarter"),
+                DimensionRestriction("product", "group"),
+            ],
+        )
+        cost = model.query_cost(layout, query, scheme, PREFETCH)
+        assert cost.disks_used == 1
+        # Serial execution: response equals busy time plus coordination.
+        assert cost.response_time_ms >= cost.io_cost_ms
+
+    def test_more_disks_lower_response(self, toy_schema, toy_workload):
+        layout = build_layout(toy_schema, FragmentationSpec.of(("time", "month")))
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        query = toy_workload.query_class("yearly-report")
+        few = IOCostModel(SystemParameters(num_disks=2)).query_cost(
+            layout, query, scheme, PREFETCH
+        )
+        many = IOCostModel(SystemParameters(num_disks=32)).query_cost(
+            layout, query, scheme, PREFETCH
+        )
+        assert many.response_time_ms < few.response_time_ms
+        # Total I/O work does not depend on the disk count.
+        assert many.io_cost_ms == pytest.approx(few.io_cost_ms)
+
+    def test_weighted_cost_fields(self, toy_setup, toy_workload):
+        layout, scheme, model = toy_setup
+        query = toy_workload.query_class("yearly-report")
+        cost = model.query_cost(layout, query, scheme, PREFETCH, weight=0.25)
+        assert cost.weighted_io_cost_ms == pytest.approx(0.25 * cost.io_cost_ms)
+        assert cost.weighted_response_time_ms == pytest.approx(
+            0.25 * cost.response_time_ms
+        )
+
+
+class TestWorkloadEvaluation:
+    def test_totals_are_weighted_sums(self, toy_setup, toy_workload):
+        layout, scheme, model = toy_setup
+        evaluation = model.evaluate(layout, toy_workload, scheme, PREFETCH)
+        assert evaluation.total_io_cost_ms == pytest.approx(
+            sum(c.weighted_io_cost_ms for c in evaluation.per_class)
+        )
+        assert evaluation.total_response_time_ms == pytest.approx(
+            sum(c.weighted_response_time_ms for c in evaluation.per_class)
+        )
+        assert len(evaluation.per_class) == len(toy_workload)
+
+    def test_cost_for_lookup(self, toy_setup, toy_workload):
+        layout, scheme, model = toy_setup
+        evaluation = model.evaluate(layout, toy_workload, scheme, PREFETCH)
+        assert evaluation.cost_for("yearly-report").query_name == "yearly-report"
+        with pytest.raises(CostModelError):
+            evaluation.cost_for("ghost")
+
+    def test_as_dict(self, toy_setup, toy_workload):
+        layout, scheme, model = toy_setup
+        evaluation = model.evaluate(layout, toy_workload, scheme, PREFETCH)
+        payload = evaluation.as_dict()
+        assert set(payload) == {qc.name for qc in toy_workload}
+        for record in payload.values():
+            assert record["io_cost_ms"] > 0
+
+    def test_auto_prefetch_resolution(self, toy_setup, toy_workload):
+        """evaluate() without an explicit prefetch setting resolves one automatically."""
+        layout, scheme, model = toy_setup
+        evaluation = model.evaluate(layout, toy_workload, scheme)
+        assert evaluation.prefetch.fact_pages >= 1
+        assert evaluation.prefetch.fact_policy is PrefetchPolicy.AUTO
+
+
+class TestClusteringDeclusteringTradeoff:
+    """The fundamental trade-off of §3.2: declustering lowers response time but
+    raises total I/O work; clustering does the opposite."""
+
+    def test_tradeoff_between_coarse_and_fine_fragmentation(
+        self, toy_schema, toy_workload, small_system
+    ):
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        model = IOCostModel(small_system)
+        query = QueryClass("by-year", [DimensionRestriction("time", "year")])
+        mix = QueryMix([query])
+
+        coarse = build_layout(toy_schema, FragmentationSpec.of(("time", "year")))
+        fine = build_layout(
+            toy_schema, FragmentationSpec.of(("time", "month"), ("store", "store"))
+        )
+
+        coarse_eval = model.evaluate(coarse, mix, scheme, PREFETCH)
+        fine_eval = model.evaluate(fine, mix, scheme, PREFETCH)
+
+        # Clustering (coarse) minimizes total I/O work ...
+        assert coarse_eval.total_io_cost_ms <= fine_eval.total_io_cost_ms
+        # ... while declustering (fine) minimizes response time.
+        assert fine_eval.total_response_time_ms <= coarse_eval.total_response_time_ms
+
+
+class TestResolvePrefetchSetting:
+    def test_auto_policies(self, toy_schema, toy_workload):
+        layout = build_layout(toy_schema, FragmentationSpec.of(("time", "quarter")))
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        system = SystemParameters(num_disks=8)  # auto prefetch
+        setting = resolve_prefetch_setting(layout, toy_workload, scheme, system)
+        assert setting.fact_policy is PrefetchPolicy.AUTO
+        assert setting.bitmap_policy is PrefetchPolicy.AUTO
+        assert setting.fact_pages >= 1
+        assert setting.bitmap_pages >= 1
+
+    def test_fixed_policies_pass_through(self, toy_schema, toy_workload):
+        layout = build_layout(toy_schema, FragmentationSpec.of(("time", "quarter")))
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        system = SystemParameters(
+            num_disks=8, prefetch_pages_fact=32, prefetch_pages_bitmap=2
+        )
+        setting = resolve_prefetch_setting(layout, toy_workload, scheme, system)
+        assert setting.fact_pages == 32
+        assert setting.bitmap_pages == 2
+        assert setting.fact_policy is PrefetchPolicy.FIXED
+
+    def test_fact_granule_tracks_fragment_size(self, toy_schema, toy_workload):
+        """Coarser fragmentations (larger fragments) warrant larger fact granules."""
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        system = SystemParameters(num_disks=8)
+        coarse = build_layout(toy_schema, FragmentationSpec.of(("time", "year")))
+        fine = build_layout(
+            toy_schema, FragmentationSpec.of(("time", "month"), ("product", "item"))
+        )
+        coarse_setting = resolve_prefetch_setting(coarse, toy_workload, scheme, system)
+        fine_setting = resolve_prefetch_setting(fine, toy_workload, scheme, system)
+        assert coarse_setting.fact_pages >= fine_setting.fact_pages

@@ -1,0 +1,134 @@
+"""Unit tests for repro.datasets: APB-1-style, retail and synthetic factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    apb1_query_mix,
+    apb1_schema,
+    retail_query_mix,
+    retail_schema,
+    synthetic_schema,
+    validate_schema,
+)
+from repro.datasets.apb1 import APB1_BASE_FACT_ROWS
+from repro.datasets.retail import RETAIL_BASE_FACT_ROWS
+from repro.errors import SchemaError
+
+
+class TestApb1Schema:
+    def test_structure(self):
+        schema = apb1_schema()
+        assert schema.dimension_names == ("product", "customer", "time", "channel")
+        product = schema.dimension("product")
+        assert product.level_names == ("division", "line", "family", "group", "class", "code")
+        assert product.cardinality == 9000
+        assert schema.dimension("time").cardinality == 24
+        assert schema.dimension("channel").cardinality == 9
+        assert schema.fact_table().row_count == APB1_BASE_FACT_ROWS
+
+    def test_scaling(self):
+        small = apb1_schema(scale=0.1)
+        assert small.fact_table().row_count == pytest.approx(
+            APB1_BASE_FACT_ROWS * 0.1, rel=1e-6
+        )
+        with pytest.raises(SchemaError):
+            apb1_schema(scale=0)
+
+    def test_skew_attachment(self):
+        schema = apb1_schema(skew={"product": 0.8})
+        assert schema.dimension("product").skew.theta == pytest.approx(0.8)
+        assert not schema.dimension("time").skew.is_skewed
+
+    def test_unknown_skew_dimension_rejected(self):
+        with pytest.raises(SchemaError):
+            apb1_schema(skew={"warehouse": 0.5})
+
+    def test_passes_validation(self):
+        assert validate_schema(apb1_schema()) == []
+
+    def test_hierarchies_monotone(self):
+        for dimension in apb1_schema().dimensions:
+            cards = [level.cardinality for level in dimension.levels]
+            assert cards == sorted(cards)
+
+
+class TestApb1Workload:
+    def test_validates_against_schema(self):
+        apb1_query_mix().validate(apb1_schema())
+
+    def test_has_multiple_classes_with_shares(self):
+        mix = apb1_query_mix()
+        assert len(mix) == 8
+        assert sum(mix.shares().values()) == pytest.approx(1.0)
+
+    def test_covers_all_dimensions(self):
+        shares = apb1_query_mix().dimension_access_shares()
+        assert set(shares) == {"product", "customer", "time", "channel"}
+
+
+class TestRetail:
+    def test_structure(self):
+        schema = retail_schema()
+        assert schema.dimension_names == ("date", "store", "item", "promotion")
+        assert schema.dimension("item").cardinality == 40000
+        assert schema.fact_table().row_count == RETAIL_BASE_FACT_ROWS
+
+    def test_default_skew(self):
+        schema = retail_schema()
+        assert schema.dimension("item").skew.is_skewed
+        assert schema.dimension("store").skew.is_skewed
+        assert not schema.dimension("date").skew.is_skewed
+
+    def test_scaling_and_validation(self):
+        small = retail_schema(scale=0.01)
+        assert small.fact_table().row_count == 500_000
+        # The full-size schema is clean; the tiny one legitimately triggers the
+        # sparsity warning (dimension value space >> fact rows).
+        assert validate_schema(retail_schema()) == []
+        assert any("sparse" in warning for warning in validate_schema(small))
+        with pytest.raises(SchemaError):
+            retail_schema(scale=-1)
+
+    def test_workload_validates(self):
+        retail_query_mix().validate(retail_schema())
+        assert len(retail_query_mix()) == 7
+
+
+class TestSynthetic:
+    def test_shape(self):
+        schema = synthetic_schema(num_dimensions=3, levels_per_dimension=2, fact_rows=1000)
+        assert len(schema.dimensions) == 3
+        assert all(len(d.levels) == 2 for d in schema.dimensions)
+        assert schema.fact_table().row_count == 1000
+
+    def test_hierarchies_valid(self):
+        schema = synthetic_schema(num_dimensions=5, levels_per_dimension=4)
+        for dimension in schema.dimensions:
+            cards = [level.cardinality for level in dimension.levels]
+            assert cards == sorted(cards)
+            assert len(set(level.name for level in dimension.levels)) == len(cards)
+
+    def test_reproducible_with_seed(self):
+        first = synthetic_schema(seed=3)
+        second = synthetic_schema(seed=3)
+        assert first.describe() == second.describe()
+
+    def test_no_jitter_without_seed(self):
+        schema = synthetic_schema(seed=None, bottom_cardinality=100)
+        for dimension in schema.dimensions:
+            assert dimension.cardinality >= 100
+
+    def test_skew_recycling(self):
+        schema = synthetic_schema(num_dimensions=4, skew_thetas=[0.5, 0.0])
+        thetas = [d.skew.theta for d in schema.dimensions]
+        assert thetas == [0.5, 0.0, 0.5, 0.0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SchemaError):
+            synthetic_schema(num_dimensions=0)
+        with pytest.raises(SchemaError):
+            synthetic_schema(levels_per_dimension=0)
+        with pytest.raises(SchemaError):
+            synthetic_schema(bottom_cardinality=0)

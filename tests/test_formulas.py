@@ -1,0 +1,125 @@
+"""Unit tests for repro.costmodel.formulas: Yao/Cardenas, containment estimates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import (
+    cardenas_pages,
+    expected_distinct_ancestors,
+    pages_for_rows,
+    yao_pages,
+)
+from repro.errors import CostModelError
+
+
+class TestPagesForRows:
+    def test_exact_fit(self):
+        assert pages_for_rows(100, 10) == 10
+
+    def test_rounding_up(self):
+        assert pages_for_rows(101, 10) == 11
+
+    def test_zero_rows(self):
+        assert pages_for_rows(0, 10) == 0
+
+    def test_fractional_rows(self):
+        assert pages_for_rows(0.5, 10) == 1
+
+    def test_invalid(self):
+        with pytest.raises(CostModelError):
+            pages_for_rows(-1, 10)
+        with pytest.raises(CostModelError):
+            pages_for_rows(10, 0)
+
+
+class TestCardenas:
+    def test_zero_selection(self):
+        assert cardenas_pages(1000, 100, 0) == 0.0
+
+    def test_full_selection_approaches_all_pages(self):
+        assert cardenas_pages(1000, 100, 1000) == pytest.approx(100, rel=0.01)
+
+    def test_single_row_single_page(self):
+        assert cardenas_pages(1000, 100, 1) == pytest.approx(1.0, rel=0.01)
+
+    def test_monotone_in_selection(self):
+        previous = 0.0
+        for k in (1, 10, 100, 500, 1000):
+            value = cardenas_pages(1000, 100, k)
+            assert value >= previous
+            previous = value
+
+    def test_bounded_by_total_pages(self):
+        assert cardenas_pages(1000, 100, 10_000) <= 100
+
+    def test_zero_pages(self):
+        assert cardenas_pages(0, 0, 10) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(CostModelError):
+            cardenas_pages(-1, 10, 1)
+
+
+class TestYao:
+    def test_zero_selection(self):
+        assert yao_pages(1000, 100, 0) == 0.0
+
+    def test_all_rows_selected(self):
+        assert yao_pages(1000, 100, 1000) == 100.0
+
+    def test_more_than_all_rows(self):
+        assert yao_pages(1000, 100, 5000) == 100.0
+
+    def test_single_row(self):
+        assert yao_pages(1000, 100, 1) == pytest.approx(1.0, rel=0.01)
+
+    def test_close_to_cardenas(self):
+        exact = yao_pages(10_000, 1000, 500)
+        approx = cardenas_pages(10_000, 1000, 500)
+        assert exact == pytest.approx(approx, rel=0.05)
+
+    def test_monotone_in_selection(self):
+        values = [yao_pages(2000, 200, k) for k in (1, 5, 50, 500, 2000)]
+        assert values == sorted(values)
+
+    def test_large_inputs_fall_back_gracefully(self):
+        # Must not raise or overflow for warehouse-scale numbers.
+        value = yao_pages(50_000_000, 500_000, 1_000_000)
+        assert 0 < value <= 500_000
+
+    def test_bounded_by_pages(self):
+        assert yao_pages(100, 10, 60) <= 10
+
+    def test_invalid(self):
+        with pytest.raises(CostModelError):
+            yao_pages(-1, 10, 1)
+
+
+class TestExpectedDistinctAncestors:
+    def test_single_value_single_ancestor(self):
+        assert expected_distinct_ancestors(1, 100, 10) == pytest.approx(1.0)
+
+    def test_zero_values(self):
+        assert expected_distinct_ancestors(0, 100, 10) == 0.0
+
+    def test_all_values_all_ancestors(self):
+        assert expected_distinct_ancestors(100, 100, 10) == pytest.approx(10, rel=0.01)
+
+    def test_monotone(self):
+        values = [expected_distinct_ancestors(k, 1000, 50) for k in (1, 5, 20, 100, 1000)]
+        assert values == sorted(values)
+
+    def test_bounded_by_coarse_cardinality(self):
+        assert expected_distinct_ancestors(10_000, 1000, 20) <= 20
+
+    def test_equal_cardinalities_identity_like(self):
+        assert expected_distinct_ancestors(1, 50, 50) == pytest.approx(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(CostModelError):
+            expected_distinct_ancestors(1, 10, 20)
+        with pytest.raises(CostModelError):
+            expected_distinct_ancestors(-1, 20, 10)
+        with pytest.raises(CostModelError):
+            expected_distinct_ancestors(1, 0, 0)

@@ -1,0 +1,131 @@
+"""Unit tests for repro.storage.prefetch: granule candidates, timing, optimization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import DiskParameters, PrefetchPolicy, PrefetchSetting
+from repro.storage.prefetch import (
+    expected_run_read_time_ms,
+    optimal_prefetch_pages,
+    prefetch_candidates,
+)
+
+PAGE = 8192
+
+
+class TestPrefetchCandidates:
+    def test_powers_of_two(self):
+        assert prefetch_candidates(16) == [1, 2, 4, 8, 16]
+
+    def test_non_power_limit_included(self):
+        candidates = prefetch_candidates(20)
+        assert candidates[-1] == 20
+        assert 16 in candidates
+
+    def test_single_page(self):
+        assert prefetch_candidates(1) == [1]
+
+    def test_invalid(self):
+        with pytest.raises(StorageError):
+            prefetch_candidates(0)
+
+
+class TestExpectedRunReadTime:
+    def test_zero_run_costs_nothing(self):
+        assert expected_run_read_time_ms(0, 8, DiskParameters(), PAGE) == 0.0
+
+    def test_single_request_when_granule_covers_run(self):
+        disk = DiskParameters()
+        time = expected_run_read_time_ms(4, 8, disk, PAGE)
+        expected = disk.positioning_time_ms + 8 * disk.page_transfer_time_ms(PAGE)
+        assert time == pytest.approx(expected)
+
+    def test_multiple_requests(self):
+        disk = DiskParameters()
+        time = expected_run_read_time_ms(20, 8, disk, PAGE)
+        # ceil(20/8) = 3 requests transferring 24 pages.
+        expected = 3 * disk.positioning_time_ms + 24 * disk.page_transfer_time_ms(PAGE)
+        assert time == pytest.approx(expected)
+
+    def test_invalid_arguments(self):
+        disk = DiskParameters()
+        with pytest.raises(StorageError):
+            expected_run_read_time_ms(-1, 8, disk, PAGE)
+        with pytest.raises(StorageError):
+            expected_run_read_time_ms(4, 0, disk, PAGE)
+
+
+class TestOptimalPrefetchPages:
+    def test_large_runs_prefer_large_granules(self):
+        disk = DiskParameters()
+        small = optimal_prefetch_pages([2.0], disk, PAGE)
+        large = optimal_prefetch_pages([500.0], disk, PAGE)
+        assert large > small
+
+    def test_tiny_runs_prefer_single_page(self):
+        disk = DiskParameters()
+        assert optimal_prefetch_pages([1.0], disk, PAGE) == 1
+
+    def test_weights_shift_optimum(self):
+        disk = DiskParameters()
+        runs = [1.0, 512.0]
+        favour_small = optimal_prefetch_pages(runs, disk, PAGE, weights=[100.0, 0.001])
+        favour_large = optimal_prefetch_pages(runs, disk, PAGE, weights=[0.001, 100.0])
+        assert favour_large >= favour_small
+
+    def test_optimum_is_actually_minimal(self):
+        disk = DiskParameters()
+        runs, weights = [37.0, 120.0], [1.0, 2.0]
+        best = optimal_prefetch_pages(runs, disk, PAGE, weights)
+        best_cost = sum(
+            w * expected_run_read_time_ms(r, best, disk, PAGE)
+            for r, w in zip(runs, weights)
+        )
+        for granule in prefetch_candidates():
+            cost = sum(
+                w * expected_run_read_time_ms(r, granule, disk, PAGE)
+                for r, w in zip(runs, weights)
+            )
+            assert best_cost <= cost + 1e-9
+
+    def test_zero_weights_fall_back_to_uniform(self):
+        disk = DiskParameters()
+        assert optimal_prefetch_pages([64.0, 64.0], disk, PAGE, weights=[0.0, 0.0]) >= 1
+
+    def test_invalid_arguments(self):
+        disk = DiskParameters()
+        with pytest.raises(StorageError):
+            optimal_prefetch_pages([], disk, PAGE)
+        with pytest.raises(StorageError):
+            optimal_prefetch_pages([-1.0], disk, PAGE)
+        with pytest.raises(StorageError):
+            optimal_prefetch_pages([1.0, 2.0], disk, PAGE, weights=[1.0])
+        with pytest.raises(StorageError):
+            optimal_prefetch_pages([1.0], disk, PAGE, weights=[-1.0])
+
+
+class TestPrefetchSetting:
+    def test_fixed_constructor(self):
+        setting = PrefetchSetting.fixed(16, 4)
+        assert setting.fact_pages == 16
+        assert setting.bitmap_pages == 4
+        assert setting.fact_policy is PrefetchPolicy.FIXED
+        assert setting.bitmap_policy is PrefetchPolicy.FIXED
+
+    def test_describe(self):
+        setting = PrefetchSetting(
+            fact_pages=32,
+            bitmap_pages=2,
+            fact_policy=PrefetchPolicy.AUTO,
+            bitmap_policy=PrefetchPolicy.FIXED,
+        )
+        text = setting.describe()
+        assert "32 pages" in text and "auto" in text and "fixed" in text
+
+    def test_invalid(self):
+        with pytest.raises(StorageError):
+            PrefetchSetting(fact_pages=0, bitmap_pages=1)
+        with pytest.raises(StorageError):
+            PrefetchSetting(fact_pages=1, bitmap_pages=0)

@@ -1,0 +1,287 @@
+"""Property-based tests (hypothesis) on the core invariants of the library.
+
+The invariants checked here are the ones the advisor silently relies on:
+distribution normalization, row conservation under fragmentation, bounds of the
+estimation formulas, allocation completeness/balance, and the confinement
+guarantee of MDHF access estimation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Dimension,
+    DimensionRestriction,
+    FactTable,
+    FragmentationSpec,
+    Level,
+    QueryClass,
+    SkewSpec,
+    StarSchema,
+    SystemParameters,
+    build_layout,
+    greedy_size_allocation,
+    round_robin_allocation,
+)
+from repro.bitmap import BitmapScheme
+from repro.costmodel import (
+    cardenas_pages,
+    estimate_access,
+    expected_distinct_ancestors,
+    yao_pages,
+)
+from repro.skew import ZipfDistribution, coefficient_of_variation, zipf_probabilities
+from repro.storage import DiskParameters, PrefetchSetting, optimal_prefetch_pages
+
+PREFETCH = PrefetchSetting.fixed(8, 2)
+
+
+# ---------------------------------------------------------------------------
+# Skew distributions
+# ---------------------------------------------------------------------------
+
+@given(n=st.integers(1, 2000), theta=st.floats(0.0, 3.0, allow_nan=False))
+def test_zipf_probabilities_normalized_and_sorted(n, theta):
+    probs = zipf_probabilities(n, theta)
+    assert probs.shape == (n,)
+    assert probs.sum() == pytest.approx(1.0)
+    assert np.all(probs > 0)
+    assert np.all(np.diff(probs) <= 1e-15)
+
+
+@given(
+    n=st.integers(1, 500),
+    theta=st.floats(0.0, 2.5, allow_nan=False),
+    total=st.integers(0, 1_000_000),
+)
+def test_zipf_counts_conserve_total(n, theta, total):
+    counts = ZipfDistribution(n=n, theta=theta).counts(total)
+    assert counts.sum() == total
+    assert np.all(counts >= 0)
+
+
+@given(values=st.lists(st.floats(0.0, 1e9, allow_nan=False), min_size=1, max_size=50))
+def test_cv_non_negative(values):
+    assert coefficient_of_variation(values) >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# Estimation formulas
+# ---------------------------------------------------------------------------
+
+@given(
+    pages=st.integers(1, 10_000),
+    rows_per_page=st.integers(1, 500),
+    selected=st.integers(0, 100_000),
+)
+def test_cardenas_bounds(pages, rows_per_page, selected):
+    rows = pages * rows_per_page
+    touched = cardenas_pages(rows, pages, selected)
+    assert 0.0 <= touched <= pages
+    if selected > 0:
+        assert touched > 0
+
+
+@given(
+    pages=st.integers(1, 500),
+    rows_per_page=st.integers(1, 50),
+    selected=st.integers(0, 2_000),
+)
+def test_yao_bounds_and_dominates_nothing(pages, rows_per_page, selected):
+    rows = pages * rows_per_page
+    touched = yao_pages(rows, pages, selected)
+    assert 0.0 <= touched <= pages
+    # Selecting everything touches everything.
+    if selected >= rows:
+        assert touched == pytest.approx(pages)
+
+
+@given(
+    fine=st.integers(1, 10_000),
+    ratio=st.integers(1, 100),
+    selected=st.integers(0, 10_000),
+)
+def test_expected_ancestors_bounds(fine, ratio, selected):
+    coarse = max(1, fine // ratio)
+    value = expected_distinct_ancestors(selected, fine, coarse)
+    assert 0.0 <= value <= coarse
+    if selected >= 1:
+        assert value >= min(1.0, float(coarse)) - 1e-9
+
+
+@given(
+    runs=st.lists(st.floats(0.0, 5000.0, allow_nan=False), min_size=1, max_size=8),
+)
+def test_optimal_prefetch_within_candidate_range(runs):
+    granule = optimal_prefetch_pages(runs, DiskParameters(), 8192)
+    assert 1 <= granule <= 512
+
+
+# ---------------------------------------------------------------------------
+# Fragmentation layouts
+# ---------------------------------------------------------------------------
+
+def _schema(card_a, card_b, theta, rows):
+    dim_a = Dimension(
+        "a",
+        [Level("a_top", max(1, card_a // 4) or 1), Level("a_bottom", card_a)],
+        skew=SkewSpec(theta=theta),
+    )
+    dim_b = Dimension("b", [Level("b_bottom", card_b)])
+    fact = FactTable("facts", rows, 64, ("a", "b"))
+    return StarSchema("prop", (dim_a, dim_b), (fact,))
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    card_a=st.integers(4, 64),
+    card_b=st.integers(1, 32),
+    theta=st.floats(0.0, 2.0, allow_nan=False),
+    rows=st.integers(1_000, 2_000_000),
+)
+def test_layout_conserves_rows_and_counts(card_a, card_b, theta, rows):
+    schema = _schema(card_a, card_b, theta, rows)
+    spec = FragmentationSpec.of(("a", "a_bottom"), ("b", "b_bottom"))
+    layout = build_layout(schema, spec)
+    assert layout.fragment_count == card_a * card_b
+    assert layout.fragment_rows.sum() == pytest.approx(rows, rel=1e-9)
+    assert np.all(layout.fragment_rows >= 0)
+    assert layout.total_fact_pages >= schema.fact_table().pages(8192)
+    assert layout.min_fragment_pages <= layout.max_fragment_pages
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    card_a=st.integers(4, 64),
+    theta=st.floats(0.0, 2.0, allow_nan=False),
+    rows=st.integers(1_000, 500_000),
+)
+def test_coarser_level_aggregates_bottom_shares(card_a, theta, rows):
+    schema = _schema(card_a, 8, theta, rows)
+    bottom = build_layout(schema, FragmentationSpec.of(("a", "a_bottom")))
+    top = build_layout(schema, FragmentationSpec.of(("a", "a_top")))
+    assert bottom.fragment_rows.sum() == pytest.approx(top.fragment_rows.sum())
+    # The largest coarse fragment is at least as big as the largest fine one.
+    assert top.fragment_rows.max() >= bottom.fragment_rows.max() - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Allocation invariants
+# ---------------------------------------------------------------------------
+
+@settings(deadline=None, max_examples=40)
+@given(
+    card_a=st.integers(4, 48),
+    card_b=st.integers(1, 16),
+    theta=st.floats(0.0, 2.0, allow_nan=False),
+    disks=st.integers(1, 64),
+)
+def test_allocations_place_every_fragment_exactly_once(card_a, card_b, theta, disks):
+    schema = _schema(card_a, card_b, theta, 200_000)
+    layout = build_layout(schema, FragmentationSpec.of(("a", "a_bottom"), ("b", "b_bottom")))
+    system = SystemParameters(num_disks=disks)
+    for allocation in (
+        round_robin_allocation(layout, system),
+        greedy_size_allocation(layout, system),
+    ):
+        assert allocation.disk_of_fragment.shape == (layout.fragment_count,)
+        assert allocation.occupancy_pages.sum() == pytest.approx(allocation.total_pages)
+        assert int(allocation.fragments_per_disk.sum()) == layout.fragment_count
+        assert allocation.occupancy_pages.min() >= 0
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    card_a=st.integers(8, 64),
+    theta=st.floats(0.0, 2.0, allow_nan=False),
+    disks=st.integers(2, 32),
+)
+def test_greedy_never_worse_than_round_robin_on_imbalance(card_a, theta, disks):
+    schema = _schema(card_a, 4, theta, 400_000)
+    layout = build_layout(schema, FragmentationSpec.of(("a", "a_bottom"), ("b", "b_bottom")))
+    system = SystemParameters(num_disks=disks)
+    greedy = greedy_size_allocation(layout, system)
+    round_robin = round_robin_allocation(layout, system)
+    assert greedy.max_occupancy_pages <= round_robin.max_occupancy_pages + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# MDHF access estimation invariants
+# ---------------------------------------------------------------------------
+
+@settings(deadline=None, max_examples=40)
+@given(
+    card_a=st.integers(4, 48),
+    card_b=st.integers(2, 24),
+    value_count=st.integers(1, 4),
+)
+def test_confinement_when_fragmentation_dimension_restricted(card_a, card_b, value_count):
+    schema = _schema(card_a, card_b, 0.0, 300_000)
+    layout = build_layout(schema, FragmentationSpec.of(("a", "a_bottom")))
+    query = QueryClass(
+        "q", [DimensionRestriction("a", "a_bottom", value_count=min(value_count, card_a))]
+    )
+    profile = estimate_access(layout, query, BitmapScheme(), PREFETCH)
+    # Confinement: the query touches exactly the selected slices, never more.
+    assert profile.fragments_accessed <= min(value_count, card_a) + 1e-9
+    assert profile.fragments_accessed >= 1.0
+    assert profile.fact_pages_accessed <= layout.total_fact_pages + 1e-6
+    assert profile.qualifying_rows <= profile.rows_in_accessed_fragments + 1e-6
+
+
+@settings(deadline=None, max_examples=40)
+@given(card_a=st.integers(4, 48), card_b=st.integers(2, 24))
+def test_unrestricted_queries_touch_all_fragments(card_a, card_b):
+    schema = _schema(card_a, card_b, 0.0, 300_000)
+    layout = build_layout(schema, FragmentationSpec.of(("a", "a_bottom"), ("b", "b_bottom")))
+    query = QueryClass("scan", [])
+    profile = estimate_access(layout, query, BitmapScheme(), PREFETCH)
+    assert profile.fragments_accessed == pytest.approx(layout.fragment_count)
+    assert profile.fact_pages_accessed == pytest.approx(
+        float(layout.fragment_fact_pages.sum()), rel=1e-6
+    )
+
+
+# ---------------------------------------------------------------------------
+# Access path selection invariants
+# ---------------------------------------------------------------------------
+
+@settings(deadline=None, max_examples=40)
+@given(
+    card_a=st.integers(8, 64),
+    card_b=st.integers(8, 5000),
+    value_count=st.integers(1, 3),
+    rows=st.integers(50_000, 2_000_000),
+)
+def test_bitmap_plan_never_worse_than_scan_plan(card_a, card_b, value_count, rows):
+    """With indexes available, the chosen plan never reads more pages than a scan.
+
+    The access path selection must make bitmap indexes a safe addition: either
+    the bitmap-driven plan is adopted because it reads less, or the estimator
+    falls back to the plain fragment scan.
+    """
+    from repro.bitmap import BitmapIndex, BitmapType
+
+    schema = _schema(card_a, card_b, 0.0, rows)
+    layout = build_layout(schema, FragmentationSpec.of(("a", "a_bottom")))
+    scheme = BitmapScheme(
+        [BitmapIndex("b", "b_bottom", BitmapType.ENCODED, card_b)]
+    )
+    query = QueryClass(
+        "q", [DimensionRestriction("b", "b_bottom", value_count=min(value_count, card_b))]
+    )
+    with_bitmaps = estimate_access(layout, query, scheme, PREFETCH)
+    scan_only = estimate_access(layout, query, BitmapScheme(), PREFETCH)
+    # Fragment confinement is identical; only the within-fragment plan differs.
+    assert with_bitmaps.fragments_accessed == pytest.approx(scan_only.fragments_accessed)
+    # The chosen plan's total data volume never exceeds the scan plan's.
+    total_with = with_bitmaps.fact_pages_accessed + with_bitmaps.bitmap_pages_accessed
+    total_scan = scan_only.fact_pages_accessed
+    assert total_with <= total_scan * 1.001 + 2.0
+    # When the bitmap plan is adopted it actually reads fewer fact pages.
+    if with_bitmaps.bitmap_attributes_used:
+        assert with_bitmaps.fact_pages_accessed < scan_only.fact_pages_accessed

@@ -1,0 +1,95 @@
+"""Unit tests for repro.core.ranking: the two-phase ranking heuristic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FragmentationSpec
+from repro.core import rank_candidates
+from repro.errors import AdvisorError
+
+
+@pytest.fixture
+def toy_candidates(toy_advisor):
+    """A handful of evaluated candidates over the toy configuration."""
+    specs = [
+        FragmentationSpec.of(("time", "month")),
+        FragmentationSpec.of(("time", "quarter"), ("product", "group")),
+        FragmentationSpec.of(("time", "month"), ("store", "region")),
+        FragmentationSpec.of(("product", "item")),
+        FragmentationSpec.of(("store", "store")),
+        FragmentationSpec.of(("time", "month"), ("product", "group")),
+    ]
+    scheme = toy_advisor.design_bitmaps()
+    return [toy_advisor.evaluate_spec(spec, scheme) for spec in specs]
+
+
+class TestRankCandidates:
+    def test_result_sorted_by_response_time(self, toy_candidates):
+        ranked = rank_candidates(toy_candidates, top_fraction=1.0)
+        responses = [r.response_time_ms for r in ranked]
+        assert responses == sorted(responses)
+
+    def test_final_ranks_sequential(self, toy_candidates):
+        ranked = rank_candidates(toy_candidates, top_fraction=1.0)
+        assert [r.final_rank for r in ranked] == list(range(1, len(ranked) + 1))
+
+    def test_io_ranks_are_a_permutation(self, toy_candidates):
+        ranked = rank_candidates(toy_candidates, top_fraction=1.0)
+        io_ranks = sorted(r.io_rank for r in ranked)
+        assert io_ranks == list(range(1, len(toy_candidates) + 1))
+
+    def test_top_fraction_limits_phase_two(self, toy_candidates):
+        half = rank_candidates(toy_candidates, top_fraction=0.5)
+        # ceil(0.5 * 6) = 3 candidates admitted to phase two.
+        assert len(half) == 3
+        # Only the lowest-I/O-cost candidates are admitted.
+        assert all(r.io_rank <= 3 for r in half)
+
+    def test_top_fraction_keeps_at_least_one(self, toy_candidates):
+        tiny = rank_candidates(toy_candidates, top_fraction=0.01)
+        assert len(tiny) == 1
+        assert tiny[0].io_rank == 1
+
+    def test_top_candidates_truncation(self, toy_candidates):
+        ranked = rank_candidates(toy_candidates, top_fraction=1.0, top_candidates=2)
+        assert len(ranked) == 2
+
+    def test_phase_one_prefers_low_io_cost(self, toy_candidates):
+        """The candidate with the lowest I/O cost is always admitted and keeps rank 1."""
+        ranked = rank_candidates(toy_candidates, top_fraction=0.25)
+        lowest_io = min(toy_candidates, key=lambda c: c.io_cost_ms)
+        assert any(r.candidate.label == lowest_io.label for r in ranked)
+
+    def test_winner_differs_between_metrics_when_tradeoff_exists(self, toy_candidates):
+        """With the full candidate set, the response-time winner need not be the
+        I/O winner — this is exactly the trade-off the two-phase heuristic manages."""
+        ranked_all = rank_candidates(toy_candidates, top_fraction=1.0)
+        by_io = sorted(toy_candidates, key=lambda c: c.io_cost_ms)
+        assert ranked_all[0].response_time_ms <= by_io[0].response_time_ms
+
+    def test_describe(self, toy_candidates):
+        ranked = rank_candidates(toy_candidates, top_fraction=1.0)
+        text = ranked[0].describe()
+        assert "#1" in text and ranked[0].label in text
+
+    def test_wrapper_properties(self, toy_candidates):
+        ranked = rank_candidates(toy_candidates, top_fraction=1.0)[0]
+        assert ranked.io_cost_ms == ranked.candidate.io_cost_ms
+        assert ranked.response_time_ms == ranked.candidate.response_time_ms
+        assert ranked.label == ranked.candidate.label
+
+    def test_deterministic(self, toy_candidates):
+        first = [r.label for r in rank_candidates(toy_candidates, top_fraction=0.5)]
+        second = [r.label for r in rank_candidates(list(reversed(toy_candidates)), top_fraction=0.5)]
+        assert first == second
+
+    def test_invalid_arguments(self, toy_candidates):
+        with pytest.raises(AdvisorError):
+            rank_candidates([], top_fraction=0.5)
+        with pytest.raises(AdvisorError):
+            rank_candidates(toy_candidates, top_fraction=0.0)
+        with pytest.raises(AdvisorError):
+            rank_candidates(toy_candidates, top_fraction=1.5)
+        with pytest.raises(AdvisorError):
+            rank_candidates(toy_candidates, top_candidates=0)

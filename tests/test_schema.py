@@ -1,0 +1,267 @@
+"""Unit tests for repro.schema: levels, dimensions, fact tables, schemas, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Dimension, FactTable, Level, Measure, SkewSpec, StarSchema
+from repro.errors import SchemaError
+from repro.schema import validate_schema
+
+
+def make_time() -> Dimension:
+    return Dimension(
+        name="time",
+        levels=[Level("year", 2), Level("quarter", 8), Level("month", 24)],
+    )
+
+
+class TestLevel:
+    def test_valid_level(self):
+        level = Level("month", 24)
+        assert level.name == "month"
+        assert level.cardinality == 24
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Level("", 5)
+        with pytest.raises(SchemaError):
+            Level("   ", 5)
+
+    def test_rejects_non_positive_cardinality(self):
+        with pytest.raises(SchemaError):
+            Level("x", 0)
+        with pytest.raises(SchemaError):
+            Level("x", -2)
+
+    def test_rejects_non_int_cardinality(self):
+        with pytest.raises(SchemaError):
+            Level("x", 2.5)  # type: ignore[arg-type]
+        with pytest.raises(SchemaError):
+            Level("x", True)  # type: ignore[arg-type]
+
+
+class TestDimension:
+    def test_navigation(self):
+        time = make_time()
+        assert time.level_names == ("year", "quarter", "month")
+        assert time.top_level.name == "year"
+        assert time.bottom_level.name == "month"
+        assert time.cardinality == 24
+        assert time.level("quarter").cardinality == 8
+        assert time.has_level("month")
+        assert not time.has_level("week")
+
+    def test_level_index_and_ordering(self):
+        time = make_time()
+        assert time.level_index("year") == 0
+        assert time.level_index("month") == 2
+        assert time.is_coarser_or_equal("year", "month")
+        assert time.is_coarser_or_equal("month", "month")
+        assert not time.is_coarser_or_equal("month", "quarter")
+
+    def test_fanout(self):
+        time = make_time()
+        assert time.fanout("year", "month") == pytest.approx(12.0)
+        assert time.fanout("quarter", "month") == pytest.approx(3.0)
+        with pytest.raises(SchemaError):
+            time.fanout("month", "year")
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(SchemaError):
+            make_time().level("week")
+        with pytest.raises(SchemaError):
+            make_time().level_index("week")
+
+    def test_rejects_empty_levels(self):
+        with pytest.raises(SchemaError):
+            Dimension(name="d", levels=[])
+
+    def test_rejects_duplicate_level_names(self):
+        with pytest.raises(SchemaError):
+            Dimension(name="d", levels=[Level("a", 2), Level("a", 4)])
+
+    def test_rejects_decreasing_cardinalities(self):
+        with pytest.raises(SchemaError):
+            Dimension(name="d", levels=[Level("a", 10), Level("b", 5)])
+
+    def test_equal_cardinalities_allowed(self):
+        dimension = Dimension(name="d", levels=[Level("a", 5), Level("b", 5)])
+        assert dimension.cardinality == 5
+
+    def test_default_skew_is_none(self):
+        assert not make_time().skew.is_skewed
+
+    def test_skew_attached(self):
+        dim = Dimension(name="d", levels=[Level("a", 10)], skew=SkewSpec(theta=0.5))
+        assert dim.skew.is_skewed
+
+    def test_size_bytes(self):
+        dim = Dimension(name="d", levels=[Level("a", 100)], row_size_bytes=50)
+        assert dim.size_bytes() == 5000
+
+    def test_rejects_bad_row_size(self):
+        with pytest.raises(SchemaError):
+            Dimension(name="d", levels=[Level("a", 2)], row_size_bytes=0)
+
+    def test_iteration_yields_levels(self):
+        assert [lvl.name for lvl in make_time()] == ["year", "quarter", "month"]
+
+
+class TestMeasure:
+    def test_valid(self):
+        measure = Measure("revenue", 8)
+        assert measure.size_bytes == 8
+
+    def test_invalid(self):
+        with pytest.raises(SchemaError):
+            Measure("", 8)
+        with pytest.raises(SchemaError):
+            Measure("x", 0)
+
+
+class TestFactTable:
+    def make(self, rows=1000, row_size=100) -> FactTable:
+        return FactTable(
+            name="sales",
+            row_count=rows,
+            row_size_bytes=row_size,
+            dimension_names=("time", "product"),
+        )
+
+    def test_pages_and_blocking_factor(self):
+        fact = self.make(rows=1000, row_size=100)
+        assert fact.rows_per_page(8192) == 81
+        assert fact.pages(8192) == 13  # ceil(1000 / 81)
+
+    def test_pages_row_larger_than_page(self):
+        fact = self.make(rows=10, row_size=10_000)
+        assert fact.rows_per_page(8192) == 1
+        assert fact.pages(8192) == 10
+
+    def test_size_bytes(self):
+        assert self.make(rows=10, row_size=100).size_bytes() == 1000
+
+    def test_invalid_page_size(self):
+        with pytest.raises(SchemaError):
+            self.make().pages(0)
+        with pytest.raises(SchemaError):
+            self.make().rows_per_page(-1)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(SchemaError):
+            FactTable("f", 0, 10, ("a",))
+        with pytest.raises(SchemaError):
+            FactTable("f", 10, 0, ("a",))
+        with pytest.raises(SchemaError):
+            FactTable("f", 10, 10, ())
+        with pytest.raises(SchemaError):
+            FactTable("f", 10, 10, ("a", "a"))
+
+
+class TestStarSchema:
+    def make_schema(self) -> StarSchema:
+        time = make_time()
+        product = Dimension(name="product", levels=[Level("group", 10), Level("item", 100)])
+        fact = FactTable(
+            name="sales",
+            row_count=10_000,
+            row_size_bytes=64,
+            dimension_names=("time", "product"),
+        )
+        return StarSchema(name="s", dimensions=(time, product), fact_tables=(fact,))
+
+    def test_navigation(self):
+        schema = self.make_schema()
+        assert schema.dimension_names == ("time", "product")
+        assert schema.dimension("time").name == "time"
+        assert schema.has_dimension("product")
+        assert not schema.has_dimension("store")
+        assert schema.fact_table().name == "sales"
+        assert schema.fact_table("sales").name == "sales"
+
+    def test_level_cardinality_helper(self):
+        assert self.make_schema().level_cardinality("time", "month") == 24
+
+    def test_dimensions_of(self):
+        schema = self.make_schema()
+        dims = schema.dimensions_of(schema.fact_table())
+        assert [d.name for d in dims] == ["time", "product"]
+
+    def test_total_size(self):
+        schema = self.make_schema()
+        expected_fact = 10_000 * 64
+        expected_dims = 24 * 64 + 100 * 64
+        assert schema.total_size_bytes() == expected_fact + expected_dims
+
+    def test_describe_mentions_everything(self):
+        text = self.make_schema().describe()
+        assert "time" in text and "product" in text and "sales" in text
+
+    def test_unknown_lookups_raise(self):
+        schema = self.make_schema()
+        with pytest.raises(SchemaError):
+            schema.dimension("nope")
+        with pytest.raises(SchemaError):
+            schema.fact_table("nope")
+
+    def test_fact_referencing_unknown_dimension_rejected(self):
+        time = make_time()
+        fact = FactTable("f", 10, 10, ("time", "ghost"))
+        with pytest.raises(SchemaError):
+            StarSchema(name="s", dimensions=(time,), fact_tables=(fact,))
+
+    def test_duplicate_names_rejected(self):
+        time = make_time()
+        fact = FactTable("f", 10, 10, ("time",))
+        with pytest.raises(SchemaError):
+            StarSchema(name="s", dimensions=(time, make_time()), fact_tables=(fact,))
+        with pytest.raises(SchemaError):
+            StarSchema(name="s", dimensions=(time,), fact_tables=(fact, fact))
+
+    def test_empty_schema_rejected(self):
+        time = make_time()
+        fact = FactTable("f", 10, 10, ("time",))
+        with pytest.raises(SchemaError):
+            StarSchema(name="s", dimensions=(), fact_tables=(fact,))
+        with pytest.raises(SchemaError):
+            StarSchema(name="s", dimensions=(time,), fact_tables=())
+
+
+class TestValidateSchema:
+    def test_clean_schema_has_no_warnings(self, toy_schema):
+        assert validate_schema(toy_schema) == []
+
+    def test_warns_on_unreferenced_dimension(self):
+        time = make_time()
+        orphan = Dimension(name="orphan", levels=[Level("x", 5)])
+        fact = FactTable("f", 1000, 64, ("time",))
+        schema = StarSchema(name="s", dimensions=(time, orphan), fact_tables=(fact,))
+        warnings = validate_schema(schema)
+        assert any("orphan" in w for w in warnings)
+
+    def test_warns_on_degenerate_hierarchy(self):
+        flat = Dimension(name="flat", levels=[Level("a", 5), Level("b", 5)])
+        fact = FactTable("f", 1000, 64, ("flat",))
+        schema = StarSchema(name="s", dimensions=(flat,), fact_tables=(fact,))
+        assert any("degenerate" in w for w in validate_schema(schema))
+
+    def test_warns_on_cardinality_one_bottom(self):
+        tiny = Dimension(name="tiny", levels=[Level("only", 1)])
+        fact = FactTable("f", 1000, 64, ("tiny",))
+        schema = StarSchema(name="s", dimensions=(tiny,), fact_tables=(fact,))
+        assert any("cardinality 1" in w for w in validate_schema(schema))
+
+    def test_warns_on_narrow_fact_rows(self):
+        time = make_time()
+        product = Dimension(name="product", levels=[Level("item", 10)])
+        fact = FactTable("f", 1000, 8, ("time", "product"))
+        schema = StarSchema(name="s", dimensions=(time, product), fact_tables=(fact,))
+        assert any("foreign keys" in w for w in validate_schema(schema))
+
+    def test_strict_mode_escalates(self):
+        tiny = Dimension(name="tiny", levels=[Level("only", 1)])
+        fact = FactTable("f", 1000, 64, ("tiny",))
+        schema = StarSchema(name="s", dimensions=(tiny,), fact_tables=(fact,))
+        with pytest.raises(SchemaError):
+            validate_schema(schema, strict=True)

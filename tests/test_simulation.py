@@ -1,0 +1,244 @@
+"""Unit tests for repro.simulation: query instances and the replay simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DimensionRestriction,
+    DiskSimulator,
+    FragmentationSpec,
+    IOCostModel,
+    QueryClass,
+    build_layout,
+    choose_allocation,
+    design_bitmap_scheme,
+    instantiate_query,
+)
+from repro.bitmap import BitmapScheme
+from repro.errors import SimulationError
+from repro.storage import PrefetchSetting
+
+PREFETCH = PrefetchSetting.fixed(8, 2)
+
+
+@pytest.fixture
+def sim_setup(toy_schema, toy_workload, small_system):
+    layout = build_layout(
+        toy_schema, FragmentationSpec.of(("time", "quarter"), ("product", "group"))
+    )
+    scheme = design_bitmap_scheme(toy_schema, toy_workload)
+    allocation = choose_allocation(layout, small_system, scheme)
+    simulator = DiskSimulator(small_system)
+    return layout, scheme, allocation, simulator
+
+
+class TestInstantiateQuery:
+    def test_point_restriction_single_fragment(self, sim_setup):
+        layout, scheme, _, _ = sim_setup
+        query = QueryClass(
+            "q",
+            [
+                DimensionRestriction("time", "quarter"),
+                DimensionRestriction("product", "group"),
+            ],
+        )
+        rng = np.random.default_rng(0)
+        instance = instantiate_query(layout, query, scheme, rng)
+        assert instance.fragments_accessed == 1
+        assert instance.total_fact_pages >= 1
+
+    def test_coarse_restriction_selects_block(self, sim_setup):
+        layout, scheme, _, _ = sim_setup
+        query = QueryClass("q", [DimensionRestriction("time", "year")])
+        instance = instantiate_query(layout, query, scheme, np.random.default_rng(0))
+        # One year = 4 quarters, product axis unrestricted (10 groups).
+        assert instance.fragments_accessed == 40
+
+    def test_unrestricted_query_touches_everything(self, sim_setup):
+        layout, scheme, _, _ = sim_setup
+        query = QueryClass("scan", [])
+        instance = instantiate_query(layout, query, scheme, np.random.default_rng(0))
+        assert instance.fragments_accessed == layout.fragment_count
+
+    def test_fine_restriction_confines_to_ancestor(self, sim_setup):
+        layout, scheme, _, _ = sim_setup
+        query = QueryClass("q", [DimensionRestriction("time", "month")])
+        instance = instantiate_query(layout, query, scheme, np.random.default_rng(0))
+        # One month maps to one quarter; product axis unrestricted.
+        assert instance.fragments_accessed == 10
+
+    def test_residual_restriction_reads_bitmaps(self, sim_setup, toy_schema):
+        from repro.bitmap import BitmapIndex, BitmapType
+
+        # A layout fragmented on time only, and a highly selective residual
+        # predicate (item x store, 1/8000) backed by bitmap indexes: the bitmap
+        # plan wins the access-path choice and bitmap pages are read.
+        layout = build_layout(toy_schema, FragmentationSpec.of(("time", "quarter")))
+        scheme = BitmapScheme(
+            [
+                BitmapIndex("product", "item", BitmapType.ENCODED, 200),
+                BitmapIndex("store", "store", BitmapType.ENCODED, 40),
+            ]
+        )
+        query = QueryClass(
+            "q",
+            [
+                DimensionRestriction("product", "item"),
+                DimensionRestriction("store", "store"),
+            ],
+        )
+        instance = instantiate_query(layout, query, scheme, np.random.default_rng(0))
+        assert instance.total_bitmap_pages > 0
+        assert not instance.sequential
+
+    def test_scan_plan_chosen_for_unselective_residual(self, sim_setup):
+        layout, scheme, _, _ = sim_setup
+        # product.group (selectivity 1/10) is not worth a bitmap-driven plan.
+        query = QueryClass("q", [DimensionRestriction("product", "group")])
+        instance = instantiate_query(layout, query, scheme, np.random.default_rng(0))
+        assert instance.total_bitmap_pages == 0
+        assert instance.sequential
+
+    def test_no_bitmap_forces_scan(self, sim_setup):
+        layout, _, _, _ = sim_setup
+        query = QueryClass("q", [DimensionRestriction("store", "store")])
+        instance = instantiate_query(layout, query, BitmapScheme(), np.random.default_rng(0))
+        assert instance.sequential
+        assert instance.total_bitmap_pages == 0
+
+    def test_fragment_indices_valid(self, sim_setup):
+        layout, scheme, _, _ = sim_setup
+        query = QueryClass("q", [DimensionRestriction("time", "year")])
+        instance = instantiate_query(layout, query, scheme, np.random.default_rng(1))
+        assert instance.fragment_indices.min() >= 0
+        assert instance.fragment_indices.max() < layout.fragment_count
+        assert len(np.unique(instance.fragment_indices)) == instance.fragments_accessed
+
+    def test_reproducible_with_seeded_rng(self, sim_setup):
+        layout, scheme, _, _ = sim_setup
+        query = QueryClass("q", [DimensionRestriction("time", "quarter")])
+        first = instantiate_query(layout, query, scheme, np.random.default_rng(5))
+        second = instantiate_query(layout, query, scheme, np.random.default_rng(5))
+        assert np.array_equal(first.fragment_indices, second.fragment_indices)
+
+    def test_weighted_sampling_prefers_heavy_values(self, skewed_schema, toy_workload):
+        """Under skew, weighted instance sampling hits the heavy fragments more often."""
+        layout = build_layout(skewed_schema, FragmentationSpec.of(("product", "item")))
+        scheme = design_bitmap_scheme(skewed_schema, toy_workload)
+        query = QueryClass("q", [DimensionRestriction("product", "item")])
+        rng = np.random.default_rng(42)
+        weighted_hits = [
+            int(instantiate_query(layout, query, scheme, rng, weighted_values=True).fragment_indices[0])
+            for _ in range(200)
+        ]
+        # Item 0 is the most frequent value under Zipf; it must be sampled
+        # far more often than the uniform 1/200 expectation.
+        share_of_top = sum(1 for hit in weighted_hits if hit == 0) / len(weighted_hits)
+        assert share_of_top > 0.02
+
+    def test_unfragmented_layout(self, toy_schema, toy_workload):
+        layout = build_layout(toy_schema, FragmentationSpec.none())
+        scheme = design_bitmap_scheme(toy_schema, toy_workload)
+        query = toy_workload.query_class("yearly-report")
+        instance = instantiate_query(layout, query, scheme, np.random.default_rng(0))
+        assert instance.fragments_accessed == 1
+
+
+class TestDiskSimulator:
+    def test_run_instance_basic_invariants(self, sim_setup):
+        layout, scheme, allocation, simulator = sim_setup
+        query = QueryClass("q", [DimensionRestriction("time", "year")])
+        instance = instantiate_query(layout, query, scheme, np.random.default_rng(0))
+        result = simulator.run_instance(instance, allocation, PREFETCH)
+        assert result.response_time_ms > 0
+        assert result.busy_time_ms > 0
+        assert result.response_time_ms <= result.busy_time_ms + 1000
+        assert 1 <= result.disks_used <= simulator.system.num_disks
+        assert result.per_disk_busy_ms.shape == (simulator.system.num_disks,)
+        assert result.busy_time_ms == pytest.approx(result.per_disk_busy_ms.sum())
+        assert result.parallelism >= 0
+
+    def test_parallel_query_faster_than_serial_work(self, sim_setup):
+        layout, scheme, allocation, simulator = sim_setup
+        query = QueryClass("scan", [])
+        instance = instantiate_query(layout, query, scheme, np.random.default_rng(0))
+        result = simulator.run_instance(instance, allocation, PREFETCH)
+        assert result.disks_used == simulator.system.num_disks
+        assert result.response_time_ms < result.busy_time_ms
+
+    def test_run_workload_aggregates(self, sim_setup, toy_workload):
+        layout, scheme, allocation, simulator = sim_setup
+        result = simulator.run_workload(
+            layout, toy_workload, scheme, allocation, PREFETCH, queries_per_class=3, seed=0
+        )
+        assert set(result.per_class_response_ms) == {qc.name for qc in toy_workload}
+        assert result.weighted_response_ms > 0
+        assert result.weighted_busy_ms >= result.weighted_response_ms * 0.5
+        assert all(n == 3 for n in result.per_class_samples.values())
+        assert "weighted" in result.describe()
+
+    def test_run_workload_reproducible(self, sim_setup, toy_workload):
+        layout, scheme, allocation, simulator = sim_setup
+        first = simulator.run_workload(
+            layout, toy_workload, scheme, allocation, PREFETCH, queries_per_class=2, seed=3
+        )
+        second = simulator.run_workload(
+            layout, toy_workload, scheme, allocation, PREFETCH, queries_per_class=2, seed=3
+        )
+        assert first.weighted_response_ms == pytest.approx(second.weighted_response_ms)
+
+    def test_run_workload_invalid_samples(self, sim_setup, toy_workload):
+        layout, scheme, allocation, simulator = sim_setup
+        with pytest.raises(SimulationError):
+            simulator.run_workload(
+                layout, toy_workload, scheme, allocation, PREFETCH, queries_per_class=0
+            )
+
+    def test_run_batch(self, sim_setup, toy_workload):
+        layout, scheme, allocation, simulator = sim_setup
+        rng = np.random.default_rng(0)
+        instances = [
+            instantiate_query(layout, qc, scheme, rng) for qc in toy_workload for _ in range(2)
+        ]
+        result = simulator.run_batch(instances, allocation, PREFETCH)
+        assert result.makespan_ms > 0
+        assert result.average_completion_ms <= result.makespan_ms + 1e-9
+        assert 0 < result.disk_utilisation <= 1.0
+        assert len(result.per_query_completion_ms) == len(instances)
+
+    def test_run_batch_empty_rejected(self, sim_setup):
+        _, _, allocation, simulator = sim_setup
+        with pytest.raises(SimulationError):
+            simulator.run_batch([], allocation, PREFETCH)
+
+    def test_rejects_bad_system(self):
+        with pytest.raises(SimulationError):
+            DiskSimulator("nope")  # type: ignore[arg-type]
+
+
+class TestModelAgainstSimulation:
+    """The analytical model must agree with the replay simulator in expectation."""
+
+    def test_busy_time_agreement(self, sim_setup, toy_workload, small_system):
+        layout, scheme, allocation, simulator = sim_setup
+        model = IOCostModel(small_system)
+        evaluation = model.evaluate(layout, toy_workload, scheme, PREFETCH)
+        simulated = simulator.run_workload(
+            layout, toy_workload, scheme, allocation, PREFETCH, queries_per_class=10, seed=0
+        )
+        assert simulated.weighted_busy_ms == pytest.approx(
+            evaluation.total_io_cost_ms, rel=0.35
+        )
+
+    def test_response_time_agreement(self, sim_setup, toy_workload, small_system):
+        layout, scheme, allocation, simulator = sim_setup
+        model = IOCostModel(small_system)
+        evaluation = model.evaluate(layout, toy_workload, scheme, PREFETCH)
+        simulated = simulator.run_workload(
+            layout, toy_workload, scheme, allocation, PREFETCH, queries_per_class=10, seed=0
+        )
+        assert simulated.weighted_response_ms == pytest.approx(
+            evaluation.total_response_time_ms, rel=0.5
+        )

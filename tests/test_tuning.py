@@ -1,0 +1,191 @@
+"""Unit tests for repro.tuning: what-if studies over a fixed fragmentation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AdvisorConfig,
+    Dimension,
+    FactTable,
+    FragmentationSpec,
+    Level,
+    SkewSpec,
+    StarSchema,
+    architecture_study,
+    bitmap_exclusion_study,
+    disk_count_study,
+    prefetch_study,
+    skew_study,
+    workload_weight_study,
+)
+from repro.errors import AdvisorError
+from repro.tuning import TuningStudy
+
+SPEC = FragmentationSpec.of(("time", "month"), ("store", "region"))
+CONFIG = AdvisorConfig(max_fragments=50_000)
+
+
+class TestTuningStudyObject:
+    def make_study(self) -> TuningStudy:
+        return TuningStudy(
+            name="demo",
+            parameter="setting",
+            records=(
+                ("a", {"io_cost_ms": 10.0, "response_time_ms": 5.0, "pages_accessed": 1,
+                       "io_requests": 1, "bitmap_pages": 0, "occupancy_cv": 0.0,
+                       "allocation_scheme": "round_robin"}),
+                ("b", {"io_cost_ms": 8.0, "response_time_ms": 7.0, "pages_accessed": 1,
+                       "io_requests": 1, "bitmap_pages": 0, "occupancy_cv": 0.0,
+                       "allocation_scheme": "round_robin"}),
+            ),
+        )
+
+    def test_settings_and_lookup(self):
+        study = self.make_study()
+        assert study.settings == ["a", "b"]
+        assert study.metrics_for("b")["io_cost_ms"] == 8.0
+        with pytest.raises(AdvisorError):
+            study.metrics_for("c")
+
+    def test_best_setting_per_metric(self):
+        study = self.make_study()
+        assert study.best_setting("response_time_ms") == "a"
+        assert study.best_setting("io_cost_ms") == "b"
+
+    def test_series(self):
+        study = self.make_study()
+        assert study.series("io_cost_ms") == [("a", 10.0), ("b", 8.0)]
+
+    def test_format_contains_settings(self):
+        text = self.make_study().format()
+        assert "demo" in text and "a" in text and "b" in text
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(AdvisorError):
+            TuningStudy(name="x", parameter="p", records=())
+
+    def test_best_setting_requires_numeric_metric(self):
+        study = self.make_study()
+        with pytest.raises(AdvisorError):
+            study.best_setting("allocation_scheme")
+
+
+class TestDiskCountStudy:
+    def test_response_improves_with_disks(self, toy_schema, toy_workload, small_system):
+        study = disk_count_study(
+            toy_schema, toy_workload, small_system, SPEC, disk_counts=(2, 8, 32), config=CONFIG
+        )
+        series = dict(study.series("response_time_ms"))
+        assert series["2"] > series["32"]
+        io_series = dict(study.series("io_cost_ms"))
+        assert io_series["2"] == pytest.approx(io_series["32"])
+        assert study.best_setting("response_time_ms") == "32"
+
+    def test_empty_counts_rejected(self, toy_schema, toy_workload, small_system):
+        with pytest.raises(AdvisorError):
+            disk_count_study(
+                toy_schema, toy_workload, small_system, SPEC, disk_counts=(), config=CONFIG
+            )
+
+
+class TestArchitectureStudy:
+    def test_both_architectures_present(self, toy_schema, toy_workload, small_system):
+        study = architecture_study(toy_schema, toy_workload, small_system, SPEC, config=CONFIG)
+        assert set(study.settings) == {"shared_everything", "shared_disk"}
+        # SE pays less coordination overhead, so it cannot be slower.
+        se = study.metrics_for("shared_everything")["response_time_ms"]
+        sd = study.metrics_for("shared_disk")["response_time_ms"]
+        assert se <= sd
+
+
+class TestPrefetchStudy:
+    def test_auto_at_least_as_good_as_single_page(self, toy_schema, toy_workload, small_system):
+        study = prefetch_study(
+            toy_schema,
+            toy_workload,
+            small_system,
+            SPEC,
+            fact_granules=(1, 16, "auto"),
+            config=CONFIG,
+        )
+        responses = dict(study.series("response_time_ms"))
+        assert responses["auto"] <= responses["1 pages"]
+        auto_record = study.metrics_for("auto")
+        assert auto_record["resolved_fact_granule"] >= 1
+
+    def test_empty_granules_rejected(self, toy_schema, toy_workload, small_system):
+        with pytest.raises(AdvisorError):
+            prefetch_study(
+                toy_schema, toy_workload, small_system, SPEC, fact_granules=(), config=CONFIG
+            )
+
+
+class TestBitmapExclusionStudy:
+    def test_exclusion_saves_space_costs_io(self, toy_schema, toy_workload, small_system):
+        study = bitmap_exclusion_study(
+            toy_schema,
+            toy_workload,
+            small_system,
+            SPEC,
+            exclusions=((), (("product", "item"),)),
+            config=CONFIG,
+        )
+        full = study.metrics_for("all suggested indexes")
+        slim = study.metrics_for("without product.item")
+        assert slim["bitmap_pages"] < full["bitmap_pages"]
+        assert slim["io_cost_ms"] >= full["io_cost_ms"] - 1e-9
+
+    def test_empty_exclusions_rejected(self, toy_schema, toy_workload, small_system):
+        with pytest.raises(AdvisorError):
+            bitmap_exclusion_study(
+                toy_schema, toy_workload, small_system, SPEC, exclusions=(), config=CONFIG
+            )
+
+
+class TestSkewStudy:
+    @staticmethod
+    def schema_factory(theta: float) -> StarSchema:
+        time = Dimension("time", [Level("year", 2), Level("quarter", 8), Level("month", 24)])
+        product = Dimension(
+            "product", [Level("group", 10), Level("item", 200)], skew=SkewSpec(theta=theta)
+        )
+        store = Dimension("store", [Level("region", 4), Level("store", 40)])
+        fact = FactTable("sales", 1_000_000, 64, ("time", "product", "store"))
+        return StarSchema("toy", (time, product, store), (fact,))
+
+    def test_allocation_switches_under_skew(self, toy_workload, small_system):
+        spec = FragmentationSpec.of(("product", "item"), ("time", "quarter"))
+        study = skew_study(
+            self.schema_factory,
+            toy_workload,
+            small_system,
+            spec,
+            thetas=(0.0, 1.0),
+            config=CONFIG,
+        )
+        assert study.metrics_for("0.00")["allocation_scheme"] == "round_robin"
+        assert study.metrics_for("1.00")["allocation_scheme"] == "greedy_size"
+
+    def test_empty_thetas_rejected(self, toy_workload, small_system):
+        with pytest.raises(AdvisorError):
+            skew_study(
+                self.schema_factory, toy_workload, small_system, SPEC, thetas=(), config=CONFIG
+            )
+
+
+class TestWorkloadWeightStudy:
+    def test_baseline_plus_variants(self, toy_schema, toy_workload, small_system):
+        study = workload_weight_study(
+            toy_schema,
+            toy_workload,
+            small_system,
+            SPEC,
+            reweightings={"reporting-heavy": {"yearly-report": 100.0}},
+            config=CONFIG,
+        )
+        assert study.settings[0] == "baseline"
+        baseline = study.metrics_for("baseline")["io_cost_ms"]
+        shifted = study.metrics_for("reporting-heavy")["io_cost_ms"]
+        # The yearly report scans widely, so boosting it increases the weighted I/O cost.
+        assert shifted > baseline
