@@ -12,6 +12,23 @@ from typing import Iterable, Sequence
 
 import pytest
 
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run the benchmarks in smoke mode: smaller sweeps, shape "
+        "assertions only, no hardware-dependent speedup thresholds "
+        "(used by the CI benchmark smoke job)",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    """True when the run is a CI smoke pass (see --quick)."""
+    return request.config.getoption("--quick")
+
 from repro import (
     AdvisorConfig,
     QueryMix,

@@ -65,8 +65,15 @@ from repro.core import (
     Recommendation,
     Warlock,
 )
+from repro.engine import (
+    EvaluationCache,
+    EvaluationEngine,
+    EvaluationPlan,
+    recommendation_fingerprint,
+)
 from repro.analysis import (
     compare_candidates,
+    compare_specs,
     disk_access_profile,
     format_allocation_report,
     format_full_report,
@@ -170,12 +177,18 @@ __all__ = [
     "Recommendation",
     "FragmentationCandidate",
     "RankedCandidate",
+    # evaluation engine
+    "EvaluationCache",
+    "EvaluationEngine",
+    "EvaluationPlan",
+    "recommendation_fingerprint",
     # analysis
     "format_ranking_table",
     "format_query_analysis",
     "format_allocation_report",
     "format_full_report",
     "compare_candidates",
+    "compare_specs",
     "disk_access_profile",
     # simulation
     "DiskSimulator",

@@ -3,6 +3,12 @@
 Interactive fine-tuning ("let WARLOCK compare the results") needs a compact
 side-by-side view of several candidates — typically the top of the ranking, or
 the same fragmentation evaluated under different system parameters.
+
+:func:`compare_candidates` renders candidates that were already evaluated;
+:func:`compare_specs` evaluates a list of fragmentation specs through the
+evaluation engine first (sharing its cache, so specs the advisor or a tuning
+study already evaluated are rendered without recomputation) and then renders
+the comparison.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ from repro.analysis.report import format_table
 from repro.core.candidates import FragmentationCandidate
 from repro.errors import ReportError
 
-__all__ = ["compare_candidates"]
+__all__ = ["compare_candidates", "compare_specs"]
 
 
 def compare_candidates(
@@ -70,3 +76,49 @@ def compare_candidates(
             row.extend([f"{io_ratio:.2f}x", f"{rt_ratio:.2f}x"])
         rows.append(row)
     return format_table(headers, rows)
+
+
+def compare_specs(
+    schema,
+    workload,
+    system,
+    specs: Sequence,
+    baseline_spec=None,
+    config=None,
+    fact_table=None,
+    jobs: int = 1,
+    cache=None,
+) -> str:
+    """Evaluate ``specs`` through the engine and render the comparison table.
+
+    Parameters
+    ----------
+    schema, workload, system, config:
+        Advisor inputs (see :class:`repro.core.Warlock`).
+    specs:
+        Fragmentation specs to evaluate and compare.
+    baseline_spec:
+        Optional spec evaluated as the ratio baseline (e.g. the unfragmented
+        layout); it is appended to the comparison as its first row.
+    fact_table:
+        Fact table the specs fragment (the schema's primary fact table when
+        omitted) — pass the same name the advisor was built with so cached
+        evaluations are reused.
+    jobs:
+        Worker processes for the sweep (1 = serial).
+    cache:
+        Evaluation cache to share with previous advisor/tuning work; a cache
+        that already holds these evaluations makes this a pure rendering call.
+    """
+    from repro.engine import EvaluationEngine
+
+    if not specs:
+        raise ReportError("compare_specs needs at least one spec")
+    engine = EvaluationEngine(
+        schema, workload, system, config, fact_table=fact_table, jobs=jobs, cache=cache
+    )
+    sweep = list(specs) if baseline_spec is None else [baseline_spec, *specs]
+    candidates = engine.evaluate_specs(sweep)
+    if baseline_spec is None:
+        return compare_candidates(candidates)
+    return compare_candidates(candidates, baseline=candidates[0])

@@ -84,7 +84,7 @@ def _advisor(args: argparse.Namespace) -> Warlock:
         top_candidates=args.top,
         max_fragments=args.max_fragments,
     )
-    return Warlock(schema, workload, system, config)
+    return Warlock(schema, workload, system, config, jobs=getattr(args, "jobs", 1))
 
 
 # ---------------------------------------------------------------------------
@@ -195,18 +195,35 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     spec = candidate.spec
     print(f"What-if studies for {spec.label} on {advisor.system.describe()}")
     print()
+    # The studies share the advisor's evaluation cache, so settings that keep
+    # the access structure unchanged reuse the recommend() work above.
     disks = disk_count_study(
-        advisor.schema, advisor.workload, advisor.system, spec, config=advisor.config
+        advisor.schema,
+        advisor.workload,
+        advisor.system,
+        spec,
+        config=advisor.config,
+        cache=advisor.cache,
     )
     print(disks.format())
     print()
     architecture = architecture_study(
-        advisor.schema, advisor.workload, advisor.system, spec, config=advisor.config
+        advisor.schema,
+        advisor.workload,
+        advisor.system,
+        spec,
+        config=advisor.config,
+        cache=advisor.cache,
     )
     print(architecture.format())
     print()
     prefetch = prefetch_study(
-        advisor.schema, advisor.workload, advisor.system, spec, config=advisor.config
+        advisor.schema,
+        advisor.workload,
+        advisor.system,
+        spec,
+        config=advisor.config,
+        cache=advisor.cache,
     )
     print(prefetch.format())
     return 0
@@ -220,6 +237,17 @@ def _cmd_example_config(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
+
+def _positive_int(value: str) -> int:
+    """Argparse type for strictly positive integers (``--jobs 0`` is an error)."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {parsed}")
+    return parsed
+
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
@@ -246,6 +274,14 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--max-fragments", type=int, default=100_000, help="exclusion threshold on fragment count"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for the candidate-evaluation engine "
+        "(default 1 = serial; parallel runs return identical results)",
     )
 
 

@@ -13,17 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.allocation import choose_allocation
 from repro.bitmap import BitmapScheme, design_bitmap_scheme
 from repro.core.candidates import FragmentationCandidate
 from repro.core.config import AdvisorConfig
 from repro.core.ranking import RankedCandidate, rank_candidates
 from repro.core.thresholds import ExclusionReport, evaluate_thresholds
-from repro.costmodel import IOCostModel, resolve_prefetch_setting
 from repro.errors import AdvisorError
 from repro.fragmentation import (
     FragmentationSpec,
-    build_layout,
     enumerate_point_fragmentations,
 )
 from repro.schema import StarSchema, validate_schema
@@ -31,6 +28,12 @@ from repro.storage import SystemParameters
 from repro.workload import QueryMix
 
 __all__ = ["Warlock", "Recommendation"]
+
+#: Per-kind entry bound of the advisor's default evaluation cache.  Structure
+#: entries are tiny; candidate entries carry per-fragment arrays, so the bound
+#: keeps a long-lived advisor's footprint at worst tens of MB while still
+#: covering several full sweeps.
+DEFAULT_CACHE_ENTRIES = 2048
 
 
 @dataclass(frozen=True)
@@ -90,6 +93,16 @@ class Warlock:
     fact_table:
         Name of the fact table to fragment; the schema's primary fact table
         when omitted.
+    jobs:
+        Worker processes used by the candidate-evaluation engine.  ``1``
+        (default) evaluates serially in-process; higher values sweep the
+        candidates on a process pool with guaranteed result parity.
+    cache:
+        Evaluation cache (:class:`repro.engine.EvaluationCache`).  ``None``
+        (default) creates a private cache, so repeated ``recommend()`` /
+        ``evaluate_spec()`` calls on the same advisor reuse access structures;
+        pass a shared instance to reuse evaluations across advisors (what-if
+        tuning does), or ``False`` to disable caching entirely.
     """
 
     def __init__(
@@ -99,7 +112,15 @@ class Warlock:
         system: SystemParameters,
         config: Optional[AdvisorConfig] = None,
         fact_table: Optional[str] = None,
+        jobs: int = 1,
+        cache=None,
     ) -> None:
+        # Imported lazily to keep `repro.core` importable before `repro.engine`
+        # (the engine imports core.candidates).
+        from repro.engine import EvaluationCache
+
+        if jobs < 1:
+            raise AdvisorError(f"jobs must be at least 1, got {jobs}")
         self.schema = schema
         self.workload = workload
         self.system = system
@@ -107,7 +128,17 @@ class Warlock:
         self.fact = schema.fact_table(fact_table)
         self.schema_warnings = validate_schema(schema)
         workload.validate(schema)
-        self._cost_model = IOCostModel(system)
+        self.jobs = jobs
+        if cache is False:
+            self.cache = None
+        elif cache is None:
+            # Bounded by default: candidate entries retain whole evaluations
+            # (per-fragment allocation arrays included), so an advisor that
+            # lives across many large sweeps must not grow without limit.
+            self.cache = EvaluationCache(max_entries=DEFAULT_CACHE_ENTRIES)
+        else:
+            self.cache = cache
+        self._engine = None
 
     # -- candidate generation -------------------------------------------------------
 
@@ -145,52 +176,52 @@ class Warlock:
             cardinality_threshold=self.config.bitmap_cardinality_threshold,
         )
 
+    def engine(self):
+        """The candidate-evaluation engine bound to this advisor's inputs.
+
+        Memoized: every input the engine captures is immutable, and engine
+        construction re-validates the workload, which needs doing only once.
+        """
+        from repro.engine import EvaluationEngine
+
+        if self._engine is None:
+            self._engine = EvaluationEngine(
+                self.schema,
+                self.workload,
+                self.system,
+                self.config,
+                fact_table=self.fact.name,
+                jobs=self.jobs,
+                cache=self.cache if self.cache is not None else False,
+            )
+        return self._engine
+
     def evaluate_spec(
         self,
         spec: FragmentationSpec,
         bitmap_scheme: Optional[BitmapScheme] = None,
     ) -> FragmentationCandidate:
         """Fully evaluate a single fragmentation candidate."""
-        if bitmap_scheme is None:
-            bitmap_scheme = self.design_bitmaps()
-        layout = build_layout(
-            self.schema,
-            spec,
-            fact_table=self.fact.name,
-            page_size_bytes=self.system.page_size_bytes,
-            max_fragments=max(self.config.max_fragments, 1),
-        )
-        prefetch = resolve_prefetch_setting(
-            layout, self.workload, bitmap_scheme, self.system
-        )
-        evaluation = self._cost_model.evaluate(
-            layout, self.workload, bitmap_scheme, prefetch
-        )
-        allocation = choose_allocation(
-            layout,
-            self.system,
-            bitmap_scheme,
-            skew_threshold_cv=self.config.allocation_skew_cv,
-        )
-        return FragmentationCandidate(
-            spec=spec,
-            layout=layout,
-            bitmap_scheme=bitmap_scheme,
-            prefetch=prefetch,
-            evaluation=evaluation,
-            allocation=allocation,
-        )
+        return self.engine().evaluate_spec(spec, bitmap_scheme=bitmap_scheme)
 
     def evaluate_candidates(
         self, specs: Optional[List[FragmentationSpec]] = None
     ) -> Tuple[List[FragmentationCandidate], ExclusionReport]:
-        """Evaluate every surviving candidate (or an explicit list of specs)."""
+        """Evaluate every surviving candidate (or an explicit list of specs).
+
+        The sweep runs through the evaluation engine: serial when
+        ``jobs == 1``, on a process pool otherwise, with identical results
+        either way.
+        """
         if specs is None:
             specs, report = self.generate_specs()
         else:
             report = ExclusionReport()
-        bitmap_scheme = self.design_bitmaps()
-        candidates = [self.evaluate_spec(spec, bitmap_scheme) for spec in specs]
+        if not specs:
+            return [], report
+        # The memoized engine designs (and keeps) the bitmap scheme itself, so
+        # repeated sweeps reuse one scheme object and its cached signature.
+        candidates = self.engine().evaluate_specs(specs)
         return candidates, report
 
     # -- recommendation --------------------------------------------------------------------

@@ -15,7 +15,12 @@ from repro.costmodel.formulas import (
     pages_for_rows,
     yao_pages,
 )
-from repro.costmodel.access import QueryAccessProfile, estimate_access
+from repro.costmodel.access import (
+    AccessStructure,
+    QueryAccessProfile,
+    compute_access_structure,
+    estimate_access,
+)
 from repro.costmodel.model import (
     IOCostModel,
     QueryCost,
@@ -28,7 +33,9 @@ __all__ = [
     "cardenas_pages",
     "pages_for_rows",
     "expected_distinct_ancestors",
+    "AccessStructure",
     "QueryAccessProfile",
+    "compute_access_structure",
     "estimate_access",
     "IOCostModel",
     "QueryCost",

@@ -17,6 +17,18 @@ The estimation follows the MDHF access semantics of the paper (and [5]):
 * A restriction on a **non-fragmentation** dimension never reduces the set of
   fragments; it is evaluated inside every accessed fragment via bitmap or scan.
 
+The estimation is split into two phases so the evaluation engine can memoize
+the expensive part:
+
+1. :func:`compute_access_structure` derives the **prefetch-independent**
+   access structure — fragments touched, pages per fragment, bitmap extents,
+   residual selectivity, the Cardenas page estimate.  It depends only on
+   (layout, query, bitmap scheme) and is therefore cacheable across the many
+   prefetch settings and system variants a tuning session explores.
+2. :func:`estimate_access` applies a concrete prefetch setting and positioning
+   ratio to the structure: request counts, transfer volumes and the
+   scan-vs-bitmap access path selection (cheap arithmetic).
+
 Skew note: accessed-row expectations assume query constants drawn uniformly
 from the attribute's value domain, so the *expected* volume matches the uniform
 case; the variance skew introduces is exposed by the event-driven simulator
@@ -36,7 +48,12 @@ from repro.storage import PrefetchSetting
 from repro.workload import QueryClass
 from repro.costmodel.formulas import cardenas_pages, expected_distinct_ancestors
 
-__all__ = ["QueryAccessProfile", "estimate_access"]
+__all__ = [
+    "AccessStructure",
+    "QueryAccessProfile",
+    "compute_access_structure",
+    "estimate_access",
+]
 
 #: When a query touches at least this fraction of a fragment's pages the model
 #: assumes the fragment is read sequentially (prefetched scan) instead of page
@@ -106,6 +123,51 @@ class QueryAccessProfile:
         return self.fragments_accessed / self.fragments_total
 
 
+@dataclass(frozen=True)
+class AccessStructure:
+    """Prefetch-independent access behaviour of one query class on one layout.
+
+    Everything here depends only on (layout, query, bitmap scheme): which
+    fragments are touched, how large they are, which bitmap extents residual
+    filtering would read and how many fact pages a bitmap-driven plan would
+    touch.  Request counts, transfer volumes and the plan selection depend on
+    the prefetch granules and are applied by :func:`estimate_access`.
+    """
+
+    query_name: str
+    fragments_accessed: float
+    fragments_total: int
+    rows_in_accessed_fragments: float
+    qualifying_rows: float
+    rows_per_fragment: float
+    fact_pages_per_fragment: float
+    #: Bitmap pages per fragment, one entry per usable residual index.
+    bitmap_pages_per_index: Tuple[float, ...]
+    #: (dimension, level) of the usable residual bitmap indexes.
+    bitmap_attributes_available: Tuple[Tuple[str, str], ...]
+    forced_full_scan: bool
+    #: Whether any residual restriction exists (precondition for a bitmap plan).
+    has_residuals: bool
+    #: Expected fact pages per fragment a bitmap-driven plan touches (Cardenas).
+    bitmap_touched_per_fragment: float
+    #: ``bitmap_touched_per_fragment / fact_pages_per_fragment``.
+    bitmap_density: float
+
+    @property
+    def bitmap_pages_per_fragment(self) -> float:
+        """Total bitmap pages read per fragment over all usable indexes."""
+        return sum(self.bitmap_pages_per_index)
+
+    @property
+    def bitmap_plan_available(self) -> bool:
+        """True when residual filtering can run entirely off bitmap indexes."""
+        return (
+            self.has_residuals
+            and not self.forced_full_scan
+            and bool(self.bitmap_attributes_available)
+        )
+
+
 def _axis_access(
     layout: FragmentationLayout,
     query: QueryClass,
@@ -154,39 +216,26 @@ def _axis_access(
     return accessed, (restriction.dimension, restriction.level, value_count, residual)
 
 
-def estimate_access(
+def compute_access_structure(
     layout: FragmentationLayout,
     query: QueryClass,
     bitmap_scheme: BitmapScheme,
-    prefetch: PrefetchSetting,
-    positioning_page_equivalent: float = DEFAULT_POSITIONING_PAGE_EQUIVALENT,
-) -> QueryAccessProfile:
-    """Estimate the access profile of ``query`` on ``layout``.
-
-    Residual restrictions can be evaluated either by reading the relevant
-    bitmap join indexes and then fetching only the qualifying fact pages, or by
-    simply scanning the accessed fragments; the estimator performs this access
-    path selection and keeps the cheaper plan, mirroring what a query optimizer
-    would do (bitmaps exist to *avoid costly* scans, not to replace cheap ones).
+    validate: bool = True,
+) -> AccessStructure:
+    """Derive the prefetch-independent access structure of ``query`` on ``layout``.
 
     Parameters
     ----------
-    layout:
-        Materialized fragmentation.
-    query:
-        The query class to estimate.
-    bitmap_scheme:
-        Bitmap indexes available for residual filtering.
-    prefetch:
-        Prefetch granules (pages) for fact-table and bitmap reads.
-    positioning_page_equivalent:
-        Cost of one disk positioning expressed in page-transfer units; used by
-        the scan-vs-bitmap plan choice.  The cost model passes the true ratio
-        derived from the disk parameters; the default corresponds to a typical
-        9 ms positioning over a 0.3 ms 8 KB-page transfer.
+    layout, query, bitmap_scheme:
+        Materialized fragmentation, query class and available bitmap indexes.
+    validate:
+        Re-validate the query against the schema.  Callers that already
+        validated the whole workload (the advisor does, once, at construction)
+        pass ``False`` to skip the redundant per-call validation.
     """
     schema = layout.schema
-    query.validate(schema)
+    if validate:
+        query.validate(schema)
 
     page_size = layout.page_size_bytes
     rows_per_page = layout.rows_per_page
@@ -235,9 +284,8 @@ def estimate_access(
         1.0, math.ceil(rows_per_fragment / rows_per_page)
     ) if rows_per_fragment > 0 else 0.0
 
-    # --- residual filtering: candidate bitmap plan --------------------------------
-    bitmap_pages_per_fragment = 0.0
-    bitmap_requests_per_fragment = 0.0
+    # --- residual filtering: bitmap extents and selectivity --------------------------
+    bitmap_pages_per_index = []
     bitmap_attributes_available = []
     forced_full_scan = False
     residual_selectivity = 1.0
@@ -254,6 +302,93 @@ def estimate_access(
                 index.read_bytes(rows_per_fragment, value_count) / page_size
             ),
         ) if rows_per_fragment > 0 else 0.0
+        bitmap_pages_per_index.append(per_fragment_pages)
+
+    # --- fact pages a bitmap-driven plan would touch (Cardenas) ----------------------
+    qualifying_per_fragment = rows_per_fragment * residual_selectivity
+    touched_per_fragment = cardenas_pages(
+        total_rows=rows_per_fragment,
+        total_pages=fact_pages_per_fragment,
+        selected_rows=qualifying_per_fragment,
+    )
+    touched_per_fragment = min(
+        fact_pages_per_fragment, max(0.0, touched_per_fragment)
+    )
+    density = (
+        touched_per_fragment / fact_pages_per_fragment
+        if fact_pages_per_fragment > 0
+        else 0.0
+    )
+
+    return AccessStructure(
+        query_name=query.name,
+        fragments_accessed=fragments_accessed,
+        fragments_total=layout.fragment_count,
+        rows_in_accessed_fragments=rows_in_accessed,
+        qualifying_rows=qualifying_rows,
+        rows_per_fragment=rows_per_fragment,
+        fact_pages_per_fragment=float(fact_pages_per_fragment),
+        bitmap_pages_per_index=tuple(bitmap_pages_per_index),
+        bitmap_attributes_available=tuple(bitmap_attributes_available),
+        forced_full_scan=forced_full_scan,
+        has_residuals=bool(residual_attributes),
+        bitmap_touched_per_fragment=touched_per_fragment,
+        bitmap_density=density,
+    )
+
+
+def estimate_access(
+    layout: FragmentationLayout,
+    query: QueryClass,
+    bitmap_scheme: BitmapScheme,
+    prefetch: PrefetchSetting,
+    positioning_page_equivalent: float = DEFAULT_POSITIONING_PAGE_EQUIVALENT,
+    structure: Optional[AccessStructure] = None,
+    validate: bool = True,
+) -> QueryAccessProfile:
+    """Estimate the access profile of ``query`` on ``layout``.
+
+    Residual restrictions can be evaluated either by reading the relevant
+    bitmap join indexes and then fetching only the qualifying fact pages, or by
+    simply scanning the accessed fragments; the estimator performs this access
+    path selection and keeps the cheaper plan, mirroring what a query optimizer
+    would do (bitmaps exist to *avoid costly* scans, not to replace cheap ones).
+
+    Parameters
+    ----------
+    layout:
+        Materialized fragmentation.
+    query:
+        The query class to estimate.
+    bitmap_scheme:
+        Bitmap indexes available for residual filtering.
+    prefetch:
+        Prefetch granules (pages) for fact-table and bitmap reads.
+    positioning_page_equivalent:
+        Cost of one disk positioning expressed in page-transfer units; used by
+        the scan-vs-bitmap plan choice.  The cost model passes the true ratio
+        derived from the disk parameters; the default corresponds to a typical
+        9 ms positioning over a 0.3 ms 8 KB-page transfer.
+    structure:
+        Pre-computed (possibly cached) prefetch-independent access structure.
+        Derived on the fly when omitted.
+    validate:
+        Forwarded to :func:`compute_access_structure` when ``structure`` is
+        omitted.
+    """
+    if structure is None:
+        structure = compute_access_structure(
+            layout, query, bitmap_scheme, validate=validate
+        )
+
+    fragments_accessed = structure.fragments_accessed
+    fact_pages_per_fragment = structure.fact_pages_per_fragment
+    forced_full_scan = structure.forced_full_scan
+
+    # --- bitmap request counts under the configured granule ----------------------
+    bitmap_pages_per_fragment = 0.0
+    bitmap_requests_per_fragment = 0.0
+    for per_fragment_pages in structure.bitmap_pages_per_index:
         per_fragment_requests = (
             math.ceil(per_fragment_pages / prefetch.bitmap_pages)
             if per_fragment_pages > 0
@@ -274,28 +409,10 @@ def estimate_access(
     )
 
     # --- plan B: bitmap-driven access (only if every residual predicate is indexed) --
-    bitmap_plan_available = (
-        bool(residual_attributes)
-        and not forced_full_scan
-        and bitmap_attributes_available
-    )
     use_bitmap_plan = False
-    if bitmap_plan_available:
-        qualifying_per_fragment = rows_per_fragment * residual_selectivity
-        touched_per_fragment = cardenas_pages(
-            total_rows=rows_per_fragment,
-            total_pages=fact_pages_per_fragment,
-            selected_rows=qualifying_per_fragment,
-        )
-        touched_per_fragment = min(
-            fact_pages_per_fragment, max(0.0, touched_per_fragment)
-        )
-        density = (
-            touched_per_fragment / fact_pages_per_fragment
-            if fact_pages_per_fragment > 0
-            else 0.0
-        )
-        bitmap_sequential = density >= SEQUENTIAL_DENSITY_THRESHOLD
+    if structure.bitmap_plan_available:
+        touched_per_fragment = structure.bitmap_touched_per_fragment
+        bitmap_sequential = structure.bitmap_density >= SEQUENTIAL_DENSITY_THRESHOLD
         if bitmap_sequential:
             bitmap_fact_requests = scan_requests_per_fragment
             bitmap_fact_transferred = fact_pages_per_fragment
@@ -320,7 +437,7 @@ def estimate_access(
         transferred_per_fragment = bitmap_fact_transferred
         bitmap_pages = fragments_accessed * bitmap_pages_per_fragment
         bitmap_requests = fragments_accessed * bitmap_requests_per_fragment
-        bitmap_attributes_used = tuple(bitmap_attributes_available)
+        bitmap_attributes_used = tuple(structure.bitmap_attributes_available)
     else:
         # Scan plan: fragmentation confinement plus a sequential read of every
         # accessed fragment; no bitmap I/O is spent.
@@ -337,11 +454,11 @@ def estimate_access(
     fact_pages_transferred = fragments_accessed * transferred_per_fragment
 
     return QueryAccessProfile(
-        query_name=query.name,
+        query_name=structure.query_name,
         fragments_accessed=fragments_accessed,
-        fragments_total=layout.fragment_count,
-        rows_in_accessed_fragments=rows_in_accessed,
-        qualifying_rows=qualifying_rows,
+        fragments_total=structure.fragments_total,
+        rows_in_accessed_fragments=structure.rows_in_accessed_fragments,
+        qualifying_rows=structure.qualifying_rows,
         fact_pages_per_fragment=float(fact_pages_per_fragment),
         fact_pages_accessed=fact_pages_accessed,
         bitmap_pages_accessed=bitmap_pages,

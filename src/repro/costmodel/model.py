@@ -17,12 +17,18 @@ Declustering a query's hits over many fragments/disks enables parallelism and
 lowers the response time but increases total I/O (more positioning overhead,
 more pages touched); clustering does the opposite.  The model reproduces this
 fundamental trade-off, which is the core of the paper's prediction layer.
+
+Cache protocol: the model optionally consults an *evaluation cache* (see
+:class:`repro.engine.EvaluationCache`).  The cache is duck-typed — any object
+with an ``access_structure(layout, query, bitmap_scheme, compute)`` method
+works — so the cost model stays import-free of the engine subsystem.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Optional, Tuple
 
 from repro.bitmap import BitmapScheme
@@ -35,7 +41,12 @@ from repro.storage import (
     optimal_prefetch_pages,
 )
 from repro.workload import QueryClass, QueryMix
-from repro.costmodel.access import QueryAccessProfile, estimate_access
+from repro.costmodel.access import (
+    AccessStructure,
+    QueryAccessProfile,
+    compute_access_structure,
+    estimate_access,
+)
 
 __all__ = [
     "QueryCost",
@@ -69,18 +80,23 @@ class QueryCost:
 
 @dataclass(frozen=True)
 class WorkloadEvaluation:
-    """Aggregated evaluation of a fragmentation candidate over the whole mix."""
+    """Aggregated evaluation of a fragmentation candidate over the whole mix.
+
+    The two headline totals are cached: the ranking probes them repeatedly
+    for every candidate of a sweep (sort keys, leading-X% cut, report
+    rendering), and the per-class records never change after construction.
+    """
 
     layout: FragmentationLayout
     prefetch: PrefetchSetting
     per_class: Tuple[QueryCost, ...]
 
-    @property
+    @cached_property
     def total_io_cost_ms(self) -> float:
         """Workload-weighted I/O cost (the advisor's primary metric)."""
         return sum(cost.weighted_io_cost_ms for cost in self.per_class)
 
-    @property
+    @cached_property
     def total_response_time_ms(self) -> float:
         """Workload-weighted response time (the advisor's secondary metric)."""
         return sum(cost.weighted_response_time_ms for cost in self.per_class)
@@ -131,11 +147,31 @@ def _positioning_page_equivalent(system: SystemParameters) -> float:
     return system.disk.positioning_time_ms / page_time
 
 
+def _structure_for(
+    layout: FragmentationLayout,
+    query: QueryClass,
+    bitmap_scheme: BitmapScheme,
+    cache=None,
+    validate: bool = True,
+) -> AccessStructure:
+    """Prefetch-independent access structure, via the cache when one is given."""
+    if cache is None:
+        return compute_access_structure(layout, query, bitmap_scheme, validate=validate)
+    return cache.access_structure(
+        layout,
+        query,
+        bitmap_scheme,
+        lambda: compute_access_structure(layout, query, bitmap_scheme, validate=validate),
+    )
+
+
 def _typical_run_lengths(
     layout: FragmentationLayout,
     workload: QueryMix,
     bitmap_scheme: BitmapScheme,
     positioning_page_equivalent: float,
+    cache=None,
+    validate_queries: bool = True,
 ) -> Tuple[Tuple[float, ...], Tuple[float, ...], Tuple[float, ...]]:
     """Typical consecutive-page run lengths for fact and bitmap reads per class.
 
@@ -148,12 +184,16 @@ def _typical_run_lengths(
     bitmap_runs = []
     weights = []
     for query_class, share in workload.weighted_items():
+        structure = _structure_for(
+            layout, query_class, bitmap_scheme, cache=cache, validate=validate_queries
+        )
         profile = estimate_access(
             layout,
             query_class,
             bitmap_scheme,
             unit_prefetch,
             positioning_page_equivalent=positioning_page_equivalent,
+            structure=structure,
         )
         fact_runs.append(profile.fact_pages_per_fragment)
         if profile.fragments_accessed > 0:
@@ -171,6 +211,8 @@ def resolve_prefetch_setting(
     workload: QueryMix,
     bitmap_scheme: BitmapScheme,
     system: SystemParameters,
+    cache=None,
+    validate_queries: bool = True,
 ) -> PrefetchSetting:
     """Resolve the prefetch granules for one fragmentation candidate.
 
@@ -178,10 +220,18 @@ def resolve_prefetch_setting(
     granules are optimized per object class from the typical run lengths the
     workload induces on this candidate — fragment sizes of fact tables and
     bitmaps strongly differ, hence the per-class optimization the paper
-    highlights.
+    highlights.  ``cache`` optionally memoizes the underlying access structures
+    (see :class:`repro.engine.EvaluationCache`); ``validate_queries=False``
+    skips the per-query schema validation for callers that already validated
+    the whole workload.
     """
     fact_runs, bitmap_runs, weights = _typical_run_lengths(
-        layout, workload, bitmap_scheme, _positioning_page_equivalent(system)
+        layout,
+        workload,
+        bitmap_scheme,
+        _positioning_page_equivalent(system),
+        cache=cache,
+        validate_queries=validate_queries,
     )
 
     if system.fact_prefetch_is_auto:
@@ -215,14 +265,35 @@ def resolve_prefetch_setting(
 
 
 class IOCostModel:
-    """Analytical I/O model bound to a set of system parameters."""
+    """Analytical I/O model bound to a set of system parameters.
 
-    def __init__(self, system: SystemParameters) -> None:
+    Parameters
+    ----------
+    system:
+        DBS & disk parameters used for timing.
+    cache:
+        Optional evaluation cache memoizing access structures and per-class
+        cost records across repeated evaluations (what-if studies, warm
+        advisor runs).  Duck-typed; see the module docstring.
+    validate_queries:
+        Re-validate each query against the schema on every estimation
+        (default).  The advisor and the evaluation engine validate the whole
+        workload once up front and construct their model with ``False``.
+    """
+
+    def __init__(
+        self,
+        system: SystemParameters,
+        cache=None,
+        validate_queries: bool = True,
+    ) -> None:
         if not isinstance(system, SystemParameters):
             raise CostModelError(
                 f"system must be SystemParameters, got {type(system).__name__}"
             )
         self.system = system
+        self.cache = cache
+        self.validate_queries = validate_queries
 
     # -- per-query metrics ---------------------------------------------------------
 
@@ -288,12 +359,20 @@ class IOCostModel:
         weight: float = 1.0,
     ) -> QueryCost:
         """Full cost record of one query class on one candidate."""
+        structure = _structure_for(
+            layout,
+            query,
+            bitmap_scheme,
+            cache=self.cache,
+            validate=self.validate_queries,
+        )
         profile = estimate_access(
             layout,
             query,
             bitmap_scheme,
             prefetch,
             positioning_page_equivalent=_positioning_page_equivalent(self.system),
+            structure=structure,
         )
         return QueryCost(
             query_name=query.name,
@@ -316,7 +395,12 @@ class IOCostModel:
         """Evaluate a fragmentation candidate against the whole query mix."""
         if prefetch is None:
             prefetch = resolve_prefetch_setting(
-                layout, workload, bitmap_scheme, self.system
+                layout,
+                workload,
+                bitmap_scheme,
+                self.system,
+                cache=self.cache,
+                validate_queries=self.validate_queries,
             )
         per_class = tuple(
             self.query_cost(layout, query_class, bitmap_scheme, prefetch, weight=share)

@@ -1,0 +1,48 @@
+"""The candidate-evaluation engine (batched, parallel, cache-aware).
+
+The engine subsystem turns the advisor's serial candidate loop into an
+explicit pipeline:
+
+1. :class:`~repro.engine.plan.EvaluationPlan` expands the
+   (candidate × query class) work units of a sweep up front and partitions
+   candidates into deterministic, cost-balanced chunks.
+2. :class:`~repro.engine.executor.EvaluationEngine` executes the plan — inline
+   (``jobs=1``) or on a process pool (``jobs>1``) — with guaranteed result
+   parity between the two backends.
+3. :class:`~repro.engine.cache.EvaluationCache` memoizes the prefetch-
+   independent access structures and per-class cost records, so what-if
+   tuning studies, comparisons and warm advisor runs reuse rather than
+   recompute shared evaluations.
+4. :mod:`~repro.engine.signature` provides the content fingerprints the cache
+   keys on, plus recommendation fingerprints used to *prove* parity.
+"""
+
+from repro.engine.cache import CacheStats, EvaluationCache
+from repro.engine.plan import EvaluationPlan, WorkUnit
+from repro.engine.signature import (
+    layout_signature,
+    object_signature,
+    recommendation_fingerprint,
+    recommendation_state,
+    stable_digest,
+)
+from repro.engine.executor import (
+    EngineContext,
+    EvaluationEngine,
+    evaluate_spec_in_context,
+)
+
+__all__ = [
+    "CacheStats",
+    "EvaluationCache",
+    "EvaluationPlan",
+    "WorkUnit",
+    "EngineContext",
+    "EvaluationEngine",
+    "evaluate_spec_in_context",
+    "layout_signature",
+    "object_signature",
+    "recommendation_fingerprint",
+    "recommendation_state",
+    "stable_digest",
+]

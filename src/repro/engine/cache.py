@@ -1,0 +1,255 @@
+"""Memoized evaluation cache for the candidate-evaluation engine.
+
+The advisor's hot path evaluates the analytical cost model for every
+(candidate × query class) pair — and evaluates many of those pairs *twice*
+(once with a unit prefetch granule to derive typical run lengths for the
+prefetch optimizer, once with the resolved granules), while what-if tuning
+studies and comparisons re-evaluate the same pairs under varied system
+parameters.  The cache removes the recomputation:
+
+* **Access structures** (:class:`repro.costmodel.AccessStructure`) are the
+  expensive, prefetch-independent part of the estimation.  They are keyed on
+  ``(layout, query, bitmap scheme)`` content signatures — deliberately *not*
+  on the system parameters or prefetch setting — so the run-length pass and
+  the evaluation pass of one candidate share a single computation, and tuning
+  studies that vary disks, architectures, prefetch granules or query weights
+  reuse every structure.
+* **Candidates** (:class:`repro.core.FragmentationCandidate`) are whole
+  evaluations keyed on everything that can move a number (schema, fact table,
+  spec, workload, system, bitmap scheme, the config knobs the evaluation
+  reads).  They make warm re-evaluations — repeated ``recommend()`` calls,
+  comparisons over already-studied specs — skip layout materialization,
+  prefetch resolution, the cost sweep and the allocation entirely.
+
+All cached values are immutable (frozen dataclasses), and every cache entry is
+the deterministic function of its key, so sharing a cache can never change a
+result — only skip its recomputation.  The parity tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.engine.signature import (
+    layout_signature,
+    object_signature,
+    query_structure_signature,
+    stable_digest,
+)
+
+__all__ = ["CacheStats", "EvaluationCache"]
+
+#: Sentinel distinguishing "absent" from cached falsy values.
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`EvaluationCache`."""
+
+    structure_hits: int = 0
+    structure_misses: int = 0
+    candidate_hits: int = 0
+    candidate_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total cache hits over both entry kinds."""
+        return self.structure_hits + self.candidate_hits
+
+    @property
+    def misses(self) -> int:
+        """Total cache misses over both entry kinds."""
+        return self.structure_misses + self.candidate_misses
+
+    @property
+    def lookups(self) -> int:
+        """Total probes."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes answered from the cache (0.0 when unused)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def describe(self) -> str:
+        """One-line summary used by the benchmark and the CLI."""
+        return (
+            f"cache: {self.hits}/{self.lookups} hits ({self.hit_rate:.1%}); "
+            f"structures {self.structure_hits}h/{self.structure_misses}m, "
+            f"candidates {self.candidate_hits}h/{self.candidate_misses}m"
+        )
+
+
+class EvaluationCache:
+    """Content-addressed memo of access structures and query costs.
+
+    Parameters
+    ----------
+    max_entries:
+        Optional bound on the number of entries kept *per kind*.  When the
+        bound is reached the oldest-inserted entries are evicted (FIFO — the
+        advisor's access pattern is build-once/reuse-many, so recency tracking
+        buys nothing over insertion order).  ``None`` (default) means
+        unbounded.  Structure entries are a few hundred bytes each; candidate
+        entries retain the whole evaluation *including the per-fragment
+        allocation arrays* (roughly 16 bytes per fragment), so a cache that
+        outlives many large sweeps should set a bound — e.g. ``max_entries``
+        of a few thousand keeps the candidate store in the tens of MB for
+        10k-fragment layouts.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be positive when set, got {max_entries}")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._structures: Dict[Tuple[str, ...], Any] = {}
+        self._candidates: Dict[Tuple[str, ...], Any] = {}
+
+    # -- keys -------------------------------------------------------------------
+
+    @staticmethod
+    def _structure_key(layout, query, bitmap_scheme) -> Tuple[str, ...]:
+        # Keyed on the weight-independent query signature: a reweighted mix
+        # reuses every structure (weights only enter the QueryCost records,
+        # which the candidate-level entries cover).
+        return (
+            layout_signature(layout),
+            query_structure_signature(query),
+            object_signature(bitmap_scheme),
+        )
+
+    @staticmethod
+    def workload_signature(workload) -> str:
+        """Content fingerprint of a query mix (queries plus normalized shares)."""
+        state = getattr(workload, "__dict__", None)
+        if state is not None:
+            # Own memo slot — never share "_engine_signature" with
+            # object_signature, which computes a different digest.
+            cached = state.get("_engine_workload_signature")
+            if cached is not None:
+                return cached
+        parts = []
+        for query, share in workload.weighted_items():
+            parts.append(object_signature(query))
+            parts.append(repr(float(share)))
+        signature = stable_digest("QueryMix", *parts)
+        if state is not None:
+            state["_engine_workload_signature"] = signature
+        return signature
+
+    @classmethod
+    def candidate_key(cls, context, spec) -> Tuple[str, ...]:
+        """Key of one whole candidate evaluation under an engine context.
+
+        Covers every input the evaluation reads: schema, fact table, spec,
+        workload, system, bitmap scheme and the two config knobs that change
+        the result (the materialization bound and the allocation skew
+        threshold).
+        """
+        return (
+            object_signature(context.schema),
+            context.fact_name,
+            spec.label,
+            cls.workload_signature(context.workload),
+            object_signature(context.system),
+            object_signature(context.bitmap_scheme),
+            str(context.config.max_fragments),
+            repr(float(context.config.allocation_skew_cv)),
+        )
+
+    # -- lookup/insert ----------------------------------------------------------
+
+    def access_structure(self, layout, query, bitmap_scheme, compute):
+        """Cached prefetch-independent access structure (see module docstring)."""
+        store = self._structures
+        key = self._structure_key(layout, query, bitmap_scheme)
+        value = store.get(key, _MISSING)
+        stats = self.stats
+        if value is not _MISSING:
+            stats.structure_hits += 1
+            return value
+        stats.structure_misses += 1
+        value = compute()
+        if self.max_entries is not None and len(store) >= self.max_entries:
+            store.pop(next(iter(store)))
+        store[key] = value
+        return value
+
+    def candidate(self, context, spec, compute):
+        """Cached whole-candidate evaluation under ``context``."""
+        value = self.get_candidate(context, spec)
+        if value is not None:
+            return value
+        value = compute()
+        self.put_candidate(context, spec, value)
+        return value
+
+    def get_candidate(self, context, spec):
+        """Probe for a whole-candidate evaluation; ``None`` on miss.
+
+        The probe is counted (hit or miss).  The parallel executor uses this
+        to answer warm sweeps from the cache and dispatch only the misses to
+        the worker pool.
+        """
+        value = self._candidates.get(self.candidate_key(context, spec), _MISSING)
+        if value is _MISSING:
+            self.stats.candidate_misses += 1
+            return None
+        self.stats.candidate_hits += 1
+        return value
+
+    def put_candidate(self, context, spec, candidate) -> None:
+        """Insert a candidate evaluated elsewhere (e.g. by a pool worker).
+
+        Not a probe — no counter moves; the miss was already counted by the
+        ``get_candidate`` that preceded the computation.
+        """
+        store = self._candidates
+        key = self.candidate_key(context, spec)
+        if (
+            self.max_entries is not None
+            and key not in store
+            and len(store) >= self.max_entries
+        ):
+            store.pop(next(iter(store)))
+        store[key] = candidate
+
+    # -- bulk transfer (worker -> parent) ---------------------------------------
+
+    def structure_items(self):
+        """Iterate the raw ``(key, structure)`` entries (for bulk transfer)."""
+        return self._structures.items()
+
+    def merge_structures(self, items) -> None:
+        """Insert structure entries computed elsewhere (e.g. by pool workers).
+
+        Not probes — no counters move; the workers already accounted for the
+        computations in their own stats.
+        """
+        store = self._structures
+        for key, value in items:
+            if (
+                self.max_entries is not None
+                and key not in store
+                and len(store) >= self.max_entries
+            ):
+                store.pop(next(iter(store)))
+            store[key] = value
+
+    # -- maintenance ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._structures) + len(self._candidates)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        self._structures.clear()
+        self._candidates.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (entries are preserved)."""
+        self.stats = CacheStats()

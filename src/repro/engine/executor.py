@@ -1,0 +1,329 @@
+"""The candidate-evaluation engine: batched, parallel, cache-aware.
+
+:class:`EvaluationEngine` replaces the advisor's serial candidate loop.  It
+expands the sweep into an :class:`~repro.engine.plan.EvaluationPlan`, executes
+the per-candidate evaluations either inline (``jobs=1``) or on a process pool
+(``jobs>1``), and returns the candidates in plan order.  Results are
+**deterministic and identical across execution modes**: every evaluation is a
+pure function of its inputs, workers return ``(index, candidate)`` pairs, and
+the engine reassembles them by index — so ``jobs=4`` produces bit-identical
+recommendations to ``jobs=1`` (the parity test matrix asserts this).
+
+The process pool is created per sweep with an initializer that ships the
+evaluation context (schema, workload, system, config, bitmap scheme, specs)
+once per worker rather than once per task; each worker owns a private
+:class:`~repro.engine.cache.EvaluationCache`, so the run-length and evaluation
+passes of a candidate share their access structures inside the worker exactly
+as they do inline.  If the pool cannot be created (restricted environments
+without working multiprocessing), the engine falls back to the serial path —
+same results, just slower.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.allocation import choose_allocation
+from repro.bitmap import BitmapScheme, design_bitmap_scheme
+from repro.core.candidates import FragmentationCandidate
+from repro.core.config import AdvisorConfig
+from repro.costmodel import IOCostModel, resolve_prefetch_setting
+from repro.errors import AdvisorError
+from repro.fragmentation import FragmentationSpec, build_layout
+from repro.schema import StarSchema
+from repro.storage import SystemParameters
+from repro.workload import QueryMix
+from repro.engine.cache import EvaluationCache
+from repro.engine.plan import EvaluationPlan
+
+__all__ = ["EngineContext", "EvaluationEngine", "evaluate_spec_in_context"]
+
+#: Below this many candidates a process pool cannot amortize its start-up and
+#: serialization overhead; the engine silently uses the serial path.
+MIN_SPECS_FOR_PARALLEL = 8
+
+
+@dataclass(frozen=True)
+class EngineContext:
+    """Everything a worker needs to evaluate candidates (picklable)."""
+
+    schema: StarSchema
+    workload: QueryMix
+    system: SystemParameters
+    config: AdvisorConfig
+    fact_name: str
+    bitmap_scheme: BitmapScheme
+    specs: Tuple[FragmentationSpec, ...] = ()
+
+
+def evaluate_spec_in_context(
+    context: EngineContext,
+    spec: FragmentationSpec,
+    cache: Optional[EvaluationCache] = None,
+) -> FragmentationCandidate:
+    """Fully evaluate one fragmentation candidate.
+
+    This is the engine's unit of dispatch: layout materialization, prefetch
+    resolution, the per-query-class cost sweep and the disk allocation.  Pure
+    function of ``(context, spec)``; ``cache`` only memoizes, never alters.
+    A warm cache returns the whole candidate without recomputing any stage.
+    """
+    if cache is not None:
+        return cache.candidate(
+            context, spec, lambda: _evaluate_spec(context, spec, cache)
+        )
+    return _evaluate_spec(context, spec, None)
+
+
+def _evaluate_spec(
+    context: EngineContext,
+    spec: FragmentationSpec,
+    cache: Optional[EvaluationCache],
+) -> FragmentationCandidate:
+    layout = build_layout(
+        context.schema,
+        spec,
+        fact_table=context.fact_name,
+        page_size_bytes=context.system.page_size_bytes,
+        max_fragments=max(context.config.max_fragments, 1),
+    )
+    # The context's workload was validated once at engine/advisor construction,
+    # so the per-query re-validation is skipped on this hot path.
+    prefetch = resolve_prefetch_setting(
+        layout,
+        context.workload,
+        context.bitmap_scheme,
+        context.system,
+        cache=cache,
+        validate_queries=False,
+    )
+    model = IOCostModel(context.system, cache=cache, validate_queries=False)
+    evaluation = model.evaluate(
+        layout, context.workload, context.bitmap_scheme, prefetch
+    )
+    allocation = choose_allocation(
+        layout,
+        context.system,
+        context.bitmap_scheme,
+        skew_threshold_cv=context.config.allocation_skew_cv,
+    )
+    return FragmentationCandidate(
+        spec=spec,
+        layout=layout,
+        bitmap_scheme=context.bitmap_scheme,
+        prefetch=prefetch,
+        evaluation=evaluation,
+        allocation=allocation,
+    )
+
+
+# -- worker-side machinery ---------------------------------------------------------
+
+_WORKER_CONTEXT: Optional[EngineContext] = None
+_WORKER_CACHE: Optional[EvaluationCache] = None
+_WORKER_SHIPPED_STRUCTURES: set = set()
+
+
+def _initialize_worker(context: EngineContext) -> None:
+    """Pool initializer: receive the context once, build a worker-local cache."""
+    global _WORKER_CONTEXT, _WORKER_CACHE
+    _WORKER_CONTEXT = context
+    _WORKER_CACHE = EvaluationCache()
+    _WORKER_SHIPPED_STRUCTURES.clear()
+
+
+def _evaluate_chunk(
+    indices: List[int],
+) -> Tuple[List[Tuple[int, FragmentationCandidate]], List[Tuple[Any, Any]]]:
+    """Evaluate one chunk of candidate indices inside a worker.
+
+    Returns the evaluated ``(index, candidate)`` pairs plus the access
+    structures this worker memoized and has not shipped yet, so the parent can
+    merge them into the shared cache (they are system-independent and serve
+    later tuning studies the candidate-level entries cannot).
+    """
+    context = _WORKER_CONTEXT
+    if context is None:  # pragma: no cover - defensive, initializer always ran
+        raise AdvisorError("evaluation worker used before initialization")
+    pairs = [
+        (index, evaluate_spec_in_context(context, context.specs[index], _WORKER_CACHE))
+        for index in indices
+    ]
+    fresh_structures = []
+    for key, value in _WORKER_CACHE.structure_items():
+        if key not in _WORKER_SHIPPED_STRUCTURES:
+            _WORKER_SHIPPED_STRUCTURES.add(key)
+            fresh_structures.append((key, value))
+    return pairs, fresh_structures
+
+
+# -- the engine --------------------------------------------------------------------
+
+
+class EvaluationEngine:
+    """Batched candidate evaluation with a serial and a process-pool backend.
+
+    Parameters
+    ----------
+    schema, workload, system, config:
+        The advisor inputs.  ``config`` defaults to :class:`AdvisorConfig`.
+    fact_table:
+        Fact table to fragment (the schema's primary fact table when omitted).
+    jobs:
+        Worker processes; ``1`` (default) evaluates inline.  Values above one
+        enable the process pool once the sweep is large enough to amortize it
+        (:data:`MIN_SPECS_FOR_PARALLEL`).
+    cache:
+        Evaluation cache.  ``None`` (default) creates a private one; pass a
+        shared instance to reuse structures across engines (tuning studies
+        do), or ``False`` to disable memoization entirely (the benchmark's
+        seed-equivalent baseline).  Workers use private caches whose entries
+        are merged back into the shared cache.
+    """
+
+    def __init__(
+        self,
+        schema: StarSchema,
+        workload: QueryMix,
+        system: SystemParameters,
+        config: Optional[AdvisorConfig] = None,
+        fact_table: Optional[str] = None,
+        jobs: int = 1,
+        cache=None,
+    ) -> None:
+        if jobs < 1:
+            raise AdvisorError(f"jobs must be at least 1, got {jobs}")
+        self.schema = schema
+        self.workload = workload
+        self.system = system
+        self.config = config if config is not None else AdvisorConfig()
+        self.fact_name = schema.fact_table(fact_table).name
+        # Validate the whole workload once; evaluation then runs with
+        # per-query validation disabled (see evaluate_spec_in_context).
+        workload.validate(schema)
+        self.jobs = jobs
+        if cache is False:
+            self.cache: Optional[EvaluationCache] = None
+        elif cache is None:
+            self.cache = EvaluationCache()
+        else:
+            self.cache = cache
+        self._bitmap_scheme: Optional[BitmapScheme] = None
+
+    # -- shared inputs ----------------------------------------------------------
+
+    def bitmap_scheme(self) -> BitmapScheme:
+        """The workload-driven bitmap scheme (designed once, shared by all specs)."""
+        if self._bitmap_scheme is None:
+            self._bitmap_scheme = design_bitmap_scheme(
+                self.schema,
+                self.workload,
+                fact_table=self.fact_name,
+                cardinality_threshold=self.config.bitmap_cardinality_threshold,
+            )
+        return self._bitmap_scheme
+
+    def context(
+        self,
+        specs: Sequence[FragmentationSpec] = (),
+        bitmap_scheme: Optional[BitmapScheme] = None,
+    ) -> EngineContext:
+        """The picklable evaluation context for ``specs``."""
+        return EngineContext(
+            schema=self.schema,
+            workload=self.workload,
+            system=self.system,
+            config=self.config,
+            fact_name=self.fact_name,
+            bitmap_scheme=bitmap_scheme if bitmap_scheme is not None else self.bitmap_scheme(),
+            specs=tuple(specs),
+        )
+
+    def plan(self, specs: Sequence[FragmentationSpec]) -> EvaluationPlan:
+        """Expand ``specs`` into the engine's evaluation plan."""
+        return EvaluationPlan.build(specs, self.workload, self.schema)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate_spec(
+        self,
+        spec: FragmentationSpec,
+        bitmap_scheme: Optional[BitmapScheme] = None,
+    ) -> FragmentationCandidate:
+        """Evaluate a single candidate inline (always serial, cache-aware)."""
+        context = self.context(bitmap_scheme=bitmap_scheme)
+        return evaluate_spec_in_context(context, spec, self.cache)
+
+    def evaluate_specs(
+        self,
+        specs: Sequence[FragmentationSpec],
+        bitmap_scheme: Optional[BitmapScheme] = None,
+    ) -> List[FragmentationCandidate]:
+        """Evaluate every candidate of ``specs``, preserving order.
+
+        Serial and parallel backends return identical candidate lists; the
+        parallel backend is only engaged when ``jobs > 1`` and the sweep is
+        large enough to amortize the pool.
+        """
+        plan = self.plan(specs)
+        context = self.context(specs=plan.specs, bitmap_scheme=bitmap_scheme)
+        if self.jobs > 1 and plan.num_candidates >= MIN_SPECS_FOR_PARALLEL:
+            try:
+                return self._evaluate_parallel(plan, context)
+            except (OSError, BrokenProcessPool, pickle.PicklingError):
+                # Restricted environments (no /dev/shm, seccomp'd fork,
+                # workers killed on spawn): the serial path produces the same
+                # results.  Evaluation errors (WarlockError subclasses) still
+                # propagate — they would fail serially too.
+                pass
+        return self._evaluate_serial(plan, context)
+
+    def _evaluate_serial(
+        self, plan: EvaluationPlan, context: EngineContext
+    ) -> List[FragmentationCandidate]:
+        return [
+            evaluate_spec_in_context(context, spec, self.cache) for spec in plan.specs
+        ]
+
+    def _evaluate_parallel(
+        self, plan: EvaluationPlan, context: EngineContext
+    ) -> List[FragmentationCandidate]:
+        results: List[Optional[FragmentationCandidate]] = [None] * plan.num_candidates
+
+        # Answer what the shared cache already holds; only misses go to the
+        # pool (a fully warm sweep never pays the pool at all), and worker
+        # results are inserted back so later serial calls — comparisons,
+        # tuning studies — reuse them.
+        pending = list(range(plan.num_candidates))
+        if self.cache is not None:
+            pending = []
+            for index, spec in enumerate(plan.specs):
+                candidate = self.cache.get_candidate(context, spec)
+                if candidate is None:
+                    pending.append(index)
+                else:
+                    results[index] = candidate
+        if not pending:
+            return results  # type: ignore[return-value]
+
+        chunks = plan.partition_indices(pending, self.jobs)
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(chunks)),
+            initializer=_initialize_worker,
+            initargs=(context,),
+        ) as pool:
+            for pairs, structures in pool.map(_evaluate_chunk, chunks):
+                for index, candidate in pairs:
+                    results[index] = candidate
+                    if self.cache is not None:
+                        self.cache.put_candidate(context, plan.specs[index], candidate)
+                if self.cache is not None:
+                    self.cache.merge_structures(structures)
+        missing = [index for index, candidate in enumerate(results) if candidate is None]
+        if missing:  # pragma: no cover - defensive, map() either returns or raises
+            raise AdvisorError(f"parallel evaluation lost candidates {missing}")
+        return results  # type: ignore[return-value]

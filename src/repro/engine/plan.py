@@ -1,0 +1,148 @@
+"""Evaluation plans: the unit-of-work expansion of a candidate sweep.
+
+The advisor's prediction layer is an embarrassingly parallel sweep: every
+surviving fragmentation candidate is evaluated against every query class of
+the mix, and the per-class results are folded into one
+:class:`~repro.costmodel.WorkloadEvaluation` per candidate.  An
+:class:`EvaluationPlan` makes that shape explicit *before* execution: it
+expands the (candidate × query class) work units up front, attaches a cost
+estimate to every candidate (the fragment count — a good proxy, since layout
+materialization and allocation scale with it), and partitions the candidates
+into deterministic, load-balanced chunks for the executor.
+
+Per-candidate granularity is the dispatch unit (a candidate's query classes
+share its layout, prefetch resolution and allocation, so splitting a candidate
+across workers would duplicate that work); the unit expansion is still exposed
+because it is the engine's accounting currency — progress, cache sizing and
+the benchmark's work counts are all unit-based.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import AdvisorError
+from repro.fragmentation import FragmentationSpec
+from repro.schema import StarSchema
+from repro.workload import QueryMix
+
+__all__ = ["WorkUnit", "EvaluationPlan"]
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One (candidate, query class) evaluation of the sweep."""
+
+    spec_index: int
+    query_index: int
+    spec_label: str
+    query_name: str
+    #: Fragment count of the candidate — the unit's relative cost estimate.
+    estimated_fragments: int
+
+
+@dataclass(frozen=True)
+class EvaluationPlan:
+    """The expanded work of one candidate sweep.
+
+    ``specs`` preserves the caller's candidate order — the executor reports
+    results in exactly this order regardless of how the work is partitioned.
+    """
+
+    specs: Tuple[FragmentationSpec, ...]
+    query_names: Tuple[str, ...]
+    units: Tuple[WorkUnit, ...]
+    #: Per-candidate cost estimates, index-aligned with ``specs``.
+    spec_costs: Tuple[int, ...]
+
+    @classmethod
+    def build(
+        cls,
+        specs: Sequence[FragmentationSpec],
+        workload: QueryMix,
+        schema: StarSchema,
+    ) -> "EvaluationPlan":
+        """Expand ``specs`` × ``workload`` into work units."""
+        specs = tuple(specs)
+        if not specs:
+            raise AdvisorError("an evaluation plan needs at least one candidate spec")
+        query_names = tuple(query.name for query, _ in workload.weighted_items())
+        if not query_names:
+            raise AdvisorError("an evaluation plan needs at least one query class")
+        spec_costs = tuple(spec.fragment_count(schema) for spec in specs)
+        units = tuple(
+            WorkUnit(
+                spec_index=spec_index,
+                query_index=query_index,
+                spec_label=spec.label,
+                query_name=query_name,
+                estimated_fragments=spec_costs[spec_index],
+            )
+            for spec_index, spec in enumerate(specs)
+            for query_index, query_name in enumerate(query_names)
+        )
+        return cls(
+            specs=specs,
+            query_names=query_names,
+            units=units,
+            spec_costs=spec_costs,
+        )
+
+    # -- shape ------------------------------------------------------------------
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of candidate specs in the sweep."""
+        return len(self.specs)
+
+    @property
+    def num_units(self) -> int:
+        """Number of (candidate × query class) work units."""
+        return len(self.units)
+
+    def units_for_spec(self, spec_index: int) -> Tuple[WorkUnit, ...]:
+        """The work units of one candidate."""
+        if not 0 <= spec_index < len(self.specs):
+            raise AdvisorError(
+                f"spec index {spec_index} out of range [0, {len(self.specs)})"
+            )
+        per_spec = len(self.query_names)
+        return self.units[spec_index * per_spec : (spec_index + 1) * per_spec]
+
+    # -- partitioning -----------------------------------------------------------
+
+    def partition(self, jobs: int) -> List[List[int]]:
+        """Split all candidate indices into ``jobs`` balanced chunks."""
+        return self.partition_indices(range(len(self.specs)), jobs)
+
+    def partition_indices(self, indices, jobs: int) -> List[List[int]]:
+        """Split a subset of candidate indices into ``jobs`` balanced chunks.
+
+        Deterministic longest-processing-time assignment: candidates are
+        considered in decreasing cost (fragment count), each going to the
+        currently least-loaded chunk; ties break towards the earlier candidate
+        and the lower chunk number.  Within a chunk, indices are sorted so the
+        executor streams each chunk in sweep order.  Empty chunks are dropped
+        (when ``jobs`` exceeds the candidate count).
+        """
+        if jobs < 1:
+            raise AdvisorError(f"jobs must be at least 1, got {jobs}")
+        order = sorted(indices, key=lambda index: (-self.spec_costs[index], index))
+        loads = [0] * jobs
+        chunks: List[List[int]] = [[] for _ in range(jobs)]
+        for index in order:
+            target = min(range(jobs), key=lambda job: (loads[job], job))
+            chunks[target].append(index)
+            loads[target] += max(1, self.spec_costs[index])
+        for chunk in chunks:
+            chunk.sort()
+        return [chunk for chunk in chunks if chunk]
+
+    def describe(self) -> str:
+        """One-line summary used by logs and the benchmark."""
+        return (
+            f"evaluation plan: {self.num_candidates} candidates x "
+            f"{len(self.query_names)} query classes = {self.num_units} work units, "
+            f"{sum(self.spec_costs):,} fragments total"
+        )

@@ -10,7 +10,7 @@ analysis layer (database statistics, fragment size distributions).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from functools import cached_property
 from typing import Optional, Sequence, Tuple
 
@@ -125,6 +125,21 @@ class FragmentationLayout:
             raise FragmentationError(
                 f"page_size_bytes must be positive, got {self.page_size_bytes}"
             )
+
+    # -- pickling ---------------------------------------------------------------
+    #
+    # Only the defining fields travel across process boundaries; the lazily
+    # cached per-fragment arrays (cached_property values in __dict__) are
+    # recomputed deterministically on demand.  This keeps the evaluation
+    # engine's worker results small: a layout with 100k fragments would
+    # otherwise ship megabytes of derivable arrays per candidate.
+
+    def __getstate__(self):
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
 
     # -- axis geometry ---------------------------------------------------------
 

@@ -17,6 +17,8 @@ import enum
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import StorageError
 from repro.storage.disk import DiskParameters
 
@@ -127,15 +129,25 @@ def optimal_prefetch_pages(
     else:
         weight_list = [1.0] * len(runs)
 
+    # Vectorized search: evaluate every (run, granule) pair at once.  A run of
+    # R pages read with granule G issues max(1, ceil(R/G)) requests, each paying
+    # the positioning overhead and transferring a full granule; zero-length runs
+    # cost nothing (matching expected_run_read_time_ms).
+    candidates = prefetch_candidates(max_pages)
+    granules = np.asarray(candidates, dtype=np.float64)
+    run_array = np.asarray(runs, dtype=np.float64)[:, None]
+    weight_array = np.asarray(weight_list, dtype=np.float64)[:, None]
+    requests = np.maximum(1.0, np.ceil(run_array / granules[None, :]))
+    page_time = disk.page_transfer_time_ms(page_size_bytes)
+    per_run = requests * disk.positioning_time_ms + requests * granules[None, :] * page_time
+    per_run[run_array[:, 0] == 0.0, :] = 0.0
+    costs = (weight_array * per_run).sum(axis=0)
+
     best_granule = 1
     best_cost = float("inf")
-    for granule in prefetch_candidates(max_pages):
-        cost = sum(
-            weight * expected_run_read_time_ms(run, granule, disk, page_size_bytes)
-            for run, weight in zip(runs, weight_list)
-        )
+    for granule, cost in zip(candidates, costs):
         if cost < best_cost - 1e-12:
-            best_cost = cost
+            best_cost = float(cost)
             best_granule = granule
     return best_granule
 

@@ -6,6 +6,13 @@ granule, bitmap exclusions, skew, query weights), re-run the evaluation and
 collect the headline metrics per setting.  The result is a
 :class:`TuningStudy`, which knows how to render itself as a text table and how
 to report the best setting for a chosen metric.
+
+Every study shares one :class:`repro.engine.EvaluationCache` across its
+settings (pass ``cache=`` to share it across *studies* too, e.g. with the
+advisor run that produced the spec).  Settings that leave the access structure
+unchanged — varied weights, architectures, coordination overheads — then reuse
+the memoized estimation instead of recomputing it; the cache key covers every
+input that can change a number, so the reuse is always exact.
 """
 
 from __future__ import annotations
@@ -120,6 +127,13 @@ def _candidate_metrics(candidate) -> Dict[str, object]:
     return {column: summary[column] for column in _METRIC_COLUMNS}
 
 
+def _study_cache(cache):
+    """The evaluation cache a study shares across its settings."""
+    from repro.engine import EvaluationCache
+
+    return cache if cache is not None else EvaluationCache()
+
+
 def _evaluate(
     schema: StarSchema,
     workload: QueryMix,
@@ -127,9 +141,10 @@ def _evaluate(
     spec: FragmentationSpec,
     config: Optional[AdvisorConfig],
     bitmap_exclude: Sequence[Tuple[str, str]] = (),
+    cache=None,
 ):
     """Evaluate ``spec`` under one concrete input setting."""
-    advisor = Warlock(schema, workload, system, config)
+    advisor = Warlock(schema, workload, system, config, cache=cache)
     scheme = advisor.design_bitmaps()
     if bitmap_exclude:
         scheme = scheme.without(*bitmap_exclude)
@@ -143,13 +158,17 @@ def disk_count_study(
     spec: FragmentationSpec,
     disk_counts: Sequence[int] = (8, 16, 32, 64, 128),
     config: Optional[AdvisorConfig] = None,
+    cache=None,
 ) -> TuningStudy:
     """Vary the number of disks (the classic scale-out question)."""
     if not disk_counts:
         raise AdvisorError("disk_count_study needs at least one disk count")
+    cache = _study_cache(cache)
     records = []
     for disks in disk_counts:
-        candidate = _evaluate(schema, workload, system.with_disks(disks), spec, config)
+        candidate = _evaluate(
+            schema, workload, system.with_disks(disks), spec, config, cache=cache
+        )
         records.append((str(disks), _candidate_metrics(candidate)))
     return TuningStudy(
         name=f"Disk-count study for {spec.label}",
@@ -164,12 +183,19 @@ def architecture_study(
     system: SystemParameters,
     spec: FragmentationSpec,
     config: Optional[AdvisorConfig] = None,
+    cache=None,
 ) -> TuningStudy:
     """Compare Shared Everything and Shared Disk for the same fragmentation."""
+    cache = _study_cache(cache)
     records = []
     for architecture in ("shared_everything", "shared_disk"):
         candidate = _evaluate(
-            schema, workload, system.with_architecture(architecture), spec, config
+            schema,
+            workload,
+            system.with_architecture(architecture),
+            spec,
+            config,
+            cache=cache,
         )
         records.append((architecture, _candidate_metrics(candidate)))
     return TuningStudy(
@@ -186,14 +212,16 @@ def prefetch_study(
     spec: FragmentationSpec,
     fact_granules: Sequence[Union[int, str]] = (1, 4, 16, 64, 256, "auto"),
     config: Optional[AdvisorConfig] = None,
+    cache=None,
 ) -> TuningStudy:
     """Vary the fact-table prefetch granule (bitmap granule stays on auto)."""
     if not fact_granules:
         raise AdvisorError("prefetch_study needs at least one granule")
+    cache = _study_cache(cache)
     records = []
     for granule in fact_granules:
         varied = system.with_prefetch(fact=granule)
-        candidate = _evaluate(schema, workload, varied, spec, config)
+        candidate = _evaluate(schema, workload, varied, spec, config, cache=cache)
         label = "auto" if isinstance(granule, str) else f"{granule} pages"
         record = _candidate_metrics(candidate)
         record["resolved_fact_granule"] = candidate.prefetch.fact_pages
@@ -212,15 +240,17 @@ def bitmap_exclusion_study(
     spec: FragmentationSpec,
     exclusions: Sequence[Sequence[Tuple[str, str]]] = ((),),
     config: Optional[AdvisorConfig] = None,
+    cache=None,
 ) -> TuningStudy:
     """Vary the set of excluded bitmap indexes (the space-saving knob of §3.3)."""
     if not exclusions:
         raise AdvisorError("bitmap_exclusion_study needs at least one exclusion set")
+    cache = _study_cache(cache)
     records = []
     for excluded in exclusions:
         excluded = tuple(excluded)
         candidate = _evaluate(
-            schema, workload, system, spec, config, bitmap_exclude=excluded
+            schema, workload, system, spec, config, bitmap_exclude=excluded, cache=cache
         )
         label = (
             "all suggested indexes"
@@ -242,6 +272,7 @@ def skew_study(
     spec: FragmentationSpec,
     thetas: Sequence[float] = (0.0, 0.5, 1.0),
     config: Optional[AdvisorConfig] = None,
+    cache=None,
 ) -> TuningStudy:
     """Vary the data skew.
 
@@ -251,10 +282,11 @@ def skew_study(
     """
     if not thetas:
         raise AdvisorError("skew_study needs at least one theta")
+    cache = _study_cache(cache)
     records = []
     for theta in thetas:
         schema = schema_factory(theta)
-        candidate = _evaluate(schema, workload, system, spec, config)
+        candidate = _evaluate(schema, workload, system, spec, config, cache=cache)
         records.append((f"{theta:.2f}", _candidate_metrics(candidate)))
     return TuningStudy(
         name=f"Skew study for {spec.label}",
@@ -270,6 +302,7 @@ def workload_weight_study(
     spec: FragmentationSpec,
     reweightings: Dict[str, Dict[str, float]],
     config: Optional[AdvisorConfig] = None,
+    cache=None,
 ) -> TuningStudy:
     """Vary the query-class weights ("query load specifics can be adapted").
 
@@ -277,11 +310,14 @@ def workload_weight_study(
     :meth:`repro.workload.QueryMix.reweighted`.  The unmodified mix is always
     evaluated first under the label ``"baseline"``.
     """
+    cache = _study_cache(cache)
     records = []
-    baseline = _evaluate(schema, workload, system, spec, config)
+    baseline = _evaluate(schema, workload, system, spec, config, cache=cache)
     records.append(("baseline", _candidate_metrics(baseline)))
     for label, weights in reweightings.items():
-        candidate = _evaluate(schema, workload.reweighted(weights), system, spec, config)
+        candidate = _evaluate(
+            schema, workload.reweighted(weights), system, spec, config, cache=cache
+        )
         records.append((label, _candidate_metrics(candidate)))
     return TuningStudy(
         name=f"Workload weight study for {spec.label}",

@@ -93,6 +93,77 @@ class TestCommands:
         assert "error" in capsys.readouterr().err
 
 
+class TestJobsFlag:
+    def test_jobs_default_is_serial(self):
+        args = build_parser().parse_args(["recommend"])
+        assert args.jobs == 1
+
+    def test_jobs_accepts_positive_values(self):
+        for value in ("1", "2", "8"):
+            args = build_parser().parse_args(["recommend", "--jobs", value])
+            assert args.jobs == int(value)
+
+    def test_jobs_rejects_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["recommend", "--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_jobs_rejects_negative_and_garbage(self, capsys):
+        for bad in ("-3", "two"):
+            with pytest.raises(SystemExit) as excinfo:
+                build_parser().parse_args(["recommend", "--jobs", bad])
+            assert excinfo.value.code == 2
+
+    def test_jobs_in_help_text(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recommend", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--jobs" in help_text
+        assert "worker processes" in help_text
+
+    def test_recommend_with_jobs_matches_serial(self, capsys):
+        common = ["--scale", "0.01", "--disks", "16", "--max-fragments", "20000"]
+        assert main(["recommend", *common, "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["recommend", *common, "--json", "--jobs", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert serial == parallel
+
+
+class TestModuleSmoke:
+    """`python -m repro.cli <command>` exits 0 on the bundled example config."""
+
+    COMMON = ["--scale", "0.01", "--disks", "8", "--max-fragments", "20000"]
+
+    @pytest.fixture
+    def config_file(self, tmp_path):
+        path = tmp_path / "example.json"
+        path.write_text(json.dumps(example_config()))
+        return str(path)
+
+    def test_module_entrypoint_runs(self, config_file):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "recommend", "--config", config_file, "--top", "2"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Top fragmentation candidates" in result.stdout
+
+    @pytest.mark.parametrize("command", ["recommend", "report", "suggest"])
+    def test_advisor_commands_exit_zero_on_example_config(self, command, config_file, capsys):
+        assert main([command, "--config", config_file]) == 0
+        assert capsys.readouterr().out
+
+    def test_recommend_jobs_on_example_config(self, config_file, capsys):
+        assert main(["recommend", "--config", config_file, "--jobs", "2"]) == 0
+        assert "Top fragmentation candidates" in capsys.readouterr().out
+
+
 class TestConfigFile:
     def test_roundtrip_through_json_config(self, tmp_path, capsys):
         config_path = tmp_path / "config.json"

@@ -1,0 +1,261 @@
+"""Property/invariant tests for the analytical cost model.
+
+Hypothesis sweeps the model's input space and asserts the structural
+invariants the paper's prediction layer relies on:
+
+* ``io_cost_ms`` is monotonically non-decreasing in query selectivity (more
+  selected values can never cost less I/O) and in fact-table size.
+* On a single-disk system the response time can never exceed the I/O cost
+  plus the coordination overhead (there is no parallelism to win from).
+* The workload-weighted totals are exactly the sums of the per-class
+  weighted costs (the aggregation layer adds nothing and loses nothing).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    Dimension,
+    DimensionRestriction,
+    FactTable,
+    FragmentationSpec,
+    Level,
+    Measure,
+    QueryClass,
+    QueryMix,
+    StarSchema,
+    SystemParameters,
+)
+from repro.bitmap import design_bitmap_scheme
+from repro.costmodel import IOCostModel, resolve_prefetch_setting
+from repro.fragmentation import build_layout
+from repro.storage import PrefetchSetting
+
+#: Bounded example counts keep the whole module under a couple of seconds
+#: while still sweeping a few hundred model evaluations.
+PROPERTY_SETTINGS = settings(max_examples=30, deadline=None)
+
+
+def _schema(fact_rows: int = 2_000_000) -> StarSchema:
+    time = Dimension(
+        name="time",
+        levels=[Level("year", 3), Level("quarter", 12), Level("month", 36)],
+    )
+    product = Dimension(
+        name="product",
+        levels=[Level("group", 8), Level("item", 160)],
+    )
+    store = Dimension(
+        name="store",
+        levels=[Level("region", 5), Level("store", 50)],
+    )
+    fact = FactTable(
+        name="sales",
+        row_count=fact_rows,
+        row_size_bytes=64,
+        dimension_names=("time", "product", "store"),
+        measures=(Measure("revenue", 8),),
+    )
+    return StarSchema(
+        name=f"prop({fact_rows})", dimensions=(time, product, store), fact_tables=(fact,)
+    )
+
+
+def _cost_of(
+    schema: StarSchema,
+    spec: FragmentationSpec,
+    query: QueryClass,
+    system: SystemParameters,
+) -> float:
+    workload = QueryMix([query])
+    layout = build_layout(schema, spec, page_size_bytes=system.page_size_bytes)
+    scheme = design_bitmap_scheme(schema, workload)
+    prefetch = resolve_prefetch_setting(layout, workload, scheme, system)
+    model = IOCostModel(system)
+    return model.query_cost(layout, query, scheme, prefetch).io_cost_ms
+
+
+SPECS = [
+    FragmentationSpec.none(),
+    FragmentationSpec.of(("time", "quarter")),
+    FragmentationSpec.of(("time", "month"), ("product", "group")),
+    FragmentationSpec.of(("time", "quarter"), ("store", "region")),
+]
+
+RESTRICTABLE = [("time", "month", 36), ("product", "item", 160), ("store", "store", 50)]
+
+
+class TestSelectivityMonotonicity:
+    @PROPERTY_SETTINGS
+    @given(
+        spec_index=st.integers(min_value=0, max_value=len(SPECS) - 1),
+        target=st.integers(min_value=0, max_value=len(RESTRICTABLE) - 1),
+        counts=st.tuples(st.integers(1, 160), st.integers(1, 160)),
+    )
+    def test_io_cost_non_decreasing_in_selected_values(self, spec_index, target, counts):
+        dimension, level, cardinality = RESTRICTABLE[target]
+        low, high = sorted(min(c, cardinality) for c in counts)
+        schema = _schema()
+        system = SystemParameters(num_disks=16)
+        spec = SPECS[spec_index]
+
+        def cost(value_count: int) -> float:
+            query = QueryClass(
+                name=f"q-{dimension}-{value_count}",
+                restrictions=[DimensionRestriction(dimension, level, value_count)],
+            )
+            return _cost_of(schema, spec, query, system)
+
+        assert cost(low) <= cost(high) * (1 + 1e-9)
+
+    @PROPERTY_SETTINGS
+    @given(
+        spec_index=st.integers(min_value=0, max_value=len(SPECS) - 1),
+        sizes=st.tuples(
+            st.integers(100_000, 8_000_000), st.integers(100_000, 8_000_000)
+        ),
+    )
+    def test_io_cost_non_decreasing_in_table_size(self, spec_index, sizes):
+        small_rows, large_rows = sorted(sizes)
+        system = SystemParameters(num_disks=16)
+        spec = SPECS[spec_index]
+        query = QueryClass(
+            name="q-growth",
+            restrictions=[DimensionRestriction("time", "month", 2)],
+        )
+        small = _cost_of(_schema(small_rows), spec, query, system)
+        large = _cost_of(_schema(large_rows), spec, query, system)
+        assert small <= large * (1 + 1e-9)
+
+
+class TestSingleDiskResponseBound:
+    @PROPERTY_SETTINGS
+    @given(
+        spec_index=st.integers(min_value=0, max_value=len(SPECS) - 1),
+        target=st.integers(min_value=0, max_value=len(RESTRICTABLE) - 1),
+        value_count=st.integers(1, 36),
+        coordination=st.floats(0.0, 10.0, allow_nan=False),
+    )
+    def test_response_never_exceeds_io_cost_plus_coordination(
+        self, spec_index, target, value_count, coordination
+    ):
+        dimension, level, cardinality = RESTRICTABLE[target]
+        schema = _schema()
+        system = SystemParameters(
+            num_disks=1, coordination_overhead_ms=coordination
+        )
+        spec = SPECS[spec_index]
+        query = QueryClass(
+            name="q-single-disk",
+            restrictions=[
+                DimensionRestriction(dimension, level, min(value_count, cardinality))
+            ],
+        )
+        workload = QueryMix([query])
+        layout = build_layout(schema, spec, page_size_bytes=system.page_size_bytes)
+        scheme = design_bitmap_scheme(schema, workload)
+        prefetch = resolve_prefetch_setting(layout, workload, scheme, system)
+        model = IOCostModel(system)
+        cost = model.query_cost(layout, query, scheme, prefetch)
+        assert cost.disks_used == 1
+        assert cost.response_time_ms <= cost.io_cost_ms + coordination + 1e-9
+
+
+class TestWorkloadAggregation:
+    @PROPERTY_SETTINGS
+    @given(
+        weights=st.lists(
+            st.floats(0.1, 50.0, allow_nan=False, allow_infinity=False),
+            min_size=3,
+            max_size=3,
+        ),
+        spec_index=st.integers(min_value=0, max_value=len(SPECS) - 1),
+    )
+    def test_totals_equal_sum_of_weighted_per_class_costs(self, weights, spec_index):
+        schema = _schema()
+        system = SystemParameters(num_disks=16)
+        workload = QueryMix(
+            [
+                QueryClass(
+                    name="monthly",
+                    restrictions=[DimensionRestriction("time", "month", 1)],
+                    weight=weights[0],
+                ),
+                QueryClass(
+                    name="item-lookup",
+                    restrictions=[DimensionRestriction("product", "item", 4)],
+                    weight=weights[1],
+                ),
+                QueryClass(
+                    name="regional",
+                    restrictions=[DimensionRestriction("store", "region", 2)],
+                    weight=weights[2],
+                ),
+            ]
+        )
+        layout = build_layout(
+            schema, SPECS[spec_index], page_size_bytes=system.page_size_bytes
+        )
+        scheme = design_bitmap_scheme(schema, workload)
+        model = IOCostModel(system)
+        evaluation = model.evaluate(layout, workload, scheme)
+
+        shares = [share for _, share in workload.weighted_items()]
+        assert sum(shares) == pytest.approx(1.0, rel=1e-12)
+        assert evaluation.total_io_cost_ms == pytest.approx(
+            sum(cost.weighted_io_cost_ms for cost in evaluation.per_class), rel=1e-12
+        )
+        assert evaluation.total_response_time_ms == pytest.approx(
+            sum(cost.weighted_response_time_ms for cost in evaluation.per_class),
+            rel=1e-12,
+        )
+        assert evaluation.total_pages_accessed == pytest.approx(
+            sum(
+                cost.weight * cost.profile.total_pages_accessed
+                for cost in evaluation.per_class
+            ),
+            rel=1e-12,
+        )
+        assert evaluation.total_io_requests == pytest.approx(
+            sum(
+                cost.weight * cost.profile.total_io_requests
+                for cost in evaluation.per_class
+            ),
+            rel=1e-12,
+        )
+
+
+class TestPrefetchInvariants:
+    @PROPERTY_SETTINGS
+    @given(
+        fact_granule=st.sampled_from([1, 2, 8, 32, 128]),
+        bitmap_granule=st.sampled_from([1, 2, 8]),
+        value_count=st.integers(1, 36),
+    )
+    def test_coarser_granule_never_increases_requests(
+        self, fact_granule, bitmap_granule, value_count
+    ):
+        """More pages per request can only reduce the number of requests."""
+        schema = _schema()
+        system = SystemParameters(num_disks=16)
+        spec = FragmentationSpec.of(("time", "quarter"))
+        query = QueryClass(
+            name="q-prefetch",
+            restrictions=[DimensionRestriction("time", "month", value_count)],
+        )
+        workload = QueryMix([query])
+        layout = build_layout(schema, spec, page_size_bytes=system.page_size_bytes)
+        scheme = design_bitmap_scheme(schema, workload)
+        from repro.costmodel import estimate_access
+
+        unit = estimate_access(layout, query, scheme, PrefetchSetting.fixed(1, 1))
+        coarse = estimate_access(
+            layout,
+            query,
+            scheme,
+            PrefetchSetting.fixed(fact_granule, bitmap_granule),
+        )
+        if unit.sequential_fact_access and coarse.sequential_fact_access:
+            assert coarse.fact_io_requests <= unit.fact_io_requests * (1 + 1e-9)

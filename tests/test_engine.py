@@ -1,0 +1,301 @@
+"""Tests for the candidate-evaluation engine (repro.engine)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import AdvisorConfig, Warlock
+from repro.engine import (
+    EvaluationCache,
+    EvaluationEngine,
+    EvaluationPlan,
+    layout_signature,
+    object_signature,
+)
+from repro.engine.executor import MIN_SPECS_FOR_PARALLEL, evaluate_spec_in_context
+from repro.errors import AdvisorError
+from repro.fragmentation import build_layout
+
+
+class TestEvaluationPlan:
+    def test_expands_candidate_by_query_units(self, toy_advisor):
+        specs, _ = toy_advisor.generate_specs()
+        plan = EvaluationPlan.build(specs, toy_advisor.workload, toy_advisor.schema)
+        assert plan.num_candidates == len(specs)
+        assert plan.num_units == len(specs) * len(plan.query_names)
+        assert plan.query_names == tuple(
+            query.name for query, _ in toy_advisor.workload.weighted_items()
+        )
+        # Units enumerate specs in order, query classes within each spec.
+        unit = plan.units[0]
+        assert (unit.spec_index, unit.query_index) == (0, 0)
+        assert plan.units[len(plan.query_names)].spec_index == 1
+
+    def test_units_for_spec(self, toy_advisor):
+        specs, _ = toy_advisor.generate_specs()
+        plan = EvaluationPlan.build(specs, toy_advisor.workload, toy_advisor.schema)
+        units = plan.units_for_spec(1)
+        assert len(units) == len(plan.query_names)
+        assert {unit.spec_index for unit in units} == {1}
+        assert [unit.query_name for unit in units] == list(plan.query_names)
+        with pytest.raises(AdvisorError):
+            plan.units_for_spec(len(specs))
+
+    def test_unit_cost_estimates_match_fragment_counts(self, toy_advisor):
+        specs, _ = toy_advisor.generate_specs()
+        plan = EvaluationPlan.build(specs, toy_advisor.workload, toy_advisor.schema)
+        for spec, cost in zip(plan.specs, plan.spec_costs):
+            assert cost == spec.fragment_count(toy_advisor.schema)
+
+    def test_partition_covers_all_specs_exactly_once(self, toy_advisor):
+        specs, _ = toy_advisor.generate_specs()
+        plan = EvaluationPlan.build(specs, toy_advisor.workload, toy_advisor.schema)
+        for jobs in (1, 2, 3, 7, len(specs) + 5):
+            chunks = plan.partition(jobs)
+            flat = sorted(index for chunk in chunks for index in chunk)
+            assert flat == list(range(len(specs)))
+            assert len(chunks) <= jobs
+            assert all(chunk == sorted(chunk) for chunk in chunks)
+
+    def test_partition_is_deterministic_and_balanced(self, toy_advisor):
+        specs, _ = toy_advisor.generate_specs()
+        plan = EvaluationPlan.build(specs, toy_advisor.workload, toy_advisor.schema)
+        assert plan.partition(4) == plan.partition(4)
+        loads = [
+            sum(max(1, plan.spec_costs[index]) for index in chunk)
+            for chunk in plan.partition(2)
+        ]
+        # LPT keeps the two loads within the largest single item of each other.
+        assert abs(loads[0] - loads[1]) <= max(
+            max(1, cost) for cost in plan.spec_costs
+        )
+
+    def test_partition_rejects_nonpositive_jobs(self, toy_advisor):
+        specs, _ = toy_advisor.generate_specs()
+        plan = EvaluationPlan.build(specs, toy_advisor.workload, toy_advisor.schema)
+        with pytest.raises(AdvisorError):
+            plan.partition(0)
+
+    def test_empty_specs_rejected(self, toy_advisor):
+        with pytest.raises(AdvisorError):
+            EvaluationPlan.build([], toy_advisor.workload, toy_advisor.schema)
+
+    def test_describe_mentions_shape(self, toy_advisor):
+        specs, _ = toy_advisor.generate_specs()
+        plan = EvaluationPlan.build(specs, toy_advisor.workload, toy_advisor.schema)
+        text = plan.describe()
+        assert str(plan.num_candidates) in text
+        assert str(plan.num_units) in text
+
+
+class TestSignatures:
+    def test_equal_content_same_signature(self, toy_schema, toy_workload):
+        queries = [query for query, _ in toy_workload.weighted_items()]
+        assert object_signature(queries[0]) == object_signature(queries[0])
+        # A structurally identical rebuild gets the same signature.
+        rebuilt = [query for query, _ in toy_workload.weighted_items()]
+        assert object_signature(queries[1]) == object_signature(rebuilt[1])
+
+    def test_different_content_different_signature(self, toy_workload):
+        queries = [query for query, _ in toy_workload.weighted_items()]
+        assert object_signature(queries[0]) != object_signature(queries[1])
+
+    def test_layout_signature_ignores_cached_arrays(self, toy_schema, toy_advisor):
+        specs, _ = toy_advisor.generate_specs()
+        layout_a = build_layout(toy_schema, specs[0])
+        signature_before = layout_signature(layout_a)
+        layout_a.fragment_rows  # materialize the cached arrays
+        assert layout_signature(layout_a) == signature_before
+        layout_b = build_layout(toy_schema, specs[0])
+        assert layout_signature(layout_b) == signature_before
+        layout_c = build_layout(toy_schema, specs[1])
+        assert layout_signature(layout_c) != signature_before
+
+    def test_layout_pickle_drops_cached_arrays(self, toy_schema, toy_advisor):
+        specs, _ = toy_advisor.generate_specs()
+        layout = build_layout(toy_schema, specs[0])
+        layout.fragment_rows
+        layout.fragment_fact_pages
+        clone = pickle.loads(pickle.dumps(layout))
+        assert "fragment_rows" not in clone.__dict__
+        assert clone.fragment_count == layout.fragment_count
+        assert clone.fragment_rows.tolist() == layout.fragment_rows.tolist()
+
+
+class TestEvaluationCache:
+    def test_structure_reuse_counts_hits(self, toy_advisor):
+        cache = EvaluationCache()
+        advisor = Warlock(
+            toy_advisor.schema,
+            toy_advisor.workload,
+            toy_advisor.system,
+            toy_advisor.config,
+            cache=cache,
+        )
+        specs, _ = advisor.generate_specs()
+        advisor.evaluate_spec(specs[0])
+        # The run-length pass and the evaluation pass share every structure.
+        classes = len(advisor.workload)
+        assert cache.stats.structure_misses == classes
+        assert cache.stats.structure_hits == classes
+        assert cache.stats.candidate_misses == 1
+        advisor.evaluate_spec(specs[0])
+        # The repeat is answered entirely by the candidate-level entry.
+        assert cache.stats.candidate_hits == 1
+        assert cache.stats.structure_misses == classes
+
+    def test_disabled_cache_evaluates_identically(self, toy_advisor):
+        specs, _ = toy_advisor.generate_specs()
+        cached = toy_advisor.evaluate_spec(specs[0])
+        uncached_advisor = Warlock(
+            toy_advisor.schema,
+            toy_advisor.workload,
+            toy_advisor.system,
+            toy_advisor.config,
+            cache=False,
+        )
+        assert uncached_advisor.cache is None
+        # cache=False propagates to the engine: nothing is memoized anywhere.
+        assert uncached_advisor.engine().cache is None
+        uncached = uncached_advisor.evaluate_spec(specs[0])
+        assert uncached.io_cost_ms == cached.io_cost_ms
+        assert uncached.response_time_ms == cached.response_time_ms
+
+    def test_cache_false_recommend_never_memoizes(self, toy_schema, toy_workload, small_system):
+        advisor = Warlock(
+            toy_schema,
+            toy_workload,
+            small_system,
+            AdvisorConfig(max_fragments=10_000, top_candidates=5),
+            cache=False,
+        )
+        advisor.recommend()
+        assert advisor.cache is None
+
+    def test_reweighted_workload_reuses_structures(self, toy_advisor):
+        """Structures are weight-independent: reweighting must not miss."""
+        cache = toy_advisor.cache
+        specs, _ = toy_advisor.generate_specs()
+        toy_advisor.evaluate_spec(specs[0])
+        misses_before = cache.stats.structure_misses
+        reweighted = toy_advisor.workload.reweighted(
+            {next(iter(toy_advisor.workload)).name: 10.0}
+        )
+        heavy = Warlock(
+            toy_advisor.schema,
+            reweighted,
+            toy_advisor.system,
+            toy_advisor.config,
+            cache=cache,
+        )
+        heavy.evaluate_spec(specs[0])
+        assert cache.stats.structure_misses == misses_before
+
+    def test_max_entries_bounds_the_store(self, toy_advisor):
+        cache = EvaluationCache(max_entries=3)
+        advisor = Warlock(
+            toy_advisor.schema,
+            toy_advisor.workload,
+            toy_advisor.system,
+            toy_advisor.config,
+            cache=cache,
+        )
+        specs, _ = advisor.generate_specs()
+        advisor.evaluate_spec(specs[0])
+        advisor.evaluate_spec(specs[1])
+        assert len(cache._structures) <= 3
+        assert len(cache._candidates) <= 3
+
+    def test_max_entries_validation(self):
+        with pytest.raises(ValueError):
+            EvaluationCache(max_entries=0)
+
+    def test_clear_and_reset(self, toy_advisor):
+        cache = toy_advisor.cache
+        specs, _ = toy_advisor.generate_specs()
+        toy_advisor.evaluate_spec(specs[0])
+        assert len(cache) > 0
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.lookups > 0
+        cache.reset_stats()
+        assert cache.stats.lookups == 0
+
+    def test_hit_rate_zero_when_unused(self):
+        assert EvaluationCache().stats.hit_rate == 0.0
+        assert "hits" in EvaluationCache().stats.describe()
+
+
+class TestEvaluationEngine:
+    def test_rejects_nonpositive_jobs(self, toy_schema, toy_workload, small_system):
+        with pytest.raises(AdvisorError):
+            EvaluationEngine(toy_schema, toy_workload, small_system, jobs=0)
+        with pytest.raises(AdvisorError):
+            Warlock(toy_schema, toy_workload, small_system, jobs=0)
+
+    def test_serial_matches_advisor_evaluate_spec(self, toy_advisor):
+        specs, _ = toy_advisor.generate_specs()
+        engine = toy_advisor.engine()
+        candidates = engine.evaluate_specs(specs[:3])
+        for spec, candidate in zip(specs[:3], candidates):
+            reference = toy_advisor.evaluate_spec(spec)
+            assert candidate.label == reference.label == spec.label
+            assert candidate.io_cost_ms == reference.io_cost_ms
+            assert candidate.response_time_ms == reference.response_time_ms
+            assert candidate.prefetch == reference.prefetch
+
+    def test_preserves_spec_order(self, toy_advisor):
+        specs, _ = toy_advisor.generate_specs()
+        reversed_specs = list(reversed(specs))
+        candidates = toy_advisor.engine().evaluate_specs(reversed_specs)
+        assert [c.label for c in candidates] == [s.label for s in reversed_specs]
+
+    def test_small_sweeps_stay_serial(self, toy_advisor):
+        specs, _ = toy_advisor.generate_specs()
+        engine = EvaluationEngine(
+            toy_advisor.schema,
+            toy_advisor.workload,
+            toy_advisor.system,
+            toy_advisor.config,
+            jobs=4,
+        )
+        few = specs[: MIN_SPECS_FOR_PARALLEL - 1]
+        candidates = engine.evaluate_specs(few)
+        assert len(candidates) == len(few)
+
+    def test_context_is_picklable(self, toy_advisor):
+        specs, _ = toy_advisor.generate_specs()
+        engine = toy_advisor.engine()
+        context = engine.context(specs=specs)
+        clone = pickle.loads(pickle.dumps(context))
+        assert clone.fact_name == context.fact_name
+        assert len(clone.specs) == len(specs)
+        candidate = evaluate_spec_in_context(clone, clone.specs[0])
+        reference = toy_advisor.evaluate_spec(specs[0])
+        assert candidate.io_cost_ms == reference.io_cost_ms
+
+    def test_bitmap_scheme_designed_once(self, toy_advisor):
+        engine = toy_advisor.engine()
+        assert engine.bitmap_scheme() is engine.bitmap_scheme()
+
+    def test_advisor_recommend_uses_engine(self, toy_schema, toy_workload, small_system):
+        config = AdvisorConfig(max_fragments=10_000, top_candidates=5)
+        advisor = Warlock(toy_schema, toy_workload, small_system, config)
+        recommendation = advisor.recommend()
+        assert recommendation.ranked
+        assert advisor.cache.stats.lookups > 0
+
+    def test_advisor_engine_is_memoized(self, toy_advisor):
+        assert toy_advisor.engine() is toy_advisor.engine()
+
+    def test_advisor_default_cache_is_bounded(self, toy_advisor):
+        from repro.core.advisor import DEFAULT_CACHE_ENTRIES
+
+        assert toy_advisor.cache.max_entries == DEFAULT_CACHE_ENTRIES
+
+    def test_evaluate_candidates_with_empty_list_returns_empty(self, toy_advisor):
+        candidates, report = toy_advisor.evaluate_candidates(specs=[])
+        assert candidates == []
+        assert report.considered == 0

@@ -1,0 +1,144 @@
+"""Parity matrix: serial, parallel and cached runs return identical results.
+
+The evaluation engine promises that execution strategy is invisible in the
+output: ``jobs=1`` and ``jobs=4`` produce bit-identical recommendations on
+every scenario, and a cold cache versus a warm cache changes timings only,
+never numbers.  Identity is checked through
+:func:`repro.engine.recommendation_fingerprint`, which canonicalizes every
+float of every candidate (per-class costs, access profiles, allocation
+vectors) at full ``repr`` precision — two equal fingerprints mean the
+recommendations are bit-identical — plus direct equality spot checks on the
+headline metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AdvisorConfig,
+    EvaluationCache,
+    SystemParameters,
+    Warlock,
+    apb1_query_mix,
+    apb1_schema,
+    recommendation_fingerprint,
+    retail_query_mix,
+    retail_schema,
+    synthetic_schema,
+)
+from repro.engine import recommendation_state
+from repro.workload.generator import random_query_mix
+
+
+def _scenario(name):
+    """(schema, workload, system, config) for a named parity scenario."""
+    if name == "synthetic":
+        schema = synthetic_schema(
+            num_dimensions=4,
+            levels_per_dimension=3,
+            bottom_cardinality=300,
+            fact_rows=2_000_000,
+            seed=3,
+        )
+        workload = random_query_mix(schema, num_classes=6, seed=5)
+        system = SystemParameters(num_disks=16)
+        config = AdvisorConfig(max_fragments=20_000, top_candidates=8)
+    elif name == "retail":
+        schema = retail_schema(scale=0.05)
+        workload = retail_query_mix()
+        system = SystemParameters(num_disks=32)
+        config = AdvisorConfig(max_fragments=50_000, top_candidates=8)
+    elif name == "apb1":
+        schema = apb1_schema(scale=0.02)
+        workload = apb1_query_mix()
+        system = SystemParameters(num_disks=64)
+        config = AdvisorConfig(max_fragments=100_000, top_candidates=10)
+    else:  # pragma: no cover - test bug
+        raise ValueError(name)
+    return schema, workload, system, config
+
+
+SCENARIOS = ("synthetic", "retail", "apb1")
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+class TestSerialParallelParity:
+    def test_jobs_1_and_jobs_4_are_bit_identical(self, scenario):
+        schema, workload, system, config = _scenario(scenario)
+        serial = Warlock(schema, workload, system, config, jobs=1).recommend()
+        parallel = Warlock(schema, workload, system, config, jobs=4).recommend()
+        assert recommendation_fingerprint(serial) == recommendation_fingerprint(parallel)
+        # Spot checks on top of the fingerprint: order, metrics, prefetch.
+        assert [r.label for r in serial.ranked] == [r.label for r in parallel.ranked]
+        for ours, theirs in zip(serial.evaluated, parallel.evaluated):
+            assert ours.label == theirs.label
+            assert ours.io_cost_ms == theirs.io_cost_ms
+            assert ours.response_time_ms == theirs.response_time_ms
+            assert ours.prefetch == theirs.prefetch
+            assert (
+                ours.allocation.disk_of_fragment.tolist()
+                == theirs.allocation.disk_of_fragment.tolist()
+            )
+
+    def test_cold_vs_warm_cache_is_bit_identical(self, scenario):
+        schema, workload, system, config = _scenario(scenario)
+        advisor = Warlock(schema, workload, system, config)
+        cold = advisor.recommend()
+        cold_lookups = advisor.cache.stats.lookups
+        warm = advisor.recommend()
+        assert advisor.cache.stats.hits > 0
+        assert advisor.cache.stats.lookups > cold_lookups
+        assert recommendation_fingerprint(cold) == recommendation_fingerprint(warm)
+
+    def test_shared_cache_across_advisors_is_bit_identical(self, scenario):
+        schema, workload, system, config = _scenario(scenario)
+        cache = EvaluationCache()
+        first = Warlock(schema, workload, system, config, cache=cache).recommend()
+        warm_advisor = Warlock(schema, workload, system, config, cache=cache)
+        hits_before = cache.stats.hits
+        second = warm_advisor.recommend()
+        assert cache.stats.hits > hits_before
+        assert recommendation_fingerprint(first) == recommendation_fingerprint(second)
+
+    def test_disabled_cache_is_bit_identical(self, scenario):
+        schema, workload, system, config = _scenario(scenario)
+        cached = Warlock(schema, workload, system, config).recommend()
+        uncached = Warlock(schema, workload, system, config, cache=False).recommend()
+        assert recommendation_fingerprint(cached) == recommendation_fingerprint(uncached)
+
+
+def test_parallel_sweep_populates_the_shared_cache():
+    """Worker results (candidates AND structures) land in the parent cache."""
+    schema, workload, system, config = _scenario("synthetic")
+    cache = EvaluationCache()
+    advisor = Warlock(schema, workload, system, config, jobs=4, cache=cache)
+    first = advisor.recommend()
+    assert len(cache._candidates) == len(first.evaluated)
+    # Structures are merged back too: studies varying the system reuse them.
+    assert len(cache._structures) >= len(first.evaluated)
+    cache.reset_stats()
+    warm = advisor.recommend()
+    # A fully warm parallel sweep is answered without recomputation.
+    assert cache.stats.candidate_hits == len(first.evaluated)
+    assert cache.stats.misses == 0
+    assert recommendation_fingerprint(first) == recommendation_fingerprint(warm)
+
+
+def test_fingerprint_distinguishes_different_inputs():
+    schema, workload, system, config = _scenario("synthetic")
+    base = Warlock(schema, workload, system, config).recommend()
+    other_system = SystemParameters(num_disks=8)
+    other = Warlock(schema, workload, other_system, config).recommend()
+    assert recommendation_fingerprint(base) != recommendation_fingerprint(other)
+
+
+def test_recommendation_state_is_json_shaped():
+    schema, workload, system, config = _scenario("synthetic")
+    recommendation = Warlock(schema, workload, system, config).recommend()
+    state = recommendation_state(recommendation)
+    assert state["ranked"]
+    entry = state["ranked"][0]
+    assert {"label", "io_cost_ms", "per_class", "allocation"} <= set(entry)
+    # Full-precision floats are serialized as repr strings.
+    assert isinstance(entry["io_cost_ms"], str)
