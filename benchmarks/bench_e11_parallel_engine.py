@@ -1,21 +1,31 @@
-"""E11 — The candidate-evaluation engine: serial vs parallel vs cached.
+"""E11 — The candidate-evaluation engine: vectorized, parallel, cached.
 
 The advisor's hot path is the candidate sweep: every surviving fragmentation
 is evaluated against every query class of the mix.  This experiment measures
-the evaluation-engine pipeline on a large synthetic sweep (hundreds of
-candidates, thousands of (candidate × query class) work units) in four modes:
+the evaluation-engine pipeline in two parts:
 
-* **serial/uncached** — the seed-equivalent baseline: one inline loop, every
-  access structure recomputed for both the prefetch run-length pass and the
-  evaluation pass;
-* **serial/cached** — the engine's memoized pipeline (``jobs=1``);
-* **parallel** — the process-pool backend (``jobs=4``);
+**Part 1 — engine modes** on a large synthetic sweep (hundreds of candidates,
+thousands of (candidate × query class) work units):
+
+* **serial/uncached/scalar** — the seed-equivalent baseline: one inline loop,
+  per-class scalar estimation, every access structure recomputed for both the
+  prefetch run-length pass and the evaluation pass;
+* **serial/cached** — the engine's memoized pipeline (``jobs=1``, vectorized);
+* **parallel** — the process-pool backend (``jobs=4``) with columnar
+  worker→parent result batches;
 * **warm** — a repeated sweep against the already-populated cache, the shape
   every what-if tuning iteration takes.
 
-Assertions: all four modes return bit-identical recommendations
+**Part 2 — the vectorized class-axis sweep** on APB-1: the per-candidate cost
+sweep (access structures, prefetch resolution, per-class costs) timed scalar
+vs vectorized over all surviving candidates, on the stock 8-class APB-1 mix
+and on a widened 40-class APB-1-style mix (the class count whose per-class
+scalar passes the PR 1 profile flagged as the dominant serial cost).
+
+Assertions: all modes return bit-identical recommendations
 (:func:`repro.engine.recommendation_fingerprint`); the warm cache-aware sweep
-is at least 2x faster than the serial baseline; and — on machines that
+is at least 2x faster than the serial baseline; the vectorized 40-class APB-1
+sweep is at least 3x faster than the scalar sweep; and — on machines that
 actually have the cores — ``jobs=4`` beats the serial baseline by at least 2x.
 The multicore assertion is gated on CPU availability because a process pool
 cannot beat physics on a single-core container; the measured numbers are
@@ -27,20 +37,46 @@ from __future__ import annotations
 import os
 import time
 
-from repro import AdvisorConfig, SystemParameters, Warlock, synthetic_schema
+from repro import (
+    AdvisorConfig,
+    DimensionRestriction,
+    QueryClass,
+    QueryMix,
+    SystemParameters,
+    Warlock,
+    apb1_query_mix,
+    apb1_schema,
+    synthetic_schema,
+)
+from repro.costmodel import (
+    IOCostModel,
+    compute_access_structure_batch,
+    evaluate_workload_batch,
+    resolve_prefetch_setting,
+    resolve_prefetch_setting_batch,
+)
 from repro.engine import recommendation_fingerprint
+from repro.fragmentation import build_layout
+from repro.workload import ClassMatrix
 from repro.workload.generator import random_query_mix
 
 from conftest import print_table
 
 #: The full sweep: 7 dimensions x 3 levels enumerate >1000 point
-#: fragmentations of which well over 200 survive the thresholds; 32 query
+#: fragmentations of which well over 200 survive the thresholds; 40 query
 #: classes give every candidate a substantial per-class cost sweep.
 FULL = dict(dimensions=7, bottom=400, classes=40, max_fragments=30_000, min_candidates=200)
 #: Smoke mode for CI: same pipeline, small sweep, no speedup thresholds.
 QUICK = dict(dimensions=5, bottom=200, classes=8, max_fragments=20_000, min_candidates=20)
 
 JOBS = 4
+
+#: APB-1 configuration of the class-axis sweep experiment.
+APB_SCALE = 0.2
+APB_DISKS = 64
+#: Widening factor: each APB-1 class is replicated with growing IN-list
+#: widths, giving the 40-class APB-1-style mix of the headline measurement.
+APB_WIDEN = 5
 
 
 def _inputs(params):
@@ -68,13 +104,15 @@ def test_e11_parallel_engine_speedup_and_parity(benchmark, quick):
     params = QUICK if quick else FULL
     schema, workload, system, config = _inputs(params)
 
-    # Mode 1: seed-equivalent serial baseline (no cache, inline loop).
-    serial_advisor = Warlock(schema, workload, system, config, jobs=1, cache=False)
+    # Mode 1: seed-equivalent serial baseline (no cache, scalar inline loop).
+    serial_advisor = Warlock(
+        schema, workload, system, config, jobs=1, cache=False, vectorize=False
+    )
     specs, report = serial_advisor.generate_specs()
     plan = serial_advisor.engine().plan(specs)
     serial_rec, serial_s = _timed_recommend(serial_advisor)
 
-    # Mode 2: cache-aware engine, still serial.
+    # Mode 2: cache-aware vectorized engine, still serial.
     cached_advisor = Warlock(schema, workload, system, config, jobs=1)
     cached_rec, cached_s = _timed_recommend(cached_advisor)
     cold_stats = cached_advisor.cache.stats
@@ -104,11 +142,11 @@ def test_e11_parallel_engine_speedup_and_parity(benchmark, quick):
         f"E11: engine modes on the {plan.num_candidates}-candidate sweep",
         ["mode", "time [s]", "speedup vs serial", "notes"],
         [
-            ["serial (uncached)", f"{serial_s:.3f}", "1.00x", "seed-equivalent loop"],
+            ["serial (uncached, scalar)", f"{serial_s:.3f}", "1.00x", "seed-equivalent loop"],
             ["engine jobs=1 (cached)", f"{cached_s:.3f}", f"{serial_s / cached_s:.2f}x",
              cold_stats.describe()],
             [f"engine jobs={JOBS}", f"{parallel_s:.3f}", f"{serial_s / parallel_s:.2f}x",
-             "process pool"],
+             "process pool, columnar result batches"],
             ["engine warm cache", f"{warm_s:.3f}", f"{serial_s / warm_s:.2f}x",
              warm_stats.describe()],
         ],
@@ -126,8 +164,9 @@ def test_e11_parallel_engine_speedup_and_parity(benchmark, quick):
     assert plan.num_units >= params["min_candidates"] * params["classes"]
 
     # -- cache effectiveness ----------------------------------------------------
-    # Cold: the run-length pass and evaluation pass share every structure.
-    assert cold_stats.structure_hits >= plan.num_units
+    # Cold, vectorized: one structure *batch* per candidate covers all classes
+    # (the run-length and evaluation passes share it within the evaluation).
+    assert cold_stats.structure_misses == plan.num_candidates
     # Warm: the whole sweep is answered from candidate-level entries.
     assert warm_stats.candidate_hits == plan.num_candidates
     assert warm_stats.hit_rate >= 0.99
@@ -150,6 +189,137 @@ def test_e11_parallel_engine_speedup_and_parity(benchmark, quick):
             f"jobs={JOBS} only {serial_s / parallel_s:.2f}x over serial "
             f"({parallel_s:.3f}s vs {serial_s:.3f}s) on {cpus} CPUs"
         )
+
+
+# ---------------------------------------------------------------------------
+# Part 2: the vectorized class-axis sweep on APB-1
+# ---------------------------------------------------------------------------
+
+def _widened_apb1_mix(schema, widen: int) -> QueryMix:
+    """The APB-1 mix replicated with growing IN-list widths (8 x widen classes)."""
+    classes = []
+    for repetition in range(widen):
+        for query_class in apb1_query_mix():
+            restrictions = [
+                DimensionRestriction(
+                    restriction.dimension,
+                    restriction.level,
+                    min(
+                        schema.level_cardinality(
+                            restriction.dimension, restriction.level
+                        ),
+                        1 + repetition * 2,
+                    ),
+                )
+                for restriction in query_class.restrictions
+            ]
+            classes.append(
+                QueryClass(
+                    name=f"{query_class.name}-w{repetition}",
+                    restrictions=restrictions,
+                    weight=query_class.weight,
+                    fact_table=query_class.fact_table,
+                )
+            )
+    return QueryMix(classes)
+
+
+def _time_class_axis_sweep(layouts, workload, scheme, system, vectorize, rounds=5):
+    """Best-of-N wall time of the uncached per-candidate cost sweep.
+
+    This is exactly the work the tentpole vectorized: access-structure
+    derivation, prefetch resolution and the per-class cost model for every
+    candidate (layout materialization and allocation are identical in both
+    paths and excluded).
+    """
+    model = IOCostModel(system, validate_queries=False)
+    matrix = ClassMatrix.compile(layouts[0].schema, workload, scheme)
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        if vectorize:
+            for layout in layouts:
+                structures = compute_access_structure_batch(layout, matrix)
+                prefetch = resolve_prefetch_setting_batch(structures, matrix, system)
+                evaluate_workload_batch(layout, structures, matrix, system, prefetch)
+        else:
+            for layout in layouts:
+                prefetch = resolve_prefetch_setting(
+                    layout, workload, scheme, system, validate_queries=False
+                )
+                model.evaluate(layout, workload, scheme, prefetch)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def test_e11_vectorized_class_axis_sweep(quick):
+    """Scalar vs vectorized serial cost sweep on APB-1 (8 and 40 classes)."""
+    schema = apb1_schema(scale=0.05 if quick else APB_SCALE)
+    system = SystemParameters(num_disks=APB_DISKS)
+    config = AdvisorConfig(max_fragments=100_000)
+    widen = 1 if quick else APB_WIDEN
+
+    stock_mix = apb1_query_mix()
+    wide_mix = _widened_apb1_mix(schema, widen)
+
+    advisor = Warlock(schema, stock_mix, system, config)
+    specs, _ = advisor.generate_specs()
+    scheme = advisor.design_bitmaps()
+    layouts = [
+        build_layout(
+            schema,
+            spec,
+            page_size_bytes=system.page_size_bytes,
+            max_fragments=config.max_fragments,
+        )
+        for spec in specs
+    ]
+
+    rows = []
+    ratios = {}
+    for label, workload in (
+        (f"stock mix ({len(stock_mix)} classes)", stock_mix),
+        (f"widened mix ({len(wide_mix)} classes)", wide_mix),
+    ):
+        mix_scheme = Warlock(schema, workload, system, config).design_bitmaps()
+        scalar_s = _time_class_axis_sweep(layouts, workload, mix_scheme, system, False)
+        vector_s = _time_class_axis_sweep(layouts, workload, mix_scheme, system, True)
+        ratios[label] = scalar_s / vector_s
+        rows.append(
+            [
+                label,
+                f"{scalar_s * 1000:.1f}",
+                f"{vector_s * 1000:.1f}",
+                f"{scalar_s / vector_s:.2f}x",
+            ]
+        )
+    print()
+    print_table(
+        f"E11: class-axis cost sweep on APB-1 ({len(layouts)} candidates, serial, uncached)",
+        ["workload", "scalar [ms]", "vectorized [ms]", "speedup"],
+        rows,
+    )
+
+    # -- parity: the vectorized advisor returns the bit-identical result --------
+    scalar_rec = Warlock(
+        schema, wide_mix, system, config, cache=False, vectorize=False
+    ).recommend()
+    vector_rec = Warlock(schema, wide_mix, system, config, cache=False).recommend()
+    assert recommendation_fingerprint(scalar_rec) == recommendation_fingerprint(
+        vector_rec
+    )
+
+    if quick:
+        return
+
+    # The vectorized win grows with the class axis; on the 40-class APB-1
+    # sweep it must clear 3x (measured ~3.5x on the reference container).
+    wide_label = f"widened mix ({len(wide_mix)} classes)"
+    assert ratios[wide_label] >= 3.0, (
+        f"vectorized class-axis sweep only {ratios[wide_label]:.2f}x over "
+        f"scalar on the 40-class APB-1 mix"
+    )
 
 
 def test_e11_tuning_reuse_via_shared_cache(quick):
@@ -180,7 +350,7 @@ def test_e11_tuning_reuse_via_shared_cache(quick):
     print()
     print(f"E11: tuning studies over the recommended spec took {elapsed:.3f}s")
     print(f"E11: {stats.describe()}")
-    # The disk-count study varies only the system: every access structure of
+    # The disk-count study varies only the system: every structure batch of
     # the studied spec is reused from the recommend() sweep.
     assert stats.structure_hits > 0
     assert stats.hit_rate > 0.5

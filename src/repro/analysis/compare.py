@@ -13,7 +13,7 @@ the comparison.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.analysis.report import format_table
 from repro.core.candidates import FragmentationCandidate
@@ -86,8 +86,9 @@ def compare_specs(
     baseline_spec=None,
     config=None,
     fact_table=None,
-    jobs: int = 1,
+    jobs: Union[int, str] = 1,
     cache=None,
+    vectorize: bool = True,
 ) -> str:
     """Evaluate ``specs`` through the engine and render the comparison table.
 
@@ -105,17 +106,27 @@ def compare_specs(
         omitted) — pass the same name the advisor was built with so cached
         evaluations are reused.
     jobs:
-        Worker processes for the sweep (1 = serial).
+        Worker processes for the sweep (1 = serial, "auto" = adaptive).
     cache:
         Evaluation cache to share with previous advisor/tuning work; a cache
         that already holds these evaluations makes this a pure rendering call.
+    vectorize:
+        Evaluate the per-class cost sweep vectorized over the class axis
+        (default) or with the scalar reference path; results are identical.
     """
     from repro.engine import EvaluationEngine
 
     if not specs:
         raise ReportError("compare_specs needs at least one spec")
     engine = EvaluationEngine(
-        schema, workload, system, config, fact_table=fact_table, jobs=jobs, cache=cache
+        schema,
+        workload,
+        system,
+        config,
+        fact_table=fact_table,
+        jobs=jobs,
+        cache=cache,
+        vectorize=vectorize,
     )
     sweep = list(specs) if baseline_spec is None else [baseline_spec, *specs]
     candidates = engine.evaluate_specs(sweep)

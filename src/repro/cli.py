@@ -84,7 +84,14 @@ def _advisor(args: argparse.Namespace) -> Warlock:
         top_candidates=args.top,
         max_fragments=args.max_fragments,
     )
-    return Warlock(schema, workload, system, config, jobs=getattr(args, "jobs", 1))
+    return Warlock(
+        schema,
+        workload,
+        system,
+        config,
+        jobs=getattr(args, "jobs", "auto"),
+        vectorize=not getattr(args, "no_vectorize", False),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -238,12 +245,16 @@ def _cmd_example_config(args: argparse.Namespace) -> int:
 # Parser
 # ---------------------------------------------------------------------------
 
-def _positive_int(value: str) -> int:
-    """Argparse type for strictly positive integers (``--jobs 0`` is an error)."""
+def _jobs_value(value: str):
+    """Argparse type for ``--jobs``: a strictly positive integer or ``auto``."""
+    if value == "auto":
+        return "auto"
     try:
         parsed = int(value)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        )
     if parsed < 1:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {parsed}")
     return parsed
@@ -277,11 +288,19 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--jobs",
-        type=_positive_int,
-        default=1,
+        type=_jobs_value,
+        default="auto",
         metavar="N",
         help="worker processes for the candidate-evaluation engine "
-        "(default 1 = serial; parallel runs return identical results)",
+        "(default 'auto' = pick from available CPUs and sweep size; "
+        "1 forces serial; parallel runs return identical results)",
+    )
+    parser.add_argument(
+        "--no-vectorize",
+        action="store_true",
+        help="evaluate the per-query-class cost sweep with the scalar "
+        "reference path instead of the vectorized class-axis batch "
+        "(results are bit-identical; this is an escape hatch / A-B check)",
     )
 
 

@@ -96,13 +96,20 @@ class Warlock:
     jobs:
         Worker processes used by the candidate-evaluation engine.  ``1``
         (default) evaluates serially in-process; higher values sweep the
-        candidates on a process pool with guaranteed result parity.
+        candidates on a process pool with guaranteed result parity; ``"auto"``
+        picks the worker count per sweep from the available CPUs and the
+        candidate count (:func:`repro.engine.adaptive_jobs`).
     cache:
         Evaluation cache (:class:`repro.engine.EvaluationCache`).  ``None``
         (default) creates a private cache, so repeated ``recommend()`` /
         ``evaluate_spec()`` calls on the same advisor reuse access structures;
         pass a shared instance to reuse evaluations across advisors (what-if
         tuning does), or ``False`` to disable caching entirely.
+    vectorize:
+        ``True`` (default) evaluates each candidate's per-query-class cost
+        sweep as numpy vectors over the class axis; ``False`` runs the scalar
+        reference path (CLI ``--no-vectorize``).  Results are bit-identical
+        either way.
     """
 
     def __init__(
@@ -112,15 +119,18 @@ class Warlock:
         system: SystemParameters,
         config: Optional[AdvisorConfig] = None,
         fact_table: Optional[str] = None,
-        jobs: int = 1,
+        jobs=1,
         cache=None,
+        vectorize: bool = True,
     ) -> None:
         # Imported lazily to keep `repro.core` importable before `repro.engine`
         # (the engine imports core.candidates).
         from repro.engine import EvaluationCache
 
-        if jobs < 1:
-            raise AdvisorError(f"jobs must be at least 1, got {jobs}")
+        if jobs != "auto" and (not isinstance(jobs, int) or jobs < 1):
+            raise AdvisorError(
+                f'jobs must be a positive integer or "auto", got {jobs!r}'
+            )
         self.schema = schema
         self.workload = workload
         self.system = system
@@ -129,6 +139,7 @@ class Warlock:
         self.schema_warnings = validate_schema(schema)
         workload.validate(schema)
         self.jobs = jobs
+        self.vectorize = vectorize
         if cache is False:
             self.cache = None
         elif cache is None:
@@ -193,6 +204,7 @@ class Warlock:
                 fact_table=self.fact.name,
                 jobs=self.jobs,
                 cache=self.cache if self.cache is not None else False,
+                vectorize=self.vectorize,
             )
         return self._engine
 

@@ -25,7 +25,16 @@ from repro.costmodel.model import (
     IOCostModel,
     QueryCost,
     WorkloadEvaluation,
+    prefetch_setting_from_runs,
     resolve_prefetch_setting,
+)
+from repro.costmodel.batch import (
+    AccessProfileBatch,
+    AccessStructureBatch,
+    compute_access_structure_batch,
+    estimate_access_batch,
+    evaluate_workload_batch,
+    resolve_prefetch_setting_batch,
 )
 
 __all__ = [
@@ -37,8 +46,15 @@ __all__ = [
     "QueryAccessProfile",
     "compute_access_structure",
     "estimate_access",
+    "AccessProfileBatch",
+    "AccessStructureBatch",
+    "compute_access_structure_batch",
+    "estimate_access_batch",
+    "evaluate_workload_batch",
+    "resolve_prefetch_setting_batch",
     "IOCostModel",
     "QueryCost",
     "WorkloadEvaluation",
+    "prefetch_setting_from_runs",
     "resolve_prefetch_setting",
 ]

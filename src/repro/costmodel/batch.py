@@ -1,0 +1,767 @@
+"""Batched class-axis cost estimation: one candidate, all query classes at once.
+
+The scalar path (:mod:`repro.costmodel.access` / :mod:`repro.costmodel.model`)
+evaluates one (candidate, query class) pair per call; the advisor's sweep
+therefore pays ~``num_classes`` Python passes per candidate.  This module
+computes the same quantities as numpy vectors over the *class axis*: a
+:class:`~repro.workload.ClassMatrix` supplies the workload in columnar form,
+:func:`compute_access_structure_batch` derives every class's
+prefetch-independent access structure in one shot, and
+:func:`estimate_access_batch` / :func:`evaluate_workload_batch` apply the
+prefetch setting and the I/O cost model vectorized.
+
+**Bit-parity contract.** The batched path is the *same model*, not an
+approximation: every vector expression performs the identical IEEE-754 double
+operations in the identical order as its scalar counterpart (down to routing
+``pow`` through CPython floats, see
+:func:`repro.costmodel.formulas._elementwise_pow`, and accumulating ragged
+per-index sums with ``np.add.at`` in scalar iteration order).  The scalar path
+stays as the reference implementation; ``tests/test_vector_parity.py`` sweeps
+random layouts, bitmap schemes and prefetch settings and asserts
+field-by-field equality of :class:`~repro.costmodel.QueryAccessProfile` and
+:class:`~repro.costmodel.QueryCost` between the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import CostModelError
+from repro.fragmentation import FragmentationLayout
+from repro.storage import PrefetchSetting, SystemParameters
+from repro.workload.matrix import ClassMatrix
+from repro.costmodel.access import (
+    SEQUENTIAL_DENSITY_THRESHOLD,
+    AccessStructure,
+    QueryAccessProfile,
+)
+from repro.costmodel.formulas import cardenas_pages, expected_distinct_ancestors
+from repro.costmodel.model import (
+    QueryCost,
+    WorkloadEvaluation,
+    _positioning_page_equivalent,
+    prefetch_setting_from_runs,
+)
+
+__all__ = [
+    "AccessStructureBatch",
+    "AccessProfileBatch",
+    "compute_access_structure_batch",
+    "estimate_access_batch",
+    "resolve_prefetch_setting_batch",
+    "evaluate_workload_batch",
+]
+
+
+def _materialize(cls, state: dict):
+    """Construct a frozen dataclass instance directly from its field dict.
+
+    The batched path materializes ``num_candidates × num_classes`` frozen
+    profile/cost records per sweep; the generated ``__init__`` of a frozen
+    dataclass pays one ``object.__setattr__`` per field, which dominates the
+    materialization.  Neither :class:`QueryAccessProfile` nor
+    :class:`QueryCost` has a ``__post_init__``, so seeding the instance
+    ``__dict__`` is equivalent — equality, repr and pickling all read the
+    same storage.
+    """
+    instance = object.__new__(cls)
+    instance.__dict__.update(state)
+    return instance
+
+
+@dataclass(frozen=True)
+class _ResidualGroup:
+    """One residual-restriction source, compressed to the classes it affects.
+
+    The scalar path evaluates a class's residual restrictions in a fixed
+    order: fragmentation-axis residuals in spec order, then restrictions on
+    non-fragmentation dimensions in the class's restriction order.  Groups are
+    built in exactly that order, so iterating groups replays the scalar
+    per-class residual order for every class simultaneously.
+    """
+
+    #: Class indices this group restricts (ascending).
+    columns: np.ndarray
+    #: Residual fraction per affected class.
+    fractions: np.ndarray
+    #: Bitmap-index availability per affected class.
+    has_bitmap: np.ndarray
+    #: Bits read per fact row off the index, per affected class.
+    bits_read: np.ndarray
+    #: Restricted (dimension, level) per affected class.
+    attributes: Tuple[Tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class AccessStructureBatch:
+    """Prefetch-independent access structures of *all* classes on one layout.
+
+    The columnar twin of :class:`~repro.costmodel.AccessStructure`: one numpy
+    entry per query class (mix order), plus a flat representation of the
+    ragged per-class bitmap-index extents (``index_class`` / ``index_pages``
+    rows, in per-class residual order).  :meth:`structure` materializes the
+    scalar dataclass for any class — bit-identical to
+    :func:`~repro.costmodel.compute_access_structure`.
+    """
+
+    query_names: Tuple[str, ...]
+    fragments_total: int
+    fragments_accessed: np.ndarray
+    rows_in_accessed_fragments: np.ndarray
+    qualifying_rows: np.ndarray
+    rows_per_fragment: np.ndarray
+    fact_pages_per_fragment: np.ndarray
+    forced_full_scan: np.ndarray
+    has_residuals: np.ndarray
+    bitmap_touched_per_fragment: np.ndarray
+    bitmap_density: np.ndarray
+    #: Class index of every usable residual bitmap index (flat, per-class
+    #: residual order).
+    index_class: np.ndarray
+    #: Bitmap pages per fragment of that index.
+    index_pages: np.ndarray
+    #: (dimension, level) of that index.
+    index_attributes: Tuple[Tuple[str, str], ...]
+    #: Per-class sum of ``index_pages`` (scalar accumulation order).
+    bitmap_pages_per_fragment: np.ndarray
+    #: Per-class number of usable residual indexes.
+    bitmap_index_counts: np.ndarray
+
+    @property
+    def num_classes(self) -> int:
+        """Number of query classes in the batch."""
+        return len(self.query_names)
+
+    @cached_property
+    def bitmap_plan_available(self) -> np.ndarray:
+        """Per-class: residual filtering can run entirely off bitmap indexes."""
+        return (
+            self.has_residuals
+            & ~self.forced_full_scan
+            & (self.bitmap_index_counts > 0)
+        )
+
+    @cached_property
+    def _index_rows_by_class(self) -> Tuple[Tuple[int, ...], ...]:
+        rows: List[List[int]] = [[] for _ in range(self.num_classes)]
+        for position, class_index in enumerate(self.index_class.tolist()):
+            rows[class_index].append(position)
+        return tuple(tuple(entry) for entry in rows)
+
+    def index_pages_for(self, class_index: int) -> Tuple[float, ...]:
+        """``bitmap_pages_per_index`` of one class (scalar-path order)."""
+        pages = self.index_pages
+        return tuple(float(pages[row]) for row in self._index_rows_by_class[class_index])
+
+    def attributes_for(self, class_index: int) -> Tuple[Tuple[str, str], ...]:
+        """``bitmap_attributes_available`` of one class (scalar-path order)."""
+        return tuple(
+            self.index_attributes[row]
+            for row in self._index_rows_by_class[class_index]
+        )
+
+    def structure(self, class_index: int) -> AccessStructure:
+        """Materialize the scalar :class:`AccessStructure` of one class."""
+        return AccessStructure(
+            query_name=self.query_names[class_index],
+            fragments_accessed=float(self.fragments_accessed[class_index]),
+            fragments_total=self.fragments_total,
+            rows_in_accessed_fragments=float(
+                self.rows_in_accessed_fragments[class_index]
+            ),
+            qualifying_rows=float(self.qualifying_rows[class_index]),
+            rows_per_fragment=float(self.rows_per_fragment[class_index]),
+            fact_pages_per_fragment=float(self.fact_pages_per_fragment[class_index]),
+            bitmap_pages_per_index=self.index_pages_for(class_index),
+            bitmap_attributes_available=self.attributes_for(class_index),
+            forced_full_scan=bool(self.forced_full_scan[class_index]),
+            has_residuals=bool(self.has_residuals[class_index]),
+            bitmap_touched_per_fragment=float(
+                self.bitmap_touched_per_fragment[class_index]
+            ),
+            bitmap_density=float(self.bitmap_density[class_index]),
+        )
+
+    def structures(self) -> Tuple[AccessStructure, ...]:
+        """All per-class access structures, in mix order."""
+        return tuple(self.structure(i) for i in range(self.num_classes))
+
+
+@dataclass(frozen=True)
+class AccessProfileBatch:
+    """Access profiles of all classes on one layout under one prefetch setting.
+
+    The columnar twin of :class:`~repro.costmodel.QueryAccessProfile`;
+    :meth:`profile` materializes the scalar dataclass for any class —
+    bit-identical to :func:`~repro.costmodel.estimate_access`.
+    """
+
+    structures: AccessStructureBatch
+    fact_pages_accessed: np.ndarray
+    bitmap_pages_accessed: np.ndarray
+    fact_io_requests: np.ndarray
+    bitmap_io_requests: np.ndarray
+    fact_pages_transferred: np.ndarray
+    sequential_fact_access: np.ndarray
+    use_bitmap_plan: np.ndarray
+
+    @property
+    def num_classes(self) -> int:
+        """Number of query classes in the batch."""
+        return self.structures.num_classes
+
+    def profile(self, class_index: int) -> QueryAccessProfile:
+        """Materialize the scalar :class:`QueryAccessProfile` of one class."""
+        structures = self.structures
+        bitmap_pages = float(self.bitmap_pages_accessed[class_index])
+        attributes = (
+            structures.attributes_for(class_index)
+            if self.use_bitmap_plan[class_index]
+            else ()
+        )
+        return QueryAccessProfile(
+            query_name=structures.query_names[class_index],
+            fragments_accessed=float(structures.fragments_accessed[class_index]),
+            fragments_total=structures.fragments_total,
+            rows_in_accessed_fragments=float(
+                structures.rows_in_accessed_fragments[class_index]
+            ),
+            qualifying_rows=float(structures.qualifying_rows[class_index]),
+            fact_pages_per_fragment=float(
+                structures.fact_pages_per_fragment[class_index]
+            ),
+            fact_pages_accessed=float(self.fact_pages_accessed[class_index]),
+            bitmap_pages_accessed=bitmap_pages,
+            fact_io_requests=float(self.fact_io_requests[class_index]),
+            bitmap_io_requests=float(self.bitmap_io_requests[class_index]),
+            fact_pages_transferred=float(self.fact_pages_transferred[class_index]),
+            bitmap_pages_transferred=bitmap_pages,
+            sequential_fact_access=bool(self.sequential_fact_access[class_index]),
+            forced_full_scan=bool(structures.forced_full_scan[class_index]),
+            bitmap_attributes_used=attributes,
+        )
+
+    def profiles(self) -> Tuple[QueryAccessProfile, ...]:
+        """All per-class profiles, in mix order."""
+        return tuple(self.profile(i) for i in range(self.num_classes))
+
+
+def _axis_groups(
+    layout: FragmentationLayout,
+    matrix: ClassMatrix,
+) -> Tuple[np.ndarray, np.ndarray, List[_ResidualGroup]]:
+    """Vectorized fragment confinement along every fragmentation axis.
+
+    Returns ``(fragments_accessed, fragment_row_fraction, residual_groups)``
+    where the residual groups cover the fragmentation-axis residuals in spec
+    order (the scalar `_axis_access` loop, all classes at once).
+    """
+    num_classes = matrix.num_classes
+    fragments_accessed = np.ones(num_classes, dtype=np.float64)
+    fragment_row_fraction = np.ones(num_classes, dtype=np.float64)
+    groups: List[_ResidualGroup] = []
+
+    for axis_index in range(layout.spec.dimensionality):
+        attribute = layout.spec.attributes[axis_index]
+        frag_cardinality = layout.axis_cardinalities[axis_index]
+        frag_cardinality_f = float(frag_cardinality)
+        if attribute.dimension not in matrix.dimension_names:
+            # No class restricts this dimension: every class touches every
+            # fragment value, contributing a factor of exactly 1.0 to the row
+            # fraction — identical to the scalar unrestricted branch.
+            fragments_accessed = fragments_accessed * frag_cardinality_f
+            fragment_row_fraction = fragment_row_fraction * (
+                frag_cardinality_f / frag_cardinality
+            )
+            continue
+
+        row = matrix.dimension_row(attribute.dimension)
+        restricted = matrix.restricted[row]
+        value_count = matrix.value_counts[row]
+        query_cardinality = matrix.level_cardinalities[row]
+        depth = matrix.level_depths[row]
+        attribute_depth = layout.schema.dimension(attribute.dimension).level_index(
+            attribute.level
+        )
+
+        accessed = np.full(num_classes, frag_cardinality_f, dtype=np.float64)
+
+        # Restriction at or above the fragmentation level: whole fragments.
+        coarse = restricted & (depth <= attribute_depth)
+        if coarse.any():
+            with np.errstate(divide="ignore", invalid="ignore"):
+                fanout = frag_cardinality / query_cardinality
+                coarse_accessed = np.minimum(
+                    frag_cardinality_f, np.maximum(1.0, value_count * fanout)
+                )
+            accessed = np.where(coarse, coarse_accessed, accessed)
+
+        # Restriction below the fragmentation level: residual filtering.
+        fine = restricted & (depth > attribute_depth)
+        fine_columns = np.nonzero(fine)[0]
+        if fine_columns.size:
+            fine_accessed = expected_distinct_ancestors(
+                selected_values=value_count[fine_columns],
+                fine_cardinality=query_cardinality[fine_columns],
+                coarse_cardinality=frag_cardinality_f,
+            )
+            fine_accessed = np.minimum(
+                frag_cardinality_f, np.maximum(1.0, fine_accessed)
+            )
+            accessed[fine_columns] = fine_accessed
+            selected_fraction = value_count[fine_columns] / query_cardinality[fine_columns]
+            accessed_fraction = fine_accessed / frag_cardinality
+            residual = np.minimum(1.0, selected_fraction / accessed_fraction)
+            level_names = matrix.level_names[row]
+            groups.append(
+                _ResidualGroup(
+                    columns=fine_columns,
+                    fractions=residual,
+                    has_bitmap=matrix.has_bitmap[row][fine_columns],
+                    bits_read=matrix.bitmap_bits_read[row][fine_columns],
+                    attributes=tuple(
+                        (attribute.dimension, level_names[column])
+                        for column in fine_columns.tolist()
+                    ),
+                )
+            )
+
+        fragments_accessed = fragments_accessed * accessed
+        fragment_row_fraction = fragment_row_fraction * (accessed / frag_cardinality)
+
+    return fragments_accessed, fragment_row_fraction, groups
+
+
+def _slot_groups(
+    layout: FragmentationLayout, matrix: ClassMatrix
+) -> List[_ResidualGroup]:
+    """Residual restrictions on non-fragmentation dimensions, slot by slot.
+
+    Iterating restriction slots in order replays, for every class at once, the
+    scalar loop ``for restriction in query.restrictions`` that appends
+    non-fragmentation residuals in restriction order.
+    """
+    # O(1) membership lookup: row index -> "is a fragmentation dimension".
+    # The trailing slot absorbs the NO_RESTRICTION (-1) padding entries, which
+    # the validity mask filters out anyway.
+    row_in_spec = np.zeros(matrix.num_dimensions + 1, dtype=bool)
+    for dimension in layout.spec.dimensions:
+        if dimension in matrix.dimension_names:
+            row_in_spec[matrix.dimension_names.index(dimension)] = True
+    groups: List[_ResidualGroup] = []
+    for slot in range(matrix.slot_dimensions.shape[1]):
+        dimension_rows = matrix.slot_dimensions[:, slot]
+        mask = (dimension_rows >= 0) & ~row_in_spec[dimension_rows]
+        columns = np.nonzero(mask)[0]
+        if not columns.size:
+            continue
+        rows = dimension_rows[columns]
+        groups.append(
+            _ResidualGroup(
+                columns=columns,
+                fractions=matrix.restriction_selectivities[rows, columns],
+                has_bitmap=matrix.has_bitmap[rows, columns],
+                bits_read=matrix.bitmap_bits_read[rows, columns],
+                attributes=tuple(
+                    (
+                        matrix.dimension_names[row],
+                        matrix.level_names[row][column],
+                    )
+                    for row, column in zip(rows.tolist(), columns.tolist())
+                ),
+            )
+        )
+    return groups
+
+
+def compute_access_structure_batch(
+    layout: FragmentationLayout, matrix: ClassMatrix
+) -> AccessStructureBatch:
+    """Derive every class's prefetch-independent access structure at once.
+
+    The vectorized twin of
+    :func:`~repro.costmodel.compute_access_structure`: same model, same
+    operation order, one numpy pass over the class axis instead of
+    ``num_classes`` scalar calls.  The workload is assumed validated (the
+    advisor and the engine validate it once at construction).
+    """
+    num_classes = matrix.num_classes
+    page_size = layout.page_size_bytes
+    rows_per_page = layout.rows_per_page
+    row_count = layout.fact.row_count
+
+    fragments_accessed, fragment_row_fraction, groups = _axis_groups(layout, matrix)
+    groups.extend(_slot_groups(layout, matrix))
+
+    rows_in_accessed = row_count * fragment_row_fraction
+    qualifying_rows = row_count * np.asarray(matrix.selectivities, dtype=np.float64)
+    qualifying_rows = np.minimum(qualifying_rows, rows_in_accessed)
+
+    non_positive = fragments_accessed <= 0
+    if non_positive.any():
+        failing = int(np.nonzero(non_positive)[0][0])
+        raise CostModelError(
+            f"query {matrix.query_names[failing]!r} accesses no fragments on "
+            f"{layout.spec.label}"
+        )
+
+    rows_per_fragment = rows_in_accessed / fragments_accessed
+    with np.errstate(invalid="ignore"):
+        fact_pages_per_fragment = np.where(
+            rows_per_fragment > 0,
+            np.maximum(1.0, np.ceil(rows_per_fragment / rows_per_page)),
+            0.0,
+        )
+
+    # --- residual filtering: bitmap extents and selectivity, group order ---------
+    residual_selectivity = np.ones(num_classes, dtype=np.float64)
+    forced_full_scan = np.zeros(num_classes, dtype=bool)
+    has_residuals = np.zeros(num_classes, dtype=bool)
+    index_class_parts: List[np.ndarray] = []
+    index_pages_parts: List[np.ndarray] = []
+    index_attributes: List[Tuple[str, str]] = []
+    for group in groups:
+        columns = group.columns
+        has_residuals[columns] = True
+        residual_selectivity[columns] *= np.minimum(1.0, group.fractions)
+        no_index = ~group.has_bitmap
+        forced_full_scan[columns[no_index]] = True
+        indexed = np.nonzero(group.has_bitmap)[0]
+        if not indexed.size:
+            continue
+        indexed_columns = columns[indexed]
+        pages = np.where(
+            rows_per_fragment[indexed_columns] > 0,
+            np.maximum(
+                1.0,
+                np.ceil(
+                    group.bits_read[indexed]
+                    * rows_per_fragment[indexed_columns]
+                    / 8.0
+                    / page_size
+                ),
+            ),
+            0.0,
+        )
+        index_class_parts.append(indexed_columns)
+        index_pages_parts.append(pages)
+        index_attributes.extend(group.attributes[i] for i in indexed.tolist())
+
+    if index_class_parts:
+        # Flat residual-index rows.  Sorting by class (stable) turns the
+        # group-major order into class-major order while preserving each
+        # class's residual order — the order the scalar path accumulates in.
+        index_class = np.concatenate(index_class_parts)
+        index_pages = np.concatenate(index_pages_parts)
+        order = np.argsort(index_class, kind="stable")
+        index_class = index_class[order]
+        index_pages = index_pages[order]
+        index_attributes = [index_attributes[i] for i in order.tolist()]
+    else:
+        index_class = np.empty(0, dtype=np.int64)
+        index_pages = np.empty(0, dtype=np.float64)
+
+    bitmap_pages_per_fragment = np.zeros(num_classes, dtype=np.float64)
+    np.add.at(bitmap_pages_per_fragment, index_class, index_pages)
+    bitmap_index_counts = np.bincount(
+        index_class, minlength=num_classes
+    ).astype(np.int64)
+
+    # --- fact pages a bitmap-driven plan would touch (Cardenas) ------------------
+    qualifying_per_fragment = rows_per_fragment * residual_selectivity
+    touched_per_fragment = cardenas_pages(
+        total_rows=rows_per_fragment,
+        total_pages=fact_pages_per_fragment,
+        selected_rows=qualifying_per_fragment,
+    )
+    touched_per_fragment = np.minimum(
+        fact_pages_per_fragment, np.maximum(0.0, touched_per_fragment)
+    )
+    with np.errstate(invalid="ignore"):
+        density = np.where(
+            fact_pages_per_fragment > 0,
+            touched_per_fragment / fact_pages_per_fragment,
+            0.0,
+        )
+
+    return AccessStructureBatch(
+        query_names=matrix.query_names,
+        fragments_total=layout.fragment_count,
+        fragments_accessed=fragments_accessed,
+        rows_in_accessed_fragments=rows_in_accessed,
+        qualifying_rows=qualifying_rows,
+        rows_per_fragment=rows_per_fragment,
+        fact_pages_per_fragment=fact_pages_per_fragment,
+        forced_full_scan=forced_full_scan,
+        has_residuals=has_residuals,
+        bitmap_touched_per_fragment=touched_per_fragment,
+        bitmap_density=density,
+        index_class=index_class,
+        index_pages=index_pages,
+        index_attributes=tuple(index_attributes),
+        bitmap_pages_per_fragment=bitmap_pages_per_fragment,
+        bitmap_index_counts=bitmap_index_counts,
+    )
+
+
+def estimate_access_batch(
+    structures: AccessStructureBatch,
+    prefetch: PrefetchSetting,
+    positioning_page_equivalent: float,
+) -> AccessProfileBatch:
+    """Apply a prefetch setting to a structure batch, all classes at once.
+
+    The vectorized twin of :func:`~repro.costmodel.estimate_access`: the same
+    scan-vs-bitmap access path selection, evaluated as masked vector
+    arithmetic over the class axis.
+    """
+    fragments_accessed = structures.fragments_accessed
+    fact_pages_per_fragment = structures.fact_pages_per_fragment
+
+    # --- bitmap request counts under the configured granule ----------------------
+    index_requests = np.where(
+        structures.index_pages > 0,
+        np.ceil(structures.index_pages / prefetch.bitmap_pages),
+        0.0,
+    )
+    bitmap_requests_per_fragment = np.zeros(structures.num_classes, dtype=np.float64)
+    np.add.at(bitmap_requests_per_fragment, structures.index_class, index_requests)
+    bitmap_pages_per_fragment = structures.bitmap_pages_per_fragment
+
+    # --- plan A: sequential scan of the accessed fragments ------------------------
+    scan_requests_per_fragment = np.where(
+        fact_pages_per_fragment > 0,
+        np.ceil(fact_pages_per_fragment / prefetch.fact_pages),
+        0.0,
+    )
+    scan_cost_per_fragment = (
+        scan_requests_per_fragment * positioning_page_equivalent
+        + fact_pages_per_fragment
+    )
+
+    # --- plan B: bitmap-driven access ---------------------------------------------
+    touched_per_fragment = structures.bitmap_touched_per_fragment
+    bitmap_sequential = structures.bitmap_density >= SEQUENTIAL_DENSITY_THRESHOLD
+    bitmap_fact_requests = np.where(
+        bitmap_sequential, scan_requests_per_fragment, touched_per_fragment
+    )
+    # Sequential bitmap plans read the whole fragment; random ones touch (and
+    # transfer) exactly the Cardenas pages — touched == transferred either way.
+    bitmap_fact_transferred = np.where(
+        bitmap_sequential, fact_pages_per_fragment, touched_per_fragment
+    )
+    bitmap_plan_cost = (
+        bitmap_fact_requests * positioning_page_equivalent
+        + bitmap_fact_transferred
+        + bitmap_requests_per_fragment * positioning_page_equivalent
+        + bitmap_pages_per_fragment
+    )
+    use_bitmap_plan = structures.bitmap_plan_available & (
+        bitmap_plan_cost < scan_cost_per_fragment
+    )
+
+    sequential = np.where(use_bitmap_plan, bitmap_sequential, True)
+    pages_touched_per_fragment = np.where(
+        use_bitmap_plan, bitmap_fact_transferred, fact_pages_per_fragment
+    )
+    requests_per_fragment = np.where(
+        use_bitmap_plan, bitmap_fact_requests, scan_requests_per_fragment
+    )
+    transferred_per_fragment = np.where(
+        use_bitmap_plan, bitmap_fact_transferred, fact_pages_per_fragment
+    )
+    bitmap_pages = np.where(
+        use_bitmap_plan, fragments_accessed * bitmap_pages_per_fragment, 0.0
+    )
+    bitmap_requests = np.where(
+        use_bitmap_plan, fragments_accessed * bitmap_requests_per_fragment, 0.0
+    )
+
+    return AccessProfileBatch(
+        structures=structures,
+        fact_pages_accessed=fragments_accessed * pages_touched_per_fragment,
+        bitmap_pages_accessed=bitmap_pages,
+        fact_io_requests=fragments_accessed * requests_per_fragment,
+        bitmap_io_requests=bitmap_requests,
+        fact_pages_transferred=fragments_accessed * transferred_per_fragment,
+        sequential_fact_access=sequential,
+        use_bitmap_plan=use_bitmap_plan,
+    )
+
+
+def resolve_prefetch_setting_batch(
+    structures: AccessStructureBatch,
+    matrix: ClassMatrix,
+    system: SystemParameters,
+) -> PrefetchSetting:
+    """Resolve the prefetch granules from a structure batch.
+
+    The vectorized twin of :func:`~repro.costmodel.resolve_prefetch_setting`:
+    a unit-granule estimation pass derives each class's typical run lengths,
+    then the shared granule selection picks the optimum.
+    """
+    unit_profiles = estimate_access_batch(
+        structures,
+        PrefetchSetting.fixed(1, 1),
+        _positioning_page_equivalent(system),
+    )
+    fact_runs = structures.fact_pages_per_fragment
+    with np.errstate(divide="ignore", invalid="ignore"):
+        bitmap_runs = np.where(
+            structures.fragments_accessed > 0,
+            unit_profiles.bitmap_pages_accessed / structures.fragments_accessed,
+            0.0,
+        )
+    return prefetch_setting_from_runs(
+        tuple(fact_runs.tolist()),
+        tuple(bitmap_runs.tolist()),
+        matrix.shares,
+        system,
+    )
+
+
+def evaluate_workload_batch(
+    layout: FragmentationLayout,
+    structures: AccessStructureBatch,
+    matrix: ClassMatrix,
+    system: SystemParameters,
+    prefetch: PrefetchSetting,
+) -> WorkloadEvaluation:
+    """Evaluate one candidate against the whole mix, vectorized.
+
+    The vectorized twin of :meth:`repro.costmodel.IOCostModel.evaluate` (with
+    a resolved prefetch setting): access profiles, I/O cost, response time and
+    disk counts are computed as class-axis vectors, then materialized into the
+    same per-class :class:`~repro.costmodel.QueryCost` records.
+    """
+    profiles = estimate_access_batch(
+        structures, prefetch, _positioning_page_equivalent(system)
+    )
+
+    # --- I/O cost (IOCostModel.io_cost_ms, vectorized) ----------------------------
+    disk = system.disk
+    page_time = disk.page_transfer_time_ms(system.page_size_bytes)
+    fact_transfer = np.where(
+        profiles.sequential_fact_access,
+        np.maximum(
+            profiles.fact_io_requests * prefetch.fact_pages,
+            profiles.fact_pages_transferred,
+        ),
+        profiles.fact_pages_transferred,
+    )
+    bitmap_transfer = np.where(
+        profiles.bitmap_io_requests > 0,
+        np.maximum(
+            profiles.bitmap_io_requests * prefetch.bitmap_pages,
+            profiles.bitmap_pages_accessed,
+        ),
+        profiles.bitmap_pages_accessed,
+    )
+    total_requests = profiles.fact_io_requests + profiles.bitmap_io_requests
+    io_cost = disk.positioning_time_ms * total_requests + page_time * (
+        fact_transfer + bitmap_transfer
+    )
+
+    # --- disks used and response time (vectorized) --------------------------------
+    disks_used = np.minimum(
+        float(system.num_disks),
+        np.ceil(np.maximum(1.0, profiles.structures.fragments_accessed)),
+    ).astype(np.int64)
+    disks_f = disks_used.astype(np.float64)
+    parallel = disks_used > 1
+    imbalance = np.where(
+        parallel, 1.0 + layout.fragment_size_cv / np.sqrt(disks_f), 1.0
+    )
+    response = (
+        io_cost / disks_f * imbalance
+        + system.effective_coordination_overhead_ms * disks_f
+    )
+
+    # Materialize the per-class records in bulk: one ``tolist`` per column
+    # yields exact Python scalars, and the records are seeded directly (see
+    # :func:`_materialize`).
+    structures = profiles.structures
+    fragments_total = structures.fragments_total
+    columns = list(
+        zip(
+            matrix.query_names,
+            structures.fragments_accessed.tolist(),
+            structures.rows_in_accessed_fragments.tolist(),
+            structures.qualifying_rows.tolist(),
+            structures.fact_pages_per_fragment.tolist(),
+            profiles.fact_pages_accessed.tolist(),
+            profiles.bitmap_pages_accessed.tolist(),
+            profiles.fact_io_requests.tolist(),
+            profiles.bitmap_io_requests.tolist(),
+            profiles.fact_pages_transferred.tolist(),
+            profiles.sequential_fact_access.tolist(),
+            structures.forced_full_scan.tolist(),
+            profiles.use_bitmap_plan.tolist(),
+            matrix.shares,
+            io_cost.tolist(),
+            response.tolist(),
+            disks_used.tolist(),
+        )
+    )
+    per_class = []
+    for i, (
+        query_name,
+        fragments_accessed,
+        rows_in_accessed,
+        qualifying,
+        fact_pages_per_fragment,
+        fact_pages_accessed,
+        bitmap_pages,
+        fact_requests,
+        bitmap_requests,
+        fact_transferred,
+        sequential,
+        forced,
+        use_bitmap_plan,
+        share,
+        io_value,
+        response_value,
+        disks_value,
+    ) in enumerate(columns):
+        profile = _materialize(
+            QueryAccessProfile,
+            {
+                "query_name": query_name,
+                "fragments_accessed": fragments_accessed,
+                "fragments_total": fragments_total,
+                "rows_in_accessed_fragments": rows_in_accessed,
+                "qualifying_rows": qualifying,
+                "fact_pages_per_fragment": fact_pages_per_fragment,
+                "fact_pages_accessed": fact_pages_accessed,
+                "bitmap_pages_accessed": bitmap_pages,
+                "fact_io_requests": fact_requests,
+                "bitmap_io_requests": bitmap_requests,
+                "fact_pages_transferred": fact_transferred,
+                "bitmap_pages_transferred": bitmap_pages,
+                "sequential_fact_access": sequential,
+                "forced_full_scan": forced,
+                "bitmap_attributes_used": (
+                    structures.attributes_for(i) if use_bitmap_plan else ()
+                ),
+            },
+        )
+        per_class.append(
+            _materialize(
+                QueryCost,
+                {
+                    "query_name": query_name,
+                    "weight": share,
+                    "profile": profile,
+                    "io_cost_ms": io_value,
+                    "response_time_ms": response_value,
+                    "disks_used": disks_value,
+                },
+            )
+        )
+    return WorkloadEvaluation(
+        layout=layout, prefetch=prefetch, per_class=tuple(per_class)
+    )

@@ -52,6 +52,7 @@ __all__ = [
     "QueryCost",
     "WorkloadEvaluation",
     "IOCostModel",
+    "prefetch_setting_from_runs",
     "resolve_prefetch_setting",
 ]
 
@@ -206,34 +207,18 @@ def _typical_run_lengths(
     return tuple(fact_runs), tuple(bitmap_runs), tuple(weights)
 
 
-def resolve_prefetch_setting(
-    layout: FragmentationLayout,
-    workload: QueryMix,
-    bitmap_scheme: BitmapScheme,
+def prefetch_setting_from_runs(
+    fact_runs: Tuple[float, ...],
+    bitmap_runs: Tuple[float, ...],
+    weights: Tuple[float, ...],
     system: SystemParameters,
-    cache=None,
-    validate_queries: bool = True,
 ) -> PrefetchSetting:
-    """Resolve the prefetch granules for one fragmentation candidate.
+    """Select the prefetch granules from per-class typical run lengths.
 
-    Fixed granules from :class:`SystemParameters` are passed through; ``"auto"``
-    granules are optimized per object class from the typical run lengths the
-    workload induces on this candidate — fragment sizes of fact tables and
-    bitmaps strongly differ, hence the per-class optimization the paper
-    highlights.  ``cache`` optionally memoizes the underlying access structures
-    (see :class:`repro.engine.EvaluationCache`); ``validate_queries=False``
-    skips the per-query schema validation for callers that already validated
-    the whole workload.
+    The granule-selection half of :func:`resolve_prefetch_setting`, shared by
+    the scalar and the batched cost paths (both derive the run lengths with a
+    unit-granule estimation pass and then call this).
     """
-    fact_runs, bitmap_runs, weights = _typical_run_lengths(
-        layout,
-        workload,
-        bitmap_scheme,
-        _positioning_page_equivalent(system),
-        cache=cache,
-        validate_queries=validate_queries,
-    )
-
     if system.fact_prefetch_is_auto:
         fact_pages = optimal_prefetch_pages(
             fact_runs, system.disk, system.page_size_bytes, weights
@@ -262,6 +247,36 @@ def resolve_prefetch_setting(
         fact_policy=fact_policy,
         bitmap_policy=bitmap_policy,
     )
+
+
+def resolve_prefetch_setting(
+    layout: FragmentationLayout,
+    workload: QueryMix,
+    bitmap_scheme: BitmapScheme,
+    system: SystemParameters,
+    cache=None,
+    validate_queries: bool = True,
+) -> PrefetchSetting:
+    """Resolve the prefetch granules for one fragmentation candidate.
+
+    Fixed granules from :class:`SystemParameters` are passed through; ``"auto"``
+    granules are optimized per object class from the typical run lengths the
+    workload induces on this candidate — fragment sizes of fact tables and
+    bitmaps strongly differ, hence the per-class optimization the paper
+    highlights.  ``cache`` optionally memoizes the underlying access structures
+    (see :class:`repro.engine.EvaluationCache`); ``validate_queries=False``
+    skips the per-query schema validation for callers that already validated
+    the whole workload.
+    """
+    fact_runs, bitmap_runs, weights = _typical_run_lengths(
+        layout,
+        workload,
+        bitmap_scheme,
+        _positioning_page_equivalent(system),
+        cache=cache,
+        validate_queries=validate_queries,
+    )
+    return prefetch_setting_from_runs(fact_runs, bitmap_runs, weights, system)
 
 
 class IOCostModel:

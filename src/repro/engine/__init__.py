@@ -18,7 +18,9 @@ explicit pipeline:
 """
 
 from repro.engine.cache import CacheStats, EvaluationCache
+from repro.engine.jobs import MIN_SPECS_FOR_PARALLEL, adaptive_jobs, available_cpus
 from repro.engine.plan import EvaluationPlan, WorkUnit
+from repro.engine.result import CandidateResultBatch
 from repro.engine.signature import (
     layout_signature,
     object_signature,
@@ -34,12 +36,16 @@ from repro.engine.executor import (
 
 __all__ = [
     "CacheStats",
+    "CandidateResultBatch",
     "EvaluationCache",
     "EvaluationPlan",
     "WorkUnit",
     "EngineContext",
     "EvaluationEngine",
     "evaluate_spec_in_context",
+    "MIN_SPECS_FOR_PARALLEL",
+    "adaptive_jobs",
+    "available_cpus",
     "layout_signature",
     "object_signature",
     "recommendation_fingerprint",

@@ -123,6 +123,13 @@ class EvaluationCache:
         )
 
     @staticmethod
+    def _structure_batch_key(layout, matrix) -> Tuple[str, ...]:
+        # The matrix signature is weight-independent (queries' structure plus
+        # bitmap scheme plus schema), mirroring the per-query structure keys:
+        # reweighted mixes reuse every cached batch.
+        return ("batch", layout_signature(layout), matrix.signature)
+
+    @staticmethod
     def workload_signature(workload) -> str:
         """Content fingerprint of a query mix (queries plus normalized shares)."""
         state = getattr(workload, "__dict__", None)
@@ -163,10 +170,9 @@ class EvaluationCache:
 
     # -- lookup/insert ----------------------------------------------------------
 
-    def access_structure(self, layout, query, bitmap_scheme, compute):
-        """Cached prefetch-independent access structure (see module docstring)."""
+    def _memoized_structure(self, key, compute):
+        """Shared lookup/insert/eviction body of the two structure stores."""
         store = self._structures
-        key = self._structure_key(layout, query, bitmap_scheme)
         value = store.get(key, _MISSING)
         stats = self.stats
         if value is not _MISSING:
@@ -178,6 +184,25 @@ class EvaluationCache:
             store.pop(next(iter(store)))
         store[key] = value
         return value
+
+    def access_structure(self, layout, query, bitmap_scheme, compute):
+        """Cached prefetch-independent access structure (see module docstring)."""
+        return self._memoized_structure(
+            self._structure_key(layout, query, bitmap_scheme), compute
+        )
+
+    def access_structure_batch(self, layout, matrix, compute):
+        """Cached class-axis structure batch of one layout.
+
+        The columnar counterpart of :meth:`access_structure`: one entry covers
+        *every* query class of the compiled
+        :class:`~repro.workload.ClassMatrix`, keyed on (layout, matrix)
+        content signatures and stored alongside the scalar structure entries
+        (same store, same stats counters, same worker→parent bulk transfer).
+        """
+        return self._memoized_structure(
+            self._structure_batch_key(layout, matrix), compute
+        )
 
     def candidate(self, context, spec, compute):
         """Cached whole-candidate evaluation under ``context``."""

@@ -5,18 +5,32 @@ expands the sweep into an :class:`~repro.engine.plan.EvaluationPlan`, executes
 the per-candidate evaluations either inline (``jobs=1``) or on a process pool
 (``jobs>1``), and returns the candidates in plan order.  Results are
 **deterministic and identical across execution modes**: every evaluation is a
-pure function of its inputs, workers return ``(index, candidate)`` pairs, and
-the engine reassembles them by index — so ``jobs=4`` produces bit-identical
+pure function of its inputs, workers return columnar
+:class:`~repro.engine.result.CandidateResultBatch` chunks the parent
+re-materializes by index — so ``jobs=4`` produces bit-identical
 recommendations to ``jobs=1`` (the parity test matrix asserts this).
 
+Two cost paths implement the same model:
+
+* the **vectorized path** (default) compiles the workload into a columnar
+  :class:`~repro.workload.ClassMatrix` and computes one candidate's access
+  structures and costs for *all* query classes as numpy vectors over the
+  class axis (:mod:`repro.costmodel.batch`);
+* the **scalar path** (``vectorize=False``) runs the per-class reference
+  implementation.
+
+The two are bit-identical by construction and by test
+(``tests/test_vector_parity.py``); the scalar path remains the reference and
+the escape hatch (CLI ``--no-vectorize``).
+
 The process pool is created per sweep with an initializer that ships the
-evaluation context (schema, workload, system, config, bitmap scheme, specs)
-once per worker rather than once per task; each worker owns a private
-:class:`~repro.engine.cache.EvaluationCache`, so the run-length and evaluation
-passes of a candidate share their access structures inside the worker exactly
-as they do inline.  If the pool cannot be created (restricted environments
-without working multiprocessing), the engine falls back to the serial path —
-same results, just slower.
+evaluation context (schema, workload, system, config, bitmap scheme, class
+matrix, specs) once per worker rather than once per task; each worker owns a
+private :class:`~repro.engine.cache.EvaluationCache`, so the run-length and
+evaluation passes of a candidate share their access structures inside the
+worker exactly as they do inline.  If the pool cannot be created (restricted
+environments without working multiprocessing), the engine falls back to the
+serial path — same results, just slower.
 """
 
 from __future__ import annotations
@@ -25,26 +39,36 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.allocation import choose_allocation
 from repro.bitmap import BitmapScheme, design_bitmap_scheme
 from repro.core.candidates import FragmentationCandidate
 from repro.core.config import AdvisorConfig
-from repro.costmodel import IOCostModel, resolve_prefetch_setting
+from repro.costmodel import (
+    IOCostModel,
+    compute_access_structure_batch,
+    evaluate_workload_batch,
+    resolve_prefetch_setting,
+    resolve_prefetch_setting_batch,
+)
 from repro.errors import AdvisorError
 from repro.fragmentation import FragmentationSpec, build_layout
 from repro.schema import StarSchema
 from repro.storage import SystemParameters
-from repro.workload import QueryMix
+from repro.workload import ClassMatrix, QueryMix
 from repro.engine.cache import EvaluationCache
+from repro.engine.jobs import MIN_SPECS_FOR_PARALLEL, adaptive_jobs
 from repro.engine.plan import EvaluationPlan
+from repro.engine.result import CandidateResultBatch
+from repro.engine.signature import object_signature
 
-__all__ = ["EngineContext", "EvaluationEngine", "evaluate_spec_in_context"]
-
-#: Below this many candidates a process pool cannot amortize its start-up and
-#: serialization overhead; the engine silently uses the serial path.
-MIN_SPECS_FOR_PARALLEL = 8
+__all__ = [
+    "EngineContext",
+    "EvaluationEngine",
+    "evaluate_spec_in_context",
+    "MIN_SPECS_FOR_PARALLEL",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +82,12 @@ class EngineContext:
     fact_name: str
     bitmap_scheme: BitmapScheme
     specs: Tuple[FragmentationSpec, ...] = ()
+    #: Evaluate the per-class sweep vectorized over the class axis.  Requires
+    #: ``class_matrix``; both paths return bit-identical candidates.
+    vectorize: bool = True
+    #: Columnar workload compilation for the vectorized path (shipped once
+    #: per worker with the context).
+    class_matrix: Optional[ClassMatrix] = None
 
 
 def evaluate_spec_in_context(
@@ -91,20 +121,39 @@ def _evaluate_spec(
         page_size_bytes=context.system.page_size_bytes,
         max_fragments=max(context.config.max_fragments, 1),
     )
-    # The context's workload was validated once at engine/advisor construction,
-    # so the per-query re-validation is skipped on this hot path.
-    prefetch = resolve_prefetch_setting(
-        layout,
-        context.workload,
-        context.bitmap_scheme,
-        context.system,
-        cache=cache,
-        validate_queries=False,
-    )
-    model = IOCostModel(context.system, cache=cache, validate_queries=False)
-    evaluation = model.evaluate(
-        layout, context.workload, context.bitmap_scheme, prefetch
-    )
+    if context.vectorize and context.class_matrix is not None:
+        # Vectorized class-axis sweep: one structure batch per layout (cached
+        # like the scalar structures), then granule resolution and the cost
+        # model as vectors over all query classes at once.
+        matrix = context.class_matrix
+
+        def compute():
+            return compute_access_structure_batch(layout, matrix)
+
+        if cache is not None:
+            structures = cache.access_structure_batch(layout, matrix, compute)
+        else:
+            structures = compute()
+        prefetch = resolve_prefetch_setting_batch(structures, matrix, context.system)
+        evaluation = evaluate_workload_batch(
+            layout, structures, matrix, context.system, prefetch
+        )
+    else:
+        # Scalar reference path.  The context's workload was validated once at
+        # engine/advisor construction, so the per-query re-validation is
+        # skipped on this hot path.
+        prefetch = resolve_prefetch_setting(
+            layout,
+            context.workload,
+            context.bitmap_scheme,
+            context.system,
+            cache=cache,
+            validate_queries=False,
+        )
+        model = IOCostModel(context.system, cache=cache, validate_queries=False)
+        evaluation = model.evaluate(
+            layout, context.workload, context.bitmap_scheme, prefetch
+        )
     allocation = choose_allocation(
         layout,
         context.system,
@@ -138,27 +187,31 @@ def _initialize_worker(context: EngineContext) -> None:
 
 def _evaluate_chunk(
     indices: List[int],
-) -> Tuple[List[Tuple[int, FragmentationCandidate]], List[Tuple[Any, Any]]]:
+) -> Tuple[CandidateResultBatch, List[Tuple[Any, Any]]]:
     """Evaluate one chunk of candidate indices inside a worker.
 
-    Returns the evaluated ``(index, candidate)`` pairs plus the access
-    structures this worker memoized and has not shipped yet, so the parent can
-    merge them into the shared cache (they are system-independent and serve
-    later tuning studies the candidate-level entries cannot).
+    The evaluated candidates are returned as one columnar
+    :class:`~repro.engine.result.CandidateResultBatch` — a handful of numpy
+    arrays instead of a deep per-candidate object graph, which shrinks the
+    worker→parent pickling that dominates the pool's overhead — plus the
+    access structures this worker memoized and has not shipped yet, so the
+    parent can merge them into the shared cache (they are system-independent
+    and serve later tuning studies the candidate-level entries cannot).
     """
     context = _WORKER_CONTEXT
     if context is None:  # pragma: no cover - defensive, initializer always ran
         raise AdvisorError("evaluation worker used before initialization")
-    pairs = [
-        (index, evaluate_spec_in_context(context, context.specs[index], _WORKER_CACHE))
+    candidates = [
+        evaluate_spec_in_context(context, context.specs[index], _WORKER_CACHE)
         for index in indices
     ]
+    batch = CandidateResultBatch.from_candidates(indices, candidates)
     fresh_structures = []
     for key, value in _WORKER_CACHE.structure_items():
         if key not in _WORKER_SHIPPED_STRUCTURES:
             _WORKER_SHIPPED_STRUCTURES.add(key)
             fresh_structures.append((key, value))
-    return pairs, fresh_structures
+    return batch, fresh_structures
 
 
 # -- the engine --------------------------------------------------------------------
@@ -176,13 +229,19 @@ class EvaluationEngine:
     jobs:
         Worker processes; ``1`` (default) evaluates inline.  Values above one
         enable the process pool once the sweep is large enough to amortize it
-        (:data:`MIN_SPECS_FOR_PARALLEL`).
+        (:data:`MIN_SPECS_FOR_PARALLEL`).  ``"auto"`` picks the worker count
+        per sweep from the available CPUs and the candidate count
+        (:func:`repro.engine.jobs.adaptive_jobs`).
     cache:
         Evaluation cache.  ``None`` (default) creates a private one; pass a
         shared instance to reuse structures across engines (tuning studies
         do), or ``False`` to disable memoization entirely (the benchmark's
         seed-equivalent baseline).  Workers use private caches whose entries
         are merged back into the shared cache.
+    vectorize:
+        ``True`` (default) evaluates each candidate's per-class sweep as
+        numpy vectors over the class axis; ``False`` runs the scalar
+        reference path.  Results are bit-identical either way.
     """
 
     def __init__(
@@ -192,11 +251,14 @@ class EvaluationEngine:
         system: SystemParameters,
         config: Optional[AdvisorConfig] = None,
         fact_table: Optional[str] = None,
-        jobs: int = 1,
+        jobs: Union[int, str] = 1,
         cache=None,
+        vectorize: bool = True,
     ) -> None:
-        if jobs < 1:
-            raise AdvisorError(f"jobs must be at least 1, got {jobs}")
+        if jobs != "auto" and (not isinstance(jobs, int) or jobs < 1):
+            raise AdvisorError(
+                f'jobs must be a positive integer or "auto", got {jobs!r}'
+            )
         self.schema = schema
         self.workload = workload
         self.system = system
@@ -206,6 +268,7 @@ class EvaluationEngine:
         # per-query validation disabled (see evaluate_spec_in_context).
         workload.validate(schema)
         self.jobs = jobs
+        self.vectorize = vectorize
         if cache is False:
             self.cache: Optional[EvaluationCache] = None
         elif cache is None:
@@ -213,6 +276,7 @@ class EvaluationEngine:
         else:
             self.cache = cache
         self._bitmap_scheme: Optional[BitmapScheme] = None
+        self._matrices: Dict[str, ClassMatrix] = {}
 
     # -- shared inputs ----------------------------------------------------------
 
@@ -227,25 +291,55 @@ class EvaluationEngine:
             )
         return self._bitmap_scheme
 
+    def class_matrix(self, bitmap_scheme: Optional[BitmapScheme] = None) -> ClassMatrix:
+        """The columnar workload compilation for ``bitmap_scheme``.
+
+        Memoized per scheme: the default scheme's matrix serves the whole
+        sweep, while tuning studies that exclude indexes get (and reuse)
+        their own compilation.
+        """
+        scheme = bitmap_scheme if bitmap_scheme is not None else self.bitmap_scheme()
+        key = object_signature(scheme)
+        matrix = self._matrices.get(key)
+        if matrix is None:
+            matrix = ClassMatrix.compile(
+                self.schema, self.workload, scheme, fact_table=self.fact_name
+            )
+            self._matrices[key] = matrix
+        return matrix
+
     def context(
         self,
         specs: Sequence[FragmentationSpec] = (),
         bitmap_scheme: Optional[BitmapScheme] = None,
     ) -> EngineContext:
         """The picklable evaluation context for ``specs``."""
+        scheme = bitmap_scheme if bitmap_scheme is not None else self.bitmap_scheme()
         return EngineContext(
             schema=self.schema,
             workload=self.workload,
             system=self.system,
             config=self.config,
             fact_name=self.fact_name,
-            bitmap_scheme=bitmap_scheme if bitmap_scheme is not None else self.bitmap_scheme(),
+            bitmap_scheme=scheme,
             specs=tuple(specs),
+            vectorize=self.vectorize,
+            class_matrix=self.class_matrix(scheme) if self.vectorize else None,
         )
 
     def plan(self, specs: Sequence[FragmentationSpec]) -> EvaluationPlan:
         """Expand ``specs`` into the engine's evaluation plan."""
         return EvaluationPlan.build(specs, self.workload, self.schema)
+
+    def resolve_jobs(self, num_candidates: int) -> int:
+        """The worker count for a sweep of ``num_candidates`` candidates.
+
+        Fixed ``jobs`` values pass through; ``"auto"`` applies the adaptive
+        heuristic (CPUs available to the process, candidates per worker).
+        """
+        if self.jobs == "auto":
+            return adaptive_jobs(num_candidates)
+        return self.jobs
 
     # -- evaluation -------------------------------------------------------------
 
@@ -266,14 +360,15 @@ class EvaluationEngine:
         """Evaluate every candidate of ``specs``, preserving order.
 
         Serial and parallel backends return identical candidate lists; the
-        parallel backend is only engaged when ``jobs > 1`` and the sweep is
-        large enough to amortize the pool.
+        parallel backend is only engaged when the resolved worker count
+        exceeds one and the sweep is large enough to amortize the pool.
         """
         plan = self.plan(specs)
         context = self.context(specs=plan.specs, bitmap_scheme=bitmap_scheme)
-        if self.jobs > 1 and plan.num_candidates >= MIN_SPECS_FOR_PARALLEL:
+        jobs = self.resolve_jobs(plan.num_candidates)
+        if jobs > 1 and plan.num_candidates >= MIN_SPECS_FOR_PARALLEL:
             try:
-                return self._evaluate_parallel(plan, context)
+                return self._evaluate_parallel(plan, context, jobs)
             except (OSError, BrokenProcessPool, pickle.PicklingError):
                 # Restricted environments (no /dev/shm, seccomp'd fork,
                 # workers killed on spawn): the serial path produces the same
@@ -290,7 +385,7 @@ class EvaluationEngine:
         ]
 
     def _evaluate_parallel(
-        self, plan: EvaluationPlan, context: EngineContext
+        self, plan: EvaluationPlan, context: EngineContext, jobs: int
     ) -> List[FragmentationCandidate]:
         results: List[Optional[FragmentationCandidate]] = [None] * plan.num_candidates
 
@@ -310,14 +405,14 @@ class EvaluationEngine:
         if not pending:
             return results  # type: ignore[return-value]
 
-        chunks = plan.partition_indices(pending, self.jobs)
+        chunks = plan.partition_indices(pending, jobs)
         with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(chunks)),
+            max_workers=min(jobs, len(chunks)),
             initializer=_initialize_worker,
             initargs=(context,),
         ) as pool:
-            for pairs, structures in pool.map(_evaluate_chunk, chunks):
-                for index, candidate in pairs:
+            for batch, structures in pool.map(_evaluate_chunk, chunks):
+                for index, candidate in batch.to_candidates(context):
                     results[index] = candidate
                     if self.cache is not None:
                         self.cache.put_candidate(context, plan.specs[index], candidate)

@@ -1,0 +1,59 @@
+"""Adaptive worker-count selection for the candidate-evaluation engine.
+
+``jobs="auto"`` picks the number of worker processes from the CPUs actually
+available to this process and the size of the sweep, instead of forcing the
+DBA to guess.  The heuristic is deliberately conservative: a process pool only
+pays off once every worker has enough candidates to amortize the pool start-up
+and the context shipping, so small sweeps stay serial regardless of core
+count.
+
+Choosing any number of workers never changes results — execution strategy is
+invisible in the engine's output (the parity tests assert bit-identical
+recommendations for every ``jobs`` value) — so the heuristic only trades
+wall-clock time, never correctness.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["available_cpus", "adaptive_jobs", "MIN_SPECS_FOR_PARALLEL"]
+
+#: Below this many candidates a process pool cannot amortize its start-up and
+#: serialization overhead; such sweeps evaluate serially.  Doubles as the
+#: minimum number of candidates ``jobs="auto"`` assigns per worker.
+MIN_SPECS_FOR_PARALLEL = 8
+
+
+def available_cpus() -> int:
+    """CPUs available to *this process* (affinity-aware where possible).
+
+    Prefers :func:`os.process_cpu_count` (Python 3.13+), falls back to the
+    scheduling affinity on platforms that expose it, then to
+    :func:`os.cpu_count`.  Returns at least 1.
+    """
+    process_cpu_count = getattr(os, "process_cpu_count", None)
+    if process_cpu_count is not None:
+        count = process_cpu_count()
+    elif hasattr(os, "sched_getaffinity"):
+        count = len(os.sched_getaffinity(0))
+    else:
+        count = os.cpu_count()
+    return max(1, count or 1)
+
+
+def adaptive_jobs(num_candidates: int, cpus: Optional[int] = None) -> int:
+    """Worker count for a sweep of ``num_candidates`` candidates.
+
+    One worker per :data:`MIN_SPECS_FOR_PARALLEL` candidates, capped at the
+    available CPUs, never below 1 — so ``jobs="auto"`` evaluates small sweeps
+    serially, scales up with the candidate space, and never oversubscribes
+    the machine.
+    """
+    if num_candidates < 0:
+        raise ValueError(f"num_candidates must be non-negative, got {num_candidates}")
+    cpus = available_cpus() if cpus is None else cpus
+    if cpus < 1:
+        raise ValueError(f"cpus must be at least 1, got {cpus}")
+    return max(1, min(cpus, num_candidates // MIN_SPECS_FOR_PARALLEL))

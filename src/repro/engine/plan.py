@@ -20,6 +20,7 @@ the benchmark's work counts are all unit-based.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import List, Sequence, Tuple
 
 from repro.errors import AdvisorError
@@ -52,7 +53,6 @@ class EvaluationPlan:
 
     specs: Tuple[FragmentationSpec, ...]
     query_names: Tuple[str, ...]
-    units: Tuple[WorkUnit, ...]
     #: Per-candidate cost estimates, index-aligned with ``specs``.
     spec_costs: Tuple[int, ...]
 
@@ -63,7 +63,7 @@ class EvaluationPlan:
         workload: QueryMix,
         schema: StarSchema,
     ) -> "EvaluationPlan":
-        """Expand ``specs`` × ``workload`` into work units."""
+        """Expand ``specs`` × ``workload`` into an evaluation plan."""
         specs = tuple(specs)
         if not specs:
             raise AdvisorError("an evaluation plan needs at least one candidate spec")
@@ -71,22 +71,31 @@ class EvaluationPlan:
         if not query_names:
             raise AdvisorError("an evaluation plan needs at least one query class")
         spec_costs = tuple(spec.fragment_count(schema) for spec in specs)
-        units = tuple(
+        return cls(
+            specs=specs,
+            query_names=query_names,
+            spec_costs=spec_costs,
+        )
+
+    @cached_property
+    def units(self) -> Tuple[WorkUnit, ...]:
+        """The (candidate × query class) work units, expanded on first use.
+
+        Lazy: the expansion materializes ``num_candidates × num_classes``
+        objects, which is pure accounting (progress, cache sizing, benchmark
+        work counts) — the executor dispatches per candidate and never needs
+        it, so plain sweeps skip the cost entirely.
+        """
+        return tuple(
             WorkUnit(
                 spec_index=spec_index,
                 query_index=query_index,
                 spec_label=spec.label,
                 query_name=query_name,
-                estimated_fragments=spec_costs[spec_index],
+                estimated_fragments=self.spec_costs[spec_index],
             )
-            for spec_index, spec in enumerate(specs)
-            for query_index, query_name in enumerate(query_names)
-        )
-        return cls(
-            specs=specs,
-            query_names=query_names,
-            units=units,
-            spec_costs=spec_costs,
+            for spec_index, spec in enumerate(self.specs)
+            for query_index, query_name in enumerate(self.query_names)
         )
 
     # -- shape ------------------------------------------------------------------

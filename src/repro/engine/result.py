@@ -1,0 +1,232 @@
+"""Columnar worker→parent result batches for the parallel executor.
+
+Worker→parent result pickling is the process pool's dominant overhead: a
+:class:`~repro.core.candidates.FragmentationCandidate` drags a deep object
+graph of per-class :class:`~repro.costmodel.QueryCost` records (each with a
+frozen :class:`~repro.costmodel.QueryAccessProfile`) through pickle for every
+candidate.  :class:`CandidateResultBatch` flattens one chunk's candidates into
+a handful of numpy arrays over the (candidate × query class) axes plus the
+small per-candidate scalars (prefetch granules, allocation vectors), and the
+parent re-materializes the exact same candidates from the columns.
+
+Reconstruction is exact: every float travels as the same IEEE-754 double it
+was computed as, layouts are rebuilt from the same ``(schema, spec, page
+size)`` inputs (they are deterministic value objects), and the bitmap scheme
+is taken from the shared engine context — so a reconstructed candidate is
+bit-identical to the worker's original, which the parity tests assert through
+:func:`~repro.engine.signature.recommendation_fingerprint`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.allocation import Allocation
+from repro.core.candidates import FragmentationCandidate
+from repro.costmodel import QueryAccessProfile, QueryCost, WorkloadEvaluation
+from repro.errors import AdvisorError
+from repro.fragmentation import build_layout
+from repro.storage import PrefetchPolicy, PrefetchSetting
+
+__all__ = ["CandidateResultBatch", "PROFILE_FLOAT_FIELDS"]
+
+#: Float columns of the metric cube, in :class:`QueryAccessProfile` field
+#: order; the last two cube slots hold the per-class I/O cost and response
+#: time of the :class:`QueryCost` record.
+PROFILE_FLOAT_FIELDS = (
+    "fragments_accessed",
+    "rows_in_accessed_fragments",
+    "qualifying_rows",
+    "fact_pages_per_fragment",
+    "fact_pages_accessed",
+    "bitmap_pages_accessed",
+    "fact_io_requests",
+    "bitmap_io_requests",
+    "fact_pages_transferred",
+    "bitmap_pages_transferred",
+)
+
+
+@dataclass(frozen=True)
+class CandidateResultBatch:
+    """One chunk of evaluated candidates, flattened to columnar arrays."""
+
+    #: Plan indices of the candidates, in chunk order.
+    indices: Tuple[int, ...]
+    #: Query class names (shared by every candidate of the sweep).
+    query_names: Tuple[str, ...]
+    #: Workload share per class.
+    weights: Tuple[float, ...]
+    #: (candidates × classes × len(PROFILE_FLOAT_FIELDS)+2) float64 cube.
+    metrics: np.ndarray
+    #: (candidates × classes) int64.
+    disks_used: np.ndarray
+    #: (candidates × classes) bool flags.
+    sequential: np.ndarray
+    forced: np.ndarray
+    #: Per candidate, per class: bitmap attributes used by the chosen plan.
+    attributes_used: Tuple[Tuple[Tuple[Tuple[str, str], ...], ...], ...]
+    #: Per candidate: (fact_pages, bitmap_pages, fact_policy, bitmap_policy).
+    prefetch: Tuple[Tuple[int, int, str, str], ...]
+    #: Per candidate: allocation scheme name and vectors.
+    allocation_schemes: Tuple[str, ...]
+    allocation_disks: Tuple[np.ndarray, ...]
+    allocation_pages: Tuple[np.ndarray, ...]
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    @classmethod
+    def from_candidates(
+        cls,
+        indices: Sequence[int],
+        candidates: Sequence[FragmentationCandidate],
+    ) -> "CandidateResultBatch":
+        """Flatten evaluated candidates into the columnar form."""
+        if len(indices) != len(candidates):
+            raise AdvisorError(
+                f"result batch got {len(indices)} indices for "
+                f"{len(candidates)} candidates"
+            )
+        if not candidates:
+            raise AdvisorError("a result batch needs at least one candidate")
+        first = candidates[0].evaluation.per_class
+        query_names = tuple(cost.query_name for cost in first)
+        weights = tuple(cost.weight for cost in first)
+        num_candidates = len(candidates)
+        num_classes = len(query_names)
+        num_fields = len(PROFILE_FLOAT_FIELDS) + 2
+
+        metrics = np.empty((num_candidates, num_classes, num_fields), dtype=np.float64)
+        disks_used = np.empty((num_candidates, num_classes), dtype=np.int64)
+        sequential = np.empty((num_candidates, num_classes), dtype=bool)
+        forced = np.empty((num_candidates, num_classes), dtype=bool)
+        attributes_used = []
+        prefetch = []
+        allocation_schemes = []
+        allocation_disks = []
+        allocation_pages = []
+        for k, candidate in enumerate(candidates):
+            per_class = candidate.evaluation.per_class
+            if len(per_class) != num_classes:
+                raise AdvisorError(
+                    "candidates of one batch must share their query classes"
+                )
+            attribute_rows = []
+            for c, cost in enumerate(per_class):
+                profile = cost.profile
+                for f, field in enumerate(PROFILE_FLOAT_FIELDS):
+                    metrics[k, c, f] = getattr(profile, field)
+                metrics[k, c, -2] = cost.io_cost_ms
+                metrics[k, c, -1] = cost.response_time_ms
+                disks_used[k, c] = cost.disks_used
+                sequential[k, c] = profile.sequential_fact_access
+                forced[k, c] = profile.forced_full_scan
+                attribute_rows.append(profile.bitmap_attributes_used)
+            attributes_used.append(tuple(attribute_rows))
+            setting = candidate.prefetch
+            prefetch.append(
+                (
+                    setting.fact_pages,
+                    setting.bitmap_pages,
+                    setting.fact_policy.value,
+                    setting.bitmap_policy.value,
+                )
+            )
+            allocation = candidate.allocation
+            allocation_schemes.append(allocation.scheme)
+            allocation_disks.append(np.asarray(allocation.disk_of_fragment))
+            allocation_pages.append(np.asarray(allocation.fragment_pages))
+
+        return cls(
+            indices=tuple(indices),
+            query_names=query_names,
+            weights=weights,
+            metrics=metrics,
+            disks_used=disks_used,
+            sequential=sequential,
+            forced=forced,
+            attributes_used=tuple(attributes_used),
+            prefetch=tuple(prefetch),
+            allocation_schemes=tuple(allocation_schemes),
+            allocation_disks=tuple(allocation_disks),
+            allocation_pages=tuple(allocation_pages),
+        )
+
+    def to_candidates(self, context) -> List[Tuple[int, FragmentationCandidate]]:
+        """Re-materialize ``(index, candidate)`` pairs from the columns.
+
+        ``context`` is the :class:`~repro.engine.executor.EngineContext` the
+        chunk was evaluated under; layouts are rebuilt from its specs (cheap —
+        the per-fragment arrays are lazy) and the shared bitmap scheme is
+        reattached by reference.
+        """
+        pairs: List[Tuple[int, FragmentationCandidate]] = []
+        for k, index in enumerate(self.indices):
+            spec = context.specs[index]
+            layout = build_layout(
+                context.schema,
+                spec,
+                fact_table=context.fact_name,
+                page_size_bytes=context.system.page_size_bytes,
+                max_fragments=max(context.config.max_fragments, 1),
+            )
+            fact_pages, bitmap_pages, fact_policy, bitmap_policy = self.prefetch[k]
+            setting = PrefetchSetting(
+                fact_pages=fact_pages,
+                bitmap_pages=bitmap_pages,
+                fact_policy=PrefetchPolicy(fact_policy),
+                bitmap_policy=PrefetchPolicy(bitmap_policy),
+            )
+            per_class = []
+            for c, query_name in enumerate(self.query_names):
+                values = self.metrics[k, c]
+                fields = {
+                    field: float(values[f])
+                    for f, field in enumerate(PROFILE_FLOAT_FIELDS)
+                }
+                profile = QueryAccessProfile(
+                    query_name=query_name,
+                    fragments_total=layout.fragment_count,
+                    sequential_fact_access=bool(self.sequential[k, c]),
+                    forced_full_scan=bool(self.forced[k, c]),
+                    bitmap_attributes_used=self.attributes_used[k][c],
+                    **fields,
+                )
+                per_class.append(
+                    QueryCost(
+                        query_name=query_name,
+                        weight=self.weights[c],
+                        profile=profile,
+                        io_cost_ms=float(values[-2]),
+                        response_time_ms=float(values[-1]),
+                        disks_used=int(self.disks_used[k, c]),
+                    )
+                )
+            evaluation = WorkloadEvaluation(
+                layout=layout, prefetch=setting, per_class=tuple(per_class)
+            )
+            allocation = Allocation(
+                layout=layout,
+                system=context.system,
+                disk_of_fragment=self.allocation_disks[k],
+                fragment_pages=self.allocation_pages[k],
+                scheme=self.allocation_schemes[k],
+            )
+            pairs.append(
+                (
+                    index,
+                    FragmentationCandidate(
+                        spec=spec,
+                        layout=layout,
+                        bitmap_scheme=context.bitmap_scheme,
+                        prefetch=setting,
+                        evaluation=evaluation,
+                        allocation=allocation,
+                    ),
+                )
+            )
+        return pairs

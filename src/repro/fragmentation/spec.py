@@ -10,6 +10,7 @@ fragmentations: each fragment corresponds to exactly one value combination
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Optional, Sequence, Tuple
 
 from repro.errors import FragmentationError
@@ -159,9 +160,14 @@ class FragmentationSpec:
 
     # -- presentation -------------------------------------------------------------
 
-    @property
+    @cached_property
     def label(self) -> str:
-        """Stable human-readable identifier, e.g. ``time.month x product.group``."""
+        """Stable human-readable identifier, e.g. ``time.month x product.group``.
+
+        Memoized: the engine stamps the label onto every (candidate × query
+        class) work unit and cache key, so one spec's label is read thousands
+        of times per sweep.
+        """
         if not self.attributes:
             return "(unfragmented)"
         return " x ".join(a.describe() for a in self.attributes)

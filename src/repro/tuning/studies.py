@@ -142,9 +142,12 @@ def _evaluate(
     config: Optional[AdvisorConfig],
     bitmap_exclude: Sequence[Tuple[str, str]] = (),
     cache=None,
+    vectorize: bool = True,
 ):
     """Evaluate ``spec`` under one concrete input setting."""
-    advisor = Warlock(schema, workload, system, config, cache=cache)
+    advisor = Warlock(
+        schema, workload, system, config, cache=cache, vectorize=vectorize
+    )
     scheme = advisor.design_bitmaps()
     if bitmap_exclude:
         scheme = scheme.without(*bitmap_exclude)
@@ -159,6 +162,7 @@ def disk_count_study(
     disk_counts: Sequence[int] = (8, 16, 32, 64, 128),
     config: Optional[AdvisorConfig] = None,
     cache=None,
+    vectorize: bool = True,
 ) -> TuningStudy:
     """Vary the number of disks (the classic scale-out question)."""
     if not disk_counts:
@@ -167,7 +171,13 @@ def disk_count_study(
     records = []
     for disks in disk_counts:
         candidate = _evaluate(
-            schema, workload, system.with_disks(disks), spec, config, cache=cache
+            schema,
+            workload,
+            system.with_disks(disks),
+            spec,
+            config,
+            cache=cache,
+            vectorize=vectorize,
         )
         records.append((str(disks), _candidate_metrics(candidate)))
     return TuningStudy(
@@ -184,6 +194,7 @@ def architecture_study(
     spec: FragmentationSpec,
     config: Optional[AdvisorConfig] = None,
     cache=None,
+    vectorize: bool = True,
 ) -> TuningStudy:
     """Compare Shared Everything and Shared Disk for the same fragmentation."""
     cache = _study_cache(cache)
@@ -196,6 +207,7 @@ def architecture_study(
             spec,
             config,
             cache=cache,
+            vectorize=vectorize,
         )
         records.append((architecture, _candidate_metrics(candidate)))
     return TuningStudy(
@@ -213,6 +225,7 @@ def prefetch_study(
     fact_granules: Sequence[Union[int, str]] = (1, 4, 16, 64, 256, "auto"),
     config: Optional[AdvisorConfig] = None,
     cache=None,
+    vectorize: bool = True,
 ) -> TuningStudy:
     """Vary the fact-table prefetch granule (bitmap granule stays on auto)."""
     if not fact_granules:
@@ -221,7 +234,9 @@ def prefetch_study(
     records = []
     for granule in fact_granules:
         varied = system.with_prefetch(fact=granule)
-        candidate = _evaluate(schema, workload, varied, spec, config, cache=cache)
+        candidate = _evaluate(
+            schema, workload, varied, spec, config, cache=cache, vectorize=vectorize
+        )
         label = "auto" if isinstance(granule, str) else f"{granule} pages"
         record = _candidate_metrics(candidate)
         record["resolved_fact_granule"] = candidate.prefetch.fact_pages
@@ -241,6 +256,7 @@ def bitmap_exclusion_study(
     exclusions: Sequence[Sequence[Tuple[str, str]]] = ((),),
     config: Optional[AdvisorConfig] = None,
     cache=None,
+    vectorize: bool = True,
 ) -> TuningStudy:
     """Vary the set of excluded bitmap indexes (the space-saving knob of §3.3)."""
     if not exclusions:
@@ -250,7 +266,14 @@ def bitmap_exclusion_study(
     for excluded in exclusions:
         excluded = tuple(excluded)
         candidate = _evaluate(
-            schema, workload, system, spec, config, bitmap_exclude=excluded, cache=cache
+            schema,
+            workload,
+            system,
+            spec,
+            config,
+            bitmap_exclude=excluded,
+            cache=cache,
+            vectorize=vectorize,
         )
         label = (
             "all suggested indexes"
@@ -273,6 +296,7 @@ def skew_study(
     thetas: Sequence[float] = (0.0, 0.5, 1.0),
     config: Optional[AdvisorConfig] = None,
     cache=None,
+    vectorize: bool = True,
 ) -> TuningStudy:
     """Vary the data skew.
 
@@ -286,7 +310,9 @@ def skew_study(
     records = []
     for theta in thetas:
         schema = schema_factory(theta)
-        candidate = _evaluate(schema, workload, system, spec, config, cache=cache)
+        candidate = _evaluate(
+            schema, workload, system, spec, config, cache=cache, vectorize=vectorize
+        )
         records.append((f"{theta:.2f}", _candidate_metrics(candidate)))
     return TuningStudy(
         name=f"Skew study for {spec.label}",
@@ -303,6 +329,7 @@ def workload_weight_study(
     reweightings: Dict[str, Dict[str, float]],
     config: Optional[AdvisorConfig] = None,
     cache=None,
+    vectorize: bool = True,
 ) -> TuningStudy:
     """Vary the query-class weights ("query load specifics can be adapted").
 
@@ -312,11 +339,19 @@ def workload_weight_study(
     """
     cache = _study_cache(cache)
     records = []
-    baseline = _evaluate(schema, workload, system, spec, config, cache=cache)
+    baseline = _evaluate(
+        schema, workload, system, spec, config, cache=cache, vectorize=vectorize
+    )
     records.append(("baseline", _candidate_metrics(baseline)))
     for label, weights in reweightings.items():
         candidate = _evaluate(
-            schema, workload.reweighted(weights), system, spec, config, cache=cache
+            schema,
+            workload.reweighted(weights),
+            system,
+            spec,
+            config,
+            cache=cache,
+            vectorize=vectorize,
         )
         records.append((label, _candidate_metrics(candidate)))
     return TuningStudy(

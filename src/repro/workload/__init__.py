@@ -8,6 +8,7 @@ workload.
 
 from repro.workload.query import DimensionRestriction, QueryClass
 from repro.workload.mix import QueryMix
+from repro.workload.matrix import ClassMatrix
 from repro.workload.generator import (
     random_query_class,
     random_query_mix,
@@ -15,6 +16,7 @@ from repro.workload.generator import (
 )
 
 __all__ = [
+    "ClassMatrix",
     "DimensionRestriction",
     "QueryClass",
     "QueryMix",

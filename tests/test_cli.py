@@ -94,9 +94,13 @@ class TestCommands:
 
 
 class TestJobsFlag:
-    def test_jobs_default_is_serial(self):
+    def test_jobs_default_is_adaptive(self):
         args = build_parser().parse_args(["recommend"])
-        assert args.jobs == 1
+        assert args.jobs == "auto"
+
+    def test_jobs_accepts_auto(self):
+        args = build_parser().parse_args(["recommend", "--jobs", "auto"])
+        assert args.jobs == "auto"
 
     def test_jobs_accepts_positive_values(self):
         for value in ("1", "2", "8"):
@@ -124,11 +128,31 @@ class TestJobsFlag:
 
     def test_recommend_with_jobs_matches_serial(self, capsys):
         common = ["--scale", "0.01", "--disks", "16", "--max-fragments", "20000"]
-        assert main(["recommend", *common, "--json"]) == 0
+        assert main(["recommend", *common, "--json", "--jobs", "1"]) == 0
         serial = json.loads(capsys.readouterr().out)
         assert main(["recommend", *common, "--json", "--jobs", "2"]) == 0
         parallel = json.loads(capsys.readouterr().out)
         assert serial == parallel
+
+
+class TestVectorizeFlag:
+    COMMON = ["--scale", "0.01", "--disks", "16", "--max-fragments", "20000"]
+
+    def test_vectorized_is_the_default(self):
+        args = build_parser().parse_args(["recommend"])
+        assert args.no_vectorize is False
+
+    def test_no_vectorize_in_help_text(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recommend", "--help"])
+        assert "--no-vectorize" in capsys.readouterr().out
+
+    def test_no_vectorize_matches_vectorized_output(self, capsys):
+        assert main(["recommend", *self.COMMON, "--json"]) == 0
+        vectorized = json.loads(capsys.readouterr().out)
+        assert main(["recommend", *self.COMMON, "--json", "--no-vectorize"]) == 0
+        scalar = json.loads(capsys.readouterr().out)
+        assert vectorized == scalar
 
 
 class TestModuleSmoke:

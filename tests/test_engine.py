@@ -126,6 +126,7 @@ class TestSignatures:
 
 class TestEvaluationCache:
     def test_structure_reuse_counts_hits(self, toy_advisor):
+        """Scalar path: run-length and evaluation passes share every structure."""
         cache = EvaluationCache()
         advisor = Warlock(
             toy_advisor.schema,
@@ -133,6 +134,7 @@ class TestEvaluationCache:
             toy_advisor.system,
             toy_advisor.config,
             cache=cache,
+            vectorize=False,
         )
         specs, _ = advisor.generate_specs()
         advisor.evaluate_spec(specs[0])
@@ -145,6 +147,26 @@ class TestEvaluationCache:
         # The repeat is answered entirely by the candidate-level entry.
         assert cache.stats.candidate_hits == 1
         assert cache.stats.structure_misses == classes
+
+    def test_structure_batch_reuse_counts_hits(self, toy_advisor):
+        """Vectorized path: one batch entry per layout plays the same role."""
+        cache = EvaluationCache()
+        advisor = Warlock(
+            toy_advisor.schema,
+            toy_advisor.workload,
+            toy_advisor.system,
+            toy_advisor.config,
+            cache=cache,
+        )
+        specs, _ = advisor.generate_specs()
+        advisor.evaluate_spec(specs[0])
+        # One batch covers all classes: a single miss, no per-class entries.
+        assert cache.stats.structure_misses == 1
+        assert cache.stats.candidate_misses == 1
+        advisor.evaluate_spec(specs[0])
+        # The repeat is answered entirely by the candidate-level entry.
+        assert cache.stats.candidate_hits == 1
+        assert cache.stats.structure_misses == 1
 
     def test_disabled_cache_evaluates_identically(self, toy_advisor):
         specs, _ = toy_advisor.generate_specs()
@@ -299,3 +321,82 @@ class TestEvaluationEngine:
         candidates, report = toy_advisor.evaluate_candidates(specs=[])
         assert candidates == []
         assert report.considered == 0
+
+
+class TestAdaptiveJobs:
+    """The jobs="auto" heuristic: CPUs available x candidates per worker."""
+
+    def test_available_cpus_is_at_least_one(self):
+        from repro.engine import available_cpus
+
+        assert available_cpus() >= 1
+
+    def test_small_sweeps_stay_serial(self):
+        from repro.engine import MIN_SPECS_FOR_PARALLEL, adaptive_jobs
+
+        for candidates in range(MIN_SPECS_FOR_PARALLEL):
+            assert adaptive_jobs(candidates, cpus=64) == 1
+
+    def test_one_worker_per_candidate_block(self):
+        from repro.engine import adaptive_jobs
+
+        assert adaptive_jobs(8, cpus=64) == 1
+        assert adaptive_jobs(16, cpus=64) == 2
+        assert adaptive_jobs(64, cpus=64) == 8
+        assert adaptive_jobs(1000, cpus=64) == 64
+
+    def test_capped_at_available_cpus(self):
+        from repro.engine import adaptive_jobs
+
+        assert adaptive_jobs(1000, cpus=1) == 1
+        assert adaptive_jobs(1000, cpus=4) == 4
+
+    def test_rejects_invalid_inputs(self):
+        from repro.engine import adaptive_jobs
+
+        with pytest.raises(ValueError):
+            adaptive_jobs(-1)
+        with pytest.raises(ValueError):
+            adaptive_jobs(10, cpus=0)
+
+    def test_engine_resolves_auto_per_sweep(self, toy_advisor):
+        engine = EvaluationEngine(
+            toy_advisor.schema,
+            toy_advisor.workload,
+            toy_advisor.system,
+            toy_advisor.config,
+            jobs="auto",
+        )
+        from repro.engine import adaptive_jobs
+
+        assert engine.resolve_jobs(100) == adaptive_jobs(100)
+        assert engine.resolve_jobs(1) == 1
+
+    def test_engine_fixed_jobs_pass_through(self, toy_advisor):
+        engine = EvaluationEngine(
+            toy_advisor.schema,
+            toy_advisor.workload,
+            toy_advisor.system,
+            toy_advisor.config,
+            jobs=5,
+        )
+        assert engine.resolve_jobs(1_000_000) == 5
+
+    def test_rejects_garbage_jobs_values(self, toy_schema, toy_workload, small_system):
+        for bad in ("fast", 1.5, -2):
+            with pytest.raises(AdvisorError):
+                EvaluationEngine(toy_schema, toy_workload, small_system, jobs=bad)
+            with pytest.raises(AdvisorError):
+                Warlock(toy_schema, toy_workload, small_system, jobs=bad)
+
+    def test_auto_recommendation_matches_serial(
+        self, toy_schema, toy_workload, small_system
+    ):
+        from repro.engine import recommendation_fingerprint
+
+        config = AdvisorConfig(max_fragments=10_000, top_candidates=5)
+        serial = Warlock(toy_schema, toy_workload, small_system, config).recommend()
+        auto = Warlock(
+            toy_schema, toy_workload, small_system, config, jobs="auto"
+        ).recommend()
+        assert recommendation_fingerprint(serial) == recommendation_fingerprint(auto)

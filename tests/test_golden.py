@@ -41,7 +41,7 @@ SCENARIOS = {
 }
 
 
-def _advisor(scenario: dict) -> Warlock:
+def _inputs(scenario: dict):
     if scenario["dataset"] == "apb1":
         schema = apb1_schema(scale=scenario["scale"])
         workload = apb1_query_mix()
@@ -52,12 +52,17 @@ def _advisor(scenario: dict) -> Warlock:
     config = AdvisorConfig(
         top_candidates=scenario["top"], max_fragments=scenario["max_fragments"]
     )
-    return Warlock(schema, workload, system, config)
+    return schema, workload, system, config
 
 
-def build_snapshot(scenario: dict) -> dict:
+def _advisor(scenario: dict, vectorize: bool = True) -> Warlock:
+    schema, workload, system, config = _inputs(scenario)
+    return Warlock(schema, workload, system, config, vectorize=vectorize)
+
+
+def build_snapshot(scenario: dict, vectorize: bool = True) -> dict:
     """The golden payload of one reference run (all floats rounded to 6 dp)."""
-    recommendation = _advisor(scenario).recommend()
+    recommendation = _advisor(scenario, vectorize=vectorize).recommend()
     report = recommendation.exclusion_report
     return {
         "scenario": scenario,
@@ -91,15 +96,17 @@ def _golden_path(name: str) -> Path:
     return GOLDEN_DIR / f"{name}_recommendation.json"
 
 
+@pytest.mark.parametrize("vectorize", [True, False], ids=["vectorized", "scalar"])
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
-def test_recommendation_matches_golden_snapshot(name):
+def test_recommendation_matches_golden_snapshot(name, vectorize):
+    """Both cost paths must reproduce the pinned snapshot bit-for-bit."""
     path = _golden_path(name)
     assert path.exists(), (
         f"golden snapshot {path} missing; regenerate with "
         f"'PYTHONPATH=src python tests/test_golden.py --regenerate'"
     )
     expected = json.loads(path.read_text())
-    actual = build_snapshot(SCENARIOS[name])
+    actual = build_snapshot(SCENARIOS[name], vectorize=vectorize)
     assert actual == expected, (
         f"the {name} reference run no longer matches its golden snapshot; "
         f"if the model change is deliberate, regenerate with "
@@ -114,12 +121,54 @@ def test_golden_runs_are_reproducible_in_process(name):
     assert build_snapshot(SCENARIOS[name]) == build_snapshot(SCENARIOS[name])
 
 
+# ---------------------------------------------------------------------------
+# compare_specs golden: the rendered comparison table is pinned too
+# ---------------------------------------------------------------------------
+
+def build_compare_specs_text() -> str:
+    """The pinned ``compare_specs`` rendering: top-3 APB-1 specs vs baseline."""
+    from repro.analysis import compare_specs
+    from repro.fragmentation import FragmentationSpec
+
+    schema, workload, system, config = _inputs(SCENARIOS["apb1"])
+    advisor = Warlock(schema, workload, system, config)
+    recommendation = advisor.recommend()
+    specs = [ranked.candidate.spec for ranked in recommendation.ranked[:3]]
+    return compare_specs(
+        schema,
+        workload,
+        system,
+        specs,
+        baseline_spec=FragmentationSpec.none(),
+        config=config,
+        cache=advisor.cache,
+    )
+
+
+def _compare_specs_path() -> Path:
+    return GOLDEN_DIR / "apb1_compare_specs.txt"
+
+
+def test_compare_specs_matches_golden_snapshot():
+    path = _compare_specs_path()
+    assert path.exists(), (
+        f"golden snapshot {path} missing; regenerate with "
+        f"'PYTHONPATH=src python tests/test_golden.py --regenerate'"
+    )
+    assert build_compare_specs_text() + "\n" == path.read_text(), (
+        "the compare_specs rendering no longer matches its golden snapshot; "
+        "if the change is deliberate, regenerate and explain the delta"
+    )
+
+
 def regenerate() -> None:
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     for name, scenario in sorted(SCENARIOS.items()):
         path = _golden_path(name)
         path.write_text(json.dumps(build_snapshot(scenario), indent=2) + "\n")
         print(f"wrote {path}")
+    _compare_specs_path().write_text(build_compare_specs_text() + "\n")
+    print(f"wrote {_compare_specs_path()}")
 
 
 if __name__ == "__main__":

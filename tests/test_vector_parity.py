@@ -1,0 +1,351 @@
+"""Parity harness: the vectorized class-axis sweep equals the scalar path, bitwise.
+
+The batched cost path (:mod:`repro.costmodel.batch`) promises to be the *same
+model* as the scalar reference implementation — not an approximation.  This
+module is the harness that proves it:
+
+* a hypothesis sweep draws random schemas, workloads (including multi-value
+  restrictions), fragmentation specs, bitmap-scheme exclusions, disk counts
+  and prefetch settings, and asserts **field-by-field equality** of
+  ``AccessStructure``, ``QueryAccessProfile`` and ``QueryCost`` between the
+  two paths (floats compared with ``==``, i.e. bit-identical);
+* whole-advisor checks assert identical recommendation fingerprints for the
+  vectorized and the scalar path in serial, ``jobs=4``, cold-cache and
+  warm-cache modes;
+* the columnar worker→parent result batches re-materialize candidates
+  exactly, including across a pickle round-trip (the jobs=1-vs-4 transport).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import (
+    AdvisorConfig,
+    DimensionRestriction,
+    QueryClass,
+    QueryMix,
+    SystemParameters,
+    Warlock,
+    recommendation_fingerprint,
+    synthetic_schema,
+)
+from repro.bitmap import design_bitmap_scheme
+from repro.costmodel import (
+    IOCostModel,
+    compute_access_structure,
+    compute_access_structure_batch,
+    estimate_access,
+    estimate_access_batch,
+    evaluate_workload_batch,
+    resolve_prefetch_setting,
+    resolve_prefetch_setting_batch,
+)
+from repro.costmodel.model import _positioning_page_equivalent
+from repro.engine import CandidateResultBatch
+from repro.engine.signature import recommendation_state
+from repro.fragmentation import build_layout
+from repro.storage import PrefetchSetting
+from repro.workload import ClassMatrix
+from repro.workload.generator import random_query_mix
+
+MAX_FRAGMENTS = 30_000
+
+PARITY_SETTINGS = settings(max_examples=25, deadline=None)
+
+
+def _assert_fields_equal(scalar, batch, context: str) -> None:
+    """Field-by-field equality of two frozen dataclass instances."""
+    assert type(scalar) is type(batch)
+    for field in dataclasses.fields(scalar):
+        left = getattr(scalar, field.name)
+        right = getattr(batch, field.name)
+        assert left == right, (
+            f"{context}: field {field.name!r} differs: {left!r} != {right!r}"
+        )
+
+
+def _scenario(draw):
+    """Draw one random (schema, workload, system, specs, scheme) scenario."""
+    schema_seed = draw(st.integers(min_value=0, max_value=50))
+    num_dimensions = draw(st.integers(min_value=3, max_value=5))
+    skewed = draw(st.booleans())
+    schema = synthetic_schema(
+        num_dimensions=num_dimensions,
+        levels_per_dimension=draw(st.integers(min_value=2, max_value=3)),
+        bottom_cardinality=draw(st.sampled_from([60, 150, 400])),
+        fact_rows=draw(st.sampled_from([200_000, 2_000_000, 20_000_000])),
+        skew_thetas=[0.0, 0.8][: 2 if skewed else 1],
+        seed=schema_seed,
+    )
+    workload = random_query_mix(
+        schema,
+        num_classes=draw(st.integers(min_value=2, max_value=8)),
+        seed=draw(st.integers(min_value=0, max_value=50)),
+    )
+    # Widen some point restrictions into IN-lists so value_count > 1 paths
+    # (encoded-bitmap reads, ancestor expectations) are exercised.
+    widened = []
+    for query in workload:
+        restrictions = []
+        for restriction in query.restrictions:
+            cardinality = schema.level_cardinality(
+                restriction.dimension, restriction.level
+            )
+            value_count = min(
+                cardinality, draw(st.sampled_from([1, 1, 2, 5, 17]))
+            )
+            restrictions.append(
+                DimensionRestriction(
+                    restriction.dimension, restriction.level, value_count
+                )
+            )
+        widened.append(
+            QueryClass(
+                name=query.name,
+                restrictions=restrictions,
+                weight=query.weight,
+                fact_table=query.fact_table,
+            )
+        )
+    workload = QueryMix(widened)
+
+    fixed_prefetch = draw(st.booleans())
+    system = SystemParameters(
+        num_disks=draw(st.sampled_from([1, 8, 64])),
+        architecture=draw(st.sampled_from(["shared_disk", "shared_everything"])),
+        **(
+            {
+                "prefetch_pages_fact": draw(st.sampled_from([1, 4, 32])),
+                "prefetch_pages_bitmap": draw(st.sampled_from([1, 8])),
+            }
+            if fixed_prefetch
+            else {}
+        ),
+    )
+
+    scheme = design_bitmap_scheme(schema, workload)
+    if len(scheme) > 1 and draw(st.booleans()):
+        # Exclude a random index so forced-full-scan residuals appear.
+        keys = [(index.dimension, index.level) for index in scheme]
+        scheme = scheme.without(draw(st.sampled_from(keys)))
+
+    advisor = Warlock(
+        schema, workload, system, AdvisorConfig(max_fragments=MAX_FRAGMENTS)
+    )
+    try:
+        specs, _ = advisor.generate_specs()
+    except Exception:
+        # Some drawn configurations exclude every candidate (tiny fact tables
+        # on many disks); they exercise the thresholds, not the cost model.
+        assume(False)
+    spec = specs[draw(st.integers(min_value=0, max_value=len(specs) - 1))]
+    return schema, workload, system, spec, scheme
+
+
+class TestHypothesisSweep:
+    """Random layouts/schemes/prefetch settings: scalar == vectorized, bitwise."""
+
+    @PARITY_SETTINGS
+    @given(data=st.data())
+    def test_structures_profiles_and_costs_are_bit_identical(self, data):
+        schema, workload, system, spec, scheme = _scenario(data.draw)
+        layout = build_layout(
+            schema,
+            spec,
+            page_size_bytes=system.page_size_bytes,
+            max_fragments=MAX_FRAGMENTS,
+        )
+        matrix = ClassMatrix.compile(schema, workload, scheme)
+        batch = compute_access_structure_batch(layout, matrix)
+        ppe = _positioning_page_equivalent(system)
+
+        # Access structures, field by field.
+        for i, (query, _) in enumerate(workload.weighted_items()):
+            scalar_structure = compute_access_structure(
+                layout, query, scheme, validate=False
+            )
+            _assert_fields_equal(
+                scalar_structure, batch.structure(i), f"{spec.label}/{query.name}"
+            )
+
+        # Prefetch resolution.
+        scalar_prefetch = resolve_prefetch_setting(
+            layout, workload, scheme, system, validate_queries=False
+        )
+        batch_prefetch = resolve_prefetch_setting_batch(batch, matrix, system)
+        assert scalar_prefetch == batch_prefetch
+
+        # Profiles under the resolved setting AND a drawn fixed setting.
+        drawn_prefetch = PrefetchSetting.fixed(
+            data.draw(st.sampled_from([1, 2, 16, 128])),
+            data.draw(st.sampled_from([1, 4])),
+        )
+        for prefetch in (scalar_prefetch, drawn_prefetch):
+            profile_batch = estimate_access_batch(batch, prefetch, ppe)
+            for i, (query, _) in enumerate(workload.weighted_items()):
+                scalar_profile = estimate_access(
+                    layout,
+                    query,
+                    scheme,
+                    prefetch,
+                    positioning_page_equivalent=ppe,
+                    validate=False,
+                )
+                _assert_fields_equal(
+                    scalar_profile,
+                    profile_batch.profile(i),
+                    f"{spec.label}/{query.name}/prefetch={prefetch.fact_pages}",
+                )
+
+        # Full per-class cost records (QueryCost), field by field.
+        model = IOCostModel(system, validate_queries=False)
+        scalar_evaluation = model.evaluate(layout, workload, scheme, scalar_prefetch)
+        batch_evaluation = evaluate_workload_batch(
+            layout, batch, matrix, system, batch_prefetch
+        )
+        assert len(scalar_evaluation.per_class) == len(batch_evaluation.per_class)
+        for scalar_cost, batch_cost in zip(
+            scalar_evaluation.per_class, batch_evaluation.per_class
+        ):
+            _assert_fields_equal(
+                scalar_cost, batch_cost, f"{spec.label}/{scalar_cost.query_name}"
+            )
+        assert (
+            scalar_evaluation.total_io_cost_ms == batch_evaluation.total_io_cost_ms
+        )
+        assert (
+            scalar_evaluation.total_response_time_ms
+            == batch_evaluation.total_response_time_ms
+        )
+
+
+def _advisor_inputs():
+    schema = synthetic_schema(
+        num_dimensions=4,
+        levels_per_dimension=3,
+        bottom_cardinality=300,
+        fact_rows=2_000_000,
+        seed=3,
+    )
+    workload = random_query_mix(schema, num_classes=6, seed=5)
+    system = SystemParameters(num_disks=16)
+    config = AdvisorConfig(max_fragments=20_000, top_candidates=8)
+    return schema, workload, system, config
+
+
+class TestAdvisorParityMatrix:
+    """Vectorized vs scalar across execution modes, via recommendation fingerprints."""
+
+    def test_serial_cold(self):
+        schema, workload, system, config = _advisor_inputs()
+        vectorized = Warlock(schema, workload, system, config).recommend()
+        scalar = Warlock(
+            schema, workload, system, config, vectorize=False
+        ).recommend()
+        assert recommendation_fingerprint(vectorized) == recommendation_fingerprint(
+            scalar
+        )
+
+    def test_jobs_4(self):
+        schema, workload, system, config = _advisor_inputs()
+        vectorized = Warlock(schema, workload, system, config, jobs=4).recommend()
+        scalar = Warlock(
+            schema, workload, system, config, jobs=4, vectorize=False
+        ).recommend()
+        assert recommendation_fingerprint(vectorized) == recommendation_fingerprint(
+            scalar
+        )
+
+    def test_warm_cache(self):
+        schema, workload, system, config = _advisor_inputs()
+        vectorized_advisor = Warlock(schema, workload, system, config)
+        scalar_advisor = Warlock(schema, workload, system, config, vectorize=False)
+        cold_v = vectorized_advisor.recommend()
+        cold_s = scalar_advisor.recommend()
+        warm_v = vectorized_advisor.recommend()
+        warm_s = scalar_advisor.recommend()
+        assert vectorized_advisor.cache.stats.hits > 0
+        fingerprints = {
+            recommendation_fingerprint(rec)
+            for rec in (cold_v, cold_s, warm_v, warm_s)
+        }
+        assert len(fingerprints) == 1
+
+    def test_uncached(self):
+        schema, workload, system, config = _advisor_inputs()
+        vectorized = Warlock(
+            schema, workload, system, config, cache=False
+        ).recommend()
+        scalar = Warlock(
+            schema, workload, system, config, cache=False, vectorize=False
+        ).recommend()
+        assert recommendation_fingerprint(vectorized) == recommendation_fingerprint(
+            scalar
+        )
+
+
+class TestColumnarResultBatch:
+    """The worker→parent columnar transport re-materializes candidates exactly."""
+
+    @pytest.fixture
+    def engine_and_plan(self):
+        schema, workload, system, config = _advisor_inputs()
+        advisor = Warlock(schema, workload, system, config)
+        specs, _ = advisor.generate_specs()
+        engine = advisor.engine()
+        plan = engine.plan(specs[:10])
+        context = engine.context(specs=plan.specs)
+        return engine, plan, context
+
+    def test_round_trip_is_exact(self, engine_and_plan):
+        engine, plan, context = engine_and_plan
+        candidates = engine._evaluate_serial(plan, context)
+        batch = CandidateResultBatch.from_candidates(
+            range(len(candidates)), candidates
+        )
+        # The batch crosses the process boundary pickled: round-trip it.
+        restored = pickle.loads(pickle.dumps(batch)).to_candidates(context)
+        assert [index for index, _ in restored] == list(range(len(candidates)))
+        for (_, rebuilt), original in zip(restored, candidates):
+            assert rebuilt.label == original.label
+            assert rebuilt.prefetch == original.prefetch
+            assert rebuilt.io_cost_ms == original.io_cost_ms
+            assert rebuilt.response_time_ms == original.response_time_ms
+            assert (
+                rebuilt.allocation.disk_of_fragment.tolist()
+                == original.allocation.disk_of_fragment.tolist()
+            )
+            for rebuilt_cost, original_cost in zip(
+                rebuilt.evaluation.per_class, original.evaluation.per_class
+            ):
+                _assert_fields_equal(
+                    rebuilt_cost.profile, original_cost.profile, rebuilt.label
+                )
+                assert rebuilt_cost.io_cost_ms == original_cost.io_cost_ms
+                assert (
+                    rebuilt_cost.response_time_ms == original_cost.response_time_ms
+                )
+                assert rebuilt_cost.weight == original_cost.weight
+                assert rebuilt_cost.disks_used == original_cost.disks_used
+
+    def test_jobs_1_vs_4_through_columnar_batches(self):
+        """End-to-end: the parallel backend (columnar transport) == serial."""
+        schema, workload, system, config = _advisor_inputs()
+        serial = Warlock(schema, workload, system, config, jobs=1).recommend()
+        parallel = Warlock(schema, workload, system, config, jobs=4).recommend()
+        assert recommendation_state(serial) == recommendation_state(parallel)
+
+    def test_batch_rejects_mismatched_lengths(self, engine_and_plan):
+        engine, plan, context = engine_and_plan
+        candidates = engine._evaluate_serial(plan, context)
+        from repro.errors import AdvisorError
+
+        with pytest.raises(AdvisorError):
+            CandidateResultBatch.from_candidates([0], candidates)
+        with pytest.raises(AdvisorError):
+            CandidateResultBatch.from_candidates([], [])
