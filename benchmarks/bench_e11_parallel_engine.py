@@ -22,6 +22,15 @@ vs vectorized over all surviving candidates, on the stock 8-class APB-1 mix
 and on a widened 40-class APB-1-style mix (the class count whose per-class
 scalar passes the PR 1 profile flagged as the dominant serial cost).
 
+**Part 3 — cross-process warm start** from the persistent on-disk cache
+(``repro.engine.store``): four *separate* advisor processes share one cache
+directory — a cold process that spills its sweep, a warm serial process, a
+warm ``jobs=4`` process, and a process started against a deliberately
+corrupted store.  Reported per process: wall time, entries loaded and the
+disk-hit rate; the warm processes must answer >=90% of their probes from the
+disk store and every process must produce the bit-identical recommendation
+fingerprint.
+
 Assertions: all modes return bit-identical recommendations
 (:func:`repro.engine.recommendation_fingerprint`); the warm cache-aware sweep
 is at least 2x faster than the serial baseline; the vectorized 40-class APB-1
@@ -29,12 +38,19 @@ sweep is at least 3x faster than the scalar sweep; and — on machines that
 actually have the cores — ``jobs=4`` beats the serial baseline by at least 2x.
 The multicore assertion is gated on CPU availability because a process pool
 cannot beat physics on a single-core container; the measured numbers are
-printed either way.
+printed either way.  The cross-process warm start must answer the sweep from
+disk (>=90% disk-hit rate) and, in full mode, beat its own cold process on
+the in-process sweep time (asserted at 1.2x; measured ~1.5x — the cold sweep
+is already vectorized and memoized, so the residual warm win is bounded by
+spec enumeration and store unpickling).
 """
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import sys
 import time
 
 from repro import (
@@ -319,6 +335,137 @@ def test_e11_vectorized_class_axis_sweep(quick):
     assert ratios[wide_label] >= 3.0, (
         f"vectorized class-axis sweep only {ratios[wide_label]:.2f}x over "
         f"scalar on the 40-class APB-1 mix"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Part 3: cross-process warm start from the persistent on-disk cache
+# ---------------------------------------------------------------------------
+
+#: Runs one advisor in a *separate process* against a shared cache directory
+#: and prints its fingerprint, in-process sweep time and disk-hit stats.
+_CROSS_PROCESS_SNIPPET = """\
+import json, sys, time
+
+from repro import AdvisorConfig, SystemParameters, Warlock, synthetic_schema
+from repro.engine import recommendation_fingerprint
+from repro.workload.generator import random_query_mix
+
+params = json.loads(sys.argv[1])
+schema = synthetic_schema(
+    num_dimensions=params["dimensions"],
+    levels_per_dimension=3,
+    bottom_cardinality=params["bottom"],
+    fact_rows=30_000_000,
+)
+workload = random_query_mix(schema, num_classes=params["classes"], seed=11)
+system = SystemParameters(num_disks=64)
+config = AdvisorConfig(
+    max_fragments=params["max_fragments"], max_fragmentation_dimensions=3
+)
+advisor = Warlock(
+    schema, workload, system, config,
+    jobs=params["jobs"], cache_dir=params["cache_dir"],
+)
+start = time.perf_counter()
+recommendation = advisor.recommend()
+elapsed = time.perf_counter() - start
+advisor.persist_cache()
+stats = advisor.cache.stats
+print(json.dumps({
+    "fingerprint": recommendation_fingerprint(recommendation),
+    "elapsed": elapsed,
+    "loaded": advisor.cache.loaded_from_disk,
+    "disk_hits": stats.disk_hits,
+    "lookups": stats.lookups,
+    "disk_hit_rate": stats.disk_hit_rate,
+}))
+"""
+
+
+def _run_cross_process(params, cache_dir, jobs):
+    """One advisor process sharing ``cache_dir``; returns its report dict."""
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    payload = dict(params)
+    payload["cache_dir"] = str(cache_dir)
+    payload["jobs"] = jobs
+    result = subprocess.run(
+        [sys.executable, "-c", _CROSS_PROCESS_SNIPPET, json.dumps(payload)],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+def test_e11_cross_process_persistent_cache(quick, tmp_path):
+    """Separate processes share the sweep through the on-disk cache store."""
+    params = QUICK if quick else FULL
+    cache_dir = tmp_path / "warlock-cache"
+
+    cold = _run_cross_process(params, cache_dir, jobs=1)
+    warm = _run_cross_process(params, cache_dir, jobs=1)
+    warm_parallel = _run_cross_process(params, cache_dir, jobs=JOBS)
+
+    # Corrupt both store files in place: the next process must fall back to a
+    # cold evaluation with the identical result (and rewrite the store).
+    (cache_dir / "entries.sqlite").write_bytes(b"this is not a database")
+    (cache_dir / "structures.npz").write_bytes(b"\x00garbage")
+    corrupted = _run_cross_process(params, cache_dir, jobs=1)
+
+    rows = []
+    for label, report in (
+        ("cold process", cold),
+        ("warm process", warm),
+        (f"warm process jobs={JOBS}", warm_parallel),
+        ("corrupted-store process", corrupted),
+    ):
+        rows.append(
+            [
+                label,
+                f"{report['elapsed']:.3f}",
+                f"{report['loaded']}",
+                f"{report['disk_hits']}/{report['lookups']}",
+                f"{report['disk_hit_rate']:.1%}",
+            ]
+        )
+    print()
+    print_table(
+        "E11: cross-process warm start from the persistent cache",
+        ["process", "sweep [s]", "entries loaded", "disk hits", "disk-hit rate"],
+        rows,
+    )
+
+    # -- parity: the store can speed runs up, never change them ---------------
+    fingerprints = {
+        report["fingerprint"] for report in (cold, warm, warm_parallel, corrupted)
+    }
+    assert len(fingerprints) == 1, "cross-process runs disagree on the recommendation"
+
+    # -- the warm processes answer the sweep from the disk store --------------
+    assert cold["disk_hits"] == 0
+    assert warm["loaded"] > 0
+    assert warm["disk_hit_rate"] >= 0.9
+    assert warm_parallel["disk_hit_rate"] >= 0.9
+    # The corrupted store is never trusted: nothing loads, everything recomputes.
+    assert corrupted["loaded"] == 0 and corrupted["disk_hits"] == 0
+
+    if quick:
+        return
+
+    # Warm-starting across processes must beat the cold sweep.  The margin is
+    # moderate by construction — the cold sweep is already vectorized and
+    # memoized, and the warm run still pays spec enumeration plus unpickling —
+    # measured ~1.5x on the reference container, asserted at 1.2x to stay
+    # robust across CI hardware.
+    assert cold["elapsed"] / warm["elapsed"] >= 1.2, (
+        f"cross-process warm start only {cold['elapsed'] / warm['elapsed']:.2f}x "
+        f"over cold ({warm['elapsed']:.3f}s vs {cold['elapsed']:.3f}s)"
     )
 
 

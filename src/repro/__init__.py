@@ -66,6 +66,7 @@ from repro.core import (
     Warlock,
 )
 from repro.engine import (
+    CacheStore,
     EvaluationCache,
     EvaluationEngine,
     EvaluationPlan,
@@ -178,6 +179,7 @@ __all__ = [
     "FragmentationCandidate",
     "RankedCandidate",
     # evaluation engine
+    "CacheStore",
     "EvaluationCache",
     "EvaluationEngine",
     "EvaluationPlan",

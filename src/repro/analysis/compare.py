@@ -89,6 +89,7 @@ def compare_specs(
     jobs: Union[int, str] = 1,
     cache=None,
     vectorize: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> str:
     """Evaluate ``specs`` through the engine and render the comparison table.
 
@@ -113,6 +114,11 @@ def compare_specs(
     vectorize:
         Evaluate the per-class cost sweep vectorized over the class axis
         (default) or with the scalar reference path; results are identical.
+    cache_dir:
+        Directory of a persistent cache store
+        (:class:`repro.engine.CacheStore`): the comparison warm-starts from
+        evaluations earlier processes spilled there (e.g. the advisor run
+        that ranked these specs) and spills its own back.
     """
     from repro.engine import EvaluationEngine
 
@@ -127,6 +133,7 @@ def compare_specs(
         jobs=jobs,
         cache=cache,
         vectorize=vectorize,
+        cache_dir=cache_dir,
     )
     sweep = list(specs) if baseline_spec is None else [baseline_spec, *specs]
     candidates = engine.evaluate_specs(sweep)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional, Tuple
 
@@ -29,7 +30,6 @@ from repro.analysis import (
     occupancy_chart,
 )
 from repro.core import AdvisorConfig, Warlock
-from repro.costmodel import resolve_prefetch_setting
 from repro.datasets import (
     apb1_query_mix,
     apb1_schema,
@@ -59,22 +59,62 @@ def load_config(path: str) -> Tuple[StarSchema, QueryMix, SystemParameters]:
 # Dataset / argument resolution
 # ---------------------------------------------------------------------------
 
+#: Late-applied defaults for the system/dataset flags.  The argparse defaults
+#: are ``None`` so an *explicitly passed* value is detectable: with ``--config``
+#: an explicit ``--disks``/``--architecture`` overrides the config file's
+#: system block, while the defaults never do.
+DEFAULT_SCALE = 0.1
+DEFAULT_SKEW = 0.0
+DEFAULT_DISKS = 64
+DEFAULT_ARCHITECTURE = "shared_disk"
+
+#: Environment variable supplying the default ``--cache-dir``.
+CACHE_DIR_ENV = "WARLOCK_CACHE_DIR"
+
+
 def _resolve_inputs(args: argparse.Namespace) -> Tuple[StarSchema, QueryMix, SystemParameters]:
     if args.config:
+        # --scale/--skew shape the bundled datasets; a config file brings its
+        # own schema, so silently ignoring them would be lying to the user.
+        for flag, value in (("--scale", args.scale), ("--skew", args.skew)):
+            if value is not None:
+                raise WarlockError(
+                    f"{flag} only applies to the bundled datasets and cannot "
+                    f"modify a --config run; drop {flag} or --config"
+                )
         schema, workload, system = load_config(args.config)
+        # Explicitly passed CLI values override the config file's system block.
+        if args.disks is not None:
+            system = system.with_disks(args.disks)
+        if args.architecture is not None:
+            system = system.with_architecture(args.architecture)
     else:
+        scale = DEFAULT_SCALE if args.scale is None else args.scale
+        skew = DEFAULT_SKEW if args.skew is None else args.skew
         if args.dataset == "apb1":
-            schema = apb1_schema(scale=args.scale, skew={"product": args.skew} if args.skew else None)
+            schema = apb1_schema(scale=scale, skew={"product": skew} if skew else None)
             workload = apb1_query_mix()
         elif args.dataset == "retail":
-            schema = retail_schema(scale=args.scale)
+            schema = retail_schema(scale=scale)
             workload = retail_query_mix()
         else:
             raise WarlockError(f"unknown dataset {args.dataset!r}")
-        system = SystemParameters(num_disks=args.disks, architecture=args.architecture)
-    if args.disks is not None and not args.config:
-        system = system.with_disks(args.disks)
+        system = SystemParameters(
+            num_disks=DEFAULT_DISKS if args.disks is None else args.disks,
+            architecture=(
+                DEFAULT_ARCHITECTURE
+                if args.architecture is None
+                else args.architecture
+            ),
+        )
     return schema, workload, system
+
+
+def _cache_dir(args: argparse.Namespace) -> Optional[str]:
+    """The persistent-cache directory of this invocation (``None`` = disabled)."""
+    if getattr(args, "no_cache_persist", False):
+        return None
+    return getattr(args, "cache_dir", None) or None
 
 
 def _advisor(args: argparse.Namespace) -> Warlock:
@@ -91,6 +131,32 @@ def _advisor(args: argparse.Namespace) -> Warlock:
         config,
         jobs=getattr(args, "jobs", "auto"),
         vectorize=not getattr(args, "no_vectorize", False),
+        cache_dir=_cache_dir(args),
+    )
+
+
+def _finish_cache(advisor: Warlock) -> None:
+    """Flush the persistent cache and report its use (stderr, one line)."""
+    cache = advisor.cache
+    if cache is None or cache.store is None:
+        return
+    saved = advisor.persist_cache()
+    stats = cache.stats
+    if saved is not None:
+        store_note = f"saved {saved} entries"
+    elif cache.dirty:
+        # persist() returned nothing although there is unsaved content: the
+        # store location is not writable (best-effort by design, but worth
+        # telling the user — every future run will start cold).
+        store_note = "store not writable (warm start unavailable)"
+    else:
+        store_note = "store up to date"
+    print(
+        f"persistent cache [{cache.store.cache_dir}]: "
+        f"{cache.loaded_from_disk} entries loaded; "
+        f"disk hits {stats.disk_hits}/{stats.lookups} ({stats.disk_hit_rate:.1%}); "
+        + store_note,
+        file=sys.stderr,
     )
 
 
@@ -109,6 +175,7 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
     else:
         print(format_ranking_table(recommendation))
+    _finish_cache(advisor)
     return 0
 
 
@@ -125,6 +192,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(format_allocation_report(candidate))
     print()
     print(occupancy_chart(candidate))
+    _finish_cache(advisor)
     return 0
 
 
@@ -132,6 +200,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     advisor = _advisor(args)
     recommendation = advisor.recommend()
     print(format_full_report(recommendation, detail_top=args.detail_top))
+    _finish_cache(advisor)
     return 0
 
 
@@ -144,15 +213,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         else recommendation.best
     )
     simulator = DiskSimulator(advisor.system)
-    prefetch = resolve_prefetch_setting(
-        candidate.layout, advisor.workload, candidate.bitmap_scheme, advisor.system
-    )
+    # The evaluation already resolved the prefetch setting for this candidate
+    # (memoized, engine-validated); re-deriving it here would recompute the
+    # access structures through a second code path that could drift.
     result = simulator.run_workload(
         candidate.layout,
         advisor.workload,
         candidate.bitmap_scheme,
         candidate.allocation,
-        prefetch,
+        candidate.prefetch,
         queries_per_class=args.queries,
         seed=args.seed,
     )
@@ -162,6 +231,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"Analytical prediction: response {candidate.response_time_ms:,.1f} ms, "
         f"I/O cost {candidate.io_cost_ms:,.1f} ms"
     )
+    _finish_cache(advisor)
     return 0
 
 
@@ -233,6 +303,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         cache=advisor.cache,
     )
     print(prefetch.format())
+    _finish_cache(advisor)
     return 0
 
 
@@ -268,13 +339,33 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         help="bundled dataset to use when no --config is given",
     )
     parser.add_argument("--config", help="JSON configuration file (see example-config)")
-    parser.add_argument("--scale", type=float, default=0.1, help="fact table scale factor")
-    parser.add_argument("--skew", type=float, default=0.0, help="zipf theta for the product dimension (apb1 only)")
-    parser.add_argument("--disks", type=int, default=64, help="number of disks")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help=f"fact table scale factor for the bundled datasets "
+        f"(default {DEFAULT_SCALE}; an error with --config, which brings its own schema)",
+    )
+    parser.add_argument(
+        "--skew",
+        type=float,
+        default=None,
+        help=f"zipf theta for the product dimension (apb1 only; default "
+        f"{DEFAULT_SKEW}; an error with --config)",
+    )
+    parser.add_argument(
+        "--disks",
+        type=int,
+        default=None,
+        help=f"number of disks (default {DEFAULT_DISKS}; when passed together "
+        f"with --config it overrides the config file's system block)",
+    )
     parser.add_argument(
         "--architecture",
-        default="shared_disk",
-        help="parallel architecture: shared_disk or shared_everything",
+        default=None,
+        help=f"parallel architecture: shared_disk or shared_everything "
+        f"(default {DEFAULT_ARCHITECTURE}; when passed together with --config "
+        f"it overrides the config file's system block)",
     )
     parser.add_argument("--top", type=int, default=10, help="candidates in the final ranking")
     parser.add_argument(
@@ -301,6 +392,21 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         help="evaluate the per-query-class cost sweep with the scalar "
         "reference path instead of the vectorized class-axis batch "
         "(results are bit-identical; this is an escape hatch / A-B check)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get(CACHE_DIR_ENV) or None,
+        metavar="DIR",
+        help="directory of the persistent evaluation cache: invocations "
+        "sharing it warm-start from each other's evaluations (content-"
+        "addressed, version-salted; corrupted or stale stores are ignored "
+        f"and results never change).  Defaults to ${CACHE_DIR_ENV} when set",
+    )
+    parser.add_argument(
+        "--no-cache-persist",
+        action="store_true",
+        help=f"keep the evaluation cache in memory only, ignoring "
+        f"--cache-dir and ${CACHE_DIR_ENV}",
     )
 
 

@@ -110,6 +110,14 @@ class Warlock:
         sweep as numpy vectors over the class axis; ``False`` runs the scalar
         reference path (CLI ``--no-vectorize``).  Results are bit-identical
         either way.
+    cache_dir:
+        Directory of a persistent evaluation-cache store
+        (:class:`repro.engine.CacheStore`; CLI ``--cache-dir``).  When given,
+        the cache warm-starts from disk on the first evaluation and spills
+        back after every sweep, so repeated advisor *processes* on the same
+        inputs answer their sweeps from the store.  A corrupted, stale or
+        unwritable store silently degrades to a cold in-memory run — it can
+        never change a result.  Ignored when ``cache=False``.
     """
 
     def __init__(
@@ -122,6 +130,7 @@ class Warlock:
         jobs=1,
         cache=None,
         vectorize: bool = True,
+        cache_dir: Optional[str] = None,
     ) -> None:
         # Imported lazily to keep `repro.core` importable before `repro.engine`
         # (the engine imports core.candidates).
@@ -149,6 +158,7 @@ class Warlock:
             self.cache = EvaluationCache(max_entries=DEFAULT_CACHE_ENTRIES)
         else:
             self.cache = cache
+        self.cache_dir = cache_dir
         self._engine = None
 
     # -- candidate generation -------------------------------------------------------
@@ -205,8 +215,21 @@ class Warlock:
                 jobs=self.jobs,
                 cache=self.cache if self.cache is not None else False,
                 vectorize=self.vectorize,
+                cache_dir=self.cache_dir,
             )
         return self._engine
+
+    def persist_cache(self) -> Optional[int]:
+        """Spill the evaluation cache to its persistent store, if one is attached.
+
+        The engine already persists after every sweep; this flushes anything
+        accumulated since (e.g. by tuning studies sharing the cache).  Returns
+        the number of entries written, or ``None`` when there is no attached
+        store, nothing new to save, or the store is unwritable.
+        """
+        if self.cache is None:
+            return None
+        return self.cache.persist()
 
     def evaluate_spec(
         self,

@@ -15,9 +15,14 @@ explicit pipeline:
    recompute shared evaluations.
 4. :mod:`~repro.engine.signature` provides the content fingerprints the cache
    keys on, plus recommendation fingerprints used to *prove* parity.
+5. :class:`~repro.engine.store.CacheStore` spills the cache to a directory
+   (sqlite for pickled entries, npz for class-axis batches) so later
+   *processes* warm-start from disk; corrupted or version-mismatched stores
+   are silently ignored.
 """
 
 from repro.engine.cache import CacheStats, EvaluationCache
+from repro.engine.store import STORE_FORMAT_VERSION, CacheStore, store_salt
 from repro.engine.jobs import MIN_SPECS_FOR_PARALLEL, adaptive_jobs, available_cpus
 from repro.engine.plan import EvaluationPlan, WorkUnit
 from repro.engine.result import CandidateResultBatch
@@ -36,8 +41,11 @@ from repro.engine.executor import (
 
 __all__ = [
     "CacheStats",
+    "CacheStore",
     "CandidateResultBatch",
     "EvaluationCache",
+    "STORE_FORMAT_VERSION",
+    "store_salt",
     "EvaluationPlan",
     "WorkUnit",
     "EngineContext",

@@ -24,12 +24,19 @@ parameters.  The cache removes the recomputation:
 All cached values are immutable (frozen dataclasses), and every cache entry is
 the deterministic function of its key, so sharing a cache can never change a
 result — only skip its recomputation.  The parity tests assert exactly that.
+
+Because keys are content signatures, entries are also valid *across
+processes*: :meth:`EvaluationCache.attach` hooks the cache to a persistent
+:class:`~repro.engine.store.CacheStore` directory (warm-start loads on attach,
+:meth:`EvaluationCache.persist` spills after a sweep), which is how repeated
+CLI invocations and tuning sessions reuse each other's evaluations.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.engine.signature import (
     layout_signature,
@@ -52,6 +59,10 @@ class CacheStats:
     structure_misses: int = 0
     candidate_hits: int = 0
     candidate_misses: int = 0
+    #: Hits answered by entries that were loaded from a persistent store
+    #: (subsets of ``structure_hits`` / ``candidate_hits``).
+    structure_disk_hits: int = 0
+    candidate_disk_hits: int = 0
 
     @property
     def hits(self) -> int:
@@ -74,12 +85,24 @@ class CacheStats:
         lookups = self.lookups
         return self.hits / lookups if lookups else 0.0
 
+    @property
+    def disk_hits(self) -> int:
+        """Total hits answered by entries loaded from a persistent store."""
+        return self.structure_disk_hits + self.candidate_disk_hits
+
+    @property
+    def disk_hit_rate(self) -> float:
+        """Fraction of probes answered from disk-loaded entries (0.0 when unused)."""
+        lookups = self.lookups
+        return self.disk_hits / lookups if lookups else 0.0
+
     def describe(self) -> str:
         """One-line summary used by the benchmark and the CLI."""
         return (
             f"cache: {self.hits}/{self.lookups} hits ({self.hit_rate:.1%}); "
             f"structures {self.structure_hits}h/{self.structure_misses}m, "
-            f"candidates {self.candidate_hits}h/{self.candidate_misses}m"
+            f"candidates {self.candidate_hits}h/{self.candidate_misses}m, "
+            f"disk {self.disk_hits}h"
         )
 
 
@@ -108,6 +131,15 @@ class EvaluationCache:
         self.stats = CacheStats()
         self._structures: Dict[Tuple[str, ...], Any] = {}
         self._candidates: Dict[Tuple[str, ...], Any] = {}
+        # -- persistence state (see the "persistence" section below) --
+        #: Keys whose entries came from a persistent store (disk-hit stats).
+        self._disk_keys: Set[Tuple[str, ...]] = set()
+        #: Backing store attached via :meth:`attach`; ``None`` = memory only.
+        self._store = None
+        #: True when the cache holds entries the attached store has not seen.
+        self._dirty = False
+        #: Total entries loaded from persistent stores over this cache's life.
+        self.loaded_from_disk = 0
 
     # -- keys -------------------------------------------------------------------
 
@@ -170,6 +202,12 @@ class EvaluationCache:
 
     # -- lookup/insert ----------------------------------------------------------
 
+    def _evict_oldest(self, store: Dict[Tuple[str, ...], Any]) -> None:
+        """Drop the oldest-inserted entry (FIFO) and its disk-origin flag."""
+        evicted = next(iter(store))
+        store.pop(evicted)
+        self._disk_keys.discard(evicted)
+
     def _memoized_structure(self, key, compute):
         """Shared lookup/insert/eviction body of the two structure stores."""
         store = self._structures
@@ -177,12 +215,18 @@ class EvaluationCache:
         stats = self.stats
         if value is not _MISSING:
             stats.structure_hits += 1
+            if key in self._disk_keys:
+                stats.structure_disk_hits += 1
             return value
         stats.structure_misses += 1
         value = compute()
         if self.max_entries is not None and len(store) >= self.max_entries:
-            store.pop(next(iter(store)))
+            self._evict_oldest(store)
         store[key] = value
+        # Computed in-process: hits on it must not count as disk hits, even
+        # if an earlier incarnation of the entry came from the store.
+        self._disk_keys.discard(key)
+        self._dirty = True
         return value
 
     def access_structure(self, layout, query, bitmap_scheme, compute):
@@ -220,11 +264,14 @@ class EvaluationCache:
         to answer warm sweeps from the cache and dispatch only the misses to
         the worker pool.
         """
-        value = self._candidates.get(self.candidate_key(context, spec), _MISSING)
+        key = self.candidate_key(context, spec)
+        value = self._candidates.get(key, _MISSING)
         if value is _MISSING:
             self.stats.candidate_misses += 1
             return None
         self.stats.candidate_hits += 1
+        if key in self._disk_keys:
+            self.stats.candidate_disk_hits += 1
         return value
 
     def put_candidate(self, context, spec, candidate) -> None:
@@ -240,8 +287,10 @@ class EvaluationCache:
             and key not in store
             and len(store) >= self.max_entries
         ):
-            store.pop(next(iter(store)))
+            self._evict_oldest(store)
         store[key] = candidate
+        self._disk_keys.discard(key)
+        self._dirty = True
 
     # -- bulk transfer (worker -> parent) ---------------------------------------
 
@@ -262,8 +311,90 @@ class EvaluationCache:
                 and key not in store
                 and len(store) >= self.max_entries
             ):
-                store.pop(next(iter(store)))
+                self._evict_oldest(store)
             store[key] = value
+            self._disk_keys.discard(key)
+            self._dirty = True
+
+    # -- persistence (see repro.engine.store) -----------------------------------
+
+    @property
+    def store(self):
+        """The attached :class:`~repro.engine.store.CacheStore` (or ``None``)."""
+        return self._store
+
+    @property
+    def dirty(self) -> bool:
+        """True when the cache holds entries its attached store has not seen."""
+        return self._dirty
+
+    def load(self, store) -> int:
+        """Bulk-load a persistent store's entries into this cache.
+
+        Loaded entries are tracked so later hits on them count as *disk hits*
+        (:attr:`CacheStats.disk_hits`).  Loading never marks the cache dirty —
+        the entries are already on disk — and a missing, corrupted or
+        version-mismatched store simply loads zero entries.  Returns the
+        number of entries loaded.
+        """
+        structures, candidates = store.load()
+        dirty = self._dirty
+        self.merge_structures(structures.items())
+        target = self._candidates
+        for key, value in candidates.items():
+            if (
+                self.max_entries is not None
+                and key not in target
+                and len(target) >= self.max_entries
+            ):
+                self._evict_oldest(target)
+            target[key] = value
+        self._dirty = dirty
+        self._disk_keys.update(structures.keys())
+        self._disk_keys.update(candidates.keys())
+        loaded = len(structures) + len(candidates)
+        self.loaded_from_disk += loaded
+        return loaded
+
+    def save(self, store) -> Optional[int]:
+        """Spill the whole cache content to a persistent store (atomic).
+
+        Returns the number of entries written, or ``None`` when the store is
+        unwritable (best-effort — never an error).
+        """
+        written = store.save(self._structures, self._candidates)
+        if written is not None:
+            self._dirty = False
+        return written
+
+    def attach(self, store) -> int:
+        """Backing-store hook: load ``store`` and remember it for :meth:`persist`.
+
+        Attaching the already-attached directory again is a no-op, so engines
+        and tuning studies sharing one cache never reload the same store.
+        Switching to a *different* directory first flushes unsaved entries to
+        the old store, so work accumulated for one directory is never
+        silently redirected away from it.  Returns the number of entries
+        loaded.
+        """
+        if self._store is not None:
+            if os.path.abspath(self._store.cache_dir) == os.path.abspath(
+                store.cache_dir
+            ):
+                return 0
+            self.persist()
+        self._store = store
+        return self.load(store)
+
+    def persist(self) -> Optional[int]:
+        """Save to the attached store when there is unsaved content.
+
+        No-op (returns ``None``) without an attached store or when nothing
+        changed since the last save; otherwise returns :meth:`save`'s result.
+        """
+        if self._store is None or not self._dirty:
+            return None
+        return self.save(self._store)
 
     # -- maintenance ------------------------------------------------------------
 
@@ -274,6 +405,7 @@ class EvaluationCache:
         """Drop all entries (counters are preserved)."""
         self._structures.clear()
         self._candidates.clear()
+        self._disk_keys.clear()
 
     def reset_stats(self) -> None:
         """Zero the hit/miss counters (entries are preserved)."""

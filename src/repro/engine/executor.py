@@ -242,6 +242,13 @@ class EvaluationEngine:
         ``True`` (default) evaluates each candidate's per-class sweep as
         numpy vectors over the class axis; ``False`` runs the scalar
         reference path.  Results are bit-identical either way.
+    cache_dir:
+        Directory of a persistent :class:`~repro.engine.store.CacheStore`.
+        When given (and caching is enabled) the cache warm-starts from the
+        store at construction and spills back after every sweep, so a second
+        process on the same inputs answers the whole sweep from disk.
+        Corrupted or version-mismatched stores are silently ignored; results
+        never depend on the store's content.
     """
 
     def __init__(
@@ -254,6 +261,7 @@ class EvaluationEngine:
         jobs: Union[int, str] = 1,
         cache=None,
         vectorize: bool = True,
+        cache_dir: Optional[str] = None,
     ) -> None:
         if jobs != "auto" and (not isinstance(jobs, int) or jobs < 1):
             raise AdvisorError(
@@ -275,6 +283,11 @@ class EvaluationEngine:
             self.cache = EvaluationCache()
         else:
             self.cache = cache
+        self.cache_dir = cache_dir
+        if cache_dir and self.cache is not None:
+            from repro.engine.store import CacheStore
+
+            self.cache.attach(CacheStore(cache_dir))
         self._bitmap_scheme: Optional[BitmapScheme] = None
         self._matrices: Dict[str, ClassMatrix] = {}
 
@@ -366,16 +379,23 @@ class EvaluationEngine:
         plan = self.plan(specs)
         context = self.context(specs=plan.specs, bitmap_scheme=bitmap_scheme)
         jobs = self.resolve_jobs(plan.num_candidates)
+        candidates = None
         if jobs > 1 and plan.num_candidates >= MIN_SPECS_FOR_PARALLEL:
             try:
-                return self._evaluate_parallel(plan, context, jobs)
+                candidates = self._evaluate_parallel(plan, context, jobs)
             except (OSError, BrokenProcessPool, pickle.PicklingError):
                 # Restricted environments (no /dev/shm, seccomp'd fork,
                 # workers killed on spawn): the serial path produces the same
                 # results.  Evaluation errors (WarlockError subclasses) still
                 # propagate — they would fail serially too.
                 pass
-        return self._evaluate_serial(plan, context)
+        if candidates is None:
+            candidates = self._evaluate_serial(plan, context)
+        # Spill the sweep's new entries to the attached persistent store (a
+        # no-op without one, or when the sweep was answered entirely warm).
+        if self.cache is not None:
+            self.cache.persist()
+        return candidates
 
     def _evaluate_serial(
         self, plan: EvaluationPlan, context: EngineContext

@@ -22,7 +22,9 @@ __all__ = ["available_cpus", "adaptive_jobs", "MIN_SPECS_FOR_PARALLEL"]
 
 #: Below this many candidates a process pool cannot amortize its start-up and
 #: serialization overhead; such sweeps evaluate serially.  Doubles as the
-#: minimum number of candidates ``jobs="auto"`` assigns per worker.
+#: block size of ``jobs="auto"``: one worker per *started* block of this many
+#: candidates (ceil division), so any sweep strictly larger than this gets at
+#: least two workers while a sweep of exactly this size stays serial.
 MIN_SPECS_FOR_PARALLEL = 8
 
 
@@ -46,14 +48,16 @@ def available_cpus() -> int:
 def adaptive_jobs(num_candidates: int, cpus: Optional[int] = None) -> int:
     """Worker count for a sweep of ``num_candidates`` candidates.
 
-    One worker per :data:`MIN_SPECS_FOR_PARALLEL` candidates, capped at the
-    available CPUs, never below 1 — so ``jobs="auto"`` evaluates small sweeps
-    serially, scales up with the candidate space, and never oversubscribes
-    the machine.
+    One worker per *started* block of :data:`MIN_SPECS_FOR_PARALLEL`
+    candidates (ceil division), capped at the available CPUs, never below 1 —
+    so ``jobs="auto"`` evaluates sweeps of up to
+    :data:`MIN_SPECS_FOR_PARALLEL` candidates serially, parallelizes
+    everything above it (a 9-candidate sweep already gets two workers),
+    scales up with the candidate space, and never oversubscribes the machine.
     """
     if num_candidates < 0:
         raise ValueError(f"num_candidates must be non-negative, got {num_candidates}")
     cpus = available_cpus() if cpus is None else cpus
     if cpus < 1:
         raise ValueError(f"cpus must be at least 1, got {cpus}")
-    return max(1, min(cpus, num_candidates // MIN_SPECS_FOR_PARALLEL))
+    return max(1, min(cpus, -(-num_candidates // MIN_SPECS_FOR_PARALLEL)))

@@ -1,0 +1,347 @@
+"""Persistent on-disk spill of the evaluation cache (warm-start across processes).
+
+Every CLI invocation of the interactive recommend → analyze → tune → simulate
+loop used to rebuild the whole evaluation from nothing, because the
+:class:`~repro.engine.cache.EvaluationCache` died with the process.  The cache
+is content-addressed (sha1 signatures over frozen dataclasses,
+:mod:`repro.engine.signature`), so its entries are valid across processes by
+construction: a :class:`CacheStore` spills them under a cache directory and a
+later process reloads them, making repeated invocations and tuning sessions
+start warm.
+
+On-disk format
+--------------
+
+``entries.sqlite``
+    One row per candidate / scalar access-structure entry: the cache key
+    (salt-prefixed, JSON-encoded tuple of content signatures) plus the pickled
+    value.  Candidates and scalar structures are arbitrary frozen-dataclass
+    graphs, so pickle is the natural container; sqlite gives atomic reads over
+    the many small blobs.
+
+``structures.npz``
+    The class-axis structure batches
+    (:class:`~repro.costmodel.batch.AccessStructureBatch`).  They are plain
+    numpy columns plus a little string metadata, so they spill to a single
+    ``.npz`` (CRC-checked zip of ``.npy`` members) — binary-exact floats, no
+    pickle needed.
+
+Invalidation and trust
+----------------------
+
+Both files carry a **salt**: a digest over the store format version and the
+``repro`` package version.  Every persisted key is prefixed with the same
+salt.  A store written by a different format or package version, a truncated
+or corrupted file, or an entry that fails to decode is **silently ignored,
+never trusted** — the evaluation simply runs cold and overwrites the store
+with fresh content.  Persistence is strictly best-effort: no store failure
+(unreadable directory, read-only filesystem, concurrent writer) may ever
+change a result or crash the advisor, only forfeit the warm start.
+
+Concurrency
+-----------
+
+Saves are atomic: each file is fully written to a temporary sibling and then
+``os.replace``'d into place, so concurrent CLI invocations sharing a cache
+directory either see the complete previous store or the complete new one,
+never a partial file.  Writers are last-one-wins; since every save dumps the
+writer's whole in-memory cache (which includes everything it loaded), the
+surviving store is always a superset of that writer's view.
+
+The pickled entries are loaded with :mod:`pickle`, so a cache directory must
+be trusted to the same degree as the code itself — point ``--cache-dir`` at a
+directory you own, not at a shared download location.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import sqlite3
+import tempfile
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.signature import stable_digest
+
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "ENTRIES_FILENAME",
+    "BATCHES_FILENAME",
+    "CacheStore",
+    "store_salt",
+]
+
+#: Bump on any incompatible change to the on-disk layout; old stores are then
+#: silently ignored (and overwritten on the next save).
+STORE_FORMAT_VERSION = 1
+
+#: Candidate and scalar-structure entries (sqlite, pickled values).
+ENTRIES_FILENAME = "entries.sqlite"
+#: Class-axis structure batches (single npz, numpy columns).
+BATCHES_FILENAME = "structures.npz"
+
+#: numpy-array fields of :class:`~repro.costmodel.batch.AccessStructureBatch`,
+#: spilled verbatim as npz columns (dtypes preserved, floats binary-exact).
+_BATCH_ARRAY_FIELDS = (
+    "fragments_accessed",
+    "rows_in_accessed_fragments",
+    "qualifying_rows",
+    "rows_per_fragment",
+    "fact_pages_per_fragment",
+    "forced_full_scan",
+    "has_residuals",
+    "bitmap_touched_per_fragment",
+    "bitmap_density",
+    "index_class",
+    "index_pages",
+    "bitmap_pages_per_fragment",
+    "bitmap_index_counts",
+)
+
+
+def store_salt() -> str:
+    """The store's version salt: format version + ``repro`` package version.
+
+    Prefixes every persisted key and is checked file-wide on load, so a store
+    written by any other format or package version can never be trusted by
+    accident.
+    """
+    # Imported lazily: repro/__init__ imports repro.engine before defining
+    # __version__, so a module-level import would see a partial package.
+    from repro import __version__
+
+    return stable_digest("warlock-cache-store", str(STORE_FORMAT_VERSION), __version__)
+
+
+def _encode_key(salt: str, key: Tuple[str, ...]) -> str:
+    """Serialize a cache key tuple, prefixed with the version salt."""
+    return json.dumps([salt, *key])
+
+
+def _decode_key(salt: str, text: str) -> Optional[Tuple[str, ...]]:
+    """Parse a persisted key; ``None`` when malformed or salted differently."""
+    parts = json.loads(text)
+    if (
+        not isinstance(parts, list)
+        or len(parts) < 2
+        or parts[0] != salt
+        or not all(isinstance(part, str) for part in parts)
+    ):
+        return None
+    return tuple(parts[1:])
+
+
+class CacheStore:
+    """One persistent cache directory (see the module docstring for format).
+
+    The store is deliberately stateless between calls: :meth:`load` reads
+    whatever the directory currently holds, :meth:`save` atomically replaces
+    it.  All failures — missing directory, corruption, version mismatch,
+    unwritable filesystem — degrade to "no store", never to an error.
+    """
+
+    def __init__(self, cache_dir) -> None:
+        self.cache_dir = os.fspath(cache_dir)
+        self.salt = store_salt()
+
+    @property
+    def entries_path(self) -> str:
+        """Path of the sqlite entry file (candidates + scalar structures)."""
+        return os.path.join(self.cache_dir, ENTRIES_FILENAME)
+
+    @property
+    def batches_path(self) -> str:
+        """Path of the npz batch file (class-axis structure batches)."""
+        return os.path.join(self.cache_dir, BATCHES_FILENAME)
+
+    # -- load -------------------------------------------------------------------
+
+    def load(self) -> Tuple[Dict[Tuple[str, ...], Any], Dict[Tuple[str, ...], Any]]:
+        """Read the store: ``(structure entries, candidate entries)``.
+
+        Structure entries cover both the scalar per-query structures and the
+        class-axis batches (they share one cache dict).  Returns empty dicts
+        for anything missing, corrupted or version-mismatched.
+        """
+        structures = self._load_batches()
+        scalar, candidates = self._load_entries()
+        structures.update(scalar)
+        return structures, candidates
+
+    def _load_entries(self):
+        structures: Dict[Tuple[str, ...], Any] = {}
+        candidates: Dict[Tuple[str, ...], Any] = {}
+        path = self.entries_path
+        try:
+            if not os.path.exists(path):
+                return {}, {}
+            # Read-only URI: never create or lock-upgrade the file while a
+            # concurrent invocation may be replacing it.
+            connection = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+            try:
+                rows = connection.execute(
+                    "SELECT value FROM meta WHERE key = 'salt'"
+                ).fetchall()
+                if not rows or rows[0][0] != self.salt:
+                    return {}, {}
+                for key_text, kind, payload in connection.execute(
+                    "SELECT key, kind, payload FROM entries"
+                ):
+                    # Per-entry skip: one undecodable row (truncated pickle,
+                    # class drift in a dev checkout) forfeits that entry only,
+                    # not the whole warm start.
+                    try:
+                        key = _decode_key(self.salt, key_text)
+                        if key is None:
+                            continue
+                        value = pickle.loads(payload)
+                    except Exception:
+                        continue
+                    (candidates if kind == "candidate" else structures)[key] = value
+            finally:
+                connection.close()
+        except Exception:
+            # Stale format, truncated file, undecodable entry: never trusted.
+            return {}, {}
+        return structures, candidates
+
+    def _load_batches(self) -> Dict[Tuple[str, ...], Any]:
+        from repro.costmodel.batch import AccessStructureBatch
+
+        entries: Dict[Tuple[str, ...], Any] = {}
+        path = self.batches_path
+        try:
+            if not os.path.exists(path):
+                return {}
+            with np.load(path, allow_pickle=False) as data:
+                if str(data["__salt__"][()]) != self.salt:
+                    return {}
+                keys = json.loads(str(data["__index__"][()]))
+                for i, parts in enumerate(keys):
+                    # Per-entry skip, as for the sqlite rows.
+                    try:
+                        key = _decode_key(self.salt, json.dumps(parts))
+                        if key is None:
+                            continue
+                        meta = json.loads(str(data[f"{i}/meta"][()]))
+                        arrays = {
+                            name: data[f"{i}/{name}"] for name in _BATCH_ARRAY_FIELDS
+                        }
+                        entries[key] = AccessStructureBatch(
+                            query_names=tuple(meta["query_names"]),
+                            fragments_total=int(meta["fragments_total"]),
+                            index_attributes=tuple(
+                                (dimension, level)
+                                for dimension, level in meta["index_attributes"]
+                            ),
+                            **arrays,
+                        )
+                    except Exception:
+                        continue
+        except Exception:
+            return {}
+        return entries
+
+    # -- save -------------------------------------------------------------------
+
+    def save(
+        self,
+        structures: Mapping[Tuple[str, ...], Any],
+        candidates: Mapping[Tuple[str, ...], Any],
+    ) -> Optional[int]:
+        """Atomically replace the store with the given cache content.
+
+        Returns the number of entries written, or ``None`` when the store
+        could not be written (best-effort: the evaluation already succeeded,
+        only the warm start of the *next* process is forfeited).
+        """
+        from repro.costmodel.batch import AccessStructureBatch
+
+        scalar: Dict[Tuple[str, ...], Any] = {}
+        batches: Dict[Tuple[str, ...], Any] = {}
+        for key, value in structures.items():
+            (batches if isinstance(value, AccessStructureBatch) else scalar)[key] = value
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            self._save_entries(scalar, candidates)
+            self._save_batches(batches)
+        except Exception:
+            return None
+        return len(scalar) + len(candidates) + len(batches)
+
+    def _atomic_write(self, final_path: str, write):
+        """Run ``write(tmp_path)`` then rename the temp file into place."""
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=".store-", suffix=".tmp"
+        )
+        os.close(fd)
+        try:
+            write(tmp_path)
+            os.replace(tmp_path, final_path)
+        finally:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+
+    def _save_entries(self, structures, candidates) -> None:
+        def write(tmp_path: str) -> None:
+            connection = sqlite3.connect(tmp_path)
+            try:
+                connection.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)")
+                connection.execute(
+                    "CREATE TABLE entries "
+                    "(key TEXT PRIMARY KEY, kind TEXT NOT NULL, payload BLOB NOT NULL)"
+                )
+                connection.execute(
+                    "INSERT INTO meta VALUES ('salt', ?)", (self.salt,)
+                )
+                rows = [
+                    (
+                        _encode_key(self.salt, key),
+                        kind,
+                        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
+                    )
+                    for kind, entries in (
+                        ("structure", structures),
+                        ("candidate", candidates),
+                    )
+                    for key, value in entries.items()
+                ]
+                connection.executemany(
+                    "INSERT OR REPLACE INTO entries VALUES (?, ?, ?)", rows
+                )
+                connection.commit()
+            finally:
+                connection.close()
+
+        self._atomic_write(self.entries_path, write)
+
+    def _save_batches(self, batches) -> None:
+        arrays: Dict[str, np.ndarray] = {
+            "__salt__": np.array(self.salt),
+            "__index__": np.array(
+                json.dumps([[self.salt, *key] for key in batches])
+            ),
+        }
+        for i, batch in enumerate(batches.values()):
+            arrays[f"{i}/meta"] = np.array(
+                json.dumps(
+                    {
+                        "query_names": list(batch.query_names),
+                        "fragments_total": batch.fragments_total,
+                        "index_attributes": [
+                            list(pair) for pair in batch.index_attributes
+                        ],
+                    }
+                )
+            )
+            for name in _BATCH_ARRAY_FIELDS:
+                arrays[f"{i}/{name}"] = getattr(batch, name)
+
+        def write(tmp_path: str) -> None:
+            with open(tmp_path, "wb") as handle:
+                np.savez(handle, **arrays)
+
+        self._atomic_write(self.batches_path, write)

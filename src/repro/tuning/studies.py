@@ -13,6 +13,13 @@ advisor run that produced the spec).  Settings that leave the access structure
 unchanged — varied weights, architectures, coordination overheads — then reuse
 the memoized estimation instead of recomputing it; the cache key covers every
 input that can change a number, so the reuse is always exact.
+
+Pass ``cache_dir=`` to back the study cache with a persistent
+:class:`repro.engine.CacheStore`: the study then warm-starts from evaluations
+earlier *processes* spilled to that directory (typically the ``recommend``
+run that produced the spec) and spills its own settings back for the next
+session.  A cache that is already attached to a store keeps it, so the CLI's
+``tune`` command simply hands the advisor's store-backed cache to every study.
 """
 
 from __future__ import annotations
@@ -127,11 +134,19 @@ def _candidate_metrics(candidate) -> Dict[str, object]:
     return {column: summary[column] for column in _METRIC_COLUMNS}
 
 
-def _study_cache(cache):
-    """The evaluation cache a study shares across its settings."""
-    from repro.engine import EvaluationCache
+def _study_cache(cache, cache_dir=None):
+    """The evaluation cache a study shares across its settings.
 
-    return cache if cache is not None else EvaluationCache()
+    With ``cache_dir`` the cache is attached to the persistent store of that
+    directory (warm-start now, spill at the end of the study); attaching is a
+    no-op when ``cache`` already carries a store for the same directory.
+    """
+    from repro.engine import CacheStore, EvaluationCache
+
+    cache = cache if cache is not None else EvaluationCache()
+    if cache_dir:
+        cache.attach(CacheStore(cache_dir))
+    return cache
 
 
 def _evaluate(
@@ -163,11 +178,12 @@ def disk_count_study(
     config: Optional[AdvisorConfig] = None,
     cache=None,
     vectorize: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> TuningStudy:
     """Vary the number of disks (the classic scale-out question)."""
     if not disk_counts:
         raise AdvisorError("disk_count_study needs at least one disk count")
-    cache = _study_cache(cache)
+    cache = _study_cache(cache, cache_dir)
     records = []
     for disks in disk_counts:
         candidate = _evaluate(
@@ -180,6 +196,7 @@ def disk_count_study(
             vectorize=vectorize,
         )
         records.append((str(disks), _candidate_metrics(candidate)))
+    cache.persist()
     return TuningStudy(
         name=f"Disk-count study for {spec.label}",
         parameter="disks",
@@ -195,9 +212,10 @@ def architecture_study(
     config: Optional[AdvisorConfig] = None,
     cache=None,
     vectorize: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> TuningStudy:
     """Compare Shared Everything and Shared Disk for the same fragmentation."""
-    cache = _study_cache(cache)
+    cache = _study_cache(cache, cache_dir)
     records = []
     for architecture in ("shared_everything", "shared_disk"):
         candidate = _evaluate(
@@ -210,6 +228,7 @@ def architecture_study(
             vectorize=vectorize,
         )
         records.append((architecture, _candidate_metrics(candidate)))
+    cache.persist()
     return TuningStudy(
         name=f"Architecture study for {spec.label}",
         parameter="architecture",
@@ -226,11 +245,12 @@ def prefetch_study(
     config: Optional[AdvisorConfig] = None,
     cache=None,
     vectorize: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> TuningStudy:
     """Vary the fact-table prefetch granule (bitmap granule stays on auto)."""
     if not fact_granules:
         raise AdvisorError("prefetch_study needs at least one granule")
-    cache = _study_cache(cache)
+    cache = _study_cache(cache, cache_dir)
     records = []
     for granule in fact_granules:
         varied = system.with_prefetch(fact=granule)
@@ -241,6 +261,7 @@ def prefetch_study(
         record = _candidate_metrics(candidate)
         record["resolved_fact_granule"] = candidate.prefetch.fact_pages
         records.append((label, record))
+    cache.persist()
     return TuningStudy(
         name=f"Prefetch study for {spec.label}",
         parameter="fact prefetch",
@@ -257,11 +278,12 @@ def bitmap_exclusion_study(
     config: Optional[AdvisorConfig] = None,
     cache=None,
     vectorize: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> TuningStudy:
     """Vary the set of excluded bitmap indexes (the space-saving knob of §3.3)."""
     if not exclusions:
         raise AdvisorError("bitmap_exclusion_study needs at least one exclusion set")
-    cache = _study_cache(cache)
+    cache = _study_cache(cache, cache_dir)
     records = []
     for excluded in exclusions:
         excluded = tuple(excluded)
@@ -281,6 +303,7 @@ def bitmap_exclusion_study(
             else "without " + ", ".join(f"{d}.{l}" for d, l in excluded)
         )
         records.append((label, _candidate_metrics(candidate)))
+    cache.persist()
     return TuningStudy(
         name=f"Bitmap exclusion study for {spec.label}",
         parameter="bitmap scheme",
@@ -297,6 +320,7 @@ def skew_study(
     config: Optional[AdvisorConfig] = None,
     cache=None,
     vectorize: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> TuningStudy:
     """Vary the data skew.
 
@@ -306,7 +330,7 @@ def skew_study(
     """
     if not thetas:
         raise AdvisorError("skew_study needs at least one theta")
-    cache = _study_cache(cache)
+    cache = _study_cache(cache, cache_dir)
     records = []
     for theta in thetas:
         schema = schema_factory(theta)
@@ -314,6 +338,7 @@ def skew_study(
             schema, workload, system, spec, config, cache=cache, vectorize=vectorize
         )
         records.append((f"{theta:.2f}", _candidate_metrics(candidate)))
+    cache.persist()
     return TuningStudy(
         name=f"Skew study for {spec.label}",
         parameter="zipf theta",
@@ -330,6 +355,7 @@ def workload_weight_study(
     config: Optional[AdvisorConfig] = None,
     cache=None,
     vectorize: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> TuningStudy:
     """Vary the query-class weights ("query load specifics can be adapted").
 
@@ -337,7 +363,7 @@ def workload_weight_study(
     :meth:`repro.workload.QueryMix.reweighted`.  The unmodified mix is always
     evaluated first under the label ``"baseline"``.
     """
-    cache = _study_cache(cache)
+    cache = _study_cache(cache, cache_dir)
     records = []
     baseline = _evaluate(
         schema, workload, system, spec, config, cache=cache, vectorize=vectorize
@@ -354,6 +380,7 @@ def workload_weight_study(
             vectorize=vectorize,
         )
         records.append((label, _candidate_metrics(candidate)))
+    cache.persist()
     return TuningStudy(
         name=f"Workload weight study for {spec.label}",
         parameter="workload",

@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 import json
+import re
 
 import pytest
 
-from repro.cli import build_parser, example_config, load_config, main
+from repro.cli import _resolve_inputs, build_parser, example_config, load_config, main
 
 
 class TestParser:
@@ -17,8 +18,17 @@ class TestParser:
     def test_recommend_defaults(self):
         args = build_parser().parse_args(["recommend"])
         assert args.dataset == "apb1"
-        assert args.disks == 64
+        # System/dataset flags default to None so an explicit value is
+        # detectable (config-file override precedence); the effective
+        # defaults are applied late, during input resolution.
+        assert args.disks is None
+        assert args.architecture is None
+        assert args.scale is None
+        assert args.skew is None
         assert args.top == 10
+        _schema, _workload, system = _resolve_inputs(args)
+        assert system.num_disks == 64
+        assert system.architecture.value == "shared_disk"
 
     def test_simulate_arguments(self):
         args = build_parser().parse_args(
@@ -186,6 +196,156 @@ class TestModuleSmoke:
     def test_recommend_jobs_on_example_config(self, config_file, capsys):
         assert main(["recommend", "--config", config_file, "--jobs", "2"]) == 0
         assert "Top fragmentation candidates" in capsys.readouterr().out
+
+
+class TestConfigOverrides:
+    """Explicit --disks/--architecture override the config file's system block."""
+
+    @pytest.fixture
+    def config_file(self, tmp_path):
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps(example_config()))
+        return str(path)
+
+    def test_config_system_block_is_the_default(self, config_file):
+        args = build_parser().parse_args(["recommend", "--config", config_file])
+        _schema, _workload, system = _resolve_inputs(args)
+        # The example config declares 32 disks.
+        assert system.num_disks == 32
+
+    def test_explicit_disks_override_config(self, config_file):
+        args = build_parser().parse_args(
+            ["recommend", "--config", config_file, "--disks", "8"]
+        )
+        _schema, _workload, system = _resolve_inputs(args)
+        assert system.num_disks == 8
+
+    def test_explicit_architecture_overrides_config(self, config_file):
+        args = build_parser().parse_args(
+            ["recommend", "--config", config_file, "--architecture", "shared_everything"]
+        )
+        _schema, _workload, system = _resolve_inputs(args)
+        assert system.architecture.value == "shared_everything"
+
+    def test_overridden_config_run_exits_zero(self, config_file, capsys):
+        code = main(
+            ["recommend", "--config", config_file, "--disks", "8", "--top", "2"]
+        )
+        assert code == 0
+        assert "Top fragmentation candidates" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("flag,value", [("--scale", "0.5"), ("--skew", "1.0")])
+    def test_scale_and_skew_error_with_config(self, config_file, capsys, flag, value):
+        # --scale/--skew shape the bundled datasets; they can never apply to
+        # a config-file schema, so passing them is an error, not a silent no-op.
+        code = main(["recommend", "--config", config_file, flag, value])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert flag in err and "--config" in err
+
+
+class TestCacheDirFlags:
+    COMMON = ["--scale", "0.01", "--disks", "16", "--max-fragments", "20000"]
+
+    def test_cache_dir_defaults_to_env_var(self, monkeypatch):
+        monkeypatch.setenv("WARLOCK_CACHE_DIR", "/tmp/warlock-cache")
+        args = build_parser().parse_args(["recommend"])
+        assert args.cache_dir == "/tmp/warlock-cache"
+
+    def test_cache_dir_defaults_to_none_without_env(self, monkeypatch):
+        monkeypatch.delenv("WARLOCK_CACHE_DIR", raising=False)
+        args = build_parser().parse_args(["recommend"])
+        assert args.cache_dir is None
+        assert args.no_cache_persist is False
+
+    def test_flags_in_help_text(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recommend", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--cache-dir" in help_text
+        assert "--no-cache-persist" in help_text
+
+    def test_warm_invocation_reports_disk_hits_and_matches_cold(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["recommend", *self.COMMON, "--json", "--cache-dir", cache_dir]) == 0
+        captured = capsys.readouterr()
+        cold = json.loads(captured.out)
+        assert "persistent cache" in captured.err
+        assert main(["recommend", *self.COMMON, "--json", "--cache-dir", cache_dir]) == 0
+        captured = capsys.readouterr()
+        warm = json.loads(captured.out)
+        # The warm process answers the sweep from the disk store ...
+        match = re.search(r"disk hits (\d+)/(\d+)", captured.err)
+        assert match, captured.err
+        hits, lookups = map(int, match.groups())
+        assert lookups > 0 and hits / lookups >= 0.9
+        # ... and its recommendation is identical to the cold run's.
+        assert warm == cold
+
+    def test_unwritable_store_is_reported_not_fatal(self, tmp_path, capsys):
+        blocker = tmp_path / "not-a-directory"
+        blocker.write_text("occupied")
+        code = main(["recommend", *self.COMMON, "--cache-dir", str(blocker)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Top fragmentation candidates" in captured.out
+        assert "store not writable" in captured.err
+
+    def test_no_cache_persist_disables_the_store(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        code = main(
+            [
+                "recommend",
+                *self.COMMON,
+                "--cache-dir",
+                cache_dir,
+                "--no-cache-persist",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "persistent cache" not in captured.err
+        assert not (tmp_path / "cache").exists()
+
+
+class TestSimulateUsesEvaluatedPrefetch:
+    COMMON = ["--scale", "0.01", "--disks", "16", "--max-fragments", "20000"]
+
+    def test_simulate_reuses_the_candidate_prefetch(self, monkeypatch, capsys):
+        # The evaluation already resolved the candidate's prefetch setting;
+        # re-deriving it from scratch through the scalar path was wasted
+        # recomputation and a second code path that could drift.  The spy
+        # asserts the simulator receives the exact setting object the
+        # evaluation attached to the candidate.
+        from repro.simulation import DiskSimulator
+
+        seen = {}
+        original = DiskSimulator.run_workload
+
+        def spy(self, layout, workload, scheme, allocation, prefetch, **kwargs):
+            seen["prefetch"] = prefetch
+            seen["layout"] = layout
+            return original(self, layout, workload, scheme, allocation, prefetch, **kwargs)
+
+        monkeypatch.setattr(DiskSimulator, "run_workload", spy)
+        assert main(["simulate", *self.COMMON, "--queries", "1"]) == 0
+        assert "Simulated workload" in capsys.readouterr().out
+        # Same inputs, same pipeline: the simulated prefetch must be the one
+        # the (deterministic) evaluation resolved for the best candidate.
+        from repro.cli import _advisor
+
+        args = build_parser().parse_args(["simulate", *self.COMMON, "--queries", "1"])
+        candidate = _advisor(args).recommend().best
+        assert seen["prefetch"] == candidate.prefetch
+        assert seen["layout"].spec.label == candidate.label
+
+    def test_cli_no_longer_rederives_prefetch(self):
+        # The old code path imported resolve_prefetch_setting to recompute
+        # the setting the evaluation had already resolved; its absence pins
+        # the single-code-path fix.
+        import repro.cli as cli_module
+
+        assert not hasattr(cli_module, "resolve_prefetch_setting")
 
 
 class TestConfigFile:

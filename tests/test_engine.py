@@ -337,13 +337,28 @@ class TestAdaptiveJobs:
         for candidates in range(MIN_SPECS_FOR_PARALLEL):
             assert adaptive_jobs(candidates, cpus=64) == 1
 
-    def test_one_worker_per_candidate_block(self):
+    def test_one_worker_per_started_candidate_block(self):
         from repro.engine import adaptive_jobs
 
+        # Ceil division: one worker per *started* block of
+        # MIN_SPECS_FOR_PARALLEL candidates.
         assert adaptive_jobs(8, cpus=64) == 1
         assert adaptive_jobs(16, cpus=64) == 2
+        assert adaptive_jobs(17, cpus=64) == 3
         assert adaptive_jobs(64, cpus=64) == 8
         assert adaptive_jobs(1000, cpus=64) == 64
+
+    def test_auto_parallelizes_just_above_the_threshold(self):
+        # The documented contract: any sweep strictly larger than
+        # MIN_SPECS_FOR_PARALLEL gets a pool under jobs="auto".  Floor
+        # division used to leave 9-15-candidate sweeps serial despite the
+        # README/docstring promise.
+        from repro.engine import MIN_SPECS_FOR_PARALLEL, adaptive_jobs
+
+        for candidates in range(MIN_SPECS_FOR_PARALLEL + 1, 2 * MIN_SPECS_FOR_PARALLEL):
+            assert adaptive_jobs(candidates, cpus=64) == 2
+        # A sweep of exactly the threshold still amortizes nothing: serial.
+        assert adaptive_jobs(MIN_SPECS_FOR_PARALLEL, cpus=64) == 1
 
     def test_capped_at_available_cpus(self):
         from repro.engine import adaptive_jobs

@@ -1,0 +1,310 @@
+"""Persistent on-disk evaluation cache: round trips, warm starts, failure modes.
+
+The contract under test (repro.engine.store):
+
+* a second advisor *process* (modelled here as a fresh cache/advisor loading
+  the same directory) answers its sweep from the disk store, bit-identically;
+* a corrupted, truncated or version-mismatched store is silently ignored —
+  the run falls back to a cold evaluation with the identical fingerprint and
+  then atomically rewrites the store;
+* an unwritable store location can never fail an evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    AdvisorConfig,
+    EvaluationCache,
+    SystemParameters,
+    Warlock,
+    recommendation_fingerprint,
+    synthetic_schema,
+)
+from repro.engine import CacheStore, store_salt
+from repro.engine.store import BATCHES_FILENAME, ENTRIES_FILENAME
+from repro.workload.generator import random_query_mix
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    schema = synthetic_schema(
+        num_dimensions=4,
+        levels_per_dimension=3,
+        bottom_cardinality=300,
+        fact_rows=2_000_000,
+        seed=3,
+    )
+    workload = random_query_mix(schema, num_classes=6, seed=5)
+    system = SystemParameters(num_disks=16)
+    config = AdvisorConfig(max_fragments=20_000, top_candidates=8)
+    return schema, workload, system, config
+
+
+def _advisor(scenario, cache_dir, **kwargs):
+    schema, workload, system, config = scenario
+    return Warlock(schema, workload, system, config, cache_dir=str(cache_dir), **kwargs)
+
+
+class TestRoundTrip:
+    def test_cold_run_writes_both_store_files(self, scenario, tmp_path):
+        advisor = _advisor(scenario, tmp_path)
+        advisor.recommend()
+        assert (tmp_path / ENTRIES_FILENAME).exists()
+        assert (tmp_path / BATCHES_FILENAME).exists()
+        # No leftover temp files: saves are write-temp-then-rename.
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_store_load_returns_the_saved_entries(self, scenario, tmp_path):
+        advisor = _advisor(scenario, tmp_path)
+        advisor.recommend()
+        structures, candidates = CacheStore(tmp_path).load()
+        assert len(candidates) == len(dict(advisor.cache._candidates))
+        assert len(structures) == len(dict(advisor.cache.structure_items()))
+        assert set(candidates) == set(advisor.cache._candidates)
+
+    def test_batch_entries_round_trip_bit_exact(self, scenario, tmp_path):
+        from repro.costmodel.batch import AccessStructureBatch
+        from repro.engine.store import _BATCH_ARRAY_FIELDS
+
+        advisor = _advisor(scenario, tmp_path)
+        advisor.recommend()
+        structures, _ = CacheStore(tmp_path).load()
+        original = dict(advisor.cache.structure_items())
+        batches = {
+            key: value
+            for key, value in structures.items()
+            if isinstance(value, AccessStructureBatch)
+        }
+        assert batches, "the vectorized sweep must spill class-axis batches"
+        for key, loaded in batches.items():
+            source = original[key]
+            assert loaded.query_names == source.query_names
+            assert loaded.fragments_total == source.fragments_total
+            assert loaded.index_attributes == source.index_attributes
+            for field in _BATCH_ARRAY_FIELDS:
+                ours, theirs = getattr(source, field), getattr(loaded, field)
+                assert ours.dtype == theirs.dtype, field
+                assert np.array_equal(ours, theirs), field
+
+    def test_disk_hits_are_counted(self, scenario, tmp_path):
+        cold = _advisor(scenario, tmp_path)
+        cold.recommend()
+        warm = _advisor(scenario, tmp_path)
+        warm.recommend()
+        stats = warm.cache.stats
+        assert warm.cache.loaded_from_disk > 0
+        assert stats.candidate_disk_hits == stats.candidate_hits > 0
+        assert stats.disk_hit_rate >= 0.9
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+class TestWarmStartParity:
+    def test_cold_warm_and_corrupted_fingerprints_match(self, scenario, tmp_path, jobs):
+        cold = _advisor(scenario, tmp_path, jobs=jobs).recommend()
+        fingerprint = recommendation_fingerprint(cold)
+
+        warm_advisor = _advisor(scenario, tmp_path, jobs=jobs)
+        warm = warm_advisor.recommend()
+        assert recommendation_fingerprint(warm) == fingerprint
+        assert warm_advisor.cache.stats.disk_hit_rate >= 0.9
+
+        # Corrupt both files in place: the store must be silently ignored.
+        (tmp_path / ENTRIES_FILENAME).write_bytes(b"this is not a database")
+        (tmp_path / BATCHES_FILENAME).write_bytes(b"\x00\x01garbage")
+        corrupted_advisor = _advisor(scenario, tmp_path, jobs=jobs)
+        corrupted = corrupted_advisor.recommend()
+        assert recommendation_fingerprint(corrupted) == fingerprint
+        assert corrupted_advisor.cache.loaded_from_disk == 0
+        assert corrupted_advisor.cache.stats.disk_hits == 0
+
+        # ... and the corrupted store was atomically replaced by a fresh one.
+        recovered_advisor = _advisor(scenario, tmp_path, jobs=jobs)
+        recovered = recovered_advisor.recommend()
+        assert recommendation_fingerprint(recovered) == fingerprint
+        assert recovered_advisor.cache.stats.disk_hit_rate >= 0.9
+
+
+class TestFailureModes:
+    def test_version_salt_mismatch_is_ignored(self, scenario, tmp_path, monkeypatch):
+        cold = _advisor(scenario, tmp_path)
+        fingerprint = recommendation_fingerprint(cold.recommend())
+        # A future repro version computes a different salt: the old store
+        # must never be trusted, only silently replaced.
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        mismatched = _advisor(scenario, tmp_path)
+        assert mismatched.cache.loaded_from_disk == 0
+        result = mismatched.recommend()
+        assert recommendation_fingerprint(result) == fingerprint
+
+    def test_salt_covers_the_package_version(self, monkeypatch):
+        before = store_salt()
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        assert store_salt() != before
+
+    def test_unwritable_cache_dir_is_harmless(self, scenario, tmp_path):
+        # A cache "directory" that is actually a file: loads nothing, saves
+        # nowhere, and the evaluation still succeeds bit-identically.
+        blocker = tmp_path / "not-a-directory"
+        blocker.write_text("occupied")
+        schema, workload, system, config = scenario
+        reference = Warlock(schema, workload, system, config).recommend()
+        advisor = _advisor(scenario, blocker)
+        result = advisor.recommend()
+        assert recommendation_fingerprint(result) == recommendation_fingerprint(reference)
+        assert advisor.cache.loaded_from_disk == 0
+        assert advisor.persist_cache() is None
+        assert blocker.read_text() == "occupied"
+
+    def test_missing_directory_is_created_on_save(self, scenario, tmp_path):
+        nested = tmp_path / "a" / "b" / "cache"
+        advisor = _advisor(scenario, nested)
+        advisor.recommend()
+        assert (nested / ENTRIES_FILENAME).exists()
+
+    def test_truncated_sqlite_only_still_loads_batches(self, scenario, tmp_path):
+        # The two files are validated independently: a corrupt entries file
+        # must not poison the (intact) batch file, and vice versa.
+        cold = _advisor(scenario, tmp_path)
+        fingerprint = recommendation_fingerprint(cold.recommend())
+        (tmp_path / ENTRIES_FILENAME).write_bytes(b"broken")
+        advisor = _advisor(scenario, tmp_path)
+        result = advisor.recommend()
+        assert recommendation_fingerprint(result) == fingerprint
+        # Candidates were gone, but the class-axis batches warm-started.
+        assert advisor.cache.loaded_from_disk > 0
+        assert advisor.cache.stats.structure_disk_hits > 0
+
+
+class TestKeyEncoding:
+    def test_round_trip(self):
+        from repro.engine.store import _decode_key, _encode_key
+
+        salt = store_salt()
+        key = ("batch", "abc123", "def456")
+        assert _decode_key(salt, _encode_key(salt, key)) == key
+
+    def test_malformed_or_foreign_keys_are_rejected(self):
+        import json
+
+        from repro.engine.store import _decode_key, _encode_key
+
+        salt = store_salt()
+        assert _decode_key(salt, json.dumps(["other-salt", "a", "b"])) is None
+        assert _decode_key(salt, json.dumps([salt])) is None
+        assert _decode_key(salt, json.dumps([salt, "a", 7])) is None
+        assert _decode_key(salt, json.dumps({"not": "a list"})) is None
+
+    def test_undecodable_payload_skips_that_entry_only(self, scenario, tmp_path):
+        # One truncated pickle must forfeit one entry, not the whole store.
+        import sqlite3
+
+        from repro.engine.store import ENTRIES_FILENAME, _encode_key
+
+        advisor = _advisor(scenario, tmp_path)
+        advisor.recommend()
+        connection = sqlite3.connect(tmp_path / ENTRIES_FILENAME)
+        connection.execute(
+            "INSERT INTO entries VALUES (?, ?, ?)",
+            (_encode_key(store_salt(), ("bad-entry",)), "candidate", b"\x80truncated"),
+        )
+        connection.commit()
+        connection.close()
+        _structures, candidates = CacheStore(tmp_path).load()
+        assert ("bad-entry",) not in candidates
+        assert len(candidates) == len(dict(advisor.cache._candidates))
+
+    def test_foreign_salted_rows_are_skipped_not_fatal(self, scenario, tmp_path):
+        # A single foreign-salted row inside an otherwise valid store must be
+        # skipped without discarding the valid entries.
+        import sqlite3
+
+        from repro.engine.store import ENTRIES_FILENAME
+
+        advisor = _advisor(scenario, tmp_path)
+        advisor.recommend()
+        connection = sqlite3.connect(tmp_path / ENTRIES_FILENAME)
+        connection.execute(
+            "INSERT INTO entries VALUES (?, ?, ?)",
+            ('["foreign-salt", "x"]', "candidate", b"junk"),
+        )
+        connection.commit()
+        connection.close()
+        structures, candidates = CacheStore(tmp_path).load()
+        assert len(candidates) == len(dict(advisor.cache._candidates))
+        assert all(len(key) > 0 for key in candidates)
+
+
+class TestCacheStoreHook:
+    def test_attach_is_idempotent_per_directory(self, scenario, tmp_path):
+        cache = EvaluationCache()
+        store = CacheStore(tmp_path)
+        assert cache.attach(store) == 0  # empty directory
+        assert cache.attach(CacheStore(tmp_path)) == 0
+        assert cache.store is store
+
+    def test_attach_to_another_directory_flushes_the_old_store(self, scenario, tmp_path):
+        # Unsaved entries accumulated for directory A must reach A before the
+        # cache starts persisting to directory B.
+        schema, workload, system, config = scenario
+        dir_a, dir_b = tmp_path / "a", tmp_path / "b"
+        advisor = Warlock(schema, workload, system, config, cache_dir=str(dir_a))
+        advisor.recommend()  # attaches A and persists the sweep there
+        # Make the cache dirty again, then switch stores.
+        advisor.cache.merge_structures([(("extra",), "entry")])
+        assert advisor.cache.dirty
+        advisor.cache.attach(CacheStore(dir_b))
+        structures_a, _ = CacheStore(dir_a).load()
+        assert ("extra",) in structures_a
+
+    def test_recomputed_entries_stop_counting_as_disk_hits(self):
+        cache = EvaluationCache()
+        cache._disk_keys.add(("k",))
+        # An in-process (re)computation of the same key must clear the
+        # disk-origin flag, so later hits are not misreported as disk hits.
+        cache.merge_structures([(("k",), "computed")])
+        assert cache._memoized_structure(("k",), lambda: "unused") == "computed"
+        assert cache.stats.structure_hits == 1
+        assert cache.stats.structure_disk_hits == 0
+
+    def test_persist_skips_clean_caches(self, scenario, tmp_path):
+        advisor = _advisor(scenario, tmp_path)
+        advisor.recommend()  # engine persisted at the end of the sweep
+        assert not advisor.cache.dirty
+        assert advisor.persist_cache() is None
+
+    def test_save_and_load_are_symmetric(self, scenario, tmp_path):
+        schema, workload, system, config = scenario
+        advisor = Warlock(schema, workload, system, config)
+        advisor.recommend()
+        store = CacheStore(tmp_path / "explicit")
+        written = advisor.cache.save(store)
+        assert written == len(advisor.cache)
+        fresh = EvaluationCache()
+        assert fresh.load(store) == written
+        assert len(fresh) == len(advisor.cache)
+
+    def test_shared_cache_dir_with_tuning_studies(self, scenario, tmp_path):
+        from repro.tuning import disk_count_study
+
+        schema, workload, system, config = scenario
+        advisor = _advisor(scenario, tmp_path)
+        spec = advisor.recommend().best.spec
+        # A later process runs only the study: it warm-starts from the
+        # recommend() run's spilled structures.
+        study_cache = EvaluationCache()
+        disk_count_study(
+            schema,
+            workload,
+            system,
+            spec,
+            disk_counts=(8, 16),
+            config=config,
+            cache=study_cache,
+            cache_dir=str(tmp_path),
+        )
+        assert study_cache.loaded_from_disk > 0
+        assert study_cache.stats.structure_disk_hits > 0
