@@ -55,7 +55,9 @@ import time
 
 from repro import (
     AdvisorConfig,
+    AdvisorSession,
     DimensionRestriction,
+    EngineOptions,
     QueryClass,
     QueryMix,
     SystemParameters,
@@ -122,24 +124,32 @@ def test_e11_parallel_engine_speedup_and_parity(benchmark, quick):
 
     # Mode 1: seed-equivalent serial baseline (no cache, scalar inline loop).
     serial_advisor = Warlock(
-        schema, workload, system, config, jobs=1, cache=False, vectorize=False
+        schema,
+        workload,
+        system,
+        config,
+        options=EngineOptions(jobs=1, cache=False, vectorize=False),
     )
     specs, report = serial_advisor.generate_specs()
     plan = serial_advisor.engine().plan(specs)
     serial_rec, serial_s = _timed_recommend(serial_advisor)
 
     # Mode 2: cache-aware vectorized engine, still serial.
-    cached_advisor = Warlock(schema, workload, system, config, jobs=1)
+    cached_advisor = Warlock(
+        schema, workload, system, config, options=EngineOptions(jobs=1)
+    )
     cached_rec, cached_s = _timed_recommend(cached_advisor)
     cold_stats = cached_advisor.cache.stats
 
     # Mode 3: process-pool backend (timed via pytest-benchmark as the headline).
-    parallel_advisor = Warlock(schema, workload, system, config, jobs=JOBS)
+    parallel_advisor = Warlock(
+        schema, workload, system, config, options=EngineOptions(jobs=JOBS)
+    )
     parallel_rec = benchmark.pedantic(
         parallel_advisor.recommend, iterations=1, rounds=1
     )
     parallel_rec2, parallel_s = _timed_recommend(
-        Warlock(schema, workload, system, config, jobs=JOBS)
+        Warlock(schema, workload, system, config, options=EngineOptions(jobs=JOBS))
     )
 
     # Mode 4: warm cache (the tuning-iteration shape).
@@ -319,9 +329,15 @@ def test_e11_vectorized_class_axis_sweep(quick):
 
     # -- parity: the vectorized advisor returns the bit-identical result --------
     scalar_rec = Warlock(
-        schema, wide_mix, system, config, cache=False, vectorize=False
+        schema,
+        wide_mix,
+        system,
+        config,
+        options=EngineOptions(cache=False, vectorize=False),
     ).recommend()
-    vector_rec = Warlock(schema, wide_mix, system, config, cache=False).recommend()
+    vector_rec = Warlock(
+        schema, wide_mix, system, config, options=EngineOptions(cache=False)
+    ).recommend()
     assert recommendation_fingerprint(scalar_rec) == recommendation_fingerprint(
         vector_rec
     )
@@ -363,9 +379,10 @@ system = SystemParameters(num_disks=64)
 config = AdvisorConfig(
     max_fragments=params["max_fragments"], max_fragmentation_dimensions=3
 )
+from repro import EngineOptions
 advisor = Warlock(
     schema, workload, system, config,
-    jobs=params["jobs"], cache_dir=params["cache_dir"],
+    options=EngineOptions(jobs=params["jobs"], cache_dir=params["cache_dir"]),
 )
 start = time.perf_counter()
 recommendation = advisor.recommend()
@@ -501,3 +518,96 @@ def test_e11_tuning_reuse_via_shared_cache(quick):
     # the studied spec is reused from the recommend() sweep.
     assert stats.structure_hits > 0
     assert stats.hit_rate > 0.5
+
+
+# ---------------------------------------------------------------------------
+# Part 4: the session delta chain (one session, 5 what-if edits)
+# ---------------------------------------------------------------------------
+
+def test_e11_session_delta_chain(quick):
+    """One AdvisorSession absorbs a 5-edit what-if chain vs 5 cold advisors.
+
+    The paper's interactive session shape: an administrator varies disks,
+    architecture and mix weights against one warehouse — including toggling
+    an edit back to compare.  Each edit derives a session with
+    ``with_delta`` (sharing the evaluation cache); every recommendation is
+    asserted bit-identical to a fresh advisor built from the edited inputs,
+    per-edit cache hit rates are reported, and in full mode the warm chain
+    must beat the 5 cold advisors by at least 2x wall-clock (structure
+    entries carry system/mix edits; reverted edits are answered entirely
+    from candidate entries).
+    """
+    params = QUICK if quick else FULL
+    schema, workload, system, config = _inputs(params)
+    first_query = next(iter(workload))
+
+    edits = [
+        ("disks 64 -> 32", dict(disks=32)),
+        ("architecture -> SE", dict(architecture="shared_everything")),
+        ("revert system", dict(disks=64, architecture="shared_disk")),
+        (f"{first_query.name} weight x10", dict(mix_weights={first_query.name: 10.0})),
+        ("revert mix", dict(mix_weights={first_query.name: first_query.weight})),
+    ]
+
+    session = AdvisorSession(schema, workload, system, config)
+    base, base_s = (lambda t0=time.perf_counter(): (session.recommend(), time.perf_counter() - t0))()
+
+    rows = []
+    warm_times = []
+    fingerprints = []
+    current = session
+    for label, edit in edits:
+        current = current.with_delta(**edit)
+        session.cache.reset_stats()
+        start = time.perf_counter()
+        result = current.recommend()
+        elapsed = time.perf_counter() - start
+        warm_times.append(elapsed)
+        fingerprints.append(result.fingerprint)
+        stats = session.cache.stats
+        rows.append(
+            [label, f"{elapsed:.3f}", f"{stats.hit_rate:.1%}",
+             f"{stats.candidate_hits}", f"{stats.structure_hits}"]
+        )
+
+    # The cold side: one fresh advisor (private cache) per edited input set.
+    cold_times = []
+    cold_schema, cold_workload, cold_system = schema, workload, system
+    for index, (_, edit) in enumerate(edits):
+        if "disks" in edit:
+            cold_system = cold_system.with_disks(edit["disks"])
+        if "architecture" in edit:
+            cold_system = cold_system.with_architecture(edit["architecture"])
+        if "mix_weights" in edit:
+            cold_workload = cold_workload.reweighted(edit["mix_weights"])
+        advisor = Warlock(cold_schema, cold_workload, cold_system, config)
+        recommendation, elapsed = _timed_recommend(advisor)
+        cold_times.append(elapsed)
+        # -- parity: the delta chain can never change a number --------------
+        assert recommendation_fingerprint(recommendation) == fingerprints[index], (
+            f"delta chain diverged from a fresh advisor on edit {index}"
+        )
+
+    warm_total, cold_total = sum(warm_times), sum(cold_times)
+    print()
+    print(f"E11: session base sweep {base_s:.3f}s "
+          f"({len(base.recommendation.evaluated)} candidates)")
+    print_table(
+        "E11: what-if delta chain (one session, shared cache)",
+        ["edit", "warm [s]", "hit rate", "candidate hits", "structure hits"],
+        rows,
+    )
+    print(
+        f"E11: delta chain warm {warm_total:.3f}s vs 5 cold advisors "
+        f"{cold_total:.3f}s -> {cold_total / warm_total:.2f}x"
+    )
+
+    # The reverted edits are answered from whole-candidate entries: nearly
+    # free compared to their cold counterparts.
+    assert warm_times[2] < cold_times[2]
+    if quick:
+        return
+    assert cold_total / warm_total >= 2.0, (
+        f"session delta chain only {cold_total / warm_total:.2f}x over cold "
+        f"({warm_total:.3f}s vs {cold_total:.3f}s)"
+    )

@@ -7,16 +7,19 @@ The package reproduces the system demonstrated in
 
 Quickstart::
 
-    from repro import Warlock, SystemParameters, apb1_schema, apb1_query_mix
+    from repro import AdvisorSession, SystemParameters, apb1_schema, apb1_query_mix
 
-    schema = apb1_schema(scale=0.1)
-    workload = apb1_query_mix()
-    system = SystemParameters(num_disks=64)
+    session = AdvisorSession(
+        apb1_schema(scale=0.1), apb1_query_mix(), SystemParameters(num_disks=64)
+    )
+    result = session.recommend()
+    print(result.recommendation.describe())
 
-    advisor = Warlock(schema, workload, system)
-    recommendation = advisor.recommend()
-    print(recommendation.describe())
-    print(advisor.analyze(recommendation.best))
+    # Incremental what-if edits share the session's evaluation cache:
+    print(session.with_delta(disks=32).recommend().recommendation.describe())
+
+(:class:`Warlock` remains as the classic one-shot entry point, now a thin
+wrapper over a session.)
 """
 
 from repro.errors import (
@@ -24,6 +27,7 @@ from repro.errors import (
     AllocationError,
     BitmapError,
     CostModelError,
+    EvaluationCancelled,
     FragmentationError,
     ReportError,
     SchemaError,
@@ -109,6 +113,23 @@ from repro.io import (
     workload_from_list,
     workload_to_list,
 )
+from repro.api import (
+    AdvisorSession,
+    CancellationToken,
+    CompareRequest,
+    CompareResult,
+    EngineOptions,
+    EngineOptionsDeprecationWarning,
+    EvaluateSpecRequest,
+    EvaluateSpecResult,
+    ProgressEvent,
+    RecommendRequest,
+    RecommendResult,
+    SimulateRequest,
+    SimulateResult,
+    TuneRequest,
+    TuneResult,
+)
 from repro.datasets import (
     apb1_query_mix,
     apb1_schema,
@@ -130,6 +151,7 @@ __all__ = [
     "BitmapError",
     "StorageError",
     "AdvisorError",
+    "EvaluationCancelled",
     "SimulationError",
     "ReportError",
     # schema & skew
@@ -184,6 +206,22 @@ __all__ = [
     "EvaluationEngine",
     "EvaluationPlan",
     "recommendation_fingerprint",
+    # api: sessions, options, requests, progress
+    "AdvisorSession",
+    "EngineOptions",
+    "EngineOptionsDeprecationWarning",
+    "ProgressEvent",
+    "CancellationToken",
+    "RecommendRequest",
+    "EvaluateSpecRequest",
+    "CompareRequest",
+    "TuneRequest",
+    "SimulateRequest",
+    "RecommendResult",
+    "EvaluateSpecResult",
+    "CompareResult",
+    "TuneResult",
+    "SimulateResult",
     # analysis
     "format_ranking_table",
     "format_query_analysis",

@@ -13,7 +13,7 @@ the comparison.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Optional, Sequence
 
 from repro.analysis.report import format_table
 from repro.core.candidates import FragmentationCandidate
@@ -86,10 +86,13 @@ def compare_specs(
     baseline_spec=None,
     config=None,
     fact_table=None,
-    jobs: Union[int, str] = 1,
+    jobs=None,
     cache=None,
-    vectorize: bool = True,
-    cache_dir: Optional[str] = None,
+    vectorize=None,
+    cache_dir=None,
+    options=None,
+    on_progress=None,
+    cancel=None,
 ) -> str:
     """Evaluate ``specs`` through the engine and render the comparison table.
 
@@ -106,37 +109,43 @@ def compare_specs(
         Fact table the specs fragment (the schema's primary fact table when
         omitted) — pass the same name the advisor was built with so cached
         evaluations are reused.
-    jobs:
-        Worker processes for the sweep (1 = serial, "auto" = adaptive).
+    options:
+        Execution options (:class:`repro.api.EngineOptions`).  The legacy
+        ``jobs=`` / ``vectorize=`` / ``cache_dir=`` kwargs remain as
+        deprecation shims.
     cache:
         Evaluation cache to share with previous advisor/tuning work; a cache
         that already holds these evaluations makes this a pure rendering call.
-    vectorize:
-        Evaluate the per-class cost sweep vectorized over the class axis
-        (default) or with the scalar reference path; results are identical.
-    cache_dir:
-        Directory of a persistent cache store
-        (:class:`repro.engine.CacheStore`): the comparison warm-starts from
-        evaluations earlier processes spilled there (e.g. the advisor run
-        that ranked these specs) and spills its own back.
+    on_progress, cancel:
+        Chunk-boundary progress callback and cooperative cancel signal (see
+        :mod:`repro.api.progress`).
     """
+    from repro.api.options import UNSET, resolve_engine_options
     from repro.engine import EvaluationEngine
 
     if not specs:
         raise ReportError("compare_specs needs at least one spec")
+    # Resolved here (not delegated to the engine constructor) so the shim
+    # warnings name compare_specs and point at *its* caller.
+    options, shared_cache = resolve_engine_options(
+        options,
+        owner="compare_specs",
+        jobs=UNSET if jobs is None else jobs,
+        vectorize=UNSET if vectorize is None else vectorize,
+        cache=UNSET if cache is None else cache,
+        cache_dir=UNSET if cache_dir is None else cache_dir,
+    )
     engine = EvaluationEngine(
         schema,
         workload,
         system,
         config,
         fact_table=fact_table,
-        jobs=jobs,
-        cache=cache,
-        vectorize=vectorize,
-        cache_dir=cache_dir,
+        cache=shared_cache,
+        options=options,
     )
     sweep = list(specs) if baseline_spec is None else [baseline_spec, *specs]
-    candidates = engine.evaluate_specs(sweep)
+    candidates = engine.evaluate_specs(sweep, on_progress=on_progress, cancel=cancel)
     if baseline_spec is None:
         return compare_candidates(candidates)
     return compare_candidates(candidates, baseline=candidates[0])

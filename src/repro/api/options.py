@@ -1,0 +1,235 @@
+"""Unified engine options: one validated value object instead of kwarg soup.
+
+Before this module, every entry point — :class:`~repro.core.Warlock`, the six
+tuning studies, :func:`~repro.analysis.compare_specs`, four CLI subcommands —
+re-threaded the same ad-hoc ``jobs`` / ``vectorize`` / ``cache`` /
+``cache_dir`` keyword arguments through four layers, each validating (or
+forgetting to validate) them on its own.  :class:`EngineOptions` consolidates
+them into a single frozen dataclass that is validated once, compared by value,
+hashable, JSON round-trippable, and threaded verbatim from the API façade down
+to :class:`~repro.engine.EvaluationEngine`.
+
+The legacy keyword arguments remain accepted everywhere as *deprecation
+shims*: they behave exactly as before but emit an
+:class:`EngineOptionsDeprecationWarning` pointing at the option object.  The
+dedicated warning category (still a :class:`DeprecationWarning`) lets CI turn
+exactly these shims into errors — internal callers must all be migrated —
+without tripping over unrelated third-party deprecations.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.errors import AdvisorError
+
+__all__ = [
+    "EngineOptions",
+    "EngineOptionsDeprecationWarning",
+    "UNSET",
+    "resolve_engine_options",
+]
+
+
+class EngineOptionsDeprecationWarning(DeprecationWarning):
+    """Warning category of the legacy per-kwarg engine-option shims.
+
+    A dedicated subclass so test suites and CI can promote exactly these
+    warnings to errors (``-W error::repro.api.options.EngineOptionsDeprecationWarning``)
+    while leaving unrelated :class:`DeprecationWarning` sources alone.
+    """
+
+
+#: Sentinel distinguishing "kwarg not passed" from an explicit ``None``.
+UNSET = object()
+
+
+def _validate_jobs(jobs: Union[int, str]) -> None:
+    if jobs != "auto" and (not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1):
+        raise AdvisorError(
+            f'jobs must be a positive integer or "auto", got {jobs!r}'
+        )
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Execution options of the candidate-evaluation engine.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for candidate sweeps.  ``1`` (default) evaluates
+        serially in-process, higher values use a process pool with guaranteed
+        result parity, ``"auto"`` picks the worker count per sweep from the
+        available CPUs and the candidate count (the CLI default).
+    vectorize:
+        ``True`` (default) evaluates the per-query-class cost sweep as numpy
+        vectors over the class axis; ``False`` runs the scalar reference path
+        (CLI ``--no-vectorize``).  Results are bit-identical either way.
+    cache:
+        ``True`` (default) memoizes access structures and whole candidate
+        evaluations in an :class:`~repro.engine.EvaluationCache`; ``False``
+        disables memoization entirely (the benchmark's seed-equivalent
+        baseline).  To *share* a concrete cache instance across engines or
+        sessions, pass it via the ``cache=`` parameter of the respective
+        constructor — the instance is a collaboration handle, not an option.
+    cache_dir:
+        Directory of a persistent cache store (CLI ``--cache-dir``,
+        environment ``WARLOCK_CACHE_DIR``).  When set, the cache warm-starts
+        from disk and — subject to ``persist`` — spills back after every
+        sweep.  Requires ``cache=True``.
+    persist:
+        ``True`` (default) spills new cache entries back to ``cache_dir``
+        after every sweep; ``False`` treats the store as read-only: the run
+        still warm-starts from it but never writes back.  Meaningless (and
+        ignored) without a ``cache_dir``.
+    """
+
+    jobs: Union[int, str] = 1
+    vectorize: bool = True
+    cache: bool = True
+    cache_dir: Optional[str] = None
+    persist: bool = True
+
+    def __post_init__(self) -> None:
+        _validate_jobs(self.jobs)
+        for name in ("vectorize", "cache", "persist"):
+            value = getattr(self, name)
+            if not isinstance(value, bool):
+                raise AdvisorError(
+                    f"EngineOptions.{name} must be a bool, got {value!r}"
+                )
+        if self.cache_dir is not None and not isinstance(self.cache_dir, str):
+            raise AdvisorError(
+                f"EngineOptions.cache_dir must be a string path or None, "
+                f"got {self.cache_dir!r}"
+            )
+        if self.cache_dir == "":
+            raise AdvisorError("EngineOptions.cache_dir must not be empty")
+        if self.cache_dir is not None and not self.cache:
+            raise AdvisorError(
+                "EngineOptions.cache_dir requires cache=True: a persistent "
+                "store without an in-memory cache has nothing to fill or spill"
+            )
+
+    # -- derivation -------------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "EngineOptions":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready, round-trips through :meth:`from_dict`)."""
+        return {
+            "jobs": self.jobs,
+            "vectorize": self.vectorize,
+            "cache": self.cache,
+            "cache_dir": self.cache_dir,
+            "persist": self.persist,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "EngineOptions":
+        """Build options from a mapping, rejecting unknown keys.
+
+        This is the parser of the JSON config file's ``"engine"`` block; a
+        typo like ``"job"`` must be an error, not a silently ignored default.
+        """
+        if not isinstance(raw, Mapping):
+            raise AdvisorError(
+                f"engine options must be a mapping, got {type(raw).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(raw) - known)
+        if unknown:
+            raise AdvisorError(
+                f"unknown engine option(s) {', '.join(map(repr, unknown))}; "
+                f"known options: {', '.join(sorted(known))}"
+            )
+        return cls(**dict(raw))
+
+    def describe(self) -> str:
+        """One-line summary used by logs and the CLI."""
+        parts = [f"jobs={self.jobs}", "vectorized" if self.vectorize else "scalar"]
+        if not self.cache:
+            parts.append("uncached")
+        elif self.cache_dir:
+            parts.append(
+                f"store={self.cache_dir}" + ("" if self.persist else " (read-only)")
+            )
+        return ", ".join(parts)
+
+
+def _warn_deprecated(owner: str, kwarg: str, replacement: str, stacklevel: int) -> None:
+    warnings.warn(
+        f"{owner}({kwarg}=...) is deprecated; pass "
+        f"options=EngineOptions({replacement}) instead",
+        EngineOptionsDeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def resolve_engine_options(
+    options: Optional[EngineOptions],
+    *,
+    owner: str,
+    jobs: Any = UNSET,
+    vectorize: Any = UNSET,
+    cache: Any = UNSET,
+    cache_dir: Any = UNSET,
+    stacklevel: int = 5,
+) -> Tuple[EngineOptions, Optional[Any]]:
+    """Merge an :class:`EngineOptions` with the legacy per-kwarg shims.
+
+    Returns ``(options, shared_cache)`` where ``shared_cache`` is the concrete
+    :class:`~repro.engine.EvaluationCache` instance the caller passed for
+    cross-engine sharing (or ``None``).  Legacy kwargs (``jobs=``,
+    ``vectorize=``, ``cache_dir=``, and the ``cache=False`` switch) emit an
+    :class:`EngineOptionsDeprecationWarning` and are folded into the returned
+    options; combining them with an explicit ``options=`` is an error — the
+    two would silently fight over the same knob.
+
+    ``stacklevel`` pins the warning to the *shimmed callable's caller*.  The
+    default 5 counts warn(1) -> merge(2) -> resolve_engine_options(3) -> the
+    shimmed constructor/function(4) -> its caller(5); a shim one call deeper
+    (the studies' ``_study_setup``) passes 6.
+    """
+    explicit = options is not None
+    resolved = options if explicit else EngineOptions()
+
+    def merge(kwarg: str, replacement: str, **changes: Any) -> EngineOptions:
+        if explicit:
+            raise AdvisorError(
+                f"{owner}: pass either options=EngineOptions(...) or the "
+                f"deprecated {kwarg}= keyword, not both"
+            )
+        # Validate before warning: an invalid value raises the same
+        # AdvisorError it always did, without a warning riding along.
+        updated = resolved.replace(**changes)
+        _warn_deprecated(owner, kwarg, replacement, stacklevel)
+        return updated
+
+    if jobs is not UNSET:
+        resolved = merge("jobs", f"jobs={jobs!r}", jobs=jobs)
+    if vectorize is not UNSET:
+        resolved = merge("vectorize", f"vectorize={vectorize!r}", vectorize=bool(vectorize))
+    if cache_dir is not UNSET and cache_dir is not None:
+        resolved = merge(
+            "cache_dir", f"cache_dir={cache_dir!r}", cache_dir=str(cache_dir)
+        )
+
+    shared_cache = None
+    if cache is not UNSET:
+        if cache is False:
+            # cache=False always ignored cache_dir; keep that contract.
+            resolved = merge("cache", "cache=False", cache=False, cache_dir=None)
+        elif cache is not None:
+            # A concrete EvaluationCache instance: the supported sharing hook,
+            # not a deprecated option (sessions, studies and comparisons pass
+            # one cache around by design).
+            shared_cache = cache
+    return resolved, shared_cache

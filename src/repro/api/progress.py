@@ -1,0 +1,132 @@
+"""Progress events and cooperative cancellation for candidate sweeps.
+
+The evaluation plan knows every work unit of a sweep up front, and the
+executor already dispatches candidates in chunks — so per-chunk completion is
+free to surface.  :class:`ProgressEvent` is the value object the engine emits
+at every chunk boundary (serial mode treats each candidate as its own chunk;
+the pool emits one event per completed worker chunk), and
+:class:`CancellationToken` is the cooperative cancel switch the engine checks
+at the same boundaries.
+
+Cancellation is *cooperative and chunk-granular*: a set token makes the
+engine stop dispatching further chunks and raise
+:class:`~repro.errors.EvaluationCancelled`.  Everything completed before the
+cancel — including cache entries, which are content-addressed functions of
+their inputs — remains valid, so a later retry resumes warm.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Union
+
+__all__ = [
+    "ProgressEvent",
+    "CancellationToken",
+    "ProgressCallback",
+    "CancelSignal",
+    "cancel_requested",
+]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One chunk-boundary snapshot of a running candidate sweep.
+
+    ``chunk``/``num_chunks`` count the chunks this sweep actually dispatches
+    (cache-answered candidates never reach a chunk); ``completed``/``total``
+    count candidates including the cache-answered ones, so a meter rendered
+    from the events always ends at ``total``.  ``chunk`` 0 is the start
+    event a pool sweep emits after answering its warm candidates.
+    """
+
+    phase: str
+    #: Candidates finished so far (cache-answered included) / in the sweep.
+    completed: int
+    total: int
+    #: Completed chunk count (1-based) / chunks dispatched by this sweep.
+    chunk: int
+    num_chunks: int
+    #: (candidate × query class) work units finished / expanded by the plan.
+    completed_units: int
+    total_units: int
+    #: Label of the last candidate the completed chunk evaluated ("" at start).
+    label: str = ""
+
+    @property
+    def fraction(self) -> float:
+        """Completed fraction of the sweep's candidates (0.0 on empty sweeps)."""
+        return self.completed / self.total if self.total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready) for serving progress over a wire."""
+        return {
+            "phase": self.phase,
+            "completed": self.completed,
+            "total": self.total,
+            "chunk": self.chunk,
+            "num_chunks": self.num_chunks,
+            "completed_units": self.completed_units,
+            "total_units": self.total_units,
+            "label": self.label,
+            "fraction": self.fraction,
+        }
+
+    def describe(self) -> str:
+        """One-line meter text (the CLI's ``--progress`` line)."""
+        text = (
+            f"{self.phase} {self.completed}/{self.total} candidates "
+            f"(chunk {self.chunk}/{self.num_chunks})"
+        )
+        if self.label:
+            text += f" {self.label}"
+        return text
+
+
+class CancellationToken:
+    """Thread-safe cooperative cancel switch.
+
+    Hand the token to a sweep (``cancel=token``) and call :meth:`cancel` from
+    anywhere — a signal handler, a UI thread, a progress callback.  The engine
+    checks the token at chunk boundaries and raises
+    :class:`~repro.errors.EvaluationCancelled` when it is set.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent)."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._event.is_set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "active"
+        return f"<CancellationToken {state}>"
+
+
+def cancel_requested(cancel: Any) -> bool:
+    """True when a cancel signal (token, callable, or ``None``) is set.
+
+    The duck-typed check the engine and the tuning studies share: ``None``
+    never cancels, a callable is polled, anything else is read through its
+    ``cancelled`` attribute (the :class:`CancellationToken` protocol).
+    """
+    if cancel is None:
+        return False
+    if callable(cancel):
+        return bool(cancel())
+    return bool(getattr(cancel, "cancelled", False))
+
+
+#: A progress consumer: any callable accepting one :class:`ProgressEvent`.
+ProgressCallback = Callable[[ProgressEvent], None]
+
+#: A cancel source: a :class:`CancellationToken` or a zero-argument callable
+#: returning truthy once the sweep should stop.
+CancelSignal = Union[CancellationToken, Callable[[], bool]]

@@ -1,0 +1,198 @@
+"""Typed requests an :class:`~repro.api.AdvisorSession` serves.
+
+Each request is a small frozen dataclass describing *what* the caller wants —
+a recommendation, a single-spec evaluation, a comparison, a what-if study, a
+simulated replay — with none of the *how* (worker counts, caches, progress
+plumbing), which lives in the session's :class:`~repro.api.EngineOptions`.
+Requests are plain values: hashable, comparable, and serializable through
+``to_dict`` / ``from_dict``, so a service front end can accept them straight
+off a wire and hand them to :meth:`AdvisorSession.submit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import AdvisorError
+from repro.fragmentation import FragmentationSpec
+
+__all__ = [
+    "RecommendRequest",
+    "EvaluateSpecRequest",
+    "CompareRequest",
+    "TuneRequest",
+    "SimulateRequest",
+    "TUNE_STUDIES",
+]
+
+#: Study names :class:`TuneRequest` accepts, mapped by the session onto the
+#: corresponding :mod:`repro.tuning` study (see ``AdvisorSession.tune``).
+TUNE_STUDIES = ("disks", "architecture", "prefetch", "bitmaps", "weights")
+
+
+def _spec_dict(spec: FragmentationSpec) -> Dict[str, Any]:
+    return {
+        "attributes": [
+            {"dimension": attribute.dimension, "level": attribute.level}
+            for attribute in spec.attributes
+        ]
+    }
+
+
+def _spec_from_dict(raw: Mapping[str, Any]) -> FragmentationSpec:
+    return FragmentationSpec.of(
+        *(
+            (attribute["dimension"], attribute["level"])
+            for attribute in raw.get("attributes", ())
+        )
+    )
+
+
+@dataclass(frozen=True)
+class RecommendRequest:
+    """Run the full pipeline: enumerate, exclude, evaluate, rank."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "recommend"}
+
+
+@dataclass(frozen=True)
+class EvaluateSpecRequest:
+    """Fully evaluate one fragmentation candidate.
+
+    ``bitmap_exclude`` drops the listed ``(dimension, level)`` indexes from
+    the workload-driven bitmap scheme before evaluating (the space-saving
+    knob of the paper's §3.3).
+    """
+
+    spec: FragmentationSpec
+    bitmap_exclude: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "bitmap_exclude",
+            tuple((str(d), str(l)) for d, l in self.bitmap_exclude),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "evaluate_spec",
+            "spec": _spec_dict(self.spec),
+            "bitmap_exclude": [list(pair) for pair in self.bitmap_exclude],
+        }
+
+
+@dataclass(frozen=True)
+class CompareRequest:
+    """Evaluate several specs and render the side-by-side comparison."""
+
+    specs: Tuple[FragmentationSpec, ...]
+    baseline_spec: Optional[FragmentationSpec] = None
+
+    def __post_init__(self) -> None:
+        specs = tuple(self.specs)
+        if not specs:
+            raise AdvisorError("CompareRequest needs at least one spec")
+        object.__setattr__(self, "specs", specs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "kind": "compare",
+            "specs": [_spec_dict(spec) for spec in self.specs],
+        }
+        if self.baseline_spec is not None:
+            payload["baseline_spec"] = _spec_dict(self.baseline_spec)
+        return payload
+
+
+@dataclass(frozen=True)
+class TuneRequest:
+    """Run one what-if study over a fixed fragmentation.
+
+    ``study`` is one of :data:`TUNE_STUDIES`; ``settings`` carries the varied
+    values (disk counts, prefetch granules, bitmap exclusion sets, or the
+    weight reweightings mapping) and defaults to the study's stock sweep.
+    ``spec`` defaults to the session's recommended fragmentation.
+    """
+
+    study: str
+    spec: Optional[FragmentationSpec] = None
+    settings: Any = None
+
+    def __post_init__(self) -> None:
+        if self.study not in TUNE_STUDIES:
+            raise AdvisorError(
+                f"unknown tuning study {self.study!r}; "
+                f"known studies: {', '.join(TUNE_STUDIES)}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"kind": "tune", "study": self.study}
+        if self.spec is not None:
+            payload["spec"] = _spec_dict(self.spec)
+        if self.settings is not None:
+            payload["settings"] = self.settings
+        return payload
+
+
+@dataclass(frozen=True)
+class SimulateRequest:
+    """Monte-Carlo replay of the workload on an evaluated candidate.
+
+    ``fragmentation`` is the label of the candidate to replay (the session's
+    recommended one when omitted).
+    """
+
+    fragmentation: Optional[str] = None
+    queries_per_class: int = 10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.queries_per_class < 1:
+            raise AdvisorError(
+                f"queries_per_class must be positive, got {self.queries_per_class}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "kind": "simulate",
+            "queries_per_class": self.queries_per_class,
+            "seed": self.seed,
+        }
+        if self.fragmentation is not None:
+            payload["fragmentation"] = self.fragmentation
+        return payload
+
+
+_REQUEST_KINDS = {
+    "recommend": RecommendRequest,
+    "evaluate_spec": EvaluateSpecRequest,
+    "compare": CompareRequest,
+    "tune": TuneRequest,
+    "simulate": SimulateRequest,
+}
+
+
+def request_from_dict(raw: Mapping[str, Any]) -> Any:
+    """Rebuild a typed request from its ``to_dict`` form (wire deserialization)."""
+    kind = raw.get("kind")
+    if kind not in _REQUEST_KINDS:
+        raise AdvisorError(
+            f"unknown request kind {kind!r}; "
+            f"known kinds: {', '.join(sorted(_REQUEST_KINDS))}"
+        )
+    body = {key: value for key, value in raw.items() if key != "kind"}
+    if "spec" in body:
+        body["spec"] = _spec_from_dict(body["spec"])
+    if "specs" in body:
+        body["specs"] = tuple(_spec_from_dict(entry) for entry in body["specs"])
+    if "baseline_spec" in body:
+        body["baseline_spec"] = _spec_from_dict(body["baseline_spec"])
+    if "bitmap_exclude" in body:
+        body["bitmap_exclude"] = tuple(tuple(pair) for pair in body["bitmap_exclude"])
+    return _REQUEST_KINDS[kind](**body)
+
+
+__all__.append("request_from_dict")

@@ -1,0 +1,465 @@
+"""The advisor session: compile once, serve many requests, edit incrementally.
+
+The paper frames WARLOCK as an *interactive* what-if tool: an administrator
+loads one warehouse and then varies disks, skew and query-mix weights against
+it, comparing the predictions.  That access pattern is a session — not the
+one-shot ``Warlock(...)`` constructor call the library grew up around, which
+re-validated the schema, re-designed the bitmap scheme and re-compiled the
+columnar class matrix on every what-if variation.
+
+:class:`AdvisorSession` compiles the inputs once (schema validation, workload
+validation, bitmap-scheme design, class-matrix compilation — all memoized on
+the session's single :class:`~repro.engine.EvaluationEngine`), holds the
+shared :class:`~repro.engine.EvaluationCache`, and serves typed requests
+(:mod:`repro.api.requests`).  :meth:`AdvisorSession.with_delta` derives an
+edited session — different disk count, architecture, skew, mix weights —
+that *shares the cache*, so every entry the edit does not invalidate is
+reused: the cache keys are content signatures of exactly the inputs that can
+move a number, which makes the reuse automatic and exact (fingerprint parity
+against a fresh advisor is asserted by the test suite and the E11 benchmark).
+
+Every request accepts ``on_progress=`` / ``cancel=`` (see
+:mod:`repro.api.progress`); events fire at the evaluation plan's chunk
+boundaries in both the serial and the process-pool backend.
+
+:class:`~repro.core.Warlock` remains as a thin compatibility wrapper over a
+session.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.options import EngineOptions
+from repro.api.progress import CancelSignal, ProgressCallback
+from repro.api.requests import (
+    CompareRequest,
+    EvaluateSpecRequest,
+    RecommendRequest,
+    SimulateRequest,
+    TuneRequest,
+)
+from repro.api.results import (
+    CompareResult,
+    EvaluateSpecResult,
+    RecommendResult,
+    SimulateResult,
+    TuneResult,
+)
+from repro.bitmap import BitmapScheme
+from repro.core.advisor import DEFAULT_CACHE_ENTRIES, Recommendation
+from repro.core.candidates import FragmentationCandidate
+from repro.core.config import AdvisorConfig
+from repro.core.ranking import rank_candidates
+from repro.core.thresholds import ExclusionReport, evaluate_thresholds
+from repro.engine import EvaluationCache, EvaluationEngine
+from repro.errors import AdvisorError
+from repro.fragmentation import FragmentationSpec, enumerate_point_fragmentations
+from repro.schema import StarSchema, validate_schema
+from repro.storage import SystemParameters
+from repro.workload import QueryMix
+
+__all__ = ["AdvisorSession"]
+
+#: Request types -> session methods; the dispatch table of :meth:`submit`.
+_Request = Union[
+    RecommendRequest, EvaluateSpecRequest, CompareRequest, TuneRequest, SimulateRequest
+]
+
+
+class AdvisorSession:
+    """A long-lived advisor bound to one (schema, workload, system) input set.
+
+    Parameters
+    ----------
+    schema, workload, system, config:
+        The advisor inputs (see :class:`~repro.core.Warlock`).
+    fact_table:
+        Fact table to fragment (the schema's primary fact table when omitted).
+    options:
+        Execution options (:class:`~repro.api.EngineOptions`); defaults to
+        serial, vectorized, cached, memory-only.
+    cache:
+        A concrete :class:`~repro.engine.EvaluationCache` to share with other
+        sessions/engines.  ``None`` (default) creates a private bounded cache
+        when ``options.cache`` is true.  :meth:`with_delta` passes the
+        session's cache to the derived session, which is what makes
+        incremental what-if edits warm.
+    """
+
+    def __init__(
+        self,
+        schema: StarSchema,
+        workload: QueryMix,
+        system: SystemParameters,
+        config: Optional[AdvisorConfig] = None,
+        fact_table: Optional[str] = None,
+        options: Optional[EngineOptions] = None,
+        cache: Optional[EvaluationCache] = None,
+    ) -> None:
+        self.options = options if options is not None else EngineOptions()
+        if not isinstance(self.options, EngineOptions):
+            raise AdvisorError(
+                f"options must be EngineOptions, got {type(self.options).__name__}"
+            )
+        self.schema = schema
+        self.workload = workload
+        self.system = system
+        self.config = config if config is not None else AdvisorConfig()
+        self.fact = schema.fact_table(fact_table)
+        self.schema_warnings = validate_schema(schema)
+        if cache is not None:
+            self.cache: Optional[EvaluationCache] = cache
+        elif self.options.cache:
+            # Bounded by default: a session is long-lived by design, so the
+            # cache must not grow without limit across many large sweeps.
+            self.cache = EvaluationCache(max_entries=DEFAULT_CACHE_ENTRIES)
+        else:
+            self.cache = None
+        # One engine for the session's lifetime: construction validates the
+        # workload once; the bitmap scheme and the columnar class matrix are
+        # compiled on first use and memoized for every later request.
+        self.engine = EvaluationEngine(
+            schema,
+            workload,
+            system,
+            self.config,
+            fact_table=self.fact.name,
+            options=self.options,
+            cache=self.cache,
+        )
+
+    # -- compiled inputs --------------------------------------------------------
+
+    def design_bitmaps(self) -> BitmapScheme:
+        """The workload-driven bitmap scheme (designed once per session)."""
+        return self.engine.bitmap_scheme()
+
+    def generate_specs(self) -> Tuple[List[FragmentationSpec], ExclusionReport]:
+        """Enumerate point fragmentations and apply the exclusion thresholds."""
+        report = ExclusionReport()
+        surviving: List[FragmentationSpec] = []
+        for spec in enumerate_point_fragmentations(
+            self.schema,
+            fact_table=self.fact.name,
+            max_dimensions=self.config.max_fragmentation_dimensions,
+            include_baseline=self.config.include_baseline,
+        ):
+            violations = evaluate_thresholds(
+                spec, self.schema, self.fact, self.system, self.config
+            )
+            report.record(spec, violations)
+            if not violations:
+                surviving.append(spec)
+        if not surviving:
+            raise AdvisorError(
+                "all fragmentation candidates were excluded by the thresholds; "
+                "relax min/max fragment bounds or check the system parameters"
+            )
+        return surviving, report
+
+    # -- requests ---------------------------------------------------------------
+
+    def submit(
+        self,
+        request: _Request,
+        on_progress: Optional[ProgressCallback] = None,
+        cancel: Optional[CancelSignal] = None,
+    ):
+        """Serve one typed request (the generic front-end entry point)."""
+        if isinstance(request, RecommendRequest):
+            return self.recommend(on_progress=on_progress, cancel=cancel)
+        if isinstance(request, EvaluateSpecRequest):
+            return self.evaluate(request)
+        if isinstance(request, CompareRequest):
+            return self.compare(
+                request.specs,
+                baseline_spec=request.baseline_spec,
+                on_progress=on_progress,
+                cancel=cancel,
+            )
+        if isinstance(request, TuneRequest):
+            return self.tune(
+                request.study,
+                spec=request.spec,
+                settings=request.settings,
+                on_progress=on_progress,
+                cancel=cancel,
+            )
+        if isinstance(request, SimulateRequest):
+            return self.simulate(
+                fragmentation=request.fragmentation,
+                queries_per_class=request.queries_per_class,
+                seed=request.seed,
+                on_progress=on_progress,
+                cancel=cancel,
+            )
+        raise AdvisorError(
+            f"unknown request type {type(request).__name__}; expected one of "
+            f"RecommendRequest, EvaluateSpecRequest, CompareRequest, "
+            f"TuneRequest, SimulateRequest"
+        )
+
+    def recommend(
+        self,
+        on_progress: Optional[ProgressCallback] = None,
+        cancel: Optional[CancelSignal] = None,
+    ) -> RecommendResult:
+        """Run the full pipeline and return the ranked recommendation."""
+        specs, report = self.generate_specs()
+        candidates = self.engine.evaluate_specs(
+            specs, on_progress=on_progress, cancel=cancel
+        )
+        ranked = rank_candidates(
+            candidates,
+            top_fraction=self.config.top_fraction,
+            top_candidates=self.config.top_candidates,
+        )
+        recommendation = Recommendation(
+            ranked=tuple(ranked),
+            evaluated=tuple(candidates),
+            exclusion_report=report,
+            config=self.config,
+            schema=self.schema,
+            workload=self.workload,
+            system=self.system,
+        )
+        return RecommendResult(recommendation)
+
+    def evaluate(self, request: EvaluateSpecRequest) -> EvaluateSpecResult:
+        """Fully evaluate a single fragmentation candidate."""
+        scheme = None
+        if request.bitmap_exclude:
+            scheme = self.design_bitmaps().without(*request.bitmap_exclude)
+        candidate = self.engine.evaluate_spec(request.spec, bitmap_scheme=scheme)
+        return EvaluateSpecResult(candidate)
+
+    def evaluate_spec(
+        self,
+        spec: FragmentationSpec,
+        bitmap_scheme: Optional[BitmapScheme] = None,
+    ) -> FragmentationCandidate:
+        """Low-level single-candidate evaluation (compatibility surface)."""
+        return self.engine.evaluate_spec(spec, bitmap_scheme=bitmap_scheme)
+
+    def compare(
+        self,
+        specs: Sequence[FragmentationSpec],
+        baseline_spec: Optional[FragmentationSpec] = None,
+        on_progress: Optional[ProgressCallback] = None,
+        cancel: Optional[CancelSignal] = None,
+    ) -> CompareResult:
+        """Evaluate ``specs`` through the session's engine and render the table."""
+        from repro.analysis import compare_candidates
+
+        if not specs:
+            raise AdvisorError("compare needs at least one spec")
+        sweep = list(specs) if baseline_spec is None else [baseline_spec, *specs]
+        candidates = self.engine.evaluate_specs(
+            sweep, on_progress=on_progress, cancel=cancel
+        )
+        if baseline_spec is None:
+            baseline = None
+            compared = tuple(candidates)
+            table = compare_candidates(candidates)
+        else:
+            baseline = candidates[0]
+            compared = tuple(candidates[1:])
+            table = compare_candidates(candidates, baseline=baseline)
+        return CompareResult(candidates=compared, baseline=baseline, table=table)
+
+    def tune(
+        self,
+        study: str,
+        spec: Optional[FragmentationSpec] = None,
+        settings: Any = None,
+        on_progress: Optional[ProgressCallback] = None,
+        cancel: Optional[CancelSignal] = None,
+    ) -> TuneResult:
+        """Run one what-if study (see :data:`repro.api.requests.TUNE_STUDIES`).
+
+        ``spec`` defaults to the session's recommended fragmentation (warm
+        from the cache after a previous :meth:`recommend`).  The study shares
+        the session's cache, so settings that keep the access structures
+        unchanged reuse the session's earlier work.  ``cancel`` is checked at
+        every setting boundary (and inside the implicit recommend);
+        ``on_progress`` covers only the implicit recommend sweep — per-setting
+        evaluations are single candidates, below chunk granularity.
+        """
+        from repro.tuning import (
+            architecture_study,
+            bitmap_exclusion_study,
+            disk_count_study,
+            prefetch_study,
+            workload_weight_study,
+        )
+
+        if spec is None:
+            spec = self.recommend(on_progress=on_progress, cancel=cancel).best.spec
+        common = dict(
+            config=self.config, cache=self.cache, options=self.options, cancel=cancel
+        )
+        if study == "disks":
+            args = {} if settings is None else {"disk_counts": tuple(settings)}
+            result = disk_count_study(
+                self.schema, self.workload, self.system, spec, **args, **common
+            )
+        elif study == "architecture":
+            result = architecture_study(
+                self.schema, self.workload, self.system, spec, **common
+            )
+        elif study == "prefetch":
+            args = {} if settings is None else {"fact_granules": tuple(settings)}
+            result = prefetch_study(
+                self.schema, self.workload, self.system, spec, **args, **common
+            )
+        elif study == "bitmaps":
+            args = (
+                {}
+                if settings is None
+                else {"exclusions": tuple(tuple(map(tuple, e)) for e in settings)}
+            )
+            result = bitmap_exclusion_study(
+                self.schema, self.workload, self.system, spec, **args, **common
+            )
+        elif study == "weights":
+            if not isinstance(settings, Mapping) or not settings:
+                raise AdvisorError(
+                    'the "weights" study needs settings mapping a label to '
+                    "the weight overrides, e.g. {'drill-heavy': {'q1': 10.0}}"
+                )
+            result = workload_weight_study(
+                self.schema,
+                self.workload,
+                self.system,
+                spec,
+                reweightings={k: dict(v) for k, v in settings.items()},
+                **common,
+            )
+        else:
+            raise AdvisorError(
+                f"unknown tuning study {study!r}; known studies: "
+                "disks, architecture, prefetch, bitmaps, weights"
+            )
+        return TuneResult(result)
+
+    def simulate(
+        self,
+        fragmentation: Optional[str] = None,
+        queries_per_class: int = 10,
+        seed: int = 0,
+        on_progress: Optional[ProgressCallback] = None,
+        cancel: Optional[CancelSignal] = None,
+    ) -> SimulateResult:
+        """Replay the workload on an evaluated candidate's allocation."""
+        from repro.simulation import DiskSimulator
+
+        recommendation = self.recommend(on_progress=on_progress, cancel=cancel)
+        candidate = (
+            recommendation.recommendation.candidate(fragmentation)
+            if fragmentation
+            else recommendation.best
+        )
+        simulator = DiskSimulator(self.system)
+        replay = simulator.run_workload(
+            candidate.layout,
+            self.workload,
+            candidate.bitmap_scheme,
+            candidate.allocation,
+            candidate.prefetch,
+            queries_per_class=queries_per_class,
+            seed=seed,
+        )
+        return SimulateResult(
+            candidate_label=candidate.label,
+            simulation=replay,
+            predicted_io_cost_ms=candidate.io_cost_ms,
+            predicted_response_time_ms=candidate.response_time_ms,
+        )
+
+    # -- incremental what-if edits ---------------------------------------------
+
+    def with_delta(
+        self,
+        *,
+        disks: Optional[int] = None,
+        architecture: Optional[str] = None,
+        prefetch_fact: Optional[Union[int, str]] = None,
+        skew: Optional[Mapping[str, float]] = None,
+        mix_weights: Optional[Mapping[str, float]] = None,
+        schema: Optional[StarSchema] = None,
+        workload: Optional[QueryMix] = None,
+        system: Optional[SystemParameters] = None,
+        config: Optional[AdvisorConfig] = None,
+        options: Optional[EngineOptions] = None,
+    ) -> "AdvisorSession":
+        """Derive a session with an incremental what-if edit applied.
+
+        Convenience deltas (``disks``, ``architecture``, ``prefetch_fact``,
+        ``skew``, ``mix_weights``) edit the current inputs; the block
+        arguments (``schema``, ``workload``, ``system``, ``config``) replace
+        them outright before the convenience deltas apply.  The derived
+        session **shares this session's evaluation cache**, so every entry
+        whose inputs the delta leaves unchanged is reused — e.g. a disk-count
+        or weight edit reuses all access structures, and reverting an edit
+        reuses the whole earlier sweep.  Results are guaranteed identical to
+        a fresh advisor built from the edited inputs (content-addressed cache
+        keys cover every input that can move a number).
+        """
+        new_system = system if system is not None else self.system
+        if disks is not None:
+            new_system = new_system.with_disks(disks)
+        if architecture is not None:
+            new_system = new_system.with_architecture(architecture)
+        if prefetch_fact is not None:
+            new_system = new_system.with_prefetch(fact=prefetch_fact)
+        new_schema = schema if schema is not None else self.schema
+        if skew:
+            new_schema = new_schema.with_skew(skew)
+        new_workload = workload if workload is not None else self.workload
+        if mix_weights:
+            new_workload = new_workload.reweighted(dict(mix_weights))
+        return AdvisorSession(
+            new_schema,
+            new_workload,
+            new_system,
+            config=config if config is not None else self.config,
+            # Convenience deltas keep the fact tables, so the session's fact
+            # carries over; a wholesale schema replacement re-resolves the
+            # primary fact table of the new schema.
+            fact_table=self.fact.name if schema is None else None,
+            options=options if options is not None else self.options,
+            cache=self.cache,
+        )
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    @property
+    def stats(self):
+        """Hit/miss counters of the session cache (``None`` when uncached)."""
+        return self.cache.stats if self.cache is not None else None
+
+    def persist_cache(self) -> Optional[int]:
+        """Flush unsaved cache entries to the attached persistent store."""
+        if self.cache is None or not self.options.persist:
+            return None
+        return self.cache.persist()
+
+    def close(self) -> None:
+        """End the session: flush the cache to its persistent store."""
+        self.persist_cache()
+
+    def __enter__(self) -> "AdvisorSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def describe(self) -> str:
+        """One-line summary used by logs and examples."""
+        cached = "uncached" if self.cache is None else f"{len(self.cache)} cache entries"
+        return (
+            f"AdvisorSession(schema={self.schema.name!r}, "
+            f"classes={len(self.workload)}, {self.system.describe()}, "
+            f"{self.options.describe()}, {cached})"
+        )

@@ -29,6 +29,7 @@ from repro.analysis import (
     format_ranking_table,
     occupancy_chart,
 )
+from repro.api import EngineOptions
 from repro.core import AdvisorConfig, Warlock
 from repro.datasets import (
     apb1_query_mix,
@@ -37,7 +38,12 @@ from repro.datasets import (
     retail_schema,
 )
 from repro.errors import WarlockError
-from repro.io import example_config, load_config_file, recommendation_to_dict
+from repro.io import (
+    example_config,
+    load_config_file,
+    load_engine_section,
+    recommendation_to_dict,
+)
 from repro.schema import StarSchema
 from repro.simulation import DiskSimulator
 from repro.storage import SystemParameters
@@ -110,11 +116,59 @@ def _resolve_inputs(args: argparse.Namespace) -> Tuple[StarSchema, QueryMix, Sys
     return schema, workload, system
 
 
-def _cache_dir(args: argparse.Namespace) -> Optional[str]:
-    """The persistent-cache directory of this invocation (``None`` = disabled)."""
+def _engine_options(args: argparse.Namespace) -> EngineOptions:
+    """The one resolver of this invocation's :class:`EngineOptions`.
+
+    Precedence per knob: explicit flags > environment (``$WARLOCK_CACHE_DIR``)
+    > the config file's ``"engine"`` block > built-in defaults.  Conflicting
+    flags error out consistently across every subcommand: in particular
+    ``--no-cache-persist`` with no cache directory resolved from any source
+    has nothing to disable.
+    """
+    section = {}
+    if getattr(args, "config", None):
+        section = load_engine_section(args.config)
+    jobs = getattr(args, "jobs", None)
+    if jobs is None:
+        jobs = section.get("jobs", "auto")
+    if getattr(args, "no_vectorize", False):
+        vectorize = False
+    else:
+        vectorize = section.get("vectorize", True)
+    cache_dir = (
+        getattr(args, "cache_dir", None)
+        or os.environ.get(CACHE_DIR_ENV)
+        or section.get("cache_dir")
+        or None
+    )
     if getattr(args, "no_cache_persist", False):
+        if cache_dir is None:
+            raise WarlockError(
+                "--no-cache-persist has nothing to disable: no --cache-dir, "
+                f"${CACHE_DIR_ENV} or config-file engine.cache_dir is set"
+            )
+        cache_dir = None
+    return EngineOptions(
+        jobs=jobs,
+        vectorize=vectorize,
+        cache=section.get("cache", True),
+        cache_dir=cache_dir,
+        persist=section.get("persist", True),
+    )
+
+
+def _progress_meter(args: argparse.Namespace):
+    """The ``--progress`` stderr meter (``None`` when disabled)."""
+    if not getattr(args, "progress", False):
         return None
-    return getattr(args, "cache_dir", None) or None
+
+    def on_progress(event) -> None:
+        # One carriage-returned line per sweep, completed with a newline so
+        # the next sweep (or the result) starts clean.
+        end = "\n" if event.completed >= event.total else ""
+        print(f"\rwarlock: {event.describe()}", end=end, file=sys.stderr, flush=True)
+
+    return on_progress
 
 
 def _advisor(args: argparse.Namespace) -> Warlock:
@@ -124,15 +178,7 @@ def _advisor(args: argparse.Namespace) -> Warlock:
         top_candidates=args.top,
         max_fragments=args.max_fragments,
     )
-    return Warlock(
-        schema,
-        workload,
-        system,
-        config,
-        jobs=getattr(args, "jobs", "auto"),
-        vectorize=not getattr(args, "no_vectorize", False),
-        cache_dir=_cache_dir(args),
-    )
+    return Warlock(schema, workload, system, config, options=_engine_options(args))
 
 
 def _finish_cache(advisor: Warlock) -> None:
@@ -144,6 +190,8 @@ def _finish_cache(advisor: Warlock) -> None:
     stats = cache.stats
     if saved is not None:
         store_note = f"saved {saved} entries"
+    elif not advisor.options.persist:
+        store_note = "store read-only (persist disabled)"
     elif cache.dirty:
         # persist() returned nothing although there is unsaved content: the
         # store location is not writable (best-effort by design, but worth
@@ -166,7 +214,7 @@ def _finish_cache(advisor: Warlock) -> None:
 
 def _cmd_recommend(args: argparse.Namespace) -> int:
     advisor = _advisor(args)
-    recommendation = advisor.recommend()
+    recommendation = advisor.recommend(on_progress=_progress_meter(args))
     if args.json:
         payload = recommendation_to_dict(recommendation)
         # Convenience aliases for scripts that only need the headline counts.
@@ -181,7 +229,7 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     advisor = _advisor(args)
-    recommendation = advisor.recommend()
+    recommendation = advisor.recommend(on_progress=_progress_meter(args))
     candidate = (
         recommendation.candidate(args.fragmentation)
         if args.fragmentation
@@ -198,7 +246,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     advisor = _advisor(args)
-    recommendation = advisor.recommend()
+    recommendation = advisor.recommend(on_progress=_progress_meter(args))
     print(format_full_report(recommendation, detail_top=args.detail_top))
     _finish_cache(advisor)
     return 0
@@ -206,7 +254,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     advisor = _advisor(args)
-    recommendation = advisor.recommend()
+    recommendation = advisor.recommend(on_progress=_progress_meter(args))
     candidate = (
         recommendation.candidate(args.fragmentation)
         if args.fragmentation
@@ -240,6 +288,10 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
     from repro.analysis import format_table
     from repro.graph import dimension_ranking, suggest_fragmentation_dimensions
 
+    # Resolved for validation only: conflicting engine flags (for instance
+    # --no-cache-persist with nothing to disable) must error consistently on
+    # every subcommand, including ones that never build an advisor.
+    _engine_options(args)
     schema, workload, _system = _resolve_inputs(args)
     ranking = dimension_ranking(schema, workload)
     print(f"Dimension access shares for {schema.name} ({len(workload)} query classes)")
@@ -263,7 +315,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     from repro.tuning import architecture_study, disk_count_study, prefetch_study
 
     advisor = _advisor(args)
-    recommendation = advisor.recommend()
+    recommendation = advisor.recommend(on_progress=_progress_meter(args))
     candidate = (
         recommendation.candidate(args.fragmentation)
         if args.fragmentation
@@ -281,6 +333,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         spec,
         config=advisor.config,
         cache=advisor.cache,
+        options=advisor.options,
     )
     print(disks.format())
     print()
@@ -291,6 +344,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         spec,
         config=advisor.config,
         cache=advisor.cache,
+        options=advisor.options,
     )
     print(architecture.format())
     print()
@@ -301,6 +355,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         spec,
         config=advisor.config,
         cache=advisor.cache,
+        options=advisor.options,
     )
     print(prefetch.format())
     _finish_cache(advisor)
@@ -380,11 +435,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
         type=_jobs_value,
-        default="auto",
+        default=None,
         metavar="N",
         help="worker processes for the candidate-evaluation engine "
         "(default 'auto' = pick from available CPUs and sweep size; "
-        "1 forces serial; parallel runs return identical results)",
+        "1 forces serial; parallel runs return identical results; a config "
+        "file's engine block may override the default)",
     )
     parser.add_argument(
         "--no-vectorize",
@@ -395,18 +451,26 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--cache-dir",
-        default=os.environ.get(CACHE_DIR_ENV) or None,
+        default=None,
         metavar="DIR",
         help="directory of the persistent evaluation cache: invocations "
         "sharing it warm-start from each other's evaluations (content-"
         "addressed, version-salted; corrupted or stale stores are ignored "
-        f"and results never change).  Defaults to ${CACHE_DIR_ENV} when set",
+        f"and results never change).  Falls back to ${CACHE_DIR_ENV}, then "
+        "to the config file's engine block",
     )
     parser.add_argument(
         "--no-cache-persist",
         action="store_true",
         help=f"keep the evaluation cache in memory only, ignoring "
-        f"--cache-dir and ${CACHE_DIR_ENV}",
+        f"--cache-dir, ${CACHE_DIR_ENV} and the config file's engine block "
+        "(an error when none of those is set — there is nothing to disable)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live candidate-sweep progress meter on stderr "
+        "(one update per evaluation chunk)",
     )
 
 

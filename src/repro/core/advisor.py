@@ -1,29 +1,34 @@
 """The WARLOCK advisor: input layer -> prediction layer -> recommendation.
 
-:class:`Warlock` is the top-level object a DBA (or a GUI / CLI front end)
-interacts with.  It takes the three input blocks of the paper's input layer —
-the star schema, the DBS & disk parameters and the weighted star query mix —
-and produces a :class:`Recommendation`: the ranked list of fragmentation
-candidates, each complete with bitmap scheme, prefetch suggestion, disk
-allocation and per-query-class cost prediction.
+:class:`Warlock` is the classic one-shot entry point a DBA (or a GUI / CLI
+front end) interacts with.  It takes the three input blocks of the paper's
+input layer — the star schema, the DBS & disk parameters and the weighted
+star query mix — and produces a :class:`Recommendation`: the ranked list of
+fragmentation candidates, each complete with bitmap scheme, prefetch
+suggestion, disk allocation and per-query-class cost prediction.
+
+Since the API redesign, :class:`Warlock` is a thin compatibility wrapper over
+an :class:`~repro.api.AdvisorSession`: the session owns the compiled inputs,
+the evaluation engine and the shared cache, and additionally serves typed
+requests, incremental what-if deltas (``session.with_delta(...)``) and
+progress/cancellation.  New code should use sessions directly; ``Warlock``
+keeps the historical surface (``recommend()``, ``evaluate_spec()``,
+``generate_specs()``, ...) stable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.bitmap import BitmapScheme, design_bitmap_scheme
+from repro.bitmap import BitmapScheme
 from repro.core.candidates import FragmentationCandidate
 from repro.core.config import AdvisorConfig
-from repro.core.ranking import RankedCandidate, rank_candidates
-from repro.core.thresholds import ExclusionReport, evaluate_thresholds
+from repro.core.ranking import RankedCandidate
+from repro.core.thresholds import ExclusionReport
 from repro.errors import AdvisorError
-from repro.fragmentation import (
-    FragmentationSpec,
-    enumerate_point_fragmentations,
-)
-from repro.schema import StarSchema, validate_schema
+from repro.fragmentation import FragmentationSpec
+from repro.schema import StarSchema
 from repro.storage import SystemParameters
 from repro.workload import QueryMix
 
@@ -75,9 +80,25 @@ class Recommendation:
         lines.extend(f"  {ranked.describe()}" for ranked in self.ranked)
         return "\n".join(lines)
 
+    def to_dict(
+        self,
+        include_all_candidates: bool = False,
+        include_query_statistics: bool = True,
+    ) -> Dict[str, Any]:
+        """Stable plain-dict form (see :func:`repro.io.recommendation_to_dict`)."""
+        # Imported lazily: repro.io builds on the analysis layer, which the
+        # core must not depend on at import time.
+        from repro.io import recommendation_to_dict
+
+        return recommendation_to_dict(
+            self,
+            include_all_candidates=include_all_candidates,
+            include_query_statistics=include_query_statistics,
+        )
+
 
 class Warlock:
-    """The data allocation advisor.
+    """The data allocation advisor (compatibility wrapper over a session).
 
     Parameters
     ----------
@@ -93,31 +114,20 @@ class Warlock:
     fact_table:
         Name of the fact table to fragment; the schema's primary fact table
         when omitted.
-    jobs:
-        Worker processes used by the candidate-evaluation engine.  ``1``
-        (default) evaluates serially in-process; higher values sweep the
-        candidates on a process pool with guaranteed result parity; ``"auto"``
-        picks the worker count per sweep from the available CPUs and the
-        candidate count (:func:`repro.engine.adaptive_jobs`).
+    options:
+        Execution options (:class:`repro.api.EngineOptions`): worker count,
+        vectorization, caching, persistent store directory and spill policy.
+        Defaults to serial, vectorized, cached, memory-only.
     cache:
-        Evaluation cache (:class:`repro.engine.EvaluationCache`).  ``None``
-        (default) creates a private cache, so repeated ``recommend()`` /
-        ``evaluate_spec()`` calls on the same advisor reuse access structures;
-        pass a shared instance to reuse evaluations across advisors (what-if
-        tuning does), or ``False`` to disable caching entirely.
-    vectorize:
-        ``True`` (default) evaluates each candidate's per-query-class cost
-        sweep as numpy vectors over the class axis; ``False`` runs the scalar
-        reference path (CLI ``--no-vectorize``).  Results are bit-identical
-        either way.
-    cache_dir:
-        Directory of a persistent evaluation-cache store
-        (:class:`repro.engine.CacheStore`; CLI ``--cache-dir``).  When given,
-        the cache warm-starts from disk on the first evaluation and spills
-        back after every sweep, so repeated advisor *processes* on the same
-        inputs answer their sweeps from the store.  A corrupted, stale or
-        unwritable store silently degrades to a cold in-memory run — it can
-        never change a result.  Ignored when ``cache=False``.
+        A concrete :class:`repro.engine.EvaluationCache` instance to share
+        evaluations across advisors/sessions (what-if tuning does).  ``None``
+        (default) creates a private bounded cache when ``options.cache`` is
+        true.
+    jobs, vectorize, cache_dir:
+        Deprecated aliases of the corresponding :class:`EngineOptions`
+        fields; passing them emits an
+        :class:`~repro.api.EngineOptionsDeprecationWarning`.  ``cache=False``
+        is likewise a deprecated alias of ``EngineOptions(cache=False)``.
     """
 
     def __init__(
@@ -127,97 +137,102 @@ class Warlock:
         system: SystemParameters,
         config: Optional[AdvisorConfig] = None,
         fact_table: Optional[str] = None,
-        jobs=1,
-        cache=None,
-        vectorize: bool = True,
-        cache_dir: Optional[str] = None,
+        jobs: Any = None,
+        cache: Any = None,
+        vectorize: Any = None,
+        cache_dir: Any = None,
+        options: Optional["EngineOptions"] = None,  # noqa: F821
     ) -> None:
-        # Imported lazily to keep `repro.core` importable before `repro.engine`
-        # (the engine imports core.candidates).
-        from repro.engine import EvaluationCache
+        # Imported lazily: repro.api sits above the core in the layer stack
+        # (its session imports this module).
+        from repro.api.options import UNSET, resolve_engine_options
+        from repro.api.session import AdvisorSession
 
-        if jobs != "auto" and (not isinstance(jobs, int) or jobs < 1):
-            raise AdvisorError(
-                f'jobs must be a positive integer or "auto", got {jobs!r}'
-            )
-        self.schema = schema
-        self.workload = workload
-        self.system = system
-        self.config = config if config is not None else AdvisorConfig()
-        self.fact = schema.fact_table(fact_table)
-        self.schema_warnings = validate_schema(schema)
-        workload.validate(schema)
-        self.jobs = jobs
-        self.vectorize = vectorize
-        if cache is False:
-            self.cache = None
-        elif cache is None:
-            # Bounded by default: candidate entries retain whole evaluations
-            # (per-fragment allocation arrays included), so an advisor that
-            # lives across many large sweeps must not grow without limit.
-            self.cache = EvaluationCache(max_entries=DEFAULT_CACHE_ENTRIES)
-        else:
-            self.cache = cache
-        self.cache_dir = cache_dir
-        self._engine = None
+        options, shared_cache = resolve_engine_options(
+            options,
+            owner="Warlock",
+            jobs=UNSET if jobs is None else jobs,
+            vectorize=UNSET if vectorize is None else vectorize,
+            cache=UNSET if cache is None else cache,
+            cache_dir=UNSET if cache_dir is None else cache_dir,
+        )
+        self._session = AdvisorSession(
+            schema,
+            workload,
+            system,
+            config=config,
+            fact_table=fact_table,
+            options=options,
+            cache=shared_cache,
+        )
 
-    # -- candidate generation -------------------------------------------------------
+    # -- session views ----------------------------------------------------------
+
+    @property
+    def session(self):
+        """The underlying :class:`repro.api.AdvisorSession`."""
+        return self._session
+
+    @property
+    def schema(self) -> StarSchema:
+        return self._session.schema
+
+    @property
+    def workload(self) -> QueryMix:
+        return self._session.workload
+
+    @property
+    def system(self) -> SystemParameters:
+        return self._session.system
+
+    @property
+    def config(self) -> AdvisorConfig:
+        return self._session.config
+
+    @property
+    def fact(self):
+        return self._session.fact
+
+    @property
+    def schema_warnings(self):
+        return self._session.schema_warnings
+
+    @property
+    def options(self):
+        """The session's :class:`repro.api.EngineOptions`."""
+        return self._session.options
+
+    @property
+    def cache(self):
+        return self._session.cache
+
+    @property
+    def jobs(self):
+        return self._session.options.jobs
+
+    @property
+    def vectorize(self) -> bool:
+        return self._session.options.vectorize
+
+    @property
+    def cache_dir(self) -> Optional[str]:
+        return self._session.options.cache_dir
+
+    # -- candidate generation ---------------------------------------------------
 
     def generate_specs(self) -> Tuple[List[FragmentationSpec], ExclusionReport]:
         """Enumerate point fragmentations and apply the exclusion thresholds."""
-        report = ExclusionReport()
-        surviving: List[FragmentationSpec] = []
-        for spec in enumerate_point_fragmentations(
-            self.schema,
-            fact_table=self.fact.name,
-            max_dimensions=self.config.max_fragmentation_dimensions,
-            include_baseline=self.config.include_baseline,
-        ):
-            violations = evaluate_thresholds(
-                spec, self.schema, self.fact, self.system, self.config
-            )
-            report.record(spec, violations)
-            if not violations:
-                surviving.append(spec)
-        if not surviving:
-            raise AdvisorError(
-                "all fragmentation candidates were excluded by the thresholds; "
-                "relax min/max fragment bounds or check the system parameters"
-            )
-        return surviving, report
+        return self._session.generate_specs()
 
-    # -- evaluation ---------------------------------------------------------------------
+    # -- evaluation -------------------------------------------------------------
 
     def design_bitmaps(self) -> BitmapScheme:
         """Design the workload-driven bitmap scheme (shared across candidates)."""
-        return design_bitmap_scheme(
-            self.schema,
-            self.workload,
-            fact_table=self.fact.name,
-            cardinality_threshold=self.config.bitmap_cardinality_threshold,
-        )
+        return self._session.design_bitmaps()
 
     def engine(self):
-        """The candidate-evaluation engine bound to this advisor's inputs.
-
-        Memoized: every input the engine captures is immutable, and engine
-        construction re-validates the workload, which needs doing only once.
-        """
-        from repro.engine import EvaluationEngine
-
-        if self._engine is None:
-            self._engine = EvaluationEngine(
-                self.schema,
-                self.workload,
-                self.system,
-                self.config,
-                fact_table=self.fact.name,
-                jobs=self.jobs,
-                cache=self.cache if self.cache is not None else False,
-                vectorize=self.vectorize,
-                cache_dir=self.cache_dir,
-            )
-        return self._engine
+        """The candidate-evaluation engine bound to this advisor's inputs."""
+        return self._session.engine
 
     def persist_cache(self) -> Optional[int]:
         """Spill the evaluation cache to its persistent store, if one is attached.
@@ -225,11 +240,10 @@ class Warlock:
         The engine already persists after every sweep; this flushes anything
         accumulated since (e.g. by tuning studies sharing the cache).  Returns
         the number of entries written, or ``None`` when there is no attached
-        store, nothing new to save, or the store is unwritable.
+        store, nothing new to save, the store is unwritable, or
+        ``options.persist`` is false (the store is read-only).
         """
-        if self.cache is None:
-            return None
-        return self.cache.persist()
+        return self._session.persist_cache()
 
     def evaluate_spec(
         self,
@@ -237,10 +251,13 @@ class Warlock:
         bitmap_scheme: Optional[BitmapScheme] = None,
     ) -> FragmentationCandidate:
         """Fully evaluate a single fragmentation candidate."""
-        return self.engine().evaluate_spec(spec, bitmap_scheme=bitmap_scheme)
+        return self._session.evaluate_spec(spec, bitmap_scheme=bitmap_scheme)
 
     def evaluate_candidates(
-        self, specs: Optional[List[FragmentationSpec]] = None
+        self,
+        specs: Optional[List[FragmentationSpec]] = None,
+        on_progress=None,
+        cancel=None,
     ) -> Tuple[List[FragmentationCandidate], ExclusionReport]:
         """Evaluate every surviving candidate (or an explicit list of specs).
 
@@ -254,33 +271,27 @@ class Warlock:
             report = ExclusionReport()
         if not specs:
             return [], report
-        # The memoized engine designs (and keeps) the bitmap scheme itself, so
-        # repeated sweeps reuse one scheme object and its cached signature.
-        candidates = self.engine().evaluate_specs(specs)
+        candidates = self._session.engine.evaluate_specs(
+            specs, on_progress=on_progress, cancel=cancel
+        )
         return candidates, report
 
-    # -- recommendation --------------------------------------------------------------------
+    # -- recommendation ---------------------------------------------------------
 
-    def recommend(self) -> Recommendation:
-        """Run the full pipeline and return the ranked recommendation."""
-        specs, report = self.generate_specs()
-        candidates, _ = self.evaluate_candidates(specs)
-        ranked = rank_candidates(
-            candidates,
-            top_fraction=self.config.top_fraction,
-            top_candidates=self.config.top_candidates,
-        )
-        return Recommendation(
-            ranked=tuple(ranked),
-            evaluated=tuple(candidates),
-            exclusion_report=report,
-            config=self.config,
-            schema=self.schema,
-            workload=self.workload,
-            system=self.system,
-        )
+    def recommend(self, on_progress=None, cancel=None) -> Recommendation:
+        """Run the full pipeline and return the ranked recommendation.
 
-    # -- analysis convenience -----------------------------------------------------------------
+        ``on_progress`` receives one :class:`repro.api.ProgressEvent` per
+        completed evaluation chunk; ``cancel`` (a
+        :class:`repro.api.CancellationToken` or a zero-argument callable)
+        aborts the sweep at the next chunk boundary with
+        :class:`~repro.errors.EvaluationCancelled`.
+        """
+        return self._session.recommend(
+            on_progress=on_progress, cancel=cancel
+        ).recommendation
+
+    # -- analysis convenience ---------------------------------------------------
 
     def analyze(self, candidate: FragmentationCandidate) -> str:
         """Render the detailed per-query-class statistic for ``candidate``.

@@ -99,3 +99,11 @@ class FragmentationCandidate:
             f"{self.response_time_ms:,.0f} ms, "
             f"{self.allocation.scheme} allocation"
         )
+
+    def to_dict(self, include_allocation: bool = False) -> Dict[str, object]:
+        """Stable plain-dict form (see :func:`repro.io.candidate_to_dict`)."""
+        # Imported lazily: repro.io builds on the analysis layer, which the
+        # core must not depend on at import time.
+        from repro.io import candidate_to_dict
+
+        return candidate_to_dict(self, include_allocation=include_allocation)

@@ -36,10 +36,10 @@ serial path — same results, just slower.
 from __future__ import annotations
 
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.allocation import choose_allocation
 from repro.bitmap import BitmapScheme, design_bitmap_scheme
@@ -52,7 +52,7 @@ from repro.costmodel import (
     resolve_prefetch_setting,
     resolve_prefetch_setting_batch,
 )
-from repro.errors import AdvisorError
+from repro.errors import AdvisorError, EvaluationCancelled
 from repro.fragmentation import FragmentationSpec, build_layout
 from repro.schema import StarSchema
 from repro.storage import SystemParameters
@@ -217,6 +217,14 @@ def _evaluate_chunk(
 # -- the engine --------------------------------------------------------------------
 
 
+def _cancel_requested(cancel) -> bool:
+    """True when the cancel signal (token or callable) is set."""
+    # Imported lazily: repro.api sits above the engine in the layer stack.
+    from repro.api.progress import cancel_requested
+
+    return cancel_requested(cancel)
+
+
 class EvaluationEngine:
     """Batched candidate evaluation with a serial and a process-pool backend.
 
@@ -226,29 +234,20 @@ class EvaluationEngine:
         The advisor inputs.  ``config`` defaults to :class:`AdvisorConfig`.
     fact_table:
         Fact table to fragment (the schema's primary fact table when omitted).
-    jobs:
-        Worker processes; ``1`` (default) evaluates inline.  Values above one
-        enable the process pool once the sweep is large enough to amortize it
-        (:data:`MIN_SPECS_FOR_PARALLEL`).  ``"auto"`` picks the worker count
-        per sweep from the available CPUs and the candidate count
-        (:func:`repro.engine.jobs.adaptive_jobs`).
+    options:
+        Execution options (:class:`repro.api.EngineOptions`): worker count,
+        vectorization, caching, persistent store directory and spill policy.
+        Defaults to serial, vectorized, cached, memory-only.
     cache:
-        Evaluation cache.  ``None`` (default) creates a private one; pass a
-        shared instance to reuse structures across engines (tuning studies
-        do), or ``False`` to disable memoization entirely (the benchmark's
-        seed-equivalent baseline).  Workers use private caches whose entries
-        are merged back into the shared cache.
-    vectorize:
-        ``True`` (default) evaluates each candidate's per-class sweep as
-        numpy vectors over the class axis; ``False`` runs the scalar
-        reference path.  Results are bit-identical either way.
-    cache_dir:
-        Directory of a persistent :class:`~repro.engine.store.CacheStore`.
-        When given (and caching is enabled) the cache warm-starts from the
-        store at construction and spills back after every sweep, so a second
-        process on the same inputs answers the whole sweep from disk.
-        Corrupted or version-mismatched stores are silently ignored; results
-        never depend on the store's content.
+        A concrete :class:`EvaluationCache` instance to share with other
+        engines (tuning studies and sessions do).  ``None`` (default) creates
+        a private cache when ``options.cache`` is true.  Workers use private
+        caches whose entries are merged back into this one.
+    jobs, vectorize, cache_dir:
+        Deprecated aliases of the corresponding :class:`EngineOptions`
+        fields; passing them emits an
+        :class:`~repro.api.EngineOptionsDeprecationWarning`.  ``cache=False``
+        is likewise a deprecated alias of ``EngineOptions(cache=False)``.
     """
 
     def __init__(
@@ -258,15 +257,25 @@ class EvaluationEngine:
         system: SystemParameters,
         config: Optional[AdvisorConfig] = None,
         fact_table: Optional[str] = None,
-        jobs: Union[int, str] = 1,
-        cache=None,
-        vectorize: bool = True,
-        cache_dir: Optional[str] = None,
+        jobs: Any = None,
+        cache: Any = None,
+        vectorize: Any = None,
+        cache_dir: Any = None,
+        options: Optional["EngineOptions"] = None,
     ) -> None:
-        if jobs != "auto" and (not isinstance(jobs, int) or jobs < 1):
-            raise AdvisorError(
-                f'jobs must be a positive integer or "auto", got {jobs!r}'
-            )
+        # Imported lazily: repro.api sits above the engine in the layer
+        # stack (its session imports this module).
+        from repro.api.options import UNSET, resolve_engine_options
+
+        options, shared_cache = resolve_engine_options(
+            options,
+            owner="EvaluationEngine",
+            jobs=UNSET if jobs is None else jobs,
+            vectorize=UNSET if vectorize is None else vectorize,
+            cache=UNSET if cache is None else cache,
+            cache_dir=UNSET if cache_dir is None else cache_dir,
+        )
+        self.options = options
         self.schema = schema
         self.workload = workload
         self.system = system
@@ -275,21 +284,35 @@ class EvaluationEngine:
         # Validate the whole workload once; evaluation then runs with
         # per-query validation disabled (see evaluate_spec_in_context).
         workload.validate(schema)
-        self.jobs = jobs
-        self.vectorize = vectorize
-        if cache is False:
-            self.cache: Optional[EvaluationCache] = None
-        elif cache is None:
+        if shared_cache is not None:
+            self.cache: Optional[EvaluationCache] = shared_cache
+        elif options.cache:
             self.cache = EvaluationCache()
         else:
-            self.cache = cache
-        self.cache_dir = cache_dir
-        if cache_dir and self.cache is not None:
+            self.cache = None
+        if options.cache_dir and self.cache is not None:
             from repro.engine.store import CacheStore
 
-            self.cache.attach(CacheStore(cache_dir))
+            self.cache.attach(CacheStore(options.cache_dir))
         self._bitmap_scheme: Optional[BitmapScheme] = None
         self._matrices: Dict[str, ClassMatrix] = {}
+
+    # -- legacy option views ----------------------------------------------------
+
+    @property
+    def jobs(self) -> Union[int, str]:
+        """The configured worker count (``options.jobs``)."""
+        return self.options.jobs
+
+    @property
+    def vectorize(self) -> bool:
+        """Whether the class-axis sweep is vectorized (``options.vectorize``)."""
+        return self.options.vectorize
+
+    @property
+    def cache_dir(self) -> Optional[str]:
+        """The persistent store directory (``options.cache_dir``)."""
+        return self.options.cache_dir
 
     # -- shared inputs ----------------------------------------------------------
 
@@ -369,43 +392,103 @@ class EvaluationEngine:
         self,
         specs: Sequence[FragmentationSpec],
         bitmap_scheme: Optional[BitmapScheme] = None,
+        on_progress: Optional[Callable] = None,
+        cancel: Any = None,
     ) -> List[FragmentationCandidate]:
         """Evaluate every candidate of ``specs``, preserving order.
 
         Serial and parallel backends return identical candidate lists; the
         parallel backend is only engaged when the resolved worker count
         exceeds one and the sweep is large enough to amortize the pool.
+
+        ``on_progress`` receives one :class:`repro.api.ProgressEvent` per
+        completed plan chunk (each candidate is its own chunk on the serial
+        path); ``cancel`` — a :class:`repro.api.CancellationToken` or a
+        zero-argument callable — is checked at the same chunk boundaries and
+        raises :class:`~repro.errors.EvaluationCancelled` when set.  Entries
+        cached before a cancel stay valid (they are content-addressed), so a
+        retried sweep resumes warm.
         """
         plan = self.plan(specs)
         context = self.context(specs=plan.specs, bitmap_scheme=bitmap_scheme)
         jobs = self.resolve_jobs(plan.num_candidates)
-        candidates = None
-        if jobs > 1 and plan.num_candidates >= MIN_SPECS_FOR_PARALLEL:
-            try:
-                candidates = self._evaluate_parallel(plan, context, jobs)
-            except (OSError, BrokenProcessPool, pickle.PicklingError):
-                # Restricted environments (no /dev/shm, seccomp'd fork,
-                # workers killed on spawn): the serial path produces the same
-                # results.  Evaluation errors (WarlockError subclasses) still
-                # propagate — they would fail serially too.
-                pass
-        if candidates is None:
-            candidates = self._evaluate_serial(plan, context)
-        # Spill the sweep's new entries to the attached persistent store (a
-        # no-op without one, or when the sweep was answered entirely warm).
-        if self.cache is not None:
-            self.cache.persist()
+        try:
+            candidates = None
+            if jobs > 1 and plan.num_candidates >= MIN_SPECS_FOR_PARALLEL:
+                try:
+                    candidates = self._evaluate_parallel(
+                        plan, context, jobs, on_progress, cancel
+                    )
+                except (OSError, BrokenProcessPool, pickle.PicklingError):
+                    # Restricted environments (no /dev/shm, seccomp'd fork,
+                    # workers killed on spawn): the serial path produces the
+                    # same results.  Evaluation errors (WarlockError
+                    # subclasses, including EvaluationCancelled) still
+                    # propagate — they would fail serially too.
+                    pass
+            if candidates is None:
+                candidates = self._evaluate_serial(plan, context, on_progress, cancel)
+        finally:
+            # Spill new entries to the attached persistent store even when the
+            # sweep was cancelled mid-way: every completed evaluation is a
+            # valid content-addressed entry a retry can warm-start from.
+            # (No-op without a store, with persist=False, or when the sweep
+            # was answered entirely warm.)
+            if self.cache is not None and self.options.persist:
+                self.cache.persist()
         return candidates
 
+    def _progress_event(self, plan, completed, chunk, num_chunks, label=""):
+        """Build the chunk-boundary event (lazy import, see class docstring)."""
+        from repro.api.progress import ProgressEvent
+
+        per_candidate = len(plan.query_names)
+        return ProgressEvent(
+            phase="evaluate",
+            completed=completed,
+            total=plan.num_candidates,
+            chunk=chunk,
+            num_chunks=num_chunks,
+            completed_units=completed * per_candidate,
+            total_units=plan.num_candidates * per_candidate,
+            label=label,
+        )
+
+    def _check_cancel(self, cancel, completed: int, total: int) -> None:
+        if _cancel_requested(cancel):
+            raise EvaluationCancelled(
+                f"evaluation cancelled after {completed}/{total} candidates"
+            )
+
     def _evaluate_serial(
-        self, plan: EvaluationPlan, context: EngineContext
+        self,
+        plan: EvaluationPlan,
+        context: EngineContext,
+        on_progress: Optional[Callable] = None,
+        cancel: Any = None,
     ) -> List[FragmentationCandidate]:
-        return [
-            evaluate_spec_in_context(context, spec, self.cache) for spec in plan.specs
-        ]
+        # Serial chunk granularity is one candidate: the finest boundary at
+        # which cancellation can stop without discarding work.
+        results: List[FragmentationCandidate] = []
+        total = plan.num_candidates
+        for index, spec in enumerate(plan.specs):
+            self._check_cancel(cancel, index, total)
+            results.append(evaluate_spec_in_context(context, spec, self.cache))
+            if on_progress is not None:
+                on_progress(
+                    self._progress_event(
+                        plan, index + 1, index + 1, total, label=spec.label
+                    )
+                )
+        return results
 
     def _evaluate_parallel(
-        self, plan: EvaluationPlan, context: EngineContext, jobs: int
+        self,
+        plan: EvaluationPlan,
+        context: EngineContext,
+        jobs: int,
+        on_progress: Optional[Callable] = None,
+        cancel: Any = None,
     ) -> List[FragmentationCandidate]:
         results: List[Optional[FragmentationCandidate]] = [None] * plan.num_candidates
 
@@ -422,23 +505,58 @@ class EvaluationEngine:
                     pending.append(index)
                 else:
                     results[index] = candidate
+        warm = plan.num_candidates - len(pending)
         if not pending:
+            if on_progress is not None:
+                on_progress(self._progress_event(plan, warm, 0, 0))
             return results  # type: ignore[return-value]
 
+        self._check_cancel(cancel, warm, plan.num_candidates)
         chunks = plan.partition_indices(pending, jobs)
+        completed = warm
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(chunks)),
             initializer=_initialize_worker,
             initargs=(context,),
         ) as pool:
-            for batch, structures in pool.map(_evaluate_chunk, chunks):
-                for index, candidate in batch.to_candidates(context):
-                    results[index] = candidate
+            if on_progress is not None:
+                # Start event: the warm candidates are already accounted for.
+                on_progress(self._progress_event(plan, warm, 0, len(chunks)))
+            futures = {pool.submit(_evaluate_chunk, chunk): chunk for chunk in chunks}
+            done_chunks = 0
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    batch, structures = future.result()
+                    label = ""
+                    for index, candidate in batch.to_candidates(context):
+                        results[index] = candidate
+                        label = candidate.label
+                        if self.cache is not None:
+                            self.cache.put_candidate(
+                                context, plan.specs[index], candidate
+                            )
                     if self.cache is not None:
-                        self.cache.put_candidate(context, plan.specs[index], candidate)
-                if self.cache is not None:
-                    self.cache.merge_structures(structures)
+                        self.cache.merge_structures(structures)
+                    completed += len(batch)
+                    done_chunks += 1
+                    if on_progress is not None:
+                        on_progress(
+                            self._progress_event(
+                                plan, completed, done_chunks, len(chunks), label=label
+                            )
+                        )
+                if not_done and _cancel_requested(cancel):
+                    # Stop dispatching: chunks not yet started are cancelled,
+                    # running ones finish in the workers but are discarded.
+                    # Everything merged so far stays valid in the cache.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise EvaluationCancelled(
+                        f"evaluation cancelled after {completed}/"
+                        f"{plan.num_candidates} candidates"
+                    )
         missing = [index for index, candidate in enumerate(results) if candidate is None]
-        if missing:  # pragma: no cover - defensive, map() either returns or raises
+        if missing:  # pragma: no cover - defensive, wait() either returns or raises
             raise AdvisorError(f"parallel evaluation lost candidates {missing}")
         return results  # type: ignore[return-value]

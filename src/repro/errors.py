@@ -19,6 +19,7 @@ __all__ = [
     "BitmapError",
     "StorageError",
     "AdvisorError",
+    "EvaluationCancelled",
     "SimulationError",
     "ReportError",
 ]
@@ -58,6 +59,15 @@ class StorageError(WarlockError):
 
 class AdvisorError(WarlockError):
     """Raised when the advisor pipeline cannot produce a recommendation."""
+
+
+class EvaluationCancelled(AdvisorError):
+    """Raised when a candidate sweep is cancelled at a chunk boundary.
+
+    Everything evaluated before the cancel — including cache entries, which
+    are content-addressed functions of their inputs — remains valid; retrying
+    the request resumes warm.
+    """
 
 
 class SimulationError(WarlockError):

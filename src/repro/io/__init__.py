@@ -11,8 +11,10 @@ plain, documented interchange format.  This package provides:
 """
 
 from repro.io.config import (
+    engine_section_from_dict,
     example_config,
     load_config_file,
+    load_engine_section,
     parse_config,
     schema_from_dict,
     schema_to_dict,
@@ -24,9 +26,11 @@ from repro.io.config import (
 from repro.io.export import candidate_to_dict, recommendation_to_dict
 
 __all__ = [
+    "engine_section_from_dict",
     "example_config",
     "parse_config",
     "load_config_file",
+    "load_engine_section",
     "schema_from_dict",
     "schema_to_dict",
     "system_from_dict",

@@ -32,6 +32,8 @@ __all__ = [
     "system_to_dict",
     "workload_from_list",
     "workload_to_list",
+    "engine_section_from_dict",
+    "load_engine_section",
     "parse_config",
     "load_config_file",
     "example_config",
@@ -207,6 +209,37 @@ def workload_to_list(workload: QueryMix) -> List[Dict[str, Any]]:
 
 
 # ---------------------------------------------------------------------------
+# Engine options
+# ---------------------------------------------------------------------------
+
+def engine_section_from_dict(raw: Dict[str, Any]) -> Dict[str, Any]:
+    """The validated ``"engine"`` block of a configuration dictionary.
+
+    The block supplies defaults for the execution options
+    (:class:`repro.api.EngineOptions` fields: ``jobs``, ``vectorize``,
+    ``cache``, ``cache_dir``, ``persist``); the CLI resolves them below
+    explicit flags and the environment.  Returns the overrides as a plain
+    dict (empty when the block is absent); unknown keys or invalid values are
+    an error — a typo must not silently fall back to a default.
+    """
+    # Imported lazily: repro.api sits above the io layer in the import graph.
+    from repro.api.options import EngineOptions
+
+    section = raw.get("engine", {})
+    if not section:
+        return {}
+    EngineOptions.from_dict(section)  # validates keys and values
+    return dict(section)
+
+
+def load_engine_section(path: str) -> Dict[str, Any]:
+    """Load and validate the ``"engine"`` block of a JSON configuration file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    return engine_section_from_dict(raw)
+
+
+# ---------------------------------------------------------------------------
 # Whole configurations
 # ---------------------------------------------------------------------------
 
@@ -282,4 +315,8 @@ def example_config() -> Dict[str, Any]:
                 "restrictions": [["time", "year", 1]],
             },
         ],
+        "engine": {
+            "jobs": "auto",
+            "vectorize": True,
+        },
     }

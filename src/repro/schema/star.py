@@ -356,6 +356,36 @@ class StarSchema:
         """Cardinality of ``dimension.level``; convenience for cost formulas."""
         return self.dimension(dimension_name).level(level_name).cardinality
 
+    def with_skew(self, skew: "dict[str, float]") -> "StarSchema":
+        """A copy of the schema with the given per-dimension Zipf thetas.
+
+        ``skew`` maps dimension names to the new bottom-level Zipf theta
+        (``0.0`` removes the skew); unnamed dimensions are kept as they are.
+        This is the schema-side "what-if" edit of the paper's interactive
+        tuning session (:meth:`repro.api.AdvisorSession.with_delta`).
+        """
+        unknown = [name for name in skew if not self.has_dimension(name)]
+        if unknown:
+            raise SchemaError(
+                f"schema {self.name!r} has no dimension(s) "
+                f"{', '.join(map(repr, unknown))}; known dimensions: "
+                f"{', '.join(self.dimension_names)}"
+            )
+        dimensions = tuple(
+            Dimension(
+                name=dimension.name,
+                levels=dimension.levels,
+                skew=SkewSpec(theta=float(skew[dimension.name])),
+                row_size_bytes=dimension.row_size_bytes,
+            )
+            if dimension.name in skew
+            else dimension
+            for dimension in self.dimensions
+        )
+        return StarSchema(
+            name=self.name, dimensions=dimensions, fact_tables=self.fact_tables
+        )
+
     def total_size_bytes(self) -> int:
         """Raw size of all fact tables plus all dimension tables."""
         fact_bytes = sum(fact.size_bytes() for fact in self.fact_tables)

@@ -84,6 +84,22 @@ class WorkloadSimulationResult:
         )
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Stable plain-dict form (JSON-ready) for serving replay results."""
+        return {
+            "per_class": {
+                name: {
+                    "response_ms": self.per_class_response_ms[name],
+                    "busy_ms": self.per_class_busy_ms[name],
+                    "samples": self.per_class_samples[name],
+                }
+                for name in sorted(self.per_class_response_ms)
+            },
+            "weighted_response_ms": self.weighted_response_ms,
+            "weighted_busy_ms": self.weighted_busy_ms,
+            "response_std_ms": self.response_std_ms,
+        }
+
 
 @dataclass(frozen=True)
 class BatchSimulationResult:

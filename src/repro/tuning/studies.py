@@ -14,18 +14,20 @@ unchanged — varied weights, architectures, coordination overheads — then reu
 the memoized estimation instead of recomputing it; the cache key covers every
 input that can change a number, so the reuse is always exact.
 
-Pass ``cache_dir=`` to back the study cache with a persistent
-:class:`repro.engine.CacheStore`: the study then warm-starts from evaluations
-earlier *processes* spilled to that directory (typically the ``recommend``
-run that produced the spec) and spills its own settings back for the next
-session.  A cache that is already attached to a store keeps it, so the CLI's
-``tune`` command simply hands the advisor's store-backed cache to every study.
+Pass ``options=EngineOptions(cache_dir=...)`` to back the study cache with a
+persistent :class:`repro.engine.CacheStore`: the study then warm-starts from
+evaluations earlier *processes* spilled to that directory (typically the
+``recommend`` run that produced the spec) and spills its own settings back
+for the next session.  A cache that is already attached to a store keeps it,
+so the CLI's ``tune`` command simply hands the advisor's store-backed cache
+to every study.  The legacy ``vectorize=`` / ``cache_dir=`` kwargs remain as
+deprecation shims for :class:`~repro.api.EngineOptions`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core import AdvisorConfig, Warlock
 from repro.errors import AdvisorError
@@ -127,6 +129,17 @@ class TuningStudy:
             )
         return f"{self.name}\n{format_table(headers, rows)}"
 
+    def to_dict(self) -> Dict[str, object]:
+        """Stable plain-dict form (JSON-ready) for serving study results."""
+        return {
+            "name": self.name,
+            "parameter": self.parameter,
+            "records": [
+                {"setting": setting, "metrics": dict(record)}
+                for setting, record in self.records
+            ],
+        }
+
 
 def _candidate_metrics(candidate) -> Dict[str, object]:
     """Extract the standard metric record from an evaluated candidate."""
@@ -134,19 +147,55 @@ def _candidate_metrics(candidate) -> Dict[str, object]:
     return {column: summary[column] for column in _METRIC_COLUMNS}
 
 
-def _study_cache(cache, cache_dir=None):
-    """The evaluation cache a study shares across its settings.
+def _study_setup(owner, options, cache, vectorize, cache_dir):
+    """Resolve a study's engine options and its shared evaluation cache.
 
-    With ``cache_dir`` the cache is attached to the persistent store of that
-    directory (warm-start now, spill at the end of the study); attaching is a
-    no-op when ``cache`` already carries a store for the same directory.
+    ``vectorize=`` / ``cache_dir=`` are the deprecated per-kwarg shims of
+    :class:`~repro.api.EngineOptions` (see :func:`resolve_engine_options`).
+    With ``options.cache_dir`` the cache is attached to the persistent store
+    of that directory (warm-start now, spill at the end of the study);
+    attaching is a no-op when ``cache`` already carries a store for the same
+    directory.
     """
+    # Imported lazily: repro.api sits above the tuning layer (its session
+    # dispatches to these studies).
+    from repro.api.options import UNSET, resolve_engine_options
     from repro.engine import CacheStore, EvaluationCache
 
+    options, _ = resolve_engine_options(
+        options,
+        owner=owner,
+        vectorize=UNSET if vectorize is None else vectorize,
+        cache_dir=UNSET if cache_dir is None else cache_dir,
+        # One frame deeper than a shimmed constructor: the warning must pin
+        # the study function's caller, not this helper's.
+        stacklevel=6,
+    )
     cache = cache if cache is not None else EvaluationCache()
-    if cache_dir:
-        cache.attach(CacheStore(cache_dir))
-    return cache
+    if options.cache_dir:
+        cache.attach(CacheStore(options.cache_dir))
+    return options, cache
+
+
+def _check_cancel(cancel) -> None:
+    """Abort a study at a setting boundary when its cancel signal is set.
+
+    Settings are a study's chunks: everything evaluated before the cancel is
+    already recorded in the shared cache and stays valid for a retry.
+    """
+    if cancel is None:
+        return
+    from repro.api.progress import cancel_requested
+    from repro.errors import EvaluationCancelled
+
+    if cancel_requested(cancel):
+        raise EvaluationCancelled("tuning study cancelled between settings")
+
+
+def _finish(cache, options) -> None:
+    """Spill the study's new entries to the attached store (persist policy)."""
+    if options.persist:
+        cache.persist()
 
 
 def _evaluate(
@@ -157,11 +206,11 @@ def _evaluate(
     config: Optional[AdvisorConfig],
     bitmap_exclude: Sequence[Tuple[str, str]] = (),
     cache=None,
-    vectorize: bool = True,
+    options=None,
 ):
     """Evaluate ``spec`` under one concrete input setting."""
     advisor = Warlock(
-        schema, workload, system, config, cache=cache, vectorize=vectorize
+        schema, workload, system, config, cache=cache, options=options
     )
     scheme = advisor.design_bitmaps()
     if bitmap_exclude:
@@ -177,15 +226,18 @@ def disk_count_study(
     disk_counts: Sequence[int] = (8, 16, 32, 64, 128),
     config: Optional[AdvisorConfig] = None,
     cache=None,
-    vectorize: bool = True,
-    cache_dir: Optional[str] = None,
+    vectorize: Any = None,
+    cache_dir: Any = None,
+    options=None,
+    cancel=None,
 ) -> TuningStudy:
     """Vary the number of disks (the classic scale-out question)."""
     if not disk_counts:
         raise AdvisorError("disk_count_study needs at least one disk count")
-    cache = _study_cache(cache, cache_dir)
+    options, cache = _study_setup("disk_count_study", options, cache, vectorize, cache_dir)
     records = []
     for disks in disk_counts:
+        _check_cancel(cancel)
         candidate = _evaluate(
             schema,
             workload,
@@ -193,10 +245,10 @@ def disk_count_study(
             spec,
             config,
             cache=cache,
-            vectorize=vectorize,
+            options=options,
         )
         records.append((str(disks), _candidate_metrics(candidate)))
-    cache.persist()
+    _finish(cache, options)
     return TuningStudy(
         name=f"Disk-count study for {spec.label}",
         parameter="disks",
@@ -211,13 +263,18 @@ def architecture_study(
     spec: FragmentationSpec,
     config: Optional[AdvisorConfig] = None,
     cache=None,
-    vectorize: bool = True,
-    cache_dir: Optional[str] = None,
+    vectorize: Any = None,
+    cache_dir: Any = None,
+    options=None,
+    cancel=None,
 ) -> TuningStudy:
     """Compare Shared Everything and Shared Disk for the same fragmentation."""
-    cache = _study_cache(cache, cache_dir)
+    options, cache = _study_setup(
+        "architecture_study", options, cache, vectorize, cache_dir
+    )
     records = []
     for architecture in ("shared_everything", "shared_disk"):
+        _check_cancel(cancel)
         candidate = _evaluate(
             schema,
             workload,
@@ -225,10 +282,10 @@ def architecture_study(
             spec,
             config,
             cache=cache,
-            vectorize=vectorize,
+            options=options,
         )
         records.append((architecture, _candidate_metrics(candidate)))
-    cache.persist()
+    _finish(cache, options)
     return TuningStudy(
         name=f"Architecture study for {spec.label}",
         parameter="architecture",
@@ -244,24 +301,27 @@ def prefetch_study(
     fact_granules: Sequence[Union[int, str]] = (1, 4, 16, 64, 256, "auto"),
     config: Optional[AdvisorConfig] = None,
     cache=None,
-    vectorize: bool = True,
-    cache_dir: Optional[str] = None,
+    vectorize: Any = None,
+    cache_dir: Any = None,
+    options=None,
+    cancel=None,
 ) -> TuningStudy:
     """Vary the fact-table prefetch granule (bitmap granule stays on auto)."""
     if not fact_granules:
         raise AdvisorError("prefetch_study needs at least one granule")
-    cache = _study_cache(cache, cache_dir)
+    options, cache = _study_setup("prefetch_study", options, cache, vectorize, cache_dir)
     records = []
     for granule in fact_granules:
+        _check_cancel(cancel)
         varied = system.with_prefetch(fact=granule)
         candidate = _evaluate(
-            schema, workload, varied, spec, config, cache=cache, vectorize=vectorize
+            schema, workload, varied, spec, config, cache=cache, options=options
         )
         label = "auto" if isinstance(granule, str) else f"{granule} pages"
         record = _candidate_metrics(candidate)
         record["resolved_fact_granule"] = candidate.prefetch.fact_pages
         records.append((label, record))
-    cache.persist()
+    _finish(cache, options)
     return TuningStudy(
         name=f"Prefetch study for {spec.label}",
         parameter="fact prefetch",
@@ -277,15 +337,20 @@ def bitmap_exclusion_study(
     exclusions: Sequence[Sequence[Tuple[str, str]]] = ((),),
     config: Optional[AdvisorConfig] = None,
     cache=None,
-    vectorize: bool = True,
-    cache_dir: Optional[str] = None,
+    vectorize: Any = None,
+    cache_dir: Any = None,
+    options=None,
+    cancel=None,
 ) -> TuningStudy:
     """Vary the set of excluded bitmap indexes (the space-saving knob of §3.3)."""
     if not exclusions:
         raise AdvisorError("bitmap_exclusion_study needs at least one exclusion set")
-    cache = _study_cache(cache, cache_dir)
+    options, cache = _study_setup(
+        "bitmap_exclusion_study", options, cache, vectorize, cache_dir
+    )
     records = []
     for excluded in exclusions:
+        _check_cancel(cancel)
         excluded = tuple(excluded)
         candidate = _evaluate(
             schema,
@@ -295,7 +360,7 @@ def bitmap_exclusion_study(
             config,
             bitmap_exclude=excluded,
             cache=cache,
-            vectorize=vectorize,
+            options=options,
         )
         label = (
             "all suggested indexes"
@@ -303,7 +368,7 @@ def bitmap_exclusion_study(
             else "without " + ", ".join(f"{d}.{l}" for d, l in excluded)
         )
         records.append((label, _candidate_metrics(candidate)))
-    cache.persist()
+    _finish(cache, options)
     return TuningStudy(
         name=f"Bitmap exclusion study for {spec.label}",
         parameter="bitmap scheme",
@@ -319,8 +384,10 @@ def skew_study(
     thetas: Sequence[float] = (0.0, 0.5, 1.0),
     config: Optional[AdvisorConfig] = None,
     cache=None,
-    vectorize: bool = True,
-    cache_dir: Optional[str] = None,
+    vectorize: Any = None,
+    cache_dir: Any = None,
+    options=None,
+    cancel=None,
 ) -> TuningStudy:
     """Vary the data skew.
 
@@ -330,15 +397,16 @@ def skew_study(
     """
     if not thetas:
         raise AdvisorError("skew_study needs at least one theta")
-    cache = _study_cache(cache, cache_dir)
+    options, cache = _study_setup("skew_study", options, cache, vectorize, cache_dir)
     records = []
     for theta in thetas:
+        _check_cancel(cancel)
         schema = schema_factory(theta)
         candidate = _evaluate(
-            schema, workload, system, spec, config, cache=cache, vectorize=vectorize
+            schema, workload, system, spec, config, cache=cache, options=options
         )
         records.append((f"{theta:.2f}", _candidate_metrics(candidate)))
-    cache.persist()
+    _finish(cache, options)
     return TuningStudy(
         name=f"Skew study for {spec.label}",
         parameter="zipf theta",
@@ -354,8 +422,10 @@ def workload_weight_study(
     reweightings: Dict[str, Dict[str, float]],
     config: Optional[AdvisorConfig] = None,
     cache=None,
-    vectorize: bool = True,
-    cache_dir: Optional[str] = None,
+    vectorize: Any = None,
+    cache_dir: Any = None,
+    options=None,
+    cancel=None,
 ) -> TuningStudy:
     """Vary the query-class weights ("query load specifics can be adapted").
 
@@ -363,13 +433,17 @@ def workload_weight_study(
     :meth:`repro.workload.QueryMix.reweighted`.  The unmodified mix is always
     evaluated first under the label ``"baseline"``.
     """
-    cache = _study_cache(cache, cache_dir)
+    options, cache = _study_setup(
+        "workload_weight_study", options, cache, vectorize, cache_dir
+    )
     records = []
+    _check_cancel(cancel)
     baseline = _evaluate(
-        schema, workload, system, spec, config, cache=cache, vectorize=vectorize
+        schema, workload, system, spec, config, cache=cache, options=options
     )
     records.append(("baseline", _candidate_metrics(baseline)))
     for label, weights in reweightings.items():
+        _check_cancel(cancel)
         candidate = _evaluate(
             schema,
             workload.reweighted(weights),
@@ -377,10 +451,10 @@ def workload_weight_study(
             spec,
             config,
             cache=cache,
-            vectorize=vectorize,
+            options=options,
         )
         records.append((label, _candidate_metrics(candidate)))
-    cache.persist()
+    _finish(cache, options)
     return TuningStudy(
         name=f"Workload weight study for {spec.label}",
         parameter="workload",

@@ -1,0 +1,396 @@
+"""Tests for the API façade: EngineOptions, deprecation shims, requests/results.
+
+The contract under test (repro.api):
+
+* :class:`EngineOptions` is the one validated carrier of the execution knobs,
+  threaded through every entry point;
+* the legacy per-kwarg forms (``jobs=``, ``vectorize=``, ``cache_dir=``,
+  ``cache=False``) keep working but emit an
+  :class:`EngineOptionsDeprecationWarning` and behave identically;
+* typed requests validate on construction and round-trip through
+  ``to_dict`` / ``request_from_dict``;
+* every result type serves a stable ``to_dict()``.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro import (
+    AdvisorSession,
+    CompareRequest,
+    EngineOptions,
+    EngineOptionsDeprecationWarning,
+    EvaluateSpecRequest,
+    FragmentationSpec,
+    RecommendRequest,
+    SimulateRequest,
+    TuneRequest,
+    Warlock,
+    compare_specs,
+    recommendation_fingerprint,
+)
+from repro.api import request_from_dict
+from repro.engine import EvaluationEngine
+from repro.errors import AdvisorError
+from repro.tuning import disk_count_study
+
+
+class TestEngineOptions:
+    def test_defaults(self):
+        options = EngineOptions()
+        assert options.jobs == 1
+        assert options.vectorize is True
+        assert options.cache is True
+        assert options.cache_dir is None
+        assert options.persist is True
+
+    def test_is_a_hashable_value_object(self):
+        assert EngineOptions(jobs=4) == EngineOptions(jobs=4)
+        assert EngineOptions(jobs=4) != EngineOptions(jobs=2)
+        assert hash(EngineOptions()) == hash(EngineOptions())
+
+    @pytest.mark.parametrize("bad", [0, -3, 1.5, "fast", True])
+    def test_rejects_invalid_jobs(self, bad):
+        with pytest.raises(AdvisorError):
+            EngineOptions(jobs=bad)
+
+    def test_accepts_auto_and_positive_jobs(self):
+        assert EngineOptions(jobs="auto").jobs == "auto"
+        assert EngineOptions(jobs=8).jobs == 8
+
+    def test_rejects_cache_dir_without_cache(self):
+        with pytest.raises(AdvisorError):
+            EngineOptions(cache=False, cache_dir="/tmp/x")
+
+    def test_rejects_non_bool_flags(self):
+        for field in ("vectorize", "cache", "persist"):
+            with pytest.raises(AdvisorError):
+                EngineOptions(**{field: "yes"})
+
+    def test_rejects_empty_cache_dir(self):
+        with pytest.raises(AdvisorError):
+            EngineOptions(cache_dir="")
+
+    def test_replace_revalidates(self):
+        options = EngineOptions()
+        assert options.replace(jobs=4).jobs == 4
+        with pytest.raises(AdvisorError):
+            options.replace(jobs=0)
+
+    def test_dict_round_trip(self):
+        options = EngineOptions(jobs="auto", vectorize=False, cache_dir="/tmp/c")
+        clone = EngineOptions.from_dict(options.to_dict())
+        assert clone == options
+        assert json.dumps(options.to_dict())  # JSON-ready
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(AdvisorError) as excinfo:
+            EngineOptions.from_dict({"job": 2})
+        assert "job" in str(excinfo.value)
+
+    def test_describe_mentions_the_interesting_knobs(self):
+        text = EngineOptions(jobs=4, cache_dir="/tmp/c", persist=False).describe()
+        assert "jobs=4" in text and "/tmp/c" in text and "read-only" in text
+        assert "uncached" in EngineOptions(cache=False).describe()
+
+
+class TestDeprecationShims:
+    """Legacy kwargs warn (with the dedicated category) and behave identically."""
+
+    def test_warlock_jobs_vectorize_cache_dir_warn(
+        self, toy_schema, toy_workload, small_system, tmp_path
+    ):
+        with pytest.warns(EngineOptionsDeprecationWarning, match="EngineOptions"):
+            advisor = Warlock(toy_schema, toy_workload, small_system, jobs=2)
+        assert advisor.options == EngineOptions(jobs=2)
+        with pytest.warns(EngineOptionsDeprecationWarning, match="vectorize"):
+            advisor = Warlock(toy_schema, toy_workload, small_system, vectorize=False)
+        assert advisor.options.vectorize is False
+        with pytest.warns(EngineOptionsDeprecationWarning, match="cache_dir"):
+            advisor = Warlock(
+                toy_schema, toy_workload, small_system, cache_dir=str(tmp_path)
+            )
+        assert advisor.options.cache_dir == str(tmp_path)
+
+    def test_warlock_cache_false_warns(self, toy_schema, toy_workload, small_system):
+        with pytest.warns(EngineOptionsDeprecationWarning, match="cache=False"):
+            advisor = Warlock(toy_schema, toy_workload, small_system, cache=False)
+        assert advisor.cache is None
+
+    def test_shimmed_kwargs_behave_identically(
+        self, toy_schema, toy_workload, small_system
+    ):
+        config = None
+        modern = Warlock(
+            toy_schema,
+            toy_workload,
+            small_system,
+            config,
+            options=EngineOptions(vectorize=False),
+        ).recommend()
+        with pytest.warns(EngineOptionsDeprecationWarning):
+            legacy = Warlock(
+                toy_schema, toy_workload, small_system, config, vectorize=False
+            ).recommend()
+        assert recommendation_fingerprint(modern) == recommendation_fingerprint(legacy)
+
+    def test_engine_shims_warn(self, toy_schema, toy_workload, small_system):
+        with pytest.warns(EngineOptionsDeprecationWarning):
+            engine = EvaluationEngine(toy_schema, toy_workload, small_system, jobs=2)
+        assert engine.jobs == 2
+
+    def test_study_and_compare_shims_warn(self, toy_advisor):
+        specs, _ = toy_advisor.generate_specs()
+        spec = specs[0]
+        with pytest.warns(EngineOptionsDeprecationWarning):
+            legacy = disk_count_study(
+                toy_advisor.schema,
+                toy_advisor.workload,
+                toy_advisor.system,
+                spec,
+                disk_counts=(8,),
+                config=toy_advisor.config,
+                vectorize=False,
+            )
+        modern = disk_count_study(
+            toy_advisor.schema,
+            toy_advisor.workload,
+            toy_advisor.system,
+            spec,
+            disk_counts=(8,),
+            config=toy_advisor.config,
+            options=EngineOptions(vectorize=False),
+        )
+        assert legacy.records == modern.records
+        with pytest.warns(EngineOptionsDeprecationWarning):
+            legacy_table = compare_specs(
+                toy_advisor.schema,
+                toy_advisor.workload,
+                toy_advisor.system,
+                [spec],
+                config=toy_advisor.config,
+                jobs=1,
+            )
+        modern_table = compare_specs(
+            toy_advisor.schema,
+            toy_advisor.workload,
+            toy_advisor.system,
+            [spec],
+            config=toy_advisor.config,
+            options=EngineOptions(jobs=1),
+        )
+        assert legacy_table == modern_table
+
+    def test_warning_is_attributed_to_the_caller(
+        self, toy_schema, toy_workload, small_system
+    ):
+        # stacklevel must reach through the shim plumbing to the user's call
+        # site, both for constructors and for the one-level-deeper studies.
+        with pytest.warns(EngineOptionsDeprecationWarning) as caught:
+            Warlock(toy_schema, toy_workload, small_system, jobs=2)
+        assert caught[0].filename == __file__
+        with pytest.warns(EngineOptionsDeprecationWarning) as caught:
+            disk_count_study(
+                toy_schema,
+                toy_workload,
+                small_system,
+                FragmentationSpec.of(("time", "month")),
+                disk_counts=(8,),
+                vectorize=False,
+            )
+        assert caught[0].filename == __file__
+        with pytest.warns(EngineOptionsDeprecationWarning) as caught:
+            compare_specs(
+                toy_schema,
+                toy_workload,
+                small_system,
+                [FragmentationSpec.of(("time", "month"))],
+                jobs=1,
+            )
+        assert caught[0].filename == __file__
+        assert "compare_specs" in str(caught[0].message)
+
+    def test_options_plus_deprecated_kwarg_is_an_error(
+        self, toy_schema, toy_workload, small_system
+    ):
+        with pytest.raises(AdvisorError, match="not both"):
+            Warlock(
+                toy_schema,
+                toy_workload,
+                small_system,
+                jobs=2,
+                options=EngineOptions(jobs=4),
+            )
+
+    def test_invalid_legacy_value_raises_without_warning(
+        self, toy_schema, toy_workload, small_system
+    ):
+        # Validation precedes the deprecation warning, so strict -W runs see
+        # the same AdvisorError the legacy signature always raised.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(AdvisorError):
+                Warlock(toy_schema, toy_workload, small_system, jobs=0)
+
+    def test_internal_callers_are_migrated(self, toy_advisor, tmp_path):
+        # The advisor pipeline, the studies and the comparison run shim-free:
+        # any internal use of a deprecated kwarg fails this test (and the
+        # strict CI run) immediately.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", EngineOptionsDeprecationWarning)
+            recommendation = toy_advisor.recommend()
+            disk_count_study(
+                toy_advisor.schema,
+                toy_advisor.workload,
+                toy_advisor.system,
+                recommendation.best.spec,
+                disk_counts=(8,),
+                config=toy_advisor.config,
+                cache=toy_advisor.cache,
+                options=toy_advisor.options,
+            )
+
+
+class TestRequests:
+    SPEC = FragmentationSpec.of(("time", "month"))
+
+    def test_tune_request_rejects_unknown_study(self):
+        with pytest.raises(AdvisorError):
+            TuneRequest(study="turbo")
+
+    def test_compare_request_needs_specs(self):
+        with pytest.raises(AdvisorError):
+            CompareRequest(specs=())
+
+    def test_simulate_request_validates_queries(self):
+        with pytest.raises(AdvisorError):
+            SimulateRequest(queries_per_class=0)
+
+    def test_requests_round_trip_through_dicts(self):
+        requests = [
+            RecommendRequest(),
+            EvaluateSpecRequest(spec=self.SPEC, bitmap_exclude=(("time", "month"),)),
+            CompareRequest(specs=(self.SPEC,)),
+            TuneRequest(study="disks", settings=[8, 16]),
+            SimulateRequest(fragmentation="none", queries_per_class=3, seed=7),
+        ]
+        for request in requests:
+            payload = json.loads(json.dumps(request.to_dict()))
+            clone = request_from_dict(payload)
+            assert type(clone) is type(request)
+            assert clone.to_dict() == request.to_dict()
+
+    def test_request_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(AdvisorError):
+            request_from_dict({"kind": "destroy"})
+
+
+class TestResultToDicts:
+    """Every result type serves a stable, JSON-ready to_dict()."""
+
+    @pytest.fixture(scope="class")
+    def session(self):
+        # Built directly (not from the function-scoped toy fixtures) so one
+        # session serves the whole class warm.
+        from repro import (
+            AdvisorConfig,
+            Dimension,
+            DimensionRestriction,
+            FactTable,
+            Level,
+            QueryClass,
+            QueryMix,
+            StarSchema,
+            SystemParameters,
+        )
+
+        schema = StarSchema(
+            name="toy-api",
+            dimensions=(
+                Dimension(name="time", levels=[Level("year", 2), Level("month", 24)]),
+                Dimension(name="product", levels=[Level("group", 10), Level("item", 200)]),
+            ),
+            fact_tables=(
+                FactTable(
+                    name="sales",
+                    row_count=500_000,
+                    row_size_bytes=64,
+                    dimension_names=("time", "product"),
+                ),
+            ),
+        )
+        workload = QueryMix(
+            [
+                QueryClass(
+                    name="monthly",
+                    restrictions=[DimensionRestriction("time", "month")],
+                    weight=2,
+                ),
+                QueryClass(
+                    name="by-group",
+                    restrictions=[DimensionRestriction("product", "group")],
+                    weight=1,
+                ),
+            ]
+        )
+        return AdvisorSession(
+            schema,
+            workload,
+            SystemParameters(num_disks=8),
+            AdvisorConfig(max_fragments=10_000, top_candidates=3),
+        )
+
+    def test_recommend_result(self, session):
+        result = session.recommend()
+        payload = result.to_dict()
+        assert payload["fingerprint"] == result.fingerprint
+        assert payload["ranked"]
+        json.dumps(payload)
+
+    def test_recommendation_and_candidate_to_dict(self, session):
+        recommendation = session.recommend().recommendation
+        assert recommendation.to_dict()["ranked"]
+        candidate_payload = recommendation.best.to_dict()
+        assert candidate_payload["fragmentation"] == recommendation.best.label
+        json.dumps(candidate_payload)
+
+    def test_evaluate_compare_tune_simulate_results(self, session):
+        specs, _ = session.generate_specs()
+        evaluated = session.submit(EvaluateSpecRequest(spec=specs[0]))
+        assert evaluated.to_dict()["fragmentation"] == specs[0].label
+        compared = session.submit(
+            CompareRequest(specs=tuple(specs[:2]), baseline_spec=specs[2])
+        )
+        payload = compared.to_dict()
+        assert len(payload["candidates"]) == 2 and "baseline" in payload
+        tuned = session.submit(TuneRequest(study="disks", settings=(8, 16)))
+        assert [r["setting"] for r in tuned.to_dict()["records"]] == ["8", "16"]
+        simulated = session.submit(SimulateRequest(queries_per_class=2))
+        sim_payload = simulated.to_dict()
+        assert {"fragmentation", "simulation", "predicted"} <= set(sim_payload)
+        json.dumps(sim_payload)
+
+    def test_submit_rejects_unknown_request(self, session):
+        with pytest.raises(AdvisorError):
+            session.submit(object())
+
+    def test_progress_event_to_dict(self):
+        from repro import ProgressEvent
+
+        event = ProgressEvent(
+            phase="evaluate",
+            completed=3,
+            total=10,
+            chunk=3,
+            num_chunks=10,
+            completed_units=12,
+            total_units=40,
+            label="x",
+        )
+        payload = event.to_dict()
+        assert payload["fraction"] == pytest.approx(0.3)
+        assert "3/10" in event.describe()

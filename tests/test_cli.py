@@ -7,7 +7,14 @@ import re
 
 import pytest
 
-from repro.cli import _resolve_inputs, build_parser, example_config, load_config, main
+from repro.cli import (
+    _engine_options,
+    _resolve_inputs,
+    build_parser,
+    example_config,
+    load_config,
+    main,
+)
 
 
 class TestParser:
@@ -105,8 +112,11 @@ class TestCommands:
 
 class TestJobsFlag:
     def test_jobs_default_is_adaptive(self):
+        # The argparse default is None (so a config file's engine block can
+        # supply a value below an explicit flag); the resolver applies "auto".
         args = build_parser().parse_args(["recommend"])
-        assert args.jobs == "auto"
+        assert args.jobs is None
+        assert _engine_options(args).jobs == "auto"
 
     def test_jobs_accepts_auto(self):
         args = build_parser().parse_args(["recommend", "--jobs", "auto"])
@@ -250,13 +260,19 @@ class TestCacheDirFlags:
     def test_cache_dir_defaults_to_env_var(self, monkeypatch):
         monkeypatch.setenv("WARLOCK_CACHE_DIR", "/tmp/warlock-cache")
         args = build_parser().parse_args(["recommend"])
-        assert args.cache_dir == "/tmp/warlock-cache"
+        assert _engine_options(args).cache_dir == "/tmp/warlock-cache"
+
+    def test_explicit_flag_overrides_env_var(self, monkeypatch):
+        monkeypatch.setenv("WARLOCK_CACHE_DIR", "/tmp/warlock-cache")
+        args = build_parser().parse_args(["recommend", "--cache-dir", "/tmp/flagged"])
+        assert _engine_options(args).cache_dir == "/tmp/flagged"
 
     def test_cache_dir_defaults_to_none_without_env(self, monkeypatch):
         monkeypatch.delenv("WARLOCK_CACHE_DIR", raising=False)
         args = build_parser().parse_args(["recommend"])
         assert args.cache_dir is None
         assert args.no_cache_persist is False
+        assert _engine_options(args).cache_dir is None
 
     def test_flags_in_help_text(self, capsys):
         with pytest.raises(SystemExit):
@@ -306,6 +322,92 @@ class TestCacheDirFlags:
         captured = capsys.readouterr()
         assert "persistent cache" not in captured.err
         assert not (tmp_path / "cache").exists()
+
+
+class TestEngineOptionsResolver:
+    """One resolver, one precedence order: flags > env > config file > defaults."""
+
+    COMMON = ["--scale", "0.01", "--disks", "16", "--max-fragments", "20000"]
+
+    @pytest.fixture
+    def config_file(self, tmp_path):
+        payload = example_config()
+        payload["engine"] = {"jobs": 2, "vectorize": False, "cache_dir": "/tmp/from-config"}
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_config_engine_block_supplies_defaults(self, config_file, monkeypatch):
+        monkeypatch.delenv("WARLOCK_CACHE_DIR", raising=False)
+        args = build_parser().parse_args(["recommend", "--config", config_file])
+        options = _engine_options(args)
+        assert options.jobs == 2
+        assert options.vectorize is False
+        assert options.cache_dir == "/tmp/from-config"
+
+    def test_flags_override_config(self, config_file, monkeypatch):
+        monkeypatch.delenv("WARLOCK_CACHE_DIR", raising=False)
+        args = build_parser().parse_args(
+            ["recommend", "--config", config_file, "--jobs", "8",
+             "--cache-dir", "/tmp/from-flag"]
+        )
+        options = _engine_options(args)
+        assert options.jobs == 8
+        assert options.cache_dir == "/tmp/from-flag"
+
+    def test_env_overrides_config_but_not_flags(self, config_file, monkeypatch):
+        monkeypatch.setenv("WARLOCK_CACHE_DIR", "/tmp/from-env")
+        args = build_parser().parse_args(["recommend", "--config", config_file])
+        assert _engine_options(args).cache_dir == "/tmp/from-env"
+        args = build_parser().parse_args(
+            ["recommend", "--config", config_file, "--cache-dir", "/tmp/from-flag"]
+        )
+        assert _engine_options(args).cache_dir == "/tmp/from-flag"
+
+    def test_unknown_engine_key_in_config_errors(self, tmp_path, capsys):
+        payload = example_config()
+        payload["engine"] = {"job": 2}
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps(payload))
+        assert main(["recommend", "--config", str(path)]) == 2
+        assert "unknown engine option" in capsys.readouterr().err
+
+    def test_no_cache_persist_without_a_dir_errors_on_every_subcommand(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.delenv("WARLOCK_CACHE_DIR", raising=False)
+        for command in ("recommend", "analyze", "report", "simulate", "suggest", "tune"):
+            code = main([command, *self.COMMON, "--no-cache-persist"])
+            assert code == 2, command
+            err = capsys.readouterr().err
+            assert "--no-cache-persist" in err and "nothing to disable" in err
+
+    def test_no_cache_persist_with_env_dir_is_valid(self, monkeypatch, capsys):
+        monkeypatch.setenv("WARLOCK_CACHE_DIR", "/tmp/warlock-unused")
+        args = build_parser().parse_args(["recommend", "--no-cache-persist"])
+        assert _engine_options(args).cache_dir is None
+
+
+class TestProgressFlag:
+    COMMON = ["--scale", "0.01", "--disks", "16", "--max-fragments", "20000"]
+
+    def test_progress_flag_in_help_text(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recommend", "--help"])
+        assert "--progress" in capsys.readouterr().out
+
+    def test_progress_meter_renders_and_completes(self, capsys):
+        assert main(["recommend", *self.COMMON, "--progress", "--top", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "Top fragmentation candidates" in captured.out
+        assert "warlock: evaluate" in captured.err
+        # The meter's final update reports the full sweep (completed == total).
+        last = captured.err.rstrip().splitlines()[-1].split("\r")[-1]
+        assert re.search(r"evaluate (\d+)/(\1) candidates", last), last
+
+    def test_progress_off_by_default(self, capsys):
+        assert main(["recommend", *self.COMMON, "--top", "3"]) == 0
+        assert "warlock: evaluate" not in capsys.readouterr().err
 
 
 class TestSimulateUsesEvaluatedPrefetch:

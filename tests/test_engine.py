@@ -6,7 +6,7 @@ import pickle
 
 import pytest
 
-from repro import AdvisorConfig, Warlock
+from repro import AdvisorConfig, EngineOptions, Warlock
 from repro.engine import (
     EvaluationCache,
     EvaluationEngine,
@@ -134,7 +134,7 @@ class TestEvaluationCache:
             toy_advisor.system,
             toy_advisor.config,
             cache=cache,
-            vectorize=False,
+            options=EngineOptions(vectorize=False),
         )
         specs, _ = advisor.generate_specs()
         advisor.evaluate_spec(specs[0])
@@ -176,7 +176,7 @@ class TestEvaluationCache:
             toy_advisor.workload,
             toy_advisor.system,
             toy_advisor.config,
-            cache=False,
+            options=EngineOptions(cache=False),
         )
         assert uncached_advisor.cache is None
         # cache=False propagates to the engine: nothing is memoized anywhere.
@@ -191,7 +191,7 @@ class TestEvaluationCache:
             toy_workload,
             small_system,
             AdvisorConfig(max_fragments=10_000, top_candidates=5),
-            cache=False,
+            options=EngineOptions(cache=False),
         )
         advisor.recommend()
         assert advisor.cache is None
@@ -253,6 +253,9 @@ class TestEvaluationCache:
 class TestEvaluationEngine:
     def test_rejects_nonpositive_jobs(self, toy_schema, toy_workload, small_system):
         with pytest.raises(AdvisorError):
+            EngineOptions(jobs=0)
+        # The deprecated kwarg validates before it warns: same error.
+        with pytest.raises(AdvisorError):
             EvaluationEngine(toy_schema, toy_workload, small_system, jobs=0)
         with pytest.raises(AdvisorError):
             Warlock(toy_schema, toy_workload, small_system, jobs=0)
@@ -281,7 +284,7 @@ class TestEvaluationEngine:
             toy_advisor.workload,
             toy_advisor.system,
             toy_advisor.config,
-            jobs=4,
+            options=EngineOptions(jobs=4),
         )
         few = specs[: MIN_SPECS_FOR_PARALLEL - 1]
         candidates = engine.evaluate_specs(few)
@@ -380,7 +383,7 @@ class TestAdaptiveJobs:
             toy_advisor.workload,
             toy_advisor.system,
             toy_advisor.config,
-            jobs="auto",
+            options=EngineOptions(jobs="auto"),
         )
         from repro.engine import adaptive_jobs
 
@@ -393,7 +396,7 @@ class TestAdaptiveJobs:
             toy_advisor.workload,
             toy_advisor.system,
             toy_advisor.config,
-            jobs=5,
+            options=EngineOptions(jobs=5),
         )
         assert engine.resolve_jobs(1_000_000) == 5
 
@@ -412,6 +415,6 @@ class TestAdaptiveJobs:
         config = AdvisorConfig(max_fragments=10_000, top_candidates=5)
         serial = Warlock(toy_schema, toy_workload, small_system, config).recommend()
         auto = Warlock(
-            toy_schema, toy_workload, small_system, config, jobs="auto"
+            toy_schema, toy_workload, small_system, config, options=EngineOptions(jobs="auto")
         ).recommend()
         assert recommendation_fingerprint(serial) == recommendation_fingerprint(auto)

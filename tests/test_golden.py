@@ -23,6 +23,7 @@ import pytest
 
 from repro import (
     AdvisorConfig,
+    EngineOptions,
     SystemParameters,
     Warlock,
     apb1_query_mix,
@@ -57,7 +58,9 @@ def _inputs(scenario: dict):
 
 def _advisor(scenario: dict, vectorize: bool = True) -> Warlock:
     schema, workload, system, config = _inputs(scenario)
-    return Warlock(schema, workload, system, config, vectorize=vectorize)
+    return Warlock(
+        schema, workload, system, config, options=EngineOptions(vectorize=vectorize)
+    )
 
 
 def build_snapshot(scenario: dict, vectorize: bool = True) -> dict:

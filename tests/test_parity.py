@@ -17,6 +17,7 @@ import pytest
 
 from repro import (
     AdvisorConfig,
+    EngineOptions,
     EvaluationCache,
     SystemParameters,
     Warlock,
@@ -66,8 +67,8 @@ SCENARIOS = ("synthetic", "retail", "apb1")
 class TestSerialParallelParity:
     def test_jobs_1_and_jobs_4_are_bit_identical(self, scenario):
         schema, workload, system, config = _scenario(scenario)
-        serial = Warlock(schema, workload, system, config, jobs=1).recommend()
-        parallel = Warlock(schema, workload, system, config, jobs=4).recommend()
+        serial = Warlock(schema, workload, system, config, options=EngineOptions(jobs=1)).recommend()
+        parallel = Warlock(schema, workload, system, config, options=EngineOptions(jobs=4)).recommend()
         assert recommendation_fingerprint(serial) == recommendation_fingerprint(parallel)
         # Spot checks on top of the fingerprint: order, metrics, prefetch.
         assert [r.label for r in serial.ranked] == [r.label for r in parallel.ranked]
@@ -104,7 +105,7 @@ class TestSerialParallelParity:
     def test_disabled_cache_is_bit_identical(self, scenario):
         schema, workload, system, config = _scenario(scenario)
         cached = Warlock(schema, workload, system, config).recommend()
-        uncached = Warlock(schema, workload, system, config, cache=False).recommend()
+        uncached = Warlock(schema, workload, system, config, options=EngineOptions(cache=False)).recommend()
         assert recommendation_fingerprint(cached) == recommendation_fingerprint(uncached)
 
 
@@ -112,7 +113,9 @@ def test_parallel_sweep_populates_the_shared_cache():
     """Worker results (candidates AND structures) land in the parent cache."""
     schema, workload, system, config = _scenario("synthetic")
     cache = EvaluationCache()
-    advisor = Warlock(schema, workload, system, config, jobs=4, cache=cache)
+    advisor = Warlock(
+        schema, workload, system, config, cache=cache, options=EngineOptions(jobs=4)
+    )
     first = advisor.recommend()
     assert len(cache._candidates) == len(first.evaluated)
     # Structures are merged back too: studies varying the system reuse them.

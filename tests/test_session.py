@@ -1,0 +1,316 @@
+"""Tests for AdvisorSession: what-if deltas, cache reuse, progress, cancellation.
+
+The contract under test (repro.api.session):
+
+* a delta chain (disks -> skew -> mix weights) produces **bit-identical**
+  recommendation fingerprints to fresh per-request advisors built from the
+  edited inputs;
+* the shared cache makes the chain warm: the cumulative hit rate rises
+  across the edits;
+* ``on_progress`` events cover 100% of the plan's chunks in both the serial
+  and the ``jobs=4`` mode, and a mid-sweep cancellation leaves the cache
+  consistent (a retry completes with the identical fingerprint).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AdvisorConfig,
+    AdvisorSession,
+    CancellationToken,
+    EngineOptions,
+    SystemParameters,
+    Warlock,
+    recommendation_fingerprint,
+    synthetic_schema,
+)
+from repro.errors import AdvisorError, EvaluationCancelled
+from repro.workload.generator import random_query_mix
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    schema = synthetic_schema(
+        num_dimensions=4,
+        levels_per_dimension=3,
+        bottom_cardinality=300,
+        fact_rows=2_000_000,
+        seed=3,
+    )
+    workload = random_query_mix(schema, num_classes=6, seed=5)
+    system = SystemParameters(num_disks=16)
+    config = AdvisorConfig(max_fragments=20_000, top_candidates=8)
+    return schema, workload, system, config
+
+
+class TestWithDelta:
+    def test_delta_chain_matches_fresh_advisors_bit_for_bit(self, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        skewed_dimension = schema.dimensions[0].name
+        heavier_class = next(iter(workload)).name
+
+        chain = [
+            ("base", session),
+            ("disks", session.with_delta(disks=64)),
+        ]
+        chain.append(("skew", chain[-1][1].with_delta(skew={skewed_dimension: 0.8})))
+        chain.append(("mix", chain[-1][1].with_delta(mix_weights={heavier_class: 9.0})))
+
+        for label, edited in chain:
+            result = edited.recommend()
+            fresh = Warlock(
+                edited.schema, edited.workload, edited.system, edited.config
+            ).recommend()
+            assert result.fingerprint == recommendation_fingerprint(fresh), label
+
+    def test_cache_is_shared_and_hit_rate_rises_across_the_chain(self, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        session.recommend()
+        heavier_class = next(iter(workload)).name
+
+        edits = [
+            dict(disks=64),
+            dict(architecture="shared_everything"),
+            dict(mix_weights={heavier_class: 9.0}),
+        ]
+        rates = []
+        current = session
+        for edit in edits:
+            current = current.with_delta(**edit)
+            assert current.cache is session.cache  # one shared cache object
+            current.recommend()
+            rates.append(session.stats.hit_rate)
+        # Every edit reuses the structure entries of the earlier sweeps, so
+        # the cumulative hit rate climbs monotonically: the cold sweep is all
+        # misses (two probes per candidate), every edit adds one structure
+        # hit per candidate — k edits drive the rate towards k/(2+2k).
+        assert rates == sorted(rates)
+        assert rates[0] >= 0.2
+        assert rates[-1] > 0.3
+
+    def test_reverting_an_edit_answers_from_candidate_entries(self, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        baseline = session.recommend()
+        edited = session.with_delta(disks=64)
+        edited.recommend()
+        reverted = edited.with_delta(system=system)
+        session.cache.reset_stats()
+        result = reverted.recommend()
+        assert result.fingerprint == baseline.fingerprint
+        # The revert re-creates the original inputs: every candidate is a hit.
+        assert session.stats.candidate_hits == len(result.recommendation.evaluated)
+        assert session.stats.misses == 0
+
+    def test_skew_delta_rejects_unknown_dimension(self, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            session.with_delta(skew={"ghost": 0.5})
+
+    def test_prefetch_and_options_deltas(self, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        edited = session.with_delta(
+            prefetch_fact=4, options=EngineOptions(vectorize=False)
+        )
+        assert edited.system.prefetch_pages_fact == 4
+        assert edited.options.vectorize is False
+        fresh = Warlock(
+            schema, workload, system.with_prefetch(fact=4), config
+        ).recommend()
+        assert edited.recommend().fingerprint == recommendation_fingerprint(fresh)
+
+
+class TestProgress:
+    def _collect(self, options, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config, options=options)
+        events = []
+        result = session.recommend(on_progress=events.append)
+        return session, events, result
+
+    @pytest.mark.parametrize(
+        "options", [EngineOptions(jobs=1), EngineOptions(jobs=4)], ids=["serial", "jobs4"]
+    )
+    def test_events_cover_every_plan_chunk(self, options, scenario):
+        session, events, result = self._collect(options, scenario)
+        assert events, "a cold sweep must emit progress"
+        total = events[-1].total
+        num_chunks = events[-1].num_chunks
+        assert events[-1].completed == total
+        assert total == len(result.recommendation.evaluated)
+        # 100% chunk coverage: every chunk index 1..num_chunks is reported
+        # exactly once (chunk 0 is the pool's optional start event).
+        chunk_indices = [event.chunk for event in events if event.chunk > 0]
+        assert chunk_indices == list(range(1, num_chunks + 1))
+        # Monotone completion, consistent unit accounting.
+        completed = [event.completed for event in events]
+        assert completed == sorted(completed)
+        per_candidate = events[-1].total_units // total
+        for event in events:
+            assert event.completed_units == event.completed * per_candidate
+
+    def test_warm_sweep_still_reports_completion(self, scenario):
+        session, _, first = self._collect(EngineOptions(jobs=1), scenario)
+        events = []
+        warm = session.recommend(on_progress=events.append)
+        assert warm.fingerprint == first.fingerprint
+        assert events[-1].completed == events[-1].total
+
+
+class TestCancellation:
+    def test_serial_cancellation_leaves_the_cache_consistent(self, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        token = CancellationToken()
+        seen = []
+
+        def cancel_after_three(event):
+            seen.append(event)
+            if len(seen) == 3:
+                token.cancel()
+
+        with pytest.raises(EvaluationCancelled):
+            session.recommend(on_progress=cancel_after_three, cancel=token)
+        # The sweep stopped at a chunk boundary, partially filling the cache.
+        assert 0 < len(session.cache)
+        completed_before = seen[-1].completed
+        assert completed_before < seen[-1].total
+
+        # Retry: completes warm, and the partial cache never changed a number.
+        retry = session.recommend()
+        fresh = Warlock(schema, workload, system, config).recommend()
+        assert retry.fingerprint == recommendation_fingerprint(fresh)
+
+    def test_pool_cancellation_raises_and_retries_clean(self, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(
+            schema, workload, system, config, options=EngineOptions(jobs=4)
+        )
+        token = CancellationToken()
+
+        def cancel_immediately(event):
+            token.cancel()
+
+        with pytest.raises(EvaluationCancelled):
+            session.recommend(on_progress=cancel_immediately, cancel=token)
+        retry = session.recommend()
+        fresh = Warlock(schema, workload, system, config).recommend()
+        assert retry.fingerprint == recommendation_fingerprint(fresh)
+
+    def test_pre_set_token_cancels_before_any_work(self, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        token = CancellationToken()
+        token.cancel()
+        with pytest.raises(EvaluationCancelled):
+            session.recommend(cancel=token)
+        assert len(session.cache) == 0
+
+    def test_callable_cancel_signal_is_accepted(self, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        with pytest.raises(EvaluationCancelled):
+            session.recommend(cancel=lambda: True)
+
+    def test_tune_request_cancels_between_settings(self, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        spec = session.recommend().best.spec
+        token = CancellationToken()
+        settings_seen = []
+
+        def cancel_after_two():
+            # Polled at each setting boundary: cancel before the third.
+            settings_seen.append(len(settings_seen))
+            return len(settings_seen) > 2
+
+        with pytest.raises(EvaluationCancelled):
+            session.tune(
+                "disks", spec=spec, settings=(8, 16, 32, 64), cancel=cancel_after_two
+            )
+        assert token.cancelled is False  # the callable signal was used
+        # The completed settings stay valid: a retry answers them warm.
+        session.cache.reset_stats()
+        result = session.tune("disks", spec=spec, settings=(8, 16, 32, 64))
+        assert result.study.settings == ["8", "16", "32", "64"]
+        assert session.stats.candidate_hits >= 2
+
+
+class TestSessionLifecycle:
+    def test_context_manager_persists_on_close(self, scenario, tmp_path):
+        from repro.engine.store import ENTRIES_FILENAME
+
+        schema, workload, system, config = scenario
+        store = tmp_path / "cache"
+        with AdvisorSession(
+            schema,
+            workload,
+            system,
+            config,
+            options=EngineOptions(cache_dir=str(store)),
+        ) as session:
+            session.recommend()
+        assert (store / ENTRIES_FILENAME).exists()
+        # A second session over the directory answers the sweep from disk.
+        warm = AdvisorSession(
+            schema,
+            workload,
+            system,
+            config,
+            options=EngineOptions(cache_dir=str(store)),
+        )
+        warm.recommend()
+        assert warm.stats.disk_hit_rate >= 0.9
+
+    def test_read_only_store_never_writes(self, scenario, tmp_path):
+        schema, workload, system, config = scenario
+        store = tmp_path / "cache"
+        # persist=False: warm-start allowed, spill forbidden.
+        session = AdvisorSession(
+            schema,
+            workload,
+            system,
+            config,
+            options=EngineOptions(cache_dir=str(store), persist=False),
+        )
+        session.recommend()
+        session.close()
+        assert not store.exists()
+        # The Warlock wrapper honors the same read-only policy.
+        advisor = Warlock(
+            schema,
+            workload,
+            system,
+            config,
+            options=EngineOptions(cache_dir=str(store), persist=False),
+        )
+        advisor.recommend()
+        assert advisor.persist_cache() is None
+        assert not store.exists()
+
+    def test_uncached_session_has_no_stats(self, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(
+            schema, workload, system, config, options=EngineOptions(cache=False)
+        )
+        assert session.cache is None and session.stats is None
+        assert session.recommend().recommendation.ranked
+
+    def test_describe_names_the_inputs(self, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        text = session.describe()
+        assert schema.name in text and "jobs=1" in text
+
+    def test_session_rejects_plain_dict_options(self, scenario):
+        schema, workload, system, config = scenario
+        with pytest.raises(AdvisorError):
+            AdvisorSession(schema, workload, system, config, options={"jobs": 2})

@@ -18,6 +18,7 @@ import pytest
 import repro
 from repro import (
     AdvisorConfig,
+    EngineOptions,
     EvaluationCache,
     SystemParameters,
     Warlock,
@@ -44,9 +45,15 @@ def scenario():
     return schema, workload, system, config
 
 
-def _advisor(scenario, cache_dir, **kwargs):
+def _advisor(scenario, cache_dir, jobs=1):
     schema, workload, system, config = scenario
-    return Warlock(schema, workload, system, config, cache_dir=str(cache_dir), **kwargs)
+    return Warlock(
+        schema,
+        workload,
+        system,
+        config,
+        options=EngineOptions(jobs=jobs, cache_dir=str(cache_dir)),
+    )
 
 
 class TestRoundTrip:
@@ -251,7 +258,9 @@ class TestCacheStoreHook:
         # cache starts persisting to directory B.
         schema, workload, system, config = scenario
         dir_a, dir_b = tmp_path / "a", tmp_path / "b"
-        advisor = Warlock(schema, workload, system, config, cache_dir=str(dir_a))
+        advisor = Warlock(
+            schema, workload, system, config, options=EngineOptions(cache_dir=str(dir_a))
+        )
         advisor.recommend()  # attaches A and persists the sweep there
         # Make the cache dirty again, then switch stores.
         advisor.cache.merge_structures([(("extra",), "entry")])
@@ -304,7 +313,7 @@ class TestCacheStoreHook:
             disk_counts=(8, 16),
             config=config,
             cache=study_cache,
-            cache_dir=str(tmp_path),
+            options=EngineOptions(cache_dir=str(tmp_path)),
         )
         assert study_cache.loaded_from_disk > 0
         assert study_cache.stats.structure_disk_hits > 0

@@ -27,6 +27,7 @@ from hypothesis import assume, given, settings, strategies as st
 from repro import (
     AdvisorConfig,
     DimensionRestriction,
+    EngineOptions,
     QueryClass,
     QueryMix,
     SystemParameters,
@@ -245,7 +246,7 @@ class TestAdvisorParityMatrix:
         schema, workload, system, config = _advisor_inputs()
         vectorized = Warlock(schema, workload, system, config).recommend()
         scalar = Warlock(
-            schema, workload, system, config, vectorize=False
+            schema, workload, system, config, options=EngineOptions(vectorize=False)
         ).recommend()
         assert recommendation_fingerprint(vectorized) == recommendation_fingerprint(
             scalar
@@ -253,9 +254,15 @@ class TestAdvisorParityMatrix:
 
     def test_jobs_4(self):
         schema, workload, system, config = _advisor_inputs()
-        vectorized = Warlock(schema, workload, system, config, jobs=4).recommend()
+        vectorized = Warlock(
+            schema, workload, system, config, options=EngineOptions(jobs=4)
+        ).recommend()
         scalar = Warlock(
-            schema, workload, system, config, jobs=4, vectorize=False
+            schema,
+            workload,
+            system,
+            config,
+            options=EngineOptions(jobs=4, vectorize=False),
         ).recommend()
         assert recommendation_fingerprint(vectorized) == recommendation_fingerprint(
             scalar
@@ -264,7 +271,9 @@ class TestAdvisorParityMatrix:
     def test_warm_cache(self):
         schema, workload, system, config = _advisor_inputs()
         vectorized_advisor = Warlock(schema, workload, system, config)
-        scalar_advisor = Warlock(schema, workload, system, config, vectorize=False)
+        scalar_advisor = Warlock(
+            schema, workload, system, config, options=EngineOptions(vectorize=False)
+        )
         cold_v = vectorized_advisor.recommend()
         cold_s = scalar_advisor.recommend()
         warm_v = vectorized_advisor.recommend()
@@ -279,10 +288,14 @@ class TestAdvisorParityMatrix:
     def test_uncached(self):
         schema, workload, system, config = _advisor_inputs()
         vectorized = Warlock(
-            schema, workload, system, config, cache=False
+            schema, workload, system, config, options=EngineOptions(cache=False)
         ).recommend()
         scalar = Warlock(
-            schema, workload, system, config, cache=False, vectorize=False
+            schema,
+            workload,
+            system,
+            config,
+            options=EngineOptions(cache=False, vectorize=False),
         ).recommend()
         assert recommendation_fingerprint(vectorized) == recommendation_fingerprint(
             scalar
@@ -336,8 +349,12 @@ class TestColumnarResultBatch:
     def test_jobs_1_vs_4_through_columnar_batches(self):
         """End-to-end: the parallel backend (columnar transport) == serial."""
         schema, workload, system, config = _advisor_inputs()
-        serial = Warlock(schema, workload, system, config, jobs=1).recommend()
-        parallel = Warlock(schema, workload, system, config, jobs=4).recommend()
+        serial = Warlock(
+            schema, workload, system, config, options=EngineOptions(jobs=1)
+        ).recommend()
+        parallel = Warlock(
+            schema, workload, system, config, options=EngineOptions(jobs=4)
+        ).recommend()
         assert recommendation_state(serial) == recommendation_state(parallel)
 
     def test_batch_rejects_mismatched_lengths(self, engine_and_plan):
