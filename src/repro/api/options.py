@@ -45,6 +45,9 @@ class EngineOptionsDeprecationWarning(DeprecationWarning):
 #: Sentinel distinguishing "kwarg not passed" from an explicit ``None``.
 UNSET = object()
 
+#: Normalized vectorization modes (see :attr:`EngineOptions.vectorize_mode`).
+_VECTORIZE_MODES = ("none", "classes", "candidates")
+
 
 def _validate_jobs(jobs: Union[int, str]) -> None:
     if jobs != "auto" and (not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1):
@@ -65,9 +68,13 @@ class EngineOptions:
         result parity, ``"auto"`` picks the worker count per sweep from the
         available CPUs and the candidate count (the CLI default).
     vectorize:
-        ``True`` (default) evaluates the per-query-class cost sweep as numpy
-        vectors over the class axis; ``False`` runs the scalar reference path
-        (CLI ``--no-vectorize``).  Results are bit-identical either way.
+        Vectorization mode of the cost sweep.  ``True`` (default, alias
+        ``"candidates"``) batches whole chunks of same-axis-structure
+        candidates as (candidate × class) numpy arrays; ``"classes"``
+        vectorizes one candidate's class axis at a time (the pre-candidate-axis
+        default); ``False`` (alias ``"none"``, CLI ``--no-vectorize``) runs
+        the scalar reference path.  Results are bit-identical in every mode —
+        see :attr:`vectorize_mode` for the normalized value.
     cache:
         ``True`` (default) memoizes access structures and whole candidate
         evaluations in an :class:`~repro.engine.EvaluationCache`; ``False``
@@ -88,14 +95,21 @@ class EngineOptions:
     """
 
     jobs: Union[int, str] = 1
-    vectorize: bool = True
+    vectorize: Union[bool, str] = True
     cache: bool = True
     cache_dir: Optional[str] = None
     persist: bool = True
 
     def __post_init__(self) -> None:
         _validate_jobs(self.jobs)
-        for name in ("vectorize", "cache", "persist"):
+        if not isinstance(self.vectorize, bool) and self.vectorize not in (
+            _VECTORIZE_MODES
+        ):
+            raise AdvisorError(
+                f"EngineOptions.vectorize must be a bool or one of "
+                f"{sorted(_VECTORIZE_MODES)}, got {self.vectorize!r}"
+            )
+        for name in ("cache", "persist"):
             value = getattr(self, name)
             if not isinstance(value, bool):
                 raise AdvisorError(
@@ -115,6 +129,19 @@ class EngineOptions:
             )
 
     # -- derivation -------------------------------------------------------------
+
+    @property
+    def vectorize_mode(self) -> str:
+        """The normalized vectorization mode: ``none``/``classes``/``candidates``.
+
+        The boolean aliases map ``True`` → ``"candidates"`` (the fully batched
+        default) and ``False`` → ``"none"`` (the scalar reference path).
+        """
+        if self.vectorize is True:
+            return "candidates"
+        if self.vectorize is False:
+            return "none"
+        return self.vectorize
 
     def replace(self, **changes: Any) -> "EngineOptions":
         """A copy with ``changes`` applied (re-validated)."""
@@ -154,7 +181,15 @@ class EngineOptions:
 
     def describe(self) -> str:
         """One-line summary used by logs and the CLI."""
-        parts = [f"jobs={self.jobs}", "vectorized" if self.vectorize else "scalar"]
+        mode = self.vectorize_mode
+        parts = [
+            f"jobs={self.jobs}",
+            {
+                "none": "scalar",
+                "classes": "vectorized (class axis)",
+                "candidates": "vectorized",
+            }[mode],
+        ]
         if not self.cache:
             parts.append("uncached")
         elif self.cache_dir:
@@ -216,7 +251,11 @@ def resolve_engine_options(
     if jobs is not UNSET:
         resolved = merge("jobs", f"jobs={jobs!r}", jobs=jobs)
     if vectorize is not UNSET:
-        resolved = merge("vectorize", f"vectorize={vectorize!r}", vectorize=bool(vectorize))
+        resolved = merge(
+            "vectorize",
+            f"vectorize={vectorize!r}",
+            vectorize=vectorize if isinstance(vectorize, str) else bool(vectorize),
+        )
     if cache_dir is not UNSET and cache_dir is not None:
         resolved = merge(
             "cache_dir", f"cache_dir={cache_dir!r}", cache_dir=str(cache_dir)

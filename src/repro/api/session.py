@@ -128,6 +128,9 @@ class AdvisorSession:
             options=self.options,
             cache=self.cache,
         )
+        #: (input fingerprint, result) of the last full recommend() — repeated
+        #: identical requests on an unchanged session answer O(1) from here.
+        self._recommend_memo: Optional[Tuple[str, RecommendResult]] = None
 
     # -- compiled inputs --------------------------------------------------------
 
@@ -135,8 +138,52 @@ class AdvisorSession:
         """The workload-driven bitmap scheme (designed once per session)."""
         return self.engine.bitmap_scheme()
 
+    def _exclusion_key(self) -> Tuple[str, str]:
+        """Content key of the candidate enumeration + threshold evaluation.
+
+        Covers every input the enumeration and the threshold rules read:
+        schema (hierarchies, fact volumes), fact table, system (disk count,
+        capacity, prefetch hints) and the config (bounds, dimensionality,
+        baseline inclusion).
+        """
+        from repro.engine import object_signature, stable_digest
+
+        return (
+            "exclusions",
+            stable_digest(
+                "ExclusionInputs",
+                object_signature(self.schema),
+                self.fact.name,
+                object_signature(self.system),
+                object_signature(self.config),
+            ),
+        )
+
     def generate_specs(self) -> Tuple[List[FragmentationSpec], ExclusionReport]:
-        """Enumerate point fragmentations and apply the exclusion thresholds."""
+        """Enumerate point fragmentations and apply the exclusion thresholds.
+
+        The outcome — surviving specs *and* the exclusion report with its
+        per-candidate threshold diagnostics — is cached under a content key
+        over (schema, fact, system, config) and persisted with the cache
+        store, so warm-from-disk runs reproduce the ``Recommendation``
+        diagnostics without re-enumerating or re-deriving a single threshold.
+        """
+        key = self._exclusion_key() if self.cache is not None else None
+        if key is not None:
+            payload = self.cache.get_exclusions(key)
+            if payload is not None:
+                specs = [
+                    FragmentationSpec.of(*map(tuple, pairs))
+                    for pairs in payload["specs"]
+                ]
+                report = ExclusionReport(
+                    considered=payload["considered"],
+                    excluded={
+                        label: tuple(violations)
+                        for label, violations in payload["excluded"].items()
+                    },
+                )
+                return specs, report
         report = ExclusionReport()
         surviving: List[FragmentationSpec] = []
         for spec in enumerate_point_fragmentations(
@@ -155,6 +202,21 @@ class AdvisorSession:
             raise AdvisorError(
                 "all fragmentation candidates were excluded by the thresholds; "
                 "relax min/max fragment bounds or check the system parameters"
+            )
+        if key is not None:
+            self.cache.put_exclusions(
+                key,
+                {
+                    "specs": [
+                        [[a.dimension, a.level] for a in spec.attributes]
+                        for spec in surviving
+                    ],
+                    "considered": report.considered,
+                    "excluded": {
+                        label: list(violations)
+                        for label, violations in report.excluded.items()
+                    },
+                },
             )
         return surviving, report
 
@@ -200,12 +262,66 @@ class AdvisorSession:
             f"TuneRequest, SimulateRequest"
         )
 
+    def _input_fingerprint(self) -> str:
+        """Content fingerprint of every input a ``recommend()`` reads."""
+        from repro.engine import EvaluationCache, object_signature, stable_digest
+
+        return stable_digest(
+            "RecommendInputs",
+            object_signature(self.schema),
+            self.fact.name,
+            EvaluationCache.workload_signature(self.workload),
+            object_signature(self.system),
+            object_signature(self.config),
+        )
+
     def recommend(
         self,
         on_progress: Optional[ProgressCallback] = None,
         cancel: Optional[CancelSignal] = None,
     ) -> RecommendResult:
-        """Run the full pipeline and return the ranked recommendation."""
+        """Run the full pipeline and return the ranked recommendation.
+
+        A repeated identical ``recommend()`` on an unchanged session returns
+        the previous result O(1) from a session-level input-fingerprint memo
+        — no enumeration, no sweep, not even warm cache probes.  The memo is
+        guarded by a content fingerprint of every input the pipeline reads,
+        so a (hypothetically) mutated input recomputes; a memoized answer
+        emits a single completed :class:`~repro.api.ProgressEvent` instead of
+        per-chunk events.  Disabled together with caching
+        (``options.cache=False`` keeps every run a full recomputation).
+        """
+        fingerprint = self._input_fingerprint() if self.options.cache else None
+        memo = self._recommend_memo
+        if memo is not None and memo[0] == fingerprint:
+            # The cancellation contract holds even for memoized answers: a
+            # request whose signal is already set raises, never returns.
+            from repro.api.progress import cancel_requested
+            from repro.errors import EvaluationCancelled
+
+            if cancel_requested(cancel):
+                raise EvaluationCancelled(
+                    "recommend() cancelled before returning the memoized result"
+                )
+            result = memo[1]
+            if on_progress is not None:
+                from repro.api.progress import ProgressEvent
+
+                total = len(result.recommendation.evaluated)
+                per_candidate = len(self.workload)
+                on_progress(
+                    ProgressEvent(
+                        phase="evaluate",
+                        completed=total,
+                        total=total,
+                        chunk=0,
+                        num_chunks=0,
+                        completed_units=total * per_candidate,
+                        total_units=total * per_candidate,
+                        label="memoized",
+                    )
+                )
+            return result
         specs, report = self.generate_specs()
         candidates = self.engine.evaluate_specs(
             specs, on_progress=on_progress, cancel=cancel
@@ -224,7 +340,10 @@ class AdvisorSession:
             workload=self.workload,
             system=self.system,
         )
-        return RecommendResult(recommendation)
+        result = RecommendResult(recommendation)
+        if fingerprint is not None:
+            self._recommend_memo = (fingerprint, result)
+        return result
 
     def evaluate(self, request: EvaluateSpecRequest) -> EvaluateSpecResult:
         """Fully evaluate a single fragmentation candidate."""

@@ -22,6 +22,8 @@ from repro.costmodel.access import (
     estimate_access,
 )
 from repro.costmodel.model import (
+    PROFILE_FLOAT_FIELDS,
+    EvaluationColumns,
     IOCostModel,
     QueryCost,
     WorkloadEvaluation,
@@ -30,11 +32,17 @@ from repro.costmodel.model import (
 )
 from repro.costmodel.batch import (
     AccessProfileBatch,
+    AccessProfileBatch2D,
     AccessStructureBatch,
+    AccessStructureBatch2D,
     compute_access_structure_batch,
+    compute_access_structure_batch_candidates,
     estimate_access_batch,
+    estimate_access_batch_candidates,
     evaluate_workload_batch,
+    evaluate_workload_batch_candidates,
     resolve_prefetch_setting_batch,
+    resolve_prefetch_settings_batch_candidates,
 )
 
 __all__ = [
@@ -47,11 +55,19 @@ __all__ = [
     "compute_access_structure",
     "estimate_access",
     "AccessProfileBatch",
+    "AccessProfileBatch2D",
     "AccessStructureBatch",
+    "AccessStructureBatch2D",
     "compute_access_structure_batch",
+    "compute_access_structure_batch_candidates",
     "estimate_access_batch",
+    "estimate_access_batch_candidates",
     "evaluate_workload_batch",
+    "evaluate_workload_batch_candidates",
     "resolve_prefetch_setting_batch",
+    "resolve_prefetch_settings_batch_candidates",
+    "EvaluationColumns",
+    "PROFILE_FLOAT_FIELDS",
     "IOCostModel",
     "QueryCost",
     "WorkloadEvaluation",

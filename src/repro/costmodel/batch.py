@@ -1,32 +1,55 @@
-"""Batched class-axis cost estimation: one candidate, all query classes at once.
+"""Batched cost estimation over the class axis and the candidate axis.
 
 The scalar path (:mod:`repro.costmodel.access` / :mod:`repro.costmodel.model`)
 evaluates one (candidate, query class) pair per call; the advisor's sweep
 therefore pays ~``num_classes`` Python passes per candidate.  This module
-computes the same quantities as numpy vectors over the *class axis*: a
-:class:`~repro.workload.ClassMatrix` supplies the workload in columnar form,
-:func:`compute_access_structure_batch` derives every class's
-prefetch-independent access structure in one shot, and
-:func:`estimate_access_batch` / :func:`evaluate_workload_batch` apply the
-prefetch setting and the I/O cost model vectorized.
+removes those passes in two stages:
 
-**Bit-parity contract.** The batched path is the *same model*, not an
+* **Class axis** — a :class:`~repro.workload.ClassMatrix` supplies the
+  workload in columnar form, :func:`compute_access_structure_batch` derives
+  every class's prefetch-independent access structure in one shot, and
+  :func:`estimate_access_batch` / :func:`evaluate_workload_batch` apply the
+  prefetch setting and the I/O cost model vectorized over all classes of one
+  candidate.
+
+* **Candidate axis** — a whole chunk of layouts sharing one *axis structure*
+  (:attr:`~repro.fragmentation.FragmentationSpec.axis_structure` — the
+  ordered fragmentation dimensions, within which all per-class control flow
+  is uniform) stacks into (candidate × class) planes:
+  :func:`compute_access_structure_batch_candidates` derives every stacked
+  candidate's structures in one pass, and — because prefetch resolution and
+  the cost model are purely elementwise per candidate —
+  :func:`resolve_prefetch_settings_batch_candidates` /
+  :func:`evaluate_workload_batch_candidates` then run over arbitrary
+  concatenations of such stacks (:meth:`AccessStructureBatch2D.concat`), so
+  the executor fuses a whole sweep chunk into one kernel pass.  This is what
+  makes narrow mixes pay off: the class-axis win shrinks to ~1.05x at 8
+  classes, while the candidate-axis batch clears 2x there (E11 part 5).
+
+Evaluations come out **columnar** (:class:`~repro.costmodel.EvaluationColumns`
+inside :class:`~repro.costmodel.WorkloadEvaluation`): per-class records are
+lazy views, so the sweep materializes no per-class Python objects at all.
+
+**Bit-parity contract.** The batched paths are the *same model*, not an
 approximation: every vector expression performs the identical IEEE-754 double
 operations in the identical order as its scalar counterpart (down to routing
 ``pow`` through CPython floats, see
 :func:`repro.costmodel.formulas._elementwise_pow`, and accumulating ragged
-per-index sums with ``np.add.at`` in scalar iteration order).  The scalar path
-stays as the reference implementation; ``tests/test_vector_parity.py`` sweeps
-random layouts, bitmap schemes and prefetch settings and asserts
-field-by-field equality of :class:`~repro.costmodel.QueryAccessProfile` and
-:class:`~repro.costmodel.QueryCost` between the two.
+per-index sums with ``np.add.at`` in scalar iteration order; stacked flat
+rows stay candidate-major so each candidate's slice replays the class-axis
+order).  The scalar path stays as the reference implementation;
+``tests/test_vector_parity.py`` sweeps random layouts, bitmap schemes and
+prefetch settings and asserts field-by-field equality of
+:class:`~repro.costmodel.QueryAccessProfile` and
+:class:`~repro.costmodel.QueryCost` across all three paths, per class and per
+stacked candidate slice.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,7 +64,8 @@ from repro.costmodel.access import (
 )
 from repro.costmodel.formulas import cardenas_pages, expected_distinct_ancestors
 from repro.costmodel.model import (
-    QueryCost,
+    NUM_METRIC_FIELDS,
+    EvaluationColumns,
     WorkloadEvaluation,
     _positioning_page_equivalent,
     prefetch_setting_from_runs,
@@ -49,28 +73,18 @@ from repro.costmodel.model import (
 
 __all__ = [
     "AccessStructureBatch",
+    "AccessStructureBatch2D",
     "AccessProfileBatch",
+    "AccessProfileBatch2D",
     "compute_access_structure_batch",
+    "compute_access_structure_batch_candidates",
     "estimate_access_batch",
+    "estimate_access_batch_candidates",
     "resolve_prefetch_setting_batch",
+    "resolve_prefetch_settings_batch_candidates",
     "evaluate_workload_batch",
+    "evaluate_workload_batch_candidates",
 ]
-
-
-def _materialize(cls, state: dict):
-    """Construct a frozen dataclass instance directly from its field dict.
-
-    The batched path materializes ``num_candidates × num_classes`` frozen
-    profile/cost records per sweep; the generated ``__init__`` of a frozen
-    dataclass pays one ``object.__setattr__`` per field, which dominates the
-    materialization.  Neither :class:`QueryAccessProfile` nor
-    :class:`QueryCost` has a ``__post_init__``, so seeding the instance
-    ``__dict__`` is equivalent — equality, repr and pickling all read the
-    same storage.
-    """
-    instance = object.__new__(cls)
-    instance.__dict__.update(state)
-    return instance
 
 
 @dataclass(frozen=True)
@@ -681,87 +695,887 @@ def evaluate_workload_batch(
         + system.effective_coordination_overhead_ms * disks_f
     )
 
-    # Materialize the per-class records in bulk: one ``tolist`` per column
-    # yields exact Python scalars, and the records are seeded directly (see
-    # :func:`_materialize`).
+    # Assemble the columnar evaluation: the metric block is exactly the
+    # already-computed vectors, so no per-class Python objects are built here
+    # — records materialize lazily from :class:`EvaluationColumns` on demand.
     structures = profiles.structures
-    fragments_total = structures.fragments_total
-    columns = list(
-        zip(
-            matrix.query_names,
-            structures.fragments_accessed.tolist(),
-            structures.rows_in_accessed_fragments.tolist(),
-            structures.qualifying_rows.tolist(),
-            structures.fact_pages_per_fragment.tolist(),
-            profiles.fact_pages_accessed.tolist(),
-            profiles.bitmap_pages_accessed.tolist(),
-            profiles.fact_io_requests.tolist(),
-            profiles.bitmap_io_requests.tolist(),
-            profiles.fact_pages_transferred.tolist(),
-            profiles.sequential_fact_access.tolist(),
-            structures.forced_full_scan.tolist(),
-            profiles.use_bitmap_plan.tolist(),
-            matrix.shares,
-            io_cost.tolist(),
-            response.tolist(),
-            disks_used.tolist(),
-        )
+    metrics = np.empty((structures.num_classes, NUM_METRIC_FIELDS), dtype=np.float64)
+    metrics[:, 0] = structures.fragments_accessed
+    metrics[:, 1] = structures.rows_in_accessed_fragments
+    metrics[:, 2] = structures.qualifying_rows
+    metrics[:, 3] = structures.fact_pages_per_fragment
+    metrics[:, 4] = profiles.fact_pages_accessed
+    metrics[:, 5] = profiles.bitmap_pages_accessed
+    metrics[:, 6] = profiles.fact_io_requests
+    metrics[:, 7] = profiles.bitmap_io_requests
+    metrics[:, 8] = profiles.fact_pages_transferred
+    metrics[:, 9] = profiles.bitmap_pages_accessed  # transferred == accessed
+    metrics[:, -2] = io_cost
+    metrics[:, -1] = response
+    attributes_used = [()] * structures.num_classes
+    for i in np.nonzero(profiles.use_bitmap_plan)[0].tolist():
+        attributes_used[i] = structures.attributes_for(i)
+    columns = EvaluationColumns(
+        query_names=matrix.query_names,
+        weights=matrix.shares,
+        fragments_total=structures.fragments_total,
+        metrics=metrics,
+        disks_used=disks_used,
+        sequential=profiles.sequential_fact_access,
+        forced=structures.forced_full_scan,
+        attributes_used=tuple(attributes_used),
     )
-    per_class = []
-    for i, (
-        query_name,
-        fragments_accessed,
-        rows_in_accessed,
-        qualifying,
-        fact_pages_per_fragment,
-        fact_pages_accessed,
-        bitmap_pages,
-        fact_requests,
-        bitmap_requests,
-        fact_transferred,
-        sequential,
-        forced,
-        use_bitmap_plan,
-        share,
-        io_value,
-        response_value,
-        disks_value,
-    ) in enumerate(columns):
-        profile = _materialize(
-            QueryAccessProfile,
-            {
-                "query_name": query_name,
-                "fragments_accessed": fragments_accessed,
-                "fragments_total": fragments_total,
-                "rows_in_accessed_fragments": rows_in_accessed,
-                "qualifying_rows": qualifying,
-                "fact_pages_per_fragment": fact_pages_per_fragment,
-                "fact_pages_accessed": fact_pages_accessed,
-                "bitmap_pages_accessed": bitmap_pages,
-                "fact_io_requests": fact_requests,
-                "bitmap_io_requests": bitmap_requests,
-                "fact_pages_transferred": fact_transferred,
-                "bitmap_pages_transferred": bitmap_pages,
-                "sequential_fact_access": sequential,
-                "forced_full_scan": forced,
-                "bitmap_attributes_used": (
-                    structures.attributes_for(i) if use_bitmap_plan else ()
-                ),
-            },
+    return WorkloadEvaluation(layout=layout, prefetch=prefetch, columns=columns)
+
+
+# ---------------------------------------------------------------------------
+# Candidate-axis batching: a whole chunk of layouts as (candidate × class)
+# ---------------------------------------------------------------------------
+#
+# The class-axis kernels above still run one Python pass per candidate; for
+# small class counts the per-candidate numpy dispatch overhead eats most of
+# the vector win.  The kernels below stack every layout of a chunk that shares
+# one *axis structure* (the ordered tuple of fragmentation dimensions — see
+# :attr:`repro.fragmentation.FragmentationSpec.axis_structure`) and evaluate
+# the whole stack as 2-D (candidate × class) arrays.  Within one axis
+# structure all per-class control flow (restricted dimensions, coarse/fine
+# masks, slot residuals) is expressible as masked vector arithmetic, so every
+# operation is the same elementwise IEEE-754 double operation the class-axis
+# (and therefore the scalar) path performs — slicing a candidate out of the
+# stack is bit-identical to evaluating it alone, which the parity suite
+# asserts.
+
+
+@dataclass(frozen=True)
+class _ResidualGroup2D:
+    """One residual-restriction source over the (candidate × class) grid.
+
+    ``candidates is None`` marks a slot group (non-fragmentation dimension):
+    the restriction applies identically to *every* stacked candidate, and the
+    flat per-class data broadcasts over the candidate axis.  Axis groups carry
+    explicit flat ``(candidate, class)`` coordinates because the coarse/fine
+    split depends on each candidate's fragmentation level.
+    """
+
+    #: Flat candidate coordinates (axis groups) or ``None`` (slot groups).
+    candidates: Optional[np.ndarray]
+    #: Class coordinates (flat for axis groups, unique columns for slots).
+    columns: np.ndarray
+    fractions: np.ndarray
+    has_bitmap: np.ndarray
+    bits_read: np.ndarray
+    attributes: Tuple[Tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class AccessStructureBatch2D:
+    """Access structures of all classes on a *stack* of same-axis layouts.
+
+    The candidate-axis twin of :class:`AccessStructureBatch`: every per-class
+    vector grows a leading candidate axis, and the flat residual-index rows
+    gain a candidate coordinate (sorted candidate-major, then class, then
+    per-class residual order).  :meth:`candidate` slices one layout's
+    class-axis batch back out — bit-identical to
+    :func:`compute_access_structure_batch` on that layout alone.
+    """
+
+    query_names: Tuple[str, ...]
+    #: (candidates,) int64 — fragments of each stacked layout.
+    fragments_total: np.ndarray
+    #: (candidates × classes) float64 / bool metric planes.
+    fragments_accessed: np.ndarray
+    rows_in_accessed_fragments: np.ndarray
+    qualifying_rows: np.ndarray
+    rows_per_fragment: np.ndarray
+    fact_pages_per_fragment: np.ndarray
+    forced_full_scan: np.ndarray
+    has_residuals: np.ndarray
+    bitmap_touched_per_fragment: np.ndarray
+    bitmap_density: np.ndarray
+    #: Flat residual-index rows (candidate-major, class-sorted, stable).
+    index_candidate: np.ndarray
+    index_class: np.ndarray
+    index_pages: np.ndarray
+    index_attributes: Tuple[Tuple[str, str], ...]
+    bitmap_pages_per_fragment: np.ndarray
+    bitmap_index_counts: np.ndarray
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of stacked candidates."""
+        return len(self.fragments_total)
+
+    @property
+    def num_classes(self) -> int:
+        """Number of query classes in the batch."""
+        return len(self.query_names)
+
+    @cached_property
+    def bitmap_plan_available(self) -> np.ndarray:
+        """Per (candidate, class): residual filtering can run off bitmaps."""
+        return (
+            self.has_residuals
+            & ~self.forced_full_scan
+            & (self.bitmap_index_counts > 0)
         )
-        per_class.append(
-            _materialize(
-                QueryCost,
-                {
-                    "query_name": query_name,
-                    "weight": share,
-                    "profile": profile,
-                    "io_cost_ms": io_value,
-                    "response_time_ms": response_value,
-                    "disks_used": disks_value,
-                },
+
+    @cached_property
+    def _flat_keys(self) -> np.ndarray:
+        """Combined (candidate, class) sort keys of the flat index rows."""
+        return self.index_candidate * self.num_classes + self.index_class
+
+    def _index_slice(self, candidate: int) -> slice:
+        lo, hi = np.searchsorted(self.index_candidate, [candidate, candidate + 1])
+        return slice(int(lo), int(hi))
+
+    def attributes_for(self, candidate: int, class_index: int) -> Tuple[Tuple[str, str], ...]:
+        """``bitmap_attributes_available`` of one (candidate, class) pair."""
+        key = candidate * self.num_classes + class_index
+        lo, hi = np.searchsorted(self._flat_keys, [key, key + 1])
+        return tuple(self.index_attributes[int(lo):int(hi)])
+
+    def candidate(self, k: int) -> AccessStructureBatch:
+        """Slice one stacked layout back into its class-axis batch."""
+        rows = self._index_slice(k)
+        return AccessStructureBatch(
+            query_names=self.query_names,
+            fragments_total=int(self.fragments_total[k]),
+            fragments_accessed=self.fragments_accessed[k].copy(),
+            rows_in_accessed_fragments=self.rows_in_accessed_fragments[k].copy(),
+            qualifying_rows=self.qualifying_rows[k].copy(),
+            rows_per_fragment=self.rows_per_fragment[k].copy(),
+            fact_pages_per_fragment=self.fact_pages_per_fragment[k].copy(),
+            forced_full_scan=self.forced_full_scan[k].copy(),
+            has_residuals=self.has_residuals[k].copy(),
+            bitmap_touched_per_fragment=self.bitmap_touched_per_fragment[k].copy(),
+            bitmap_density=self.bitmap_density[k].copy(),
+            index_class=self.index_class[rows].copy(),
+            index_pages=self.index_pages[rows].copy(),
+            index_attributes=self.index_attributes[rows],
+            bitmap_pages_per_fragment=self.bitmap_pages_per_fragment[k].copy(),
+            bitmap_index_counts=self.bitmap_index_counts[k].copy(),
+        )
+
+    @classmethod
+    def concat(
+        cls, batches: Sequence["AccessStructureBatch2D"]
+    ) -> "AccessStructureBatch2D":
+        """Concatenate candidate-axis batches along the candidate axis.
+
+        Everything downstream of structure derivation (prefetch resolution,
+        the cost model) is elementwise per candidate, so batches of
+        *different* axis structures concatenate freely — this is how the
+        executor fuses a whole chunk's groups into one kernel pass.  The flat
+        index rows stay candidate-major because each input batch's candidate
+        numbers are offset by the candidates before it.
+        """
+        if not batches:
+            raise CostModelError("cannot concatenate an empty batch list")
+        if len(batches) == 1:
+            return batches[0]
+        index_candidate_parts = []
+        offset = 0
+        for batch in batches:
+            index_candidate_parts.append(batch.index_candidate + offset)
+            offset += batch.num_candidates
+        index_attributes: List[Tuple[str, str]] = []
+        for batch in batches:
+            index_attributes.extend(batch.index_attributes)
+        return cls(
+            query_names=batches[0].query_names,
+            fragments_total=np.concatenate([b.fragments_total for b in batches]),
+            fragments_accessed=np.concatenate(
+                [b.fragments_accessed for b in batches]
+            ),
+            rows_in_accessed_fragments=np.concatenate(
+                [b.rows_in_accessed_fragments for b in batches]
+            ),
+            qualifying_rows=np.concatenate([b.qualifying_rows for b in batches]),
+            rows_per_fragment=np.concatenate([b.rows_per_fragment for b in batches]),
+            fact_pages_per_fragment=np.concatenate(
+                [b.fact_pages_per_fragment for b in batches]
+            ),
+            forced_full_scan=np.concatenate([b.forced_full_scan for b in batches]),
+            has_residuals=np.concatenate([b.has_residuals for b in batches]),
+            bitmap_touched_per_fragment=np.concatenate(
+                [b.bitmap_touched_per_fragment for b in batches]
+            ),
+            bitmap_density=np.concatenate([b.bitmap_density for b in batches]),
+            index_candidate=np.concatenate(index_candidate_parts),
+            index_class=np.concatenate([b.index_class for b in batches]),
+            index_pages=np.concatenate([b.index_pages for b in batches]),
+            index_attributes=tuple(index_attributes),
+            bitmap_pages_per_fragment=np.concatenate(
+                [b.bitmap_pages_per_fragment for b in batches]
+            ),
+            bitmap_index_counts=np.concatenate(
+                [b.bitmap_index_counts for b in batches]
+            ),
+        )
+
+    @classmethod
+    def stack(cls, batches: Sequence[AccessStructureBatch]) -> "AccessStructureBatch2D":
+        """Stack per-layout class-axis batches into one candidate-axis batch.
+
+        The inverse of :meth:`candidate`, used to mix cache-warm structures
+        with freshly computed ones before the shared downstream kernels; the
+        per-layout flat index rows are already class-sorted, so concatenating
+        them candidate-major preserves the sorted flat order the 2-D kernels
+        rely on.
+        """
+        if not batches:
+            raise CostModelError("cannot stack an empty structure-batch list")
+        index_candidate_parts = []
+        index_attributes: List[Tuple[str, str]] = []
+        for k, batch in enumerate(batches):
+            index_candidate_parts.append(
+                np.full(len(batch.index_class), k, dtype=np.int64)
+            )
+            index_attributes.extend(batch.index_attributes)
+        return cls(
+            query_names=batches[0].query_names,
+            fragments_total=np.array(
+                [batch.fragments_total for batch in batches], dtype=np.int64
+            ),
+            fragments_accessed=np.stack([b.fragments_accessed for b in batches]),
+            rows_in_accessed_fragments=np.stack(
+                [b.rows_in_accessed_fragments for b in batches]
+            ),
+            qualifying_rows=np.stack([b.qualifying_rows for b in batches]),
+            rows_per_fragment=np.stack([b.rows_per_fragment for b in batches]),
+            fact_pages_per_fragment=np.stack(
+                [b.fact_pages_per_fragment for b in batches]
+            ),
+            forced_full_scan=np.stack([b.forced_full_scan for b in batches]),
+            has_residuals=np.stack([b.has_residuals for b in batches]),
+            bitmap_touched_per_fragment=np.stack(
+                [b.bitmap_touched_per_fragment for b in batches]
+            ),
+            bitmap_density=np.stack([b.bitmap_density for b in batches]),
+            index_candidate=(
+                np.concatenate(index_candidate_parts)
+                if index_candidate_parts
+                else np.empty(0, dtype=np.int64)
+            ),
+            index_class=np.concatenate([b.index_class for b in batches]),
+            index_pages=np.concatenate([b.index_pages for b in batches]),
+            index_attributes=tuple(index_attributes),
+            bitmap_pages_per_fragment=np.stack(
+                [b.bitmap_pages_per_fragment for b in batches]
+            ),
+            bitmap_index_counts=np.stack([b.bitmap_index_counts for b in batches]),
+        )
+
+
+def _require_shared_axis_structure(layouts: Sequence[FragmentationLayout]) -> None:
+    if not layouts:
+        raise CostModelError("candidate-axis batching needs at least one layout")
+    structure = layouts[0].spec.axis_structure
+    for layout in layouts[1:]:
+        if layout.spec.axis_structure != structure:
+            raise CostModelError(
+                f"candidate-axis batching requires one axis structure per "
+                f"stack: {layout.spec.label} does not match {structure!r}"
+            )
+
+
+def _axis_groups_candidates(
+    layouts: Sequence[FragmentationLayout],
+    matrix: ClassMatrix,
+) -> Tuple[np.ndarray, np.ndarray, List[_ResidualGroup2D]]:
+    """Fragment confinement along every axis, for the whole layout stack.
+
+    The candidate-axis twin of :func:`_axis_groups`: per-candidate attribute
+    levels become per-candidate columns, the coarse/fine split becomes a 2-D
+    mask, and every arithmetic step stays the elementwise operation of the
+    class-axis path.
+    """
+    num_candidates = len(layouts)
+    num_classes = matrix.num_classes
+    spec0 = layouts[0].spec
+    schema = layouts[0].schema
+    fragments_accessed = np.ones((num_candidates, num_classes), dtype=np.float64)
+    fragment_row_fraction = np.ones((num_candidates, num_classes), dtype=np.float64)
+    groups: List[_ResidualGroup2D] = []
+
+    for axis_index in range(spec0.dimensionality):
+        dimension_name = spec0.attributes[axis_index].dimension
+        # Per-candidate axis cardinalities as an exact float64 column (the
+        # integer cardinalities are far below 2**53, so the conversion — and
+        # therefore every division against them — matches the scalar path).
+        cards = np.array(
+            [float(layout.axis_cardinalities[axis_index]) for layout in layouts],
+            dtype=np.float64,
+        )[:, None]
+        if dimension_name not in matrix.dimension_names:
+            # No class restricts this dimension (identical for the whole
+            # stack, since the axis structure is shared): factor of exactly
+            # 1.0 on the row fraction, as in the unrestricted scalar branch.
+            fragments_accessed = fragments_accessed * cards
+            fragment_row_fraction = fragment_row_fraction * (cards / cards)
+            continue
+
+        row = matrix.dimension_row(dimension_name)
+        restricted = matrix.restricted[row]
+        value_count = matrix.value_counts[row]
+        query_cardinality = matrix.level_cardinalities[row]
+        depth = matrix.level_depths[row]
+        dimension = schema.dimension(dimension_name)
+        attribute_depths = np.array(
+            [
+                dimension.level_index(layout.spec.attributes[axis_index].level)
+                for layout in layouts
+            ],
+            dtype=np.int64,
+        )[:, None]
+
+        accessed = np.broadcast_to(cards, (num_candidates, num_classes)).copy()
+
+        # Restriction at or above the fragmentation level: whole fragments.
+        coarse = restricted[None, :] & (depth[None, :] <= attribute_depths)
+        if coarse.any():
+            with np.errstate(divide="ignore", invalid="ignore"):
+                fanout = cards / query_cardinality[None, :]
+                coarse_accessed = np.minimum(
+                    cards, np.maximum(1.0, value_count[None, :] * fanout)
+                )
+            accessed = np.where(coarse, coarse_accessed, accessed)
+
+        # Restriction below the fragmentation level: residual filtering.
+        fine = restricted[None, :] & (depth[None, :] > attribute_depths)
+        cand_idx, class_idx = np.nonzero(fine)
+        if cand_idx.size:
+            cards_flat = cards[:, 0][cand_idx]
+            fine_accessed = expected_distinct_ancestors(
+                selected_values=value_count[class_idx],
+                fine_cardinality=query_cardinality[class_idx],
+                coarse_cardinality=cards_flat,
+            )
+            fine_accessed = np.minimum(cards_flat, np.maximum(1.0, fine_accessed))
+            accessed[cand_idx, class_idx] = fine_accessed
+            selected_fraction = value_count[class_idx] / query_cardinality[class_idx]
+            accessed_fraction = fine_accessed / cards_flat
+            residual = np.minimum(1.0, selected_fraction / accessed_fraction)
+            level_names = matrix.level_names[row]
+            groups.append(
+                _ResidualGroup2D(
+                    candidates=cand_idx,
+                    columns=class_idx,
+                    fractions=residual,
+                    has_bitmap=matrix.has_bitmap[row][class_idx],
+                    bits_read=matrix.bitmap_bits_read[row][class_idx],
+                    attributes=tuple(
+                        (dimension_name, level_names[column])
+                        for column in class_idx.tolist()
+                    ),
+                )
+            )
+
+        fragments_accessed = fragments_accessed * accessed
+        fragment_row_fraction = fragment_row_fraction * (accessed / cards)
+
+    return fragments_accessed, fragment_row_fraction, groups
+
+
+def _slot_groups_candidates(
+    spec_dimensions: Tuple[str, ...], matrix: ClassMatrix
+) -> List[_ResidualGroup2D]:
+    """Residual restrictions on non-fragmentation dimensions, slot by slot.
+
+    Identical for every candidate of the stack (slot membership depends only
+    on the shared axis structure), so the groups broadcast over the candidate
+    axis (``candidates=None``).
+    """
+    row_in_spec = np.zeros(matrix.num_dimensions + 1, dtype=bool)
+    for dimension in spec_dimensions:
+        if dimension in matrix.dimension_names:
+            row_in_spec[matrix.dimension_names.index(dimension)] = True
+    groups: List[_ResidualGroup2D] = []
+    for slot in range(matrix.slot_dimensions.shape[1]):
+        dimension_rows = matrix.slot_dimensions[:, slot]
+        mask = (dimension_rows >= 0) & ~row_in_spec[dimension_rows]
+        columns = np.nonzero(mask)[0]
+        if not columns.size:
+            continue
+        rows = dimension_rows[columns]
+        groups.append(
+            _ResidualGroup2D(
+                candidates=None,
+                columns=columns,
+                fractions=matrix.restriction_selectivities[rows, columns],
+                has_bitmap=matrix.has_bitmap[rows, columns],
+                bits_read=matrix.bitmap_bits_read[rows, columns],
+                attributes=tuple(
+                    (
+                        matrix.dimension_names[row],
+                        matrix.level_names[row][column],
+                    )
+                    for row, column in zip(rows.tolist(), columns.tolist())
+                ),
             )
         )
-    return WorkloadEvaluation(
-        layout=layout, prefetch=prefetch, per_class=tuple(per_class)
+    return groups
+
+
+def compute_access_structure_batch_candidates(
+    layouts: Sequence[FragmentationLayout], matrix: ClassMatrix
+) -> AccessStructureBatch2D:
+    """Derive the access structures of a whole layout stack in one pass.
+
+    The candidate-axis twin of :func:`compute_access_structure_batch`: every
+    layout must share one axis structure (ordered fragmentation dimensions);
+    all per-class quantities are computed as (candidate × class) planes with
+    the identical elementwise operations, so :meth:`AccessStructureBatch2D.candidate`
+    slices out batches bit-identical to the per-layout computation.
+    """
+    _require_shared_axis_structure(layouts)
+    num_candidates = len(layouts)
+    num_classes = matrix.num_classes
+    page_size = layouts[0].page_size_bytes
+    rows_per_page = layouts[0].rows_per_page
+    row_count = layouts[0].fact.row_count
+
+    fragments_accessed, fragment_row_fraction, groups = _axis_groups_candidates(
+        layouts, matrix
     )
+    groups.extend(_slot_groups_candidates(layouts[0].spec.dimensions, matrix))
+
+    rows_in_accessed = row_count * fragment_row_fraction
+    qualifying_rows = row_count * np.asarray(matrix.selectivities, dtype=np.float64)[None, :]
+    qualifying_rows = np.minimum(qualifying_rows, rows_in_accessed)
+
+    non_positive = fragments_accessed <= 0
+    if non_positive.any():
+        failing_candidate, failing_class = (
+            int(coords[0]) for coords in np.nonzero(non_positive)
+        )
+        raise CostModelError(
+            f"query {matrix.query_names[failing_class]!r} accesses no fragments "
+            f"on {layouts[failing_candidate].spec.label}"
+        )
+
+    rows_per_fragment = rows_in_accessed / fragments_accessed
+    with np.errstate(invalid="ignore"):
+        fact_pages_per_fragment = np.where(
+            rows_per_fragment > 0,
+            np.maximum(1.0, np.ceil(rows_per_fragment / rows_per_page)),
+            0.0,
+        )
+
+    # --- residual filtering: bitmap extents and selectivity, group order ---------
+    residual_selectivity = np.ones((num_candidates, num_classes), dtype=np.float64)
+    forced_full_scan = np.zeros((num_candidates, num_classes), dtype=bool)
+    has_residuals = np.zeros((num_candidates, num_classes), dtype=bool)
+    index_cand_parts: List[np.ndarray] = []
+    index_class_parts: List[np.ndarray] = []
+    index_pages_parts: List[np.ndarray] = []
+    index_attributes: List[Tuple[str, str]] = []
+    for group in groups:
+        if group.candidates is None:
+            # Slot group: one per-class row broadcast over every candidate.
+            columns = group.columns
+            has_residuals[:, columns] = True
+            residual_selectivity[:, columns] *= np.minimum(1.0, group.fractions)[
+                None, :
+            ]
+            no_index = ~group.has_bitmap
+            forced_full_scan[:, columns[no_index]] = True
+            indexed = np.nonzero(group.has_bitmap)[0]
+            if not indexed.size:
+                continue
+            indexed_columns = columns[indexed]
+            block = rows_per_fragment[:, indexed_columns]
+            pages = np.where(
+                block > 0,
+                np.maximum(
+                    1.0,
+                    np.ceil(group.bits_read[indexed][None, :] * block / 8.0 / page_size),
+                ),
+                0.0,
+            )
+            index_cand_parts.append(
+                np.repeat(np.arange(num_candidates, dtype=np.int64), indexed.size)
+            )
+            index_class_parts.append(np.tile(indexed_columns, num_candidates))
+            index_pages_parts.append(pages.reshape(-1))
+            group_attributes = [group.attributes[i] for i in indexed.tolist()]
+            index_attributes.extend(group_attributes * num_candidates)
+        else:
+            # Axis group: explicit flat (candidate, class) coordinates.
+            cand, cols = group.candidates, group.columns
+            has_residuals[cand, cols] = True
+            residual_selectivity[cand, cols] *= np.minimum(1.0, group.fractions)
+            no_index = ~group.has_bitmap
+            forced_full_scan[cand[no_index], cols[no_index]] = True
+            indexed = np.nonzero(group.has_bitmap)[0]
+            if not indexed.size:
+                continue
+            flat_rows = rows_per_fragment[cand[indexed], cols[indexed]]
+            pages = np.where(
+                flat_rows > 0,
+                np.maximum(
+                    1.0,
+                    np.ceil(group.bits_read[indexed] * flat_rows / 8.0 / page_size),
+                ),
+                0.0,
+            )
+            index_cand_parts.append(cand[indexed])
+            index_class_parts.append(cols[indexed])
+            index_pages_parts.append(pages)
+            index_attributes.extend(group.attributes[i] for i in indexed.tolist())
+
+    if index_cand_parts:
+        # Sort the flat rows candidate-major, class within, stably — exactly
+        # the class-axis sort applied per candidate, so each slice replays the
+        # scalar accumulation order.
+        index_candidate = np.concatenate(index_cand_parts)
+        index_class = np.concatenate(index_class_parts)
+        index_pages = np.concatenate(index_pages_parts)
+        order = np.argsort(
+            index_candidate * num_classes + index_class, kind="stable"
+        )
+        index_candidate = index_candidate[order]
+        index_class = index_class[order]
+        index_pages = index_pages[order]
+        index_attributes = [index_attributes[i] for i in order.tolist()]
+    else:
+        index_candidate = np.empty(0, dtype=np.int64)
+        index_class = np.empty(0, dtype=np.int64)
+        index_pages = np.empty(0, dtype=np.float64)
+
+    bitmap_pages_per_fragment = np.zeros(
+        (num_candidates, num_classes), dtype=np.float64
+    )
+    np.add.at(bitmap_pages_per_fragment, (index_candidate, index_class), index_pages)
+    bitmap_index_counts = np.bincount(
+        index_candidate * num_classes + index_class,
+        minlength=num_candidates * num_classes,
+    ).reshape(num_candidates, num_classes).astype(np.int64)
+
+    # --- fact pages a bitmap-driven plan would touch (Cardenas) ------------------
+    qualifying_per_fragment = rows_per_fragment * residual_selectivity
+    touched_per_fragment = cardenas_pages(
+        total_rows=rows_per_fragment,
+        total_pages=fact_pages_per_fragment,
+        selected_rows=qualifying_per_fragment,
+    )
+    touched_per_fragment = np.minimum(
+        fact_pages_per_fragment, np.maximum(0.0, touched_per_fragment)
+    )
+    with np.errstate(invalid="ignore"):
+        density = np.where(
+            fact_pages_per_fragment > 0,
+            touched_per_fragment / fact_pages_per_fragment,
+            0.0,
+        )
+
+    return AccessStructureBatch2D(
+        query_names=matrix.query_names,
+        fragments_total=np.array(
+            [layout.fragment_count for layout in layouts], dtype=np.int64
+        ),
+        fragments_accessed=fragments_accessed,
+        rows_in_accessed_fragments=rows_in_accessed,
+        qualifying_rows=qualifying_rows,
+        rows_per_fragment=rows_per_fragment,
+        fact_pages_per_fragment=fact_pages_per_fragment,
+        forced_full_scan=forced_full_scan,
+        has_residuals=has_residuals,
+        bitmap_touched_per_fragment=touched_per_fragment,
+        bitmap_density=density,
+        index_candidate=index_candidate,
+        index_class=index_class,
+        index_pages=index_pages,
+        index_attributes=tuple(index_attributes),
+        bitmap_pages_per_fragment=bitmap_pages_per_fragment,
+        bitmap_index_counts=bitmap_index_counts,
+    )
+
+
+@dataclass(frozen=True)
+class AccessProfileBatch2D:
+    """Access profiles of a layout stack under per-candidate prefetch settings.
+
+    The candidate-axis twin of :class:`AccessProfileBatch`; every plane is
+    (candidate × class).  :meth:`candidate` materializes one layout's
+    class-axis profile batch for the parity harness.
+    """
+
+    structures: AccessStructureBatch2D
+    fact_pages_accessed: np.ndarray
+    bitmap_pages_accessed: np.ndarray
+    fact_io_requests: np.ndarray
+    bitmap_io_requests: np.ndarray
+    fact_pages_transferred: np.ndarray
+    sequential_fact_access: np.ndarray
+    use_bitmap_plan: np.ndarray
+
+    def candidate(self, k: int) -> AccessProfileBatch:
+        """Slice one stacked layout back into its class-axis profile batch."""
+        return AccessProfileBatch(
+            structures=self.structures.candidate(k),
+            fact_pages_accessed=self.fact_pages_accessed[k].copy(),
+            bitmap_pages_accessed=self.bitmap_pages_accessed[k].copy(),
+            fact_io_requests=self.fact_io_requests[k].copy(),
+            bitmap_io_requests=self.bitmap_io_requests[k].copy(),
+            fact_pages_transferred=self.fact_pages_transferred[k].copy(),
+            sequential_fact_access=self.sequential_fact_access[k].copy(),
+            use_bitmap_plan=self.use_bitmap_plan[k].copy(),
+        )
+
+
+def estimate_access_batch_candidates(
+    structures: AccessStructureBatch2D,
+    fact_granules: np.ndarray,
+    bitmap_granules: np.ndarray,
+    positioning_page_equivalent: float,
+) -> AccessProfileBatch2D:
+    """Apply per-candidate prefetch granules to a structure stack at once.
+
+    The candidate-axis twin of :func:`estimate_access_batch`: ``fact_granules``
+    and ``bitmap_granules`` are (candidates,) float64 vectors holding each
+    candidate's (integer-valued) granules — integer-to-double conversion is
+    exact, so the per-element divisions match the class-axis path bitwise.
+    """
+    fragments_accessed = structures.fragments_accessed
+    fact_pages_per_fragment = structures.fact_pages_per_fragment
+    num_candidates, num_classes = fragments_accessed.shape
+
+    # --- bitmap request counts under the configured granules ---------------------
+    granules_flat = bitmap_granules[structures.index_candidate]
+    index_requests = np.where(
+        structures.index_pages > 0,
+        np.ceil(structures.index_pages / granules_flat),
+        0.0,
+    )
+    bitmap_requests_per_fragment = np.zeros(
+        (num_candidates, num_classes), dtype=np.float64
+    )
+    np.add.at(
+        bitmap_requests_per_fragment,
+        (structures.index_candidate, structures.index_class),
+        index_requests,
+    )
+    bitmap_pages_per_fragment = structures.bitmap_pages_per_fragment
+
+    # --- plan A: sequential scan of the accessed fragments ------------------------
+    fact_granule_col = fact_granules[:, None]
+    scan_requests_per_fragment = np.where(
+        fact_pages_per_fragment > 0,
+        np.ceil(fact_pages_per_fragment / fact_granule_col),
+        0.0,
+    )
+    scan_cost_per_fragment = (
+        scan_requests_per_fragment * positioning_page_equivalent
+        + fact_pages_per_fragment
+    )
+
+    # --- plan B: bitmap-driven access ---------------------------------------------
+    touched_per_fragment = structures.bitmap_touched_per_fragment
+    bitmap_sequential = structures.bitmap_density >= SEQUENTIAL_DENSITY_THRESHOLD
+    bitmap_fact_requests = np.where(
+        bitmap_sequential, scan_requests_per_fragment, touched_per_fragment
+    )
+    bitmap_fact_transferred = np.where(
+        bitmap_sequential, fact_pages_per_fragment, touched_per_fragment
+    )
+    bitmap_plan_cost = (
+        bitmap_fact_requests * positioning_page_equivalent
+        + bitmap_fact_transferred
+        + bitmap_requests_per_fragment * positioning_page_equivalent
+        + bitmap_pages_per_fragment
+    )
+    use_bitmap_plan = structures.bitmap_plan_available & (
+        bitmap_plan_cost < scan_cost_per_fragment
+    )
+
+    sequential = np.where(use_bitmap_plan, bitmap_sequential, True)
+    pages_touched_per_fragment = np.where(
+        use_bitmap_plan, bitmap_fact_transferred, fact_pages_per_fragment
+    )
+    requests_per_fragment = np.where(
+        use_bitmap_plan, bitmap_fact_requests, scan_requests_per_fragment
+    )
+    transferred_per_fragment = np.where(
+        use_bitmap_plan, bitmap_fact_transferred, fact_pages_per_fragment
+    )
+    bitmap_pages = np.where(
+        use_bitmap_plan, fragments_accessed * bitmap_pages_per_fragment, 0.0
+    )
+    bitmap_requests = np.where(
+        use_bitmap_plan, fragments_accessed * bitmap_requests_per_fragment, 0.0
+    )
+
+    return AccessProfileBatch2D(
+        structures=structures,
+        fact_pages_accessed=fragments_accessed * pages_touched_per_fragment,
+        bitmap_pages_accessed=bitmap_pages,
+        fact_io_requests=fragments_accessed * requests_per_fragment,
+        bitmap_io_requests=bitmap_requests,
+        fact_pages_transferred=fragments_accessed * transferred_per_fragment,
+        sequential_fact_access=sequential,
+        use_bitmap_plan=use_bitmap_plan,
+    )
+
+
+def resolve_prefetch_settings_batch_candidates(
+    structures: AccessStructureBatch2D,
+    matrix: ClassMatrix,
+    system: SystemParameters,
+) -> Tuple[PrefetchSetting, ...]:
+    """Resolve each stacked candidate's prefetch granules in one vector pass.
+
+    The unit-granule estimation runs once over the whole stack; the (cheap)
+    granule selection then runs per candidate on exactly the run-length floats
+    the class-axis path derives, so the returned settings are identical to
+    per-layout :func:`resolve_prefetch_setting_batch` calls.
+    """
+    num_candidates = structures.num_candidates
+    unit = np.ones(num_candidates, dtype=np.float64)
+    unit_profiles = estimate_access_batch_candidates(
+        structures, unit, unit, _positioning_page_equivalent(system)
+    )
+    fact_runs = structures.fact_pages_per_fragment
+    with np.errstate(divide="ignore", invalid="ignore"):
+        bitmap_runs = np.where(
+            structures.fragments_accessed > 0,
+            unit_profiles.bitmap_pages_accessed / structures.fragments_accessed,
+            0.0,
+        )
+    # Granule selection, batched over the candidate axis.  Fixed granules
+    # pass through; "auto" granules are optimized for the whole stack with
+    # one (candidate × class × granule) cost tensor — bit-identical to the
+    # per-candidate scalar selection (see optimal_prefetch_pages_batch).
+    from repro.storage.prefetch import PrefetchPolicy, optimal_prefetch_pages_batch
+
+    if system.fact_prefetch_is_auto:
+        fact_pages = optimal_prefetch_pages_batch(
+            fact_runs, system.disk, system.page_size_bytes, matrix.shares
+        )
+        fact_policy = PrefetchPolicy.AUTO
+    else:
+        fact_pages = [int(system.prefetch_pages_fact)] * num_candidates
+        fact_policy = PrefetchPolicy.FIXED
+    if system.bitmap_prefetch_is_auto:
+        bitmap_pages = optimal_prefetch_pages_batch(
+            bitmap_runs, system.disk, system.page_size_bytes
+        )
+        bitmap_policy = PrefetchPolicy.AUTO
+    else:
+        bitmap_pages = [int(system.prefetch_pages_bitmap)] * num_candidates
+        bitmap_policy = PrefetchPolicy.FIXED
+    return tuple(
+        PrefetchSetting(
+            fact_pages=fact_pages[k],
+            bitmap_pages=bitmap_pages[k],
+            fact_policy=fact_policy,
+            bitmap_policy=bitmap_policy,
+        )
+        for k in range(num_candidates)
+    )
+
+
+def evaluate_workload_batch_candidates(
+    layouts: Sequence[FragmentationLayout],
+    structures: AccessStructureBatch2D,
+    matrix: ClassMatrix,
+    system: SystemParameters,
+    prefetches: Sequence[PrefetchSetting],
+) -> List[WorkloadEvaluation]:
+    """Evaluate a whole layout stack against the mix, candidate-axis batched.
+
+    The candidate-axis twin of :func:`evaluate_workload_batch`: access
+    profiles, I/O cost, response time and disk counts are computed as
+    (candidate × class) planes, then each candidate's columnar
+    :class:`~repro.costmodel.EvaluationColumns` is sliced out of the shared
+    metric cube — bit-identical to evaluating the layouts one by one.
+    """
+    num_candidates = structures.num_candidates
+    num_classes = structures.num_classes
+    fact_granules = np.array(
+        [setting.fact_pages for setting in prefetches], dtype=np.float64
+    )
+    bitmap_granules = np.array(
+        [setting.bitmap_pages for setting in prefetches], dtype=np.float64
+    )
+    profiles = estimate_access_batch_candidates(
+        structures, fact_granules, bitmap_granules,
+        _positioning_page_equivalent(system),
+    )
+
+    # --- I/O cost (IOCostModel.io_cost_ms, candidate-axis) ------------------------
+    disk = system.disk
+    page_time = disk.page_transfer_time_ms(system.page_size_bytes)
+    fact_transfer = np.where(
+        profiles.sequential_fact_access,
+        np.maximum(
+            profiles.fact_io_requests * fact_granules[:, None],
+            profiles.fact_pages_transferred,
+        ),
+        profiles.fact_pages_transferred,
+    )
+    bitmap_transfer = np.where(
+        profiles.bitmap_io_requests > 0,
+        np.maximum(
+            profiles.bitmap_io_requests * bitmap_granules[:, None],
+            profiles.bitmap_pages_accessed,
+        ),
+        profiles.bitmap_pages_accessed,
+    )
+    total_requests = profiles.fact_io_requests + profiles.bitmap_io_requests
+    io_cost = disk.positioning_time_ms * total_requests + page_time * (
+        fact_transfer + bitmap_transfer
+    )
+
+    # --- disks used and response time (candidate-axis) ----------------------------
+    disks_used = np.minimum(
+        float(system.num_disks),
+        np.ceil(np.maximum(1.0, structures.fragments_accessed)),
+    ).astype(np.int64)
+    disks_f = disks_used.astype(np.float64)
+    parallel = disks_used > 1
+    size_cvs = np.array(
+        [layout.fragment_size_cv for layout in layouts], dtype=np.float64
+    )[:, None]
+    imbalance = np.where(parallel, 1.0 + size_cvs / np.sqrt(disks_f), 1.0)
+    response = (
+        io_cost / disks_f * imbalance
+        + system.effective_coordination_overhead_ms * disks_f
+    )
+
+    # --- slice the shared metric cube into per-candidate columnar evaluations ----
+    cube = np.empty((num_candidates, num_classes, NUM_METRIC_FIELDS), dtype=np.float64)
+    cube[..., 0] = structures.fragments_accessed
+    cube[..., 1] = structures.rows_in_accessed_fragments
+    cube[..., 2] = structures.qualifying_rows
+    cube[..., 3] = structures.fact_pages_per_fragment
+    cube[..., 4] = profiles.fact_pages_accessed
+    cube[..., 5] = profiles.bitmap_pages_accessed
+    cube[..., 6] = profiles.fact_io_requests
+    cube[..., 7] = profiles.bitmap_io_requests
+    cube[..., 8] = profiles.fact_pages_transferred
+    cube[..., 9] = profiles.bitmap_pages_accessed  # transferred == accessed
+    cube[..., -2] = io_cost
+    cube[..., -1] = response
+
+    evaluations: List[WorkloadEvaluation] = []
+    for k in range(num_candidates):
+        attributes_used = [()] * num_classes
+        for c in np.nonzero(profiles.use_bitmap_plan[k])[0].tolist():
+            attributes_used[c] = structures.attributes_for(k, c)
+        columns = EvaluationColumns(
+            query_names=matrix.query_names,
+            weights=matrix.shares,
+            fragments_total=int(structures.fragments_total[k]),
+            metrics=cube[k].copy(),
+            disks_used=disks_used[k].copy(),
+            sequential=profiles.sequential_fact_access[k].copy(),
+            forced=structures.forced_full_scan[k].copy(),
+            attributes_used=tuple(attributes_used),
+        )
+        evaluations.append(
+            WorkloadEvaluation(
+                layout=layouts[k], prefetch=prefetches[k], columns=columns
+            )
+        )
+    return evaluations

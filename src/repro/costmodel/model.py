@@ -31,6 +31,8 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from repro.bitmap import BitmapScheme
 from repro.errors import CostModelError
 from repro.fragmentation import FragmentationLayout
@@ -49,12 +51,50 @@ from repro.costmodel.access import (
 )
 
 __all__ = [
+    "PROFILE_FLOAT_FIELDS",
+    "EvaluationColumns",
     "QueryCost",
     "WorkloadEvaluation",
     "IOCostModel",
     "prefetch_setting_from_runs",
     "resolve_prefetch_setting",
 ]
+
+#: Float columns of the evaluation metric block, in
+#: :class:`~repro.costmodel.QueryAccessProfile` field order; the last two
+#: metric slots hold the per-class I/O cost and response time of the
+#: :class:`QueryCost` record.  This layout is shared by the columnar
+#: evaluations, the worker→parent result batches and the persistent store.
+PROFILE_FLOAT_FIELDS = (
+    "fragments_accessed",
+    "rows_in_accessed_fragments",
+    "qualifying_rows",
+    "fact_pages_per_fragment",
+    "fact_pages_accessed",
+    "bitmap_pages_accessed",
+    "fact_io_requests",
+    "bitmap_io_requests",
+    "fact_pages_transferred",
+    "bitmap_pages_transferred",
+)
+
+#: Total metric slots per class: the profile floats plus io cost and response.
+NUM_METRIC_FIELDS = len(PROFILE_FLOAT_FIELDS) + 2
+
+
+def _materialize(cls, state: dict):
+    """Construct a frozen dataclass instance directly from its field dict.
+
+    The columnar evaluations materialize per-class frozen profile/cost records
+    lazily; the generated ``__init__`` of a frozen dataclass pays one
+    ``object.__setattr__`` per field, which dominates the materialization.
+    Neither :class:`QueryAccessProfile` nor :class:`QueryCost` has a
+    ``__post_init__``, so seeding the instance ``__dict__`` is equivalent —
+    equality, repr and pickling all read the same storage.
+    """
+    instance = object.__new__(cls)
+    instance.__dict__.update(state)
+    return instance
 
 
 @dataclass(frozen=True)
@@ -80,26 +120,205 @@ class QueryCost:
 
 
 @dataclass(frozen=True)
+class EvaluationColumns:
+    """Columnar per-class state of one candidate evaluation.
+
+    One float64 metric block (classes × :data:`NUM_METRIC_FIELDS`, in
+    :data:`PROFILE_FLOAT_FIELDS` order plus I/O cost and response time) plus
+    the small per-class discrete columns.  :meth:`records` materializes the
+    scalar :class:`QueryCost` records — bit-identical to the eager per-class
+    construction, because every value travels as the same IEEE-754 double it
+    was computed as.  Keeping evaluations columnar removes the last
+    O(classes) Python objects per candidate from the sweep's hot loop and
+    shrinks the candidate cache's footprint (the columns are what gets
+    pickled and persisted, not the record graph).
+    """
+
+    #: Query class names, in mix order.
+    query_names: Tuple[str, ...]
+    #: Workload share per class.
+    weights: Tuple[float, ...]
+    #: Total fragments of the candidate's layout.
+    fragments_total: int
+    #: (classes × NUM_METRIC_FIELDS) float64 metric block.
+    metrics: np.ndarray
+    #: (classes,) int64.
+    disks_used: np.ndarray
+    #: (classes,) bool flags.
+    sequential: np.ndarray
+    forced: np.ndarray
+    #: Per class: bitmap attributes used by the chosen plan.
+    attributes_used: Tuple[Tuple[Tuple[str, str], ...], ...]
+
+    @property
+    def num_classes(self) -> int:
+        """Number of query classes."""
+        return len(self.query_names)
+
+    def records(self) -> Tuple[QueryCost, ...]:
+        """Materialize the per-class :class:`QueryCost` records (mix order)."""
+        rows = self.metrics.tolist()
+        sequential = self.sequential.tolist()
+        forced = self.forced.tolist()
+        disks = self.disks_used.tolist()
+        fragments_total = self.fragments_total
+        per_class = []
+        for i, query_name in enumerate(self.query_names):
+            row = rows[i]
+            state = {
+                "query_name": query_name,
+                "fragments_total": fragments_total,
+                "sequential_fact_access": sequential[i],
+                "forced_full_scan": forced[i],
+                "bitmap_attributes_used": self.attributes_used[i],
+            }
+            for f, field in enumerate(PROFILE_FLOAT_FIELDS):
+                state[field] = row[f]
+            profile = _materialize(QueryAccessProfile, state)
+            per_class.append(
+                _materialize(
+                    QueryCost,
+                    {
+                        "query_name": query_name,
+                        "weight": self.weights[i],
+                        "profile": profile,
+                        "io_cost_ms": row[-2],
+                        "response_time_ms": row[-1],
+                        "disks_used": disks[i],
+                    },
+                )
+            )
+        return tuple(per_class)
+
+    @classmethod
+    def from_records(cls, per_class, fragments_total: int) -> "EvaluationColumns":
+        """Columnarize eager per-class records (the scalar path's output)."""
+        num_classes = len(per_class)
+        metrics = np.empty((num_classes, NUM_METRIC_FIELDS), dtype=np.float64)
+        disks_used = np.empty(num_classes, dtype=np.int64)
+        sequential = np.empty(num_classes, dtype=bool)
+        forced = np.empty(num_classes, dtype=bool)
+        attributes_used = []
+        for c, cost in enumerate(per_class):
+            profile = cost.profile
+            for f, field in enumerate(PROFILE_FLOAT_FIELDS):
+                metrics[c, f] = getattr(profile, field)
+            metrics[c, -2] = cost.io_cost_ms
+            metrics[c, -1] = cost.response_time_ms
+            disks_used[c] = cost.disks_used
+            sequential[c] = profile.sequential_fact_access
+            forced[c] = profile.forced_full_scan
+            attributes_used.append(profile.bitmap_attributes_used)
+        return cls(
+            query_names=tuple(cost.query_name for cost in per_class),
+            weights=tuple(cost.weight for cost in per_class),
+            fragments_total=fragments_total,
+            metrics=metrics,
+            disks_used=disks_used,
+            sequential=sequential,
+            forced=forced,
+            attributes_used=tuple(attributes_used),
+        )
+
+
 class WorkloadEvaluation:
     """Aggregated evaluation of a fragmentation candidate over the whole mix.
 
-    The two headline totals are cached: the ranking probes them repeatedly
-    for every candidate of a sweep (sort keys, leading-X% cut, report
-    rendering), and the per-class records never change after construction.
+    Backed either by eager per-class :class:`QueryCost` records (the scalar
+    reference path) or by one columnar :class:`EvaluationColumns` block (the
+    vectorized paths); ``per_class`` is a lazy view in the columnar case, so
+    the sweep's hot loop never materializes the record graph.  The two
+    headline totals are cached: the ranking probes them repeatedly for every
+    candidate of a sweep (sort keys, leading-X% cut, report rendering), and
+    the evaluation never changes after construction.
     """
 
-    layout: FragmentationLayout
-    prefetch: PrefetchSetting
-    per_class: Tuple[QueryCost, ...]
+    def __init__(
+        self,
+        layout: FragmentationLayout,
+        prefetch: PrefetchSetting,
+        per_class: Optional[Tuple[QueryCost, ...]] = None,
+        columns: Optional[EvaluationColumns] = None,
+    ) -> None:
+        if (per_class is None) == (columns is None):
+            raise CostModelError(
+                "WorkloadEvaluation needs exactly one of per_class= or columns="
+            )
+        self.layout = layout
+        self.prefetch = prefetch
+        self.columns = columns
+        self._per_class = tuple(per_class) if per_class is not None else None
+
+    @property
+    def per_class(self) -> Tuple[QueryCost, ...]:
+        """Per-class cost records (materialized lazily from the columns)."""
+        if self._per_class is None:
+            self._per_class = self.columns.records()
+        return self._per_class
+
+    # -- pickling ---------------------------------------------------------------
+    #
+    # Columnar evaluations pickle their columns, never the materialized record
+    # graph — that is what keeps candidate cache entries and pool transfers
+    # small.  Cached totals are dropped (recomputed deterministically).
+
+    def __getstate__(self):
+        state = {"layout": self.layout, "prefetch": self.prefetch}
+        if self.columns is not None:
+            state["columns"] = self.columns
+        else:
+            state["per_class"] = self._per_class
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__init__(
+            state["layout"],
+            state["prefetch"],
+            per_class=state.get("per_class"),
+            columns=state.get("columns"),
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, WorkloadEvaluation):
+            return NotImplemented
+        return (
+            self.layout == other.layout
+            and self.prefetch == other.prefetch
+            and self.per_class == other.per_class
+        )
+
+    def __hash__(self) -> int:
+        # Value hash matching __eq__, as the frozen-dataclass form had
+        # (materializes the records once; hashing evaluations is rare).
+        return hash((self.layout, self.prefetch, self.per_class))
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostic only
+        backing = "columnar" if self.columns is not None else "records"
+        return (
+            f"WorkloadEvaluation({self.layout.spec.label!r}, "
+            f"classes={len(self.per_class)}, {backing})"
+        )
+
+    # -- totals -----------------------------------------------------------------
+    #
+    # Computed from the columns when available: same Python floats, same
+    # left-to-right accumulation order as summing over the records — the
+    # parity suite asserts the equality — without materializing the records.
 
     @cached_property
     def total_io_cost_ms(self) -> float:
         """Workload-weighted I/O cost (the advisor's primary metric)."""
+        if self.columns is not None and self._per_class is None:
+            values = self.columns.metrics[:, -2].tolist()
+            return sum(w * v for w, v in zip(self.columns.weights, values))
         return sum(cost.weighted_io_cost_ms for cost in self.per_class)
 
     @cached_property
     def total_response_time_ms(self) -> float:
         """Workload-weighted response time (the advisor's secondary metric)."""
+        if self.columns is not None and self._per_class is None:
+            values = self.columns.metrics[:, -1].tolist()
+            return sum(w * v for w, v in zip(self.columns.weights, values))
         return sum(cost.weighted_response_time_ms for cost in self.per_class)
 
     @property

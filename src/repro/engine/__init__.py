@@ -16,16 +16,17 @@ explicit pipeline:
 4. :mod:`~repro.engine.signature` provides the content fingerprints the cache
    keys on, plus recommendation fingerprints used to *prove* parity.
 5. :class:`~repro.engine.store.CacheStore` spills the cache to a directory
-   (sqlite for pickled entries, npz for class-axis batches) so later
-   *processes* warm-start from disk; corrupted or version-mismatched stores
-   are silently ignored.
+   (sqlite for pickled scalar structures and exclusion reports, one npz for
+   class-axis batches, one npz of columnar candidate groups that materialize
+   lazily on the first warm probe) so later *processes* warm-start from
+   disk; corrupted or version-mismatched stores are silently ignored.
 """
 
 from repro.engine.cache import CacheStats, EvaluationCache
 from repro.engine.store import STORE_FORMAT_VERSION, CacheStore, store_salt
 from repro.engine.jobs import MIN_SPECS_FOR_PARALLEL, adaptive_jobs, available_cpus
 from repro.engine.plan import EvaluationPlan, WorkUnit
-from repro.engine.result import CandidateResultBatch
+from repro.engine.result import CandidateColumns, CandidateResultBatch
 from repro.engine.signature import (
     layout_signature,
     object_signature,
@@ -37,11 +38,13 @@ from repro.engine.executor import (
     EngineContext,
     EvaluationEngine,
     evaluate_spec_in_context,
+    evaluate_specs_in_context,
 )
 
 __all__ = [
     "CacheStats",
     "CacheStore",
+    "CandidateColumns",
     "CandidateResultBatch",
     "EvaluationCache",
     "STORE_FORMAT_VERSION",
@@ -51,6 +54,7 @@ __all__ = [
     "EngineContext",
     "EvaluationEngine",
     "evaluate_spec_in_context",
+    "evaluate_specs_in_context",
     "MIN_SPECS_FOR_PARALLEL",
     "adaptive_jobs",
     "available_cpus",

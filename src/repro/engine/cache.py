@@ -131,6 +131,14 @@ class EvaluationCache:
         self.stats = CacheStats()
         self._structures: Dict[Tuple[str, ...], Any] = {}
         self._candidates: Dict[Tuple[str, ...], Any] = {}
+        #: Compiled ClassMatrix memo (shared across sessions, never persisted;
+        #: cheap to rebuild, but re-compiling on every system-only what-if
+        #: delta wastes the per-edit constant).  Not counted by ``len()``.
+        self._matrices: Dict[str, Any] = {}
+        #: Candidate-exclusion reports (threshold diagnostics + surviving
+        #: specs), keyed on enumeration-input signatures; persisted alongside
+        #: the store so warm-from-disk runs skip re-deriving the thresholds.
+        self._reports: Dict[Tuple[str, ...], Any] = {}
         # -- persistence state (see the "persistence" section below) --
         #: Keys whose entries came from a persistent store (disk-hit stats).
         self._disk_keys: Set[Tuple[str, ...]] = set()
@@ -248,6 +256,44 @@ class EvaluationCache:
             self._structure_batch_key(layout, matrix), compute
         )
 
+    def get_structure_batch(self, layout, matrix):
+        """Probe for a class-axis structure batch; ``None`` on miss (counted).
+
+        The split get/put surface of :meth:`access_structure_batch`: the
+        candidate-axis executor probes every layout of a chunk first and
+        computes all misses as one stacked batch, so the compute cannot be
+        expressed as a per-entry ``compute`` callback.  Counter semantics are
+        identical — one structure probe per candidate either way.
+        """
+        key = self._structure_batch_key(layout, matrix)
+        value = self._structures.get(key, _MISSING)
+        stats = self.stats
+        if value is not _MISSING:
+            stats.structure_hits += 1
+            if key in self._disk_keys:
+                stats.structure_disk_hits += 1
+            return value
+        stats.structure_misses += 1
+        return None
+
+    def put_structure_batch(self, layout, matrix, value) -> None:
+        """Insert a structure batch computed elsewhere (stacked compute).
+
+        Not a probe — no counter moves; the miss was already counted by the
+        preceding :meth:`get_structure_batch`.
+        """
+        store = self._structures
+        key = self._structure_batch_key(layout, matrix)
+        if (
+            self.max_entries is not None
+            and key not in store
+            and len(store) >= self.max_entries
+        ):
+            self._evict_oldest(store)
+        store[key] = value
+        self._disk_keys.discard(key)
+        self._dirty = True
+
     def candidate(self, context, spec, compute):
         """Cached whole-candidate evaluation under ``context``."""
         value = self.get_candidate(context, spec)
@@ -263,6 +309,12 @@ class EvaluationCache:
         The probe is counted (hit or miss).  The parallel executor uses this
         to answer warm sweeps from the cache and dispatch only the misses to
         the worker pool.
+
+        Entries loaded from a persistent store are deferred columnar records
+        (:class:`~repro.engine.result.CandidateColumns`); the first probe
+        materializes the candidate under the probing context — valid because
+        the content-addressed key covers every input the materialization
+        reads — and upgrades the entry in place so later probes are free.
         """
         key = self.candidate_key(context, spec)
         value = self._candidates.get(key, _MISSING)
@@ -272,6 +324,11 @@ class EvaluationCache:
         self.stats.candidate_hits += 1
         if key in self._disk_keys:
             self.stats.candidate_disk_hits += 1
+        from repro.engine.result import CandidateColumns
+
+        if isinstance(value, CandidateColumns):
+            value = value.materialize(context, spec)
+            self._candidates[key] = value
         return value
 
     def put_candidate(self, context, spec, candidate) -> None:
@@ -316,6 +373,57 @@ class EvaluationCache:
             self._disk_keys.discard(key)
             self._dirty = True
 
+    # -- compiled class matrices (shared, in-memory only) -------------------------
+
+    def class_matrix(self, key: str, compute):
+        """Memoized compiled :class:`~repro.workload.ClassMatrix`.
+
+        Keyed on a content signature over (schema, workload, bitmap scheme,
+        fact table), so sessions sharing one cache — in particular
+        ``with_delta`` edits that change only the system — stop re-compiling
+        an unchanged matrix.  In-memory only: matrices are cheap to rebuild
+        and always re-derivable, so they are never spilled to the store (and
+        not counted by ``len()`` or the hit/miss stats).  ``max_entries``
+        bounds this memo like the evaluation stores (FIFO), so a long-lived
+        shared cache serving many warehouses cannot grow without limit.
+        """
+        value = self._matrices.get(key)
+        if value is None:
+            value = compute()
+            if (
+                self.max_entries is not None
+                and len(self._matrices) >= self.max_entries
+            ):
+                self._matrices.pop(next(iter(self._matrices)))
+            self._matrices[key] = value
+        return value
+
+    # -- candidate-exclusion reports ---------------------------------------------
+
+    def get_exclusions(self, key: Tuple[str, ...]):
+        """The cached exclusion payload for an enumeration-input key (or None).
+
+        Not counted by the hit/miss stats: exclusion evaluation is part of
+        candidate *generation*, and its reuse must not skew the evaluation
+        cache's hit-rate diagnostics.
+        """
+        return self._reports.get(key)
+
+    def put_exclusions(self, key: Tuple[str, ...], payload) -> None:
+        """Insert an exclusion payload (JSON-able dict; persisted with the store).
+
+        Bounded by ``max_entries`` like the evaluation stores (FIFO), so the
+        persisted report set cannot grow without limit either.
+        """
+        if (
+            self.max_entries is not None
+            and key not in self._reports
+            and len(self._reports) >= self.max_entries
+        ):
+            self._reports.pop(next(iter(self._reports)))
+        self._reports[key] = payload
+        self._dirty = True
+
     # -- persistence (see repro.engine.store) -----------------------------------
 
     @property
@@ -332,12 +440,14 @@ class EvaluationCache:
         """Bulk-load a persistent store's entries into this cache.
 
         Loaded entries are tracked so later hits on them count as *disk hits*
-        (:attr:`CacheStats.disk_hits`).  Loading never marks the cache dirty —
-        the entries are already on disk — and a missing, corrupted or
+        (:attr:`CacheStats.disk_hits`).  Candidate entries arrive as deferred
+        columnar records and materialize on their first warm probe (see
+        :meth:`get_candidate`).  Loading never marks the cache dirty — the
+        entries are already on disk — and a missing, corrupted or
         version-mismatched store simply loads zero entries.  Returns the
         number of entries loaded.
         """
-        structures, candidates = store.load()
+        structures, candidates, reports = store.load()
         dirty = self._dirty
         self.merge_structures(structures.items())
         target = self._candidates
@@ -349,10 +459,12 @@ class EvaluationCache:
             ):
                 self._evict_oldest(target)
             target[key] = value
+        for key, payload in reports.items():
+            self._reports.setdefault(key, payload)
         self._dirty = dirty
         self._disk_keys.update(structures.keys())
         self._disk_keys.update(candidates.keys())
-        loaded = len(structures) + len(candidates)
+        loaded = len(structures) + len(candidates) + len(reports)
         self.loaded_from_disk += loaded
         return loaded
 
@@ -362,7 +474,7 @@ class EvaluationCache:
         Returns the number of entries written, or ``None`` when the store is
         unwritable (best-effort — never an error).
         """
-        written = store.save(self._structures, self._candidates)
+        written = store.save(self._structures, self._candidates, self._reports)
         if written is not None:
             self._dirty = False
         return written
@@ -399,12 +511,16 @@ class EvaluationCache:
     # -- maintenance ------------------------------------------------------------
 
     def __len__(self) -> int:
+        # Evaluation entries only; the matrix memo and the exclusion reports
+        # are compiled-input bookkeeping, not evaluations.
         return len(self._structures) + len(self._candidates)
 
     def clear(self) -> None:
         """Drop all entries (counters are preserved)."""
         self._structures.clear()
         self._candidates.clear()
+        self._matrices.clear()
+        self._reports.clear()
         self._disk_keys.clear()
 
     def reset_stats(self) -> None:

@@ -10,18 +10,22 @@ pure function of its inputs, workers return columnar
 re-materializes by index — so ``jobs=4`` produces bit-identical
 recommendations to ``jobs=1`` (the parity test matrix asserts this).
 
-Two cost paths implement the same model:
+Three cost paths implement the same model (``EngineOptions.vectorize``):
 
-* the **vectorized path** (default) compiles the workload into a columnar
-  :class:`~repro.workload.ClassMatrix` and computes one candidate's access
+* the **candidate-axis path** (``"candidates"``, default) groups each chunk
+  by the specs' axis structure, stacks every group's layouts into one
+  (candidate × class) numpy batch for structure derivation, and fuses the
+  whole chunk — prefetch resolution and the cost model are elementwise per
+  candidate — into a single kernel pass (:mod:`repro.costmodel.batch`);
+* the **class-axis path** (``"classes"``) computes one candidate's access
   structures and costs for *all* query classes as numpy vectors over the
-  class axis (:mod:`repro.costmodel.batch`);
-* the **scalar path** (``vectorize=False``) runs the per-class reference
-  implementation.
+  class axis;
+* the **scalar path** (``"none"``, CLI ``--no-vectorize``) runs the
+  per-class reference implementation.
 
-The two are bit-identical by construction and by test
+All three are bit-identical by construction and by test
 (``tests/test_vector_parity.py``); the scalar path remains the reference and
-the escape hatch (CLI ``--no-vectorize``).
+the escape hatch.
 
 The process pool is created per sweep with an initializer that ships the
 evaluation context (schema, workload, system, config, bitmap scheme, class
@@ -46,11 +50,15 @@ from repro.bitmap import BitmapScheme, design_bitmap_scheme
 from repro.core.candidates import FragmentationCandidate
 from repro.core.config import AdvisorConfig
 from repro.costmodel import (
+    AccessStructureBatch2D,
     IOCostModel,
     compute_access_structure_batch,
+    compute_access_structure_batch_candidates,
     evaluate_workload_batch,
+    evaluate_workload_batch_candidates,
     resolve_prefetch_setting,
     resolve_prefetch_setting_batch,
+    resolve_prefetch_settings_batch_candidates,
 )
 from repro.errors import AdvisorError, EvaluationCancelled
 from repro.fragmentation import FragmentationSpec, build_layout
@@ -61,14 +69,22 @@ from repro.engine.cache import EvaluationCache
 from repro.engine.jobs import MIN_SPECS_FOR_PARALLEL, adaptive_jobs
 from repro.engine.plan import EvaluationPlan
 from repro.engine.result import CandidateResultBatch
-from repro.engine.signature import object_signature
+from repro.engine.signature import object_signature, stable_digest
 
 __all__ = [
     "EngineContext",
     "EvaluationEngine",
     "evaluate_spec_in_context",
+    "evaluate_specs_in_context",
     "MIN_SPECS_FOR_PARALLEL",
 ]
+
+#: Serial candidate-axis chunk cap: one axis-structure group is the natural
+#: batching unit, but a sweep dominated by a single structure must still hit
+#: progress/cancellation boundaries at a bounded latency.  16 candidates keeps
+#: near-full batch width (the kernels saturate well below that) while staying
+#: close to the one-candidate granularity of the non-batched serial path.
+MAX_SERIAL_GROUP_CHUNK = 16
 
 
 @dataclass(frozen=True)
@@ -82,10 +98,12 @@ class EngineContext:
     fact_name: str
     bitmap_scheme: BitmapScheme
     specs: Tuple[FragmentationSpec, ...] = ()
-    #: Evaluate the per-class sweep vectorized over the class axis.  Requires
-    #: ``class_matrix``; both paths return bit-identical candidates.
-    vectorize: bool = True
-    #: Columnar workload compilation for the vectorized path (shipped once
+    #: Vectorization mode of the cost sweep: ``"candidates"`` batches whole
+    #: same-axis-structure chunks as (candidate × class) numpy arrays,
+    #: ``"classes"`` vectorizes one candidate's class axis, ``"none"`` runs
+    #: the scalar reference path.  All modes return bit-identical candidates.
+    vectorize: str = "candidates"
+    #: Columnar workload compilation for the vectorized modes (shipped once
     #: per worker with the context).
     class_matrix: Optional[ClassMatrix] = None
 
@@ -121,7 +139,7 @@ def _evaluate_spec(
         page_size_bytes=context.system.page_size_bytes,
         max_fragments=max(context.config.max_fragments, 1),
     )
-    if context.vectorize and context.class_matrix is not None:
+    if context.vectorize != "none" and context.class_matrix is not None:
         # Vectorized class-axis sweep: one structure batch per layout (cached
         # like the scalar structures), then granule resolution and the cost
         # model as vectors over all query classes at once.
@@ -170,6 +188,134 @@ def _evaluate_spec(
     )
 
 
+def evaluate_specs_in_context(
+    context: EngineContext,
+    indices: Sequence[int],
+    cache: Optional[EvaluationCache] = None,
+) -> List[FragmentationCandidate]:
+    """Evaluate a chunk of candidate indices, candidate-axis batched.
+
+    In ``vectorize="candidates"`` mode the chunk is grouped by axis structure
+    (:attr:`~repro.fragmentation.FragmentationSpec.axis_structure`) and each
+    group's layouts are stacked into one (candidate × class) numpy batch —
+    structures, prefetch resolution and costs computed in one vector pass,
+    bit-identical to evaluating each spec alone (the parity suite pins this).
+    Other modes fall back to the per-spec path.  Cache semantics match the
+    per-spec path exactly: one candidate probe per index, one structure probe
+    per evaluated layout.
+    """
+    if context.vectorize != "candidates" or context.class_matrix is None:
+        return [
+            evaluate_spec_in_context(context, context.specs[index], cache)
+            for index in indices
+        ]
+    results: Dict[int, FragmentationCandidate] = {}
+    pending: List[int] = []
+    for index in indices:
+        if cache is not None:
+            candidate = cache.get_candidate(context, context.specs[index])
+            if candidate is not None:
+                results[index] = candidate
+                continue
+        pending.append(index)
+    if pending:
+        matrix = context.class_matrix
+        groups: Dict[Tuple[str, ...], List[int]] = {}
+        for index in pending:
+            groups.setdefault(context.specs[index].axis_structure, []).append(index)
+        # Access structures are computed per axis-structure group (the unit
+        # within which the per-class control flow is uniform); everything
+        # downstream — prefetch resolution and the cost model — is purely
+        # elementwise per candidate, so the whole chunk stacks into ONE
+        # (candidate × class) batch regardless of its group mix.
+        order: List[int] = []
+        group_batches: List[AccessStructureBatch2D] = []
+        layouts = []
+        for group in groups.values():
+            order.extend(group)
+            group_layouts = [
+                build_layout(
+                    context.schema,
+                    context.specs[index],
+                    fact_table=context.fact_name,
+                    page_size_bytes=context.system.page_size_bytes,
+                    max_fragments=max(context.config.max_fragments, 1),
+                )
+                for index in group
+            ]
+            layouts.extend(group_layouts)
+            group_batches.append(
+                _group_structure_batch(context, group_layouts, matrix, cache)
+            )
+        batch = AccessStructureBatch2D.concat(group_batches)
+        prefetches = resolve_prefetch_settings_batch_candidates(
+            batch, matrix, context.system
+        )
+        evaluations = evaluate_workload_batch_candidates(
+            layouts, batch, matrix, context.system, prefetches
+        )
+        for index, layout, prefetch, evaluation in zip(
+            order, layouts, prefetches, evaluations
+        ):
+            spec = context.specs[index]
+            allocation = choose_allocation(
+                layout,
+                context.system,
+                context.bitmap_scheme,
+                skew_threshold_cv=context.config.allocation_skew_cv,
+            )
+            candidate = FragmentationCandidate(
+                spec=spec,
+                layout=layout,
+                bitmap_scheme=context.bitmap_scheme,
+                prefetch=prefetch,
+                evaluation=evaluation,
+                allocation=allocation,
+            )
+            results[index] = candidate
+            if cache is not None:
+                cache.put_candidate(context, spec, candidate)
+    return [results[index] for index in indices]
+
+
+def _group_structure_batch(
+    context: EngineContext,
+    layouts: Sequence[Any],
+    matrix: ClassMatrix,
+    cache: Optional[EvaluationCache],
+) -> AccessStructureBatch2D:
+    """The stacked structure batch of one axis-structure group.
+
+    Per-layout cache probes (same counter semantics as the class-axis path);
+    all misses are computed as ONE stacked batch, and per-layout slices feed
+    the cache — the slices are bit-identical to per-layout computation, so
+    cross-mode and cross-run cache sharing stays exact.  On an all-miss
+    (cold) group the freshly stacked batch is returned directly, so the
+    common cold path never pays a slice-then-restack round trip.
+    """
+    if cache is None:
+        return compute_access_structure_batch_candidates(layouts, matrix)
+    structures: List[Any] = [None] * len(layouts)
+    missing: List[int] = []
+    for position, layout in enumerate(layouts):
+        hit = cache.get_structure_batch(layout, matrix)
+        structures[position] = hit
+        if hit is None:
+            missing.append(position)
+    if not missing:
+        return AccessStructureBatch2D.stack(structures)
+    stacked = compute_access_structure_batch_candidates(
+        [layouts[position] for position in missing], matrix
+    )
+    for j, position in enumerate(missing):
+        structure = stacked.candidate(j)
+        structures[position] = structure
+        cache.put_structure_batch(layouts[position], matrix, structure)
+    if len(missing) == len(layouts):
+        return stacked
+    return AccessStructureBatch2D.stack(structures)
+
+
 # -- worker-side machinery ---------------------------------------------------------
 
 _WORKER_CONTEXT: Optional[EngineContext] = None
@@ -201,10 +347,7 @@ def _evaluate_chunk(
     context = _WORKER_CONTEXT
     if context is None:  # pragma: no cover - defensive, initializer always ran
         raise AdvisorError("evaluation worker used before initialization")
-    candidates = [
-        evaluate_spec_in_context(context, context.specs[index], _WORKER_CACHE)
-        for index in indices
-    ]
+    candidates = evaluate_specs_in_context(context, indices, _WORKER_CACHE)
     batch = CandidateResultBatch.from_candidates(indices, candidates)
     fresh_structures = []
     for key, value in _WORKER_CACHE.structure_items():
@@ -330,17 +473,34 @@ class EvaluationEngine:
     def class_matrix(self, bitmap_scheme: Optional[BitmapScheme] = None) -> ClassMatrix:
         """The columnar workload compilation for ``bitmap_scheme``.
 
-        Memoized per scheme: the default scheme's matrix serves the whole
+        Memoized per scheme — the default scheme's matrix serves the whole
         sweep, while tuning studies that exclude indexes get (and reuse)
-        their own compilation.
+        their own compilation — and, when a cache is attached, shared through
+        it under a (schema, workload, scheme, fact) content key: sessions
+        derived via ``with_delta`` that change only the *system* reuse the
+        parent's compiled matrix instead of re-compiling it per edit.
         """
         scheme = bitmap_scheme if bitmap_scheme is not None else self.bitmap_scheme()
         key = object_signature(scheme)
         matrix = self._matrices.get(key)
         if matrix is None:
-            matrix = ClassMatrix.compile(
-                self.schema, self.workload, scheme, fact_table=self.fact_name
-            )
+
+            def compile_matrix() -> ClassMatrix:
+                return ClassMatrix.compile(
+                    self.schema, self.workload, scheme, fact_table=self.fact_name
+                )
+
+            if self.cache is not None:
+                shared_key = stable_digest(
+                    "CompiledClassMatrix",
+                    object_signature(self.schema),
+                    EvaluationCache.workload_signature(self.workload),
+                    key,
+                    self.fact_name,
+                )
+                matrix = self.cache.class_matrix(shared_key, compile_matrix)
+            else:
+                matrix = compile_matrix()
             self._matrices[key] = matrix
         return matrix
 
@@ -351,6 +511,7 @@ class EvaluationEngine:
     ) -> EngineContext:
         """The picklable evaluation context for ``specs``."""
         scheme = bitmap_scheme if bitmap_scheme is not None else self.bitmap_scheme()
+        mode = self.options.vectorize_mode
         return EngineContext(
             schema=self.schema,
             workload=self.workload,
@@ -359,8 +520,8 @@ class EvaluationEngine:
             fact_name=self.fact_name,
             bitmap_scheme=scheme,
             specs=tuple(specs),
-            vectorize=self.vectorize,
-            class_matrix=self.class_matrix(scheme) if self.vectorize else None,
+            vectorize=mode,
+            class_matrix=self.class_matrix(scheme) if mode != "none" else None,
         )
 
     def plan(self, specs: Sequence[FragmentationSpec]) -> EvaluationPlan:
@@ -467,20 +628,36 @@ class EvaluationEngine:
         on_progress: Optional[Callable] = None,
         cancel: Any = None,
     ) -> List[FragmentationCandidate]:
-        # Serial chunk granularity is one candidate: the finest boundary at
-        # which cancellation can stop without discarding work.
-        results: List[FragmentationCandidate] = []
+        # Serial chunk granularity: one axis-structure group (capped, so a
+        # sweep dominated by one structure still cancels and reports at a
+        # bounded latency) in candidate-axis mode, one candidate otherwise —
+        # the finest boundaries at which cancellation can stop without
+        # discarding work.
+        if context.vectorize == "candidates" and context.class_matrix is not None:
+            chunks = plan.axis_groups(max_size=MAX_SERIAL_GROUP_CHUNK)
+        else:
+            chunks = [[index] for index in range(plan.num_candidates)]
+        results: List[Optional[FragmentationCandidate]] = [None] * plan.num_candidates
         total = plan.num_candidates
-        for index, spec in enumerate(plan.specs):
-            self._check_cancel(cancel, index, total)
-            results.append(evaluate_spec_in_context(context, spec, self.cache))
+        completed = 0
+        for chunk_number, chunk in enumerate(chunks, start=1):
+            self._check_cancel(cancel, completed, total)
+            for index, candidate in zip(
+                chunk, evaluate_specs_in_context(context, chunk, self.cache)
+            ):
+                results[index] = candidate
+            completed += len(chunk)
             if on_progress is not None:
                 on_progress(
                     self._progress_event(
-                        plan, index + 1, index + 1, total, label=spec.label
+                        plan,
+                        completed,
+                        chunk_number,
+                        len(chunks),
+                        label=plan.specs[chunk[-1]].label,
                     )
                 )
-        return results
+        return results  # type: ignore[return-value]
 
     def _evaluate_parallel(
         self,
@@ -512,7 +689,15 @@ class EvaluationEngine:
             return results  # type: ignore[return-value]
 
         self._check_cancel(cancel, warm, plan.num_candidates)
-        chunks = plan.partition_indices(pending, jobs)
+        # Candidate-axis mode keeps same-axis-structure candidates on one
+        # worker so the kernels batch at full group width.
+        chunks = plan.partition_indices(
+            pending,
+            jobs,
+            by_axis_structure=(
+                context.vectorize == "candidates" and context.class_matrix is not None
+            ),
+        )
         completed = warm
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(chunks)),

@@ -119,13 +119,46 @@ class EvaluationPlan:
         per_spec = len(self.query_names)
         return self.units[spec_index * per_spec : (spec_index + 1) * per_spec]
 
+    # -- axis-structure grouping --------------------------------------------------
+
+    def axis_groups(self, indices=None, max_size: int = 0) -> List[List[int]]:
+        """Candidate indices grouped by their spec's axis structure.
+
+        Groups preserve first-seen sweep order, and indices within a group
+        stay in sweep order — the unit at which the candidate-axis executor
+        stacks layouts into one (candidate × class) batch
+        (:mod:`repro.costmodel.batch`) and the serial executor reports
+        progress / honours cancellation.
+
+        A positive ``max_size`` splits larger groups into consecutive
+        group-pure sub-chunks of at most that many candidates: batching is a
+        pure execution strategy (the kernels are elementwise per candidate),
+        so splitting never changes a number — it only bounds progress /
+        cancellation latency and restores load balance when one axis
+        structure dominates a sweep.
+        """
+        if indices is None:
+            indices = range(len(self.specs))
+        groups: dict = {}
+        for index in indices:
+            groups.setdefault(self.specs[index].axis_structure, []).append(index)
+        if max_size <= 0:
+            return list(groups.values())
+        return [
+            group[start : start + max_size]
+            for group in groups.values()
+            for start in range(0, len(group), max_size)
+        ]
+
     # -- partitioning -----------------------------------------------------------
 
     def partition(self, jobs: int) -> List[List[int]]:
         """Split all candidate indices into ``jobs`` balanced chunks."""
         return self.partition_indices(range(len(self.specs)), jobs)
 
-    def partition_indices(self, indices, jobs: int) -> List[List[int]]:
+    def partition_indices(
+        self, indices, jobs: int, by_axis_structure: bool = False
+    ) -> List[List[int]]:
         """Split a subset of candidate indices into ``jobs`` balanced chunks.
 
         Deterministic longest-processing-time assignment: candidates are
@@ -134,16 +167,38 @@ class EvaluationPlan:
         and the lower chunk number.  Within a chunk, indices are sorted so the
         executor streams each chunk in sweep order.  Empty chunks are dropped
         (when ``jobs`` exceeds the candidate count).
+
+        With ``by_axis_structure=True`` the assignment unit is an
+        axis-structure group (see :meth:`axis_groups`) instead of a single
+        candidate, so same-structure candidates land on the same worker and
+        the candidate-axis kernels batch at full width.  Groups larger than
+        one ``jobs``-th of the sweep are split into group-pure sub-units, so
+        a sweep dominated by one axis structure still spreads over all
+        workers.  Still deterministic LPT: units are considered in
+        decreasing total cost, ties towards the unit containing the earliest
+        candidate.
         """
         if jobs < 1:
             raise AdvisorError(f"jobs must be at least 1, got {jobs}")
-        order = sorted(indices, key=lambda index: (-self.spec_costs[index], index))
+        if by_axis_structure:
+            indices = list(indices)
+            units = self.axis_groups(
+                indices, max_size=max(1, -(-len(indices) // jobs))
+            )
+        else:
+            units = [[index] for index in indices]
+        costs = [
+            sum(max(1, self.spec_costs[index]) for index in unit) for unit in units
+        ]
+        order = sorted(
+            range(len(units)), key=lambda u: (-costs[u], units[u][0])
+        )
         loads = [0] * jobs
         chunks: List[List[int]] = [[] for _ in range(jobs)]
-        for index in order:
+        for u in order:
             target = min(range(jobs), key=lambda job: (loads[job], job))
-            chunks[target].append(index)
-            loads[target] += max(1, self.spec_costs[index])
+            chunks[target].extend(units[u])
+            loads[target] += costs[u]
         for chunk in chunks:
             chunk.sort()
         return [chunk for chunk in chunks if chunk]

@@ -1,4 +1,4 @@
-"""Columnar worker→parent result batches for the parallel executor.
+"""Columnar candidate records: pool transport, cache views, store format.
 
 Worker→parent result pickling is the process pool's dominant overhead: a
 :class:`~repro.core.candidates.FragmentationCandidate` drags a deep object
@@ -9,11 +9,24 @@ a handful of numpy arrays over the (candidate × query class) axes plus the
 small per-candidate scalars (prefetch granules, allocation vectors), and the
 parent re-materializes the exact same candidates from the columns.
 
+:class:`CandidateColumns` is the per-candidate unit of the same idea: one
+candidate's columnar state, materializable into a
+:class:`FragmentationCandidate` under any engine context whose content
+signatures match the cache key it was stored under.  It serves two roles:
+
+* each row of a :class:`CandidateResultBatch` is one (the parent
+  re-materializes via :meth:`CandidateColumns.materialize`);
+* the persistent store (:mod:`repro.engine.store`) spills whole-candidate
+  cache entries as these records — plain numpy columns plus JSON metadata
+  instead of one pickled object graph per candidate — and
+  :class:`~repro.engine.cache.EvaluationCache` materializes them lazily on
+  the first warm probe.
+
 Reconstruction is exact: every float travels as the same IEEE-754 double it
 was computed as, layouts are rebuilt from the same ``(schema, spec, page
 size)`` inputs (they are deterministic value objects), and the bitmap scheme
 is taken from the shared engine context — so a reconstructed candidate is
-bit-identical to the worker's original, which the parity tests assert through
+bit-identical to the original, which the parity tests assert through
 :func:`~repro.engine.signature.recommendation_fingerprint`.
 """
 
@@ -26,28 +39,108 @@ import numpy as np
 
 from repro.allocation import Allocation
 from repro.core.candidates import FragmentationCandidate
-from repro.costmodel import QueryAccessProfile, QueryCost, WorkloadEvaluation
+from repro.costmodel import (
+    PROFILE_FLOAT_FIELDS,
+    EvaluationColumns,
+    WorkloadEvaluation,
+)
+from repro.costmodel.model import NUM_METRIC_FIELDS
 from repro.errors import AdvisorError
 from repro.fragmentation import build_layout
 from repro.storage import PrefetchPolicy, PrefetchSetting
 
-__all__ = ["CandidateResultBatch", "PROFILE_FLOAT_FIELDS"]
+__all__ = ["CandidateColumns", "CandidateResultBatch", "PROFILE_FLOAT_FIELDS"]
 
-#: Float columns of the metric cube, in :class:`QueryAccessProfile` field
-#: order; the last two cube slots hold the per-class I/O cost and response
-#: time of the :class:`QueryCost` record.
-PROFILE_FLOAT_FIELDS = (
-    "fragments_accessed",
-    "rows_in_accessed_fragments",
-    "qualifying_rows",
-    "fact_pages_per_fragment",
-    "fact_pages_accessed",
-    "bitmap_pages_accessed",
-    "fact_io_requests",
-    "bitmap_io_requests",
-    "fact_pages_transferred",
-    "bitmap_pages_transferred",
-)
+
+def _evaluation_columns(evaluation: WorkloadEvaluation) -> EvaluationColumns:
+    """The evaluation's columns (columnarizing scalar-path records on demand)."""
+    columns = evaluation.columns
+    if columns is not None:
+        return columns
+    return EvaluationColumns.from_records(
+        evaluation.per_class, evaluation.layout.fragment_count
+    )
+
+
+@dataclass(frozen=True)
+class CandidateColumns:
+    """One evaluated candidate, flattened to columnar arrays.
+
+    Everything a candidate adds over its (re-derivable) layout: the columnar
+    evaluation block, the prefetch granules and the allocation vectors.
+    :meth:`materialize` rebuilds the full :class:`FragmentationCandidate`
+    under an engine context — valid exactly when the context's content
+    signatures match the key this record is stored under, which the
+    content-addressed cache guarantees.
+    """
+
+    #: The per-class evaluation state (one definition for the whole column
+    #: list — pool transport, cache views and the store all reuse it).
+    columns: EvaluationColumns
+    #: (fact_pages, bitmap_pages, fact_policy, bitmap_policy).
+    prefetch: Tuple[int, int, str, str]
+    allocation_scheme: str
+    allocation_disks: np.ndarray
+    allocation_pages: np.ndarray
+
+    @classmethod
+    def from_candidate(cls, candidate: FragmentationCandidate) -> "CandidateColumns":
+        """Flatten one evaluated candidate into its columnar record."""
+        setting = candidate.prefetch
+        allocation = candidate.allocation
+        return cls(
+            columns=_evaluation_columns(candidate.evaluation),
+            prefetch=(
+                setting.fact_pages,
+                setting.bitmap_pages,
+                setting.fact_policy.value,
+                setting.bitmap_policy.value,
+            ),
+            allocation_scheme=allocation.scheme,
+            allocation_disks=np.asarray(allocation.disk_of_fragment),
+            allocation_pages=np.asarray(allocation.fragment_pages),
+        )
+
+    def materialize(self, context, spec) -> FragmentationCandidate:
+        """Rebuild the candidate under ``context`` (layout re-derived).
+
+        ``context`` is an :class:`~repro.engine.executor.EngineContext`; the
+        layout is rebuilt from its schema/system (cheap — the per-fragment
+        arrays are lazy) and the shared bitmap scheme is reattached by
+        reference.
+        """
+        layout = build_layout(
+            context.schema,
+            spec,
+            fact_table=context.fact_name,
+            page_size_bytes=context.system.page_size_bytes,
+            max_fragments=max(context.config.max_fragments, 1),
+        )
+        fact_pages, bitmap_pages, fact_policy, bitmap_policy = self.prefetch
+        setting = PrefetchSetting(
+            fact_pages=fact_pages,
+            bitmap_pages=bitmap_pages,
+            fact_policy=PrefetchPolicy(fact_policy),
+            bitmap_policy=PrefetchPolicy(bitmap_policy),
+        )
+        evaluation = WorkloadEvaluation(
+            layout=layout, prefetch=setting, columns=self.columns
+        )
+        allocation = Allocation(
+            layout=layout,
+            system=context.system,
+            disk_of_fragment=self.allocation_disks,
+            fragment_pages=self.allocation_pages,
+            scheme=self.allocation_scheme,
+        )
+        return FragmentationCandidate(
+            spec=spec,
+            layout=layout,
+            bitmap_scheme=context.bitmap_scheme,
+            prefetch=setting,
+            evaluation=evaluation,
+            allocation=allocation,
+        )
 
 
 @dataclass(frozen=True)
@@ -60,7 +153,9 @@ class CandidateResultBatch:
     query_names: Tuple[str, ...]
     #: Workload share per class.
     weights: Tuple[float, ...]
-    #: (candidates × classes × len(PROFILE_FLOAT_FIELDS)+2) float64 cube.
+    #: (candidates,) int64 — layout fragment count per candidate.
+    fragments_total: np.ndarray
+    #: (candidates × classes × NUM_METRIC_FIELDS) float64 cube.
     metrics: np.ndarray
     #: (candidates × classes) int64.
     disks_used: np.ndarray
@@ -85,7 +180,12 @@ class CandidateResultBatch:
         indices: Sequence[int],
         candidates: Sequence[FragmentationCandidate],
     ) -> "CandidateResultBatch":
-        """Flatten evaluated candidates into the columnar form."""
+        """Flatten evaluated candidates into the columnar form.
+
+        Vectorized-path candidates already carry their metric block
+        (:attr:`WorkloadEvaluation.columns`), so flattening is a row copy;
+        scalar-path candidates are columnarized field by field.
+        """
         if len(indices) != len(candidates):
             raise AdvisorError(
                 f"result batch got {len(indices)} indices for "
@@ -93,14 +193,16 @@ class CandidateResultBatch:
             )
         if not candidates:
             raise AdvisorError("a result batch needs at least one candidate")
-        first = candidates[0].evaluation.per_class
-        query_names = tuple(cost.query_name for cost in first)
-        weights = tuple(cost.weight for cost in first)
+        first = _evaluation_columns(candidates[0].evaluation)
+        query_names = first.query_names
+        weights = first.weights
         num_candidates = len(candidates)
         num_classes = len(query_names)
-        num_fields = len(PROFILE_FLOAT_FIELDS) + 2
 
-        metrics = np.empty((num_candidates, num_classes, num_fields), dtype=np.float64)
+        fragments_total = np.empty(num_candidates, dtype=np.int64)
+        metrics = np.empty(
+            (num_candidates, num_classes, NUM_METRIC_FIELDS), dtype=np.float64
+        )
         disks_used = np.empty((num_candidates, num_classes), dtype=np.int64)
         sequential = np.empty((num_candidates, num_classes), dtype=bool)
         forced = np.empty((num_candidates, num_classes), dtype=bool)
@@ -110,23 +212,17 @@ class CandidateResultBatch:
         allocation_disks = []
         allocation_pages = []
         for k, candidate in enumerate(candidates):
-            per_class = candidate.evaluation.per_class
-            if len(per_class) != num_classes:
+            columns = _evaluation_columns(candidate.evaluation)
+            if columns.num_classes != num_classes:
                 raise AdvisorError(
                     "candidates of one batch must share their query classes"
                 )
-            attribute_rows = []
-            for c, cost in enumerate(per_class):
-                profile = cost.profile
-                for f, field in enumerate(PROFILE_FLOAT_FIELDS):
-                    metrics[k, c, f] = getattr(profile, field)
-                metrics[k, c, -2] = cost.io_cost_ms
-                metrics[k, c, -1] = cost.response_time_ms
-                disks_used[k, c] = cost.disks_used
-                sequential[k, c] = profile.sequential_fact_access
-                forced[k, c] = profile.forced_full_scan
-                attribute_rows.append(profile.bitmap_attributes_used)
-            attributes_used.append(tuple(attribute_rows))
+            fragments_total[k] = columns.fragments_total
+            metrics[k] = columns.metrics
+            disks_used[k] = columns.disks_used
+            sequential[k] = columns.sequential
+            forced[k] = columns.forced
+            attributes_used.append(columns.attributes_used)
             setting = candidate.prefetch
             prefetch.append(
                 (
@@ -145,6 +241,7 @@ class CandidateResultBatch:
             indices=tuple(indices),
             query_names=query_names,
             weights=weights,
+            fragments_total=fragments_total,
             metrics=metrics,
             disks_used=disks_used,
             sequential=sequential,
@@ -156,77 +253,33 @@ class CandidateResultBatch:
             allocation_pages=tuple(allocation_pages),
         )
 
+    def candidate_columns(self, k: int) -> CandidateColumns:
+        """The columnar record of the chunk's ``k``-th candidate (row copies)."""
+        return CandidateColumns(
+            columns=EvaluationColumns(
+                query_names=self.query_names,
+                weights=self.weights,
+                fragments_total=int(self.fragments_total[k]),
+                metrics=self.metrics[k].copy(),
+                disks_used=self.disks_used[k].copy(),
+                sequential=self.sequential[k].copy(),
+                forced=self.forced[k].copy(),
+                attributes_used=self.attributes_used[k],
+            ),
+            prefetch=self.prefetch[k],
+            allocation_scheme=self.allocation_schemes[k],
+            allocation_disks=self.allocation_disks[k],
+            allocation_pages=self.allocation_pages[k],
+        )
+
     def to_candidates(self, context) -> List[Tuple[int, FragmentationCandidate]]:
         """Re-materialize ``(index, candidate)`` pairs from the columns.
 
         ``context`` is the :class:`~repro.engine.executor.EngineContext` the
-        chunk was evaluated under; layouts are rebuilt from its specs (cheap —
-        the per-fragment arrays are lazy) and the shared bitmap scheme is
-        reattached by reference.
+        chunk was evaluated under; the rebuilt evaluations stay columnar, so
+        no per-class record graph is materialized on the transport path.
         """
-        pairs: List[Tuple[int, FragmentationCandidate]] = []
-        for k, index in enumerate(self.indices):
-            spec = context.specs[index]
-            layout = build_layout(
-                context.schema,
-                spec,
-                fact_table=context.fact_name,
-                page_size_bytes=context.system.page_size_bytes,
-                max_fragments=max(context.config.max_fragments, 1),
-            )
-            fact_pages, bitmap_pages, fact_policy, bitmap_policy = self.prefetch[k]
-            setting = PrefetchSetting(
-                fact_pages=fact_pages,
-                bitmap_pages=bitmap_pages,
-                fact_policy=PrefetchPolicy(fact_policy),
-                bitmap_policy=PrefetchPolicy(bitmap_policy),
-            )
-            per_class = []
-            for c, query_name in enumerate(self.query_names):
-                values = self.metrics[k, c]
-                fields = {
-                    field: float(values[f])
-                    for f, field in enumerate(PROFILE_FLOAT_FIELDS)
-                }
-                profile = QueryAccessProfile(
-                    query_name=query_name,
-                    fragments_total=layout.fragment_count,
-                    sequential_fact_access=bool(self.sequential[k, c]),
-                    forced_full_scan=bool(self.forced[k, c]),
-                    bitmap_attributes_used=self.attributes_used[k][c],
-                    **fields,
-                )
-                per_class.append(
-                    QueryCost(
-                        query_name=query_name,
-                        weight=self.weights[c],
-                        profile=profile,
-                        io_cost_ms=float(values[-2]),
-                        response_time_ms=float(values[-1]),
-                        disks_used=int(self.disks_used[k, c]),
-                    )
-                )
-            evaluation = WorkloadEvaluation(
-                layout=layout, prefetch=setting, per_class=tuple(per_class)
-            )
-            allocation = Allocation(
-                layout=layout,
-                system=context.system,
-                disk_of_fragment=self.allocation_disks[k],
-                fragment_pages=self.allocation_pages[k],
-                scheme=self.allocation_schemes[k],
-            )
-            pairs.append(
-                (
-                    index,
-                    FragmentationCandidate(
-                        spec=spec,
-                        layout=layout,
-                        bitmap_scheme=context.bitmap_scheme,
-                        prefetch=setting,
-                        evaluation=evaluation,
-                        allocation=allocation,
-                    ),
-                )
-            )
-        return pairs
+        return [
+            (index, self.candidate_columns(k).materialize(context, context.specs[index]))
+            for k, index in enumerate(self.indices)
+        ]

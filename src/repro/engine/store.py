@@ -9,15 +9,14 @@ construction: a :class:`CacheStore` spills them under a cache directory and a
 later process reloads them, making repeated invocations and tuning sessions
 start warm.
 
-On-disk format
---------------
+On-disk format (version 2)
+--------------------------
 
 ``entries.sqlite``
-    One row per candidate / scalar access-structure entry: the cache key
-    (salt-prefixed, JSON-encoded tuple of content signatures) plus the pickled
-    value.  Candidates and scalar structures are arbitrary frozen-dataclass
-    graphs, so pickle is the natural container; sqlite gives atomic reads over
-    the many small blobs.
+    One row per *scalar* access-structure entry (arbitrary frozen-dataclass
+    graphs, pickled) and per candidate-exclusion report (JSON): the cache key
+    (salt-prefixed, JSON-encoded tuple of content signatures) plus the
+    payload.  Sqlite gives atomic reads over the many small blobs.
 
 ``structures.npz``
     The class-axis structure batches
@@ -26,10 +25,20 @@ On-disk format
     ``.npz`` (CRC-checked zip of ``.npy`` members) — binary-exact floats, no
     pickle needed.
 
+``candidates.npz``
+    Whole-candidate entries as **columnar groups**: all candidates sharing
+    one (query classes, weights) shape stack into one metric cube, one disk
+    plane, two flag planes and two concatenated allocation vectors, plus one
+    JSON metadata member per group.  This replaces the per-candidate pickled
+    blob of format 1: a warm process reads a handful of bulk numpy arrays
+    instead of unpickling one object graph per spec, and the loaded entries
+    stay *deferred* (:class:`~repro.engine.result.CandidateColumns`) until a
+    warm probe materializes them under the probing engine context.
+
 Invalidation and trust
 ----------------------
 
-Both files carry a **salt**: a digest over the store format version and the
+All files carry a **salt**: a digest over the store format version and the
 ``repro`` package version.  Every persisted key is prefixed with the same
 salt.  A store written by a different format or package version, a truncated
 or corrupted file, or an entry that fails to decode is **silently ignored,
@@ -48,9 +57,9 @@ never a partial file.  Writers are last-one-wins; since every save dumps the
 writer's whole in-memory cache (which includes everything it loaded), the
 surviving store is always a superset of that writer's view.
 
-The pickled entries are loaded with :mod:`pickle`, so a cache directory must
-be trusted to the same degree as the code itself — point ``--cache-dir`` at a
-directory you own, not at a shared download location.
+The scalar structure entries are loaded with :mod:`pickle`, so a cache
+directory must be trusted to the same degree as the code itself — point
+``--cache-dir`` at a directory you own, not at a shared download location.
 """
 
 from __future__ import annotations
@@ -70,18 +79,22 @@ __all__ = [
     "STORE_FORMAT_VERSION",
     "ENTRIES_FILENAME",
     "BATCHES_FILENAME",
+    "CANDIDATES_FILENAME",
     "CacheStore",
     "store_salt",
 ]
 
 #: Bump on any incompatible change to the on-disk layout; old stores are then
-#: silently ignored (and overwritten on the next save).
-STORE_FORMAT_VERSION = 1
+#: silently ignored (and overwritten on the next save).  Version 2 introduced
+#: the columnar candidate file and the exclusion-report rows.
+STORE_FORMAT_VERSION = 2
 
-#: Candidate and scalar-structure entries (sqlite, pickled values).
+#: Scalar-structure and exclusion-report entries (sqlite).
 ENTRIES_FILENAME = "entries.sqlite"
 #: Class-axis structure batches (single npz, numpy columns).
 BATCHES_FILENAME = "structures.npz"
+#: Whole-candidate entries (single npz, columnar groups).
+CANDIDATES_FILENAME = "candidates.npz"
 
 #: numpy-array fields of :class:`~repro.costmodel.batch.AccessStructureBatch`,
 #: spilled verbatim as npz columns (dtypes preserved, floats binary-exact).
@@ -149,7 +162,7 @@ class CacheStore:
 
     @property
     def entries_path(self) -> str:
-        """Path of the sqlite entry file (candidates + scalar structures)."""
+        """Path of the sqlite entry file (scalar structures + reports)."""
         return os.path.join(self.cache_dir, ENTRIES_FILENAME)
 
     @property
@@ -157,23 +170,37 @@ class CacheStore:
         """Path of the npz batch file (class-axis structure batches)."""
         return os.path.join(self.cache_dir, BATCHES_FILENAME)
 
+    @property
+    def candidates_path(self) -> str:
+        """Path of the npz candidate file (columnar candidate groups)."""
+        return os.path.join(self.cache_dir, CANDIDATES_FILENAME)
+
     # -- load -------------------------------------------------------------------
 
-    def load(self) -> Tuple[Dict[Tuple[str, ...], Any], Dict[Tuple[str, ...], Any]]:
-        """Read the store: ``(structure entries, candidate entries)``.
+    def load(
+        self,
+    ) -> Tuple[
+        Dict[Tuple[str, ...], Any],
+        Dict[Tuple[str, ...], Any],
+        Dict[Tuple[str, ...], Any],
+    ]:
+        """Read the store: ``(structures, candidates, exclusion reports)``.
 
         Structure entries cover both the scalar per-query structures and the
-        class-axis batches (they share one cache dict).  Returns empty dicts
-        for anything missing, corrupted or version-mismatched.
+        class-axis batches (they share one cache dict); candidate entries are
+        deferred :class:`~repro.engine.result.CandidateColumns` records.
+        Returns empty dicts for anything missing, corrupted or
+        version-mismatched.
         """
         structures = self._load_batches()
-        scalar, candidates = self._load_entries()
+        scalar, reports = self._load_entries()
         structures.update(scalar)
-        return structures, candidates
+        candidates = self._load_candidates()
+        return structures, candidates, reports
 
     def _load_entries(self):
         structures: Dict[Tuple[str, ...], Any] = {}
-        candidates: Dict[Tuple[str, ...], Any] = {}
+        reports: Dict[Tuple[str, ...], Any] = {}
         path = self.entries_path
         try:
             if not os.path.exists(path):
@@ -197,16 +224,18 @@ class CacheStore:
                         key = _decode_key(self.salt, key_text)
                         if key is None:
                             continue
-                        value = pickle.loads(payload)
+                        if kind == "report":
+                            reports[key] = json.loads(payload.decode("utf-8"))
+                        else:
+                            structures[key] = pickle.loads(payload)
                     except Exception:
                         continue
-                    (candidates if kind == "candidate" else structures)[key] = value
             finally:
                 connection.close()
         except Exception:
             # Stale format, truncated file, undecodable entry: never trusted.
             return {}, {}
-        return structures, candidates
+        return structures, reports
 
     def _load_batches(self) -> Dict[Tuple[str, ...], Any]:
         from repro.costmodel.batch import AccessStructureBatch
@@ -245,12 +274,83 @@ class CacheStore:
             return {}
         return entries
 
+    def _load_candidates(self) -> Dict[Tuple[str, ...], Any]:
+        from repro.costmodel import EvaluationColumns
+        from repro.engine.result import CandidateColumns
+
+        entries: Dict[Tuple[str, ...], Any] = {}
+        path = self.candidates_path
+        try:
+            if not os.path.exists(path):
+                return {}
+            with np.load(path, allow_pickle=False) as data:
+                if str(data["__salt__"][()]) != self.salt:
+                    return {}
+                num_groups = int(data["__groups__"][()])
+                for g in range(num_groups):
+                    # Per-group skip: one bad group forfeits its candidates
+                    # only, not the whole warm start.
+                    try:
+                        meta = json.loads(str(data[f"c{g}/meta"][()]))
+                        metrics = data[f"c{g}/metrics"]
+                        disks = data[f"c{g}/disks"]
+                        sequential = data[f"c{g}/sequential"]
+                        forced = data[f"c{g}/forced"]
+                        alloc_disks = data[f"c{g}/alloc_disks"]
+                        alloc_pages = data[f"c{g}/alloc_pages"]
+                        query_names = tuple(meta["query_names"])
+                        weights = tuple(meta["weights"])
+                        offsets = meta["alloc_offsets"]
+                    except Exception:
+                        continue
+                    for j, key_parts in enumerate(meta["keys"]):
+                        try:
+                            key = _decode_key(self.salt, json.dumps(key_parts))
+                            if key is None:
+                                continue
+                            entries[key] = CandidateColumns(
+                                columns=EvaluationColumns(
+                                    query_names=query_names,
+                                    weights=weights,
+                                    fragments_total=int(
+                                        meta["fragments_total"][j]
+                                    ),
+                                    metrics=metrics[j],
+                                    disks_used=disks[j],
+                                    sequential=sequential[j],
+                                    forced=forced[j],
+                                    attributes_used=tuple(
+                                        tuple(
+                                            tuple(pair)
+                                            for pair in class_attributes
+                                        )
+                                        for class_attributes in meta[
+                                            "attributes_used"
+                                        ][j]
+                                    ),
+                                ),
+                                prefetch=tuple(meta["prefetch"][j]),
+                                allocation_scheme=meta["allocation_schemes"][j],
+                                allocation_disks=alloc_disks[
+                                    offsets[j] : offsets[j + 1]
+                                ],
+                                allocation_pages=alloc_pages[
+                                    offsets[j] : offsets[j + 1]
+                                ],
+                            )
+                        except Exception:
+                            continue
+        except Exception:
+            return {}
+        return entries
+
     # -- save -------------------------------------------------------------------
 
     def save(
         self,
         structures: Mapping[Tuple[str, ...], Any],
         candidates: Mapping[Tuple[str, ...], Any],
+        reports: Optional[Mapping[Tuple[str, ...], Any]] = None,
     ) -> Optional[int]:
         """Atomically replace the store with the given cache content.
 
@@ -260,17 +360,19 @@ class CacheStore:
         """
         from repro.costmodel.batch import AccessStructureBatch
 
+        reports = {} if reports is None else reports
         scalar: Dict[Tuple[str, ...], Any] = {}
         batches: Dict[Tuple[str, ...], Any] = {}
         for key, value in structures.items():
             (batches if isinstance(value, AccessStructureBatch) else scalar)[key] = value
         try:
             os.makedirs(self.cache_dir, exist_ok=True)
-            self._save_entries(scalar, candidates)
+            self._save_entries(scalar, reports)
             self._save_batches(batches)
+            self._save_candidates(candidates)
         except Exception:
             return None
-        return len(scalar) + len(candidates) + len(batches)
+        return len(scalar) + len(candidates) + len(batches) + len(reports)
 
     def _atomic_write(self, final_path: str, write):
         """Run ``write(tmp_path)`` then rename the temp file into place."""
@@ -285,7 +387,7 @@ class CacheStore:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
 
-    def _save_entries(self, structures, candidates) -> None:
+    def _save_entries(self, structures, reports) -> None:
         def write(tmp_path: str) -> None:
             connection = sqlite3.connect(tmp_path)
             try:
@@ -300,15 +402,19 @@ class CacheStore:
                 rows = [
                     (
                         _encode_key(self.salt, key),
-                        kind,
+                        "structure",
                         pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
                     )
-                    for kind, entries in (
-                        ("structure", structures),
-                        ("candidate", candidates),
-                    )
-                    for key, value in entries.items()
+                    for key, value in structures.items()
                 ]
+                rows.extend(
+                    (
+                        _encode_key(self.salt, key),
+                        "report",
+                        json.dumps(payload).encode("utf-8"),
+                    )
+                    for key, payload in reports.items()
+                )
                 connection.executemany(
                     "INSERT OR REPLACE INTO entries VALUES (?, ?, ?)", rows
                 )
@@ -345,3 +451,74 @@ class CacheStore:
                 np.savez(handle, **arrays)
 
         self._atomic_write(self.batches_path, write)
+
+    def _save_candidates(self, candidates) -> None:
+        from repro.engine.result import CandidateColumns
+
+        # Group the candidates by class shape: every group stacks into one
+        # metric cube plus concatenated allocation vectors.  Weight floats
+        # round-trip exactly through JSON (repr-based shortest encoding);
+        # every metric float stays binary in the npz.
+        groups: Dict[Tuple, list] = {}
+        for key, value in candidates.items():
+            record = (
+                value
+                if isinstance(value, CandidateColumns)
+                else CandidateColumns.from_candidate(value)
+            )
+            shape = (record.columns.query_names, record.columns.weights)
+            groups.setdefault(shape, []).append((key, record))
+
+        arrays: Dict[str, np.ndarray] = {
+            "__salt__": np.array(self.salt),
+            "__groups__": np.array(len(groups)),
+        }
+        for g, ((query_names, weights), members) in enumerate(groups.items()):
+            offsets = [0]
+            for _, record in members:
+                offsets.append(offsets[-1] + len(record.allocation_disks))
+            meta = {
+                "keys": [[self.salt, *key] for key, _ in members],
+                "query_names": list(query_names),
+                "weights": list(weights),
+                "fragments_total": [
+                    record.columns.fragments_total for _, record in members
+                ],
+                "prefetch": [list(record.prefetch) for _, record in members],
+                "allocation_schemes": [
+                    record.allocation_scheme for _, record in members
+                ],
+                "attributes_used": [
+                    [
+                        [list(pair) for pair in class_attributes]
+                        for class_attributes in record.columns.attributes_used
+                    ]
+                    for _, record in members
+                ],
+                "alloc_offsets": offsets,
+            }
+            arrays[f"c{g}/meta"] = np.array(json.dumps(meta))
+            arrays[f"c{g}/metrics"] = np.stack(
+                [record.columns.metrics for _, record in members]
+            )
+            arrays[f"c{g}/disks"] = np.stack(
+                [record.columns.disks_used for _, record in members]
+            )
+            arrays[f"c{g}/sequential"] = np.stack(
+                [record.columns.sequential for _, record in members]
+            )
+            arrays[f"c{g}/forced"] = np.stack(
+                [record.columns.forced for _, record in members]
+            )
+            arrays[f"c{g}/alloc_disks"] = np.concatenate(
+                [record.allocation_disks for _, record in members]
+            )
+            arrays[f"c{g}/alloc_pages"] = np.concatenate(
+                [record.allocation_pages for _, record in members]
+            )
+
+        def write(tmp_path: str) -> None:
+            with open(tmp_path, "wb") as handle:
+                np.savez(handle, **arrays)
+
+        self._atomic_write(self.candidates_path, write)

@@ -27,6 +27,7 @@ __all__ = [
     "PrefetchSetting",
     "prefetch_candidates",
     "optimal_prefetch_pages",
+    "optimal_prefetch_pages_batch",
     "expected_run_read_time_ms",
 ]
 
@@ -150,6 +151,74 @@ def optimal_prefetch_pages(
             best_cost = float(cost)
             best_granule = granule
     return best_granule
+
+
+def optimal_prefetch_pages_batch(
+    run_matrix,
+    disk: DiskParameters,
+    page_size_bytes: int,
+    weights: Sequence[float] = (),
+    max_pages: int = MAX_PREFETCH_PAGES,
+) -> List[int]:
+    """Optimal granules for a whole (candidate × class) run-length matrix.
+
+    The candidate-axis twin of :func:`optimal_prefetch_pages`: one row per
+    fragmentation candidate, evaluated as a single (candidate × class ×
+    granule) cost tensor.  Bit-identical to the per-row scalar call: the
+    per-pair cost arithmetic is the same elementwise expression, the class
+    axis is reduced with the same sequential accumulation, and zero-length
+    runs cost nothing — which also makes the unweighted form equivalent to
+    the scalar path's "filter the positive runs first" (adding an exact 0.0
+    never changes a sum), including the all-zero row that degenerates to
+    granule 1.
+    """
+    candidates = prefetch_candidates(max_pages)
+    granules = np.asarray(candidates, dtype=np.float64)
+    runs = np.asarray(run_matrix, dtype=np.float64)
+    if runs.ndim != 2:
+        raise StorageError(
+            f"run matrix must be 2-D (candidates x classes), got {runs.ndim}-D"
+        )
+    if (runs < 0).any():
+        raise StorageError("run lengths must be non-negative")
+    num_candidates, num_classes = runs.shape
+    if num_classes == 0:
+        raise StorageError("optimal_prefetch_pages requires at least one run length")
+    if len(weights):
+        if len(weights) != num_classes:
+            raise StorageError(
+                f"weights length ({len(weights)}) must match run lengths "
+                f"({num_classes})"
+            )
+        weight_list = [float(w) for w in weights]
+        if any(w < 0 for w in weight_list):
+            raise StorageError("weights must be non-negative")
+        if sum(weight_list) == 0:
+            weight_list = [1.0] * num_classes
+    else:
+        weight_list = [1.0] * num_classes
+
+    runs3 = runs[:, :, None]
+    requests = np.maximum(1.0, np.ceil(runs3 / granules[None, None, :]))
+    page_time = disk.page_transfer_time_ms(page_size_bytes)
+    per_run = (
+        requests * disk.positioning_time_ms
+        + requests * granules[None, None, :] * page_time
+    )
+    per_run = np.where(runs3 == 0.0, 0.0, per_run)
+    weight_array = np.asarray(weight_list, dtype=np.float64)[None, :, None]
+    costs = (weight_array * per_run).sum(axis=1)
+
+    best: List[int] = []
+    for row in costs.tolist():
+        best_granule = 1
+        best_cost = float("inf")
+        for granule, cost in zip(candidates, row):
+            if cost < best_cost - 1e-12:
+                best_cost = cost
+                best_granule = granule
+        best.append(best_granule)
+    return best
 
 
 @dataclass(frozen=True)

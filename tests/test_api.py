@@ -71,6 +71,15 @@ class TestEngineOptions:
             with pytest.raises(AdvisorError):
                 EngineOptions(**{field: "yes"})
 
+    def test_vectorize_modes_normalize(self):
+        assert EngineOptions().vectorize_mode == "candidates"
+        assert EngineOptions(vectorize=True).vectorize_mode == "candidates"
+        assert EngineOptions(vectorize=False).vectorize_mode == "none"
+        for mode in ("none", "classes", "candidates"):
+            assert EngineOptions(vectorize=mode).vectorize_mode == mode
+        with pytest.raises(AdvisorError):
+            EngineOptions(vectorize="rows")
+
     def test_rejects_empty_cache_dir(self):
         with pytest.raises(AdvisorError):
             EngineOptions(cache_dir="")

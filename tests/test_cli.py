@@ -174,6 +174,27 @@ class TestVectorizeFlag:
         scalar = json.loads(capsys.readouterr().out)
         assert vectorized == scalar
 
+    def test_vectorize_mode_flag_outputs_are_identical(self, capsys):
+        outputs = []
+        for mode in ("candidates", "classes", "none"):
+            assert (
+                main(["recommend", *self.COMMON, "--json", "--vectorize", mode]) == 0
+            )
+            outputs.append(json.loads(capsys.readouterr().out))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_vectorize_mode_rejects_unknown_values(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recommend", "--vectorize", "rows"])
+
+    def test_no_vectorize_wins_over_vectorize_mode(self):
+        from repro.cli import _engine_options
+
+        args = build_parser().parse_args(
+            ["recommend", "--no-vectorize", "--vectorize", "candidates"]
+        )
+        assert _engine_options(args).vectorize_mode == "none"
+
 
 class TestModuleSmoke:
     """`python -m repro.cli <command>` exits 0 on the bundled example config."""

@@ -72,6 +72,41 @@ class TestEvaluationPlan:
             max(1, cost) for cost in plan.spec_costs
         )
 
+    def test_axis_groups_group_by_structure_and_split_on_max_size(self, toy_advisor):
+        specs, _ = toy_advisor.generate_specs()
+        plan = EvaluationPlan.build(specs, toy_advisor.workload, toy_advisor.schema)
+        groups = plan.axis_groups()
+        flat = sorted(index for group in groups for index in group)
+        assert flat == list(range(len(specs)))
+        for group in groups:
+            structures = {plan.specs[index].axis_structure for index in group}
+            assert len(structures) == 1
+            assert group == sorted(group)
+        # Splitting bounds the chunk size but keeps chunks group-pure.
+        split = plan.axis_groups(max_size=1)
+        assert all(len(chunk) == 1 for chunk in split)
+        assert sorted(index for chunk in split for index in chunk) == flat
+
+    def test_grouped_partition_splits_a_dominant_group_across_workers(self):
+        from repro import synthetic_schema
+        from repro.fragmentation import FragmentationSpec
+        from repro.workload.generator import random_query_mix
+
+        schema = synthetic_schema(
+            num_dimensions=3, levels_per_dimension=3, bottom_cardinality=60
+        )
+        workload = random_query_mix(schema, num_classes=3, seed=1)
+        # Every spec fragments dim0 (one axis structure): without group
+        # splitting the whole sweep would land on a single worker.
+        specs = [
+            FragmentationSpec.of(("dim0", f"d0_l{level}")) for level in range(3)
+        ]
+        plan = EvaluationPlan.build(specs, workload, schema)
+        assert len(plan.axis_groups()) == 1
+        chunks = plan.partition_indices(range(len(specs)), 2, by_axis_structure=True)
+        assert len(chunks) == 2
+        assert sorted(index for chunk in chunks for index in chunk) == [0, 1, 2]
+
     def test_partition_rejects_nonpositive_jobs(self, toy_advisor):
         specs, _ = toy_advisor.generate_specs()
         plan = EvaluationPlan.build(specs, toy_advisor.workload, toy_advisor.schema)

@@ -99,10 +99,14 @@ def _golden_path(name: str) -> Path:
     return GOLDEN_DIR / f"{name}_recommendation.json"
 
 
-@pytest.mark.parametrize("vectorize", [True, False], ids=["vectorized", "scalar"])
+@pytest.mark.parametrize(
+    "vectorize",
+    ["candidates", "classes", False],
+    ids=["candidate-axis", "class-axis", "scalar"],
+)
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
 def test_recommendation_matches_golden_snapshot(name, vectorize):
-    """Both cost paths must reproduce the pinned snapshot bit-for-bit."""
+    """Every cost path must reproduce the pinned snapshot bit-for-bit."""
     path = _golden_path(name)
     assert path.exists(), (
         f"golden snapshot {path} missing; regenerate with "

@@ -87,7 +87,16 @@ class TestSerialParallelParity:
         advisor = Warlock(schema, workload, system, config)
         cold = advisor.recommend()
         cold_lookups = advisor.cache.stats.lookups
-        warm = advisor.recommend()
+        # A repeated identical recommend() on the same session answers O(1)
+        # from the input-fingerprint memo: zero additional cache probes.
+        memoized = advisor.recommend()
+        assert advisor.cache.stats.lookups == cold_lookups
+        assert recommendation_fingerprint(cold) == recommendation_fingerprint(memoized)
+        # A fresh advisor sharing the cache answers the sweep warm.
+        warm_advisor = Warlock(
+            schema, workload, system, config, cache=advisor.cache
+        )
+        warm = warm_advisor.recommend()
         assert advisor.cache.stats.hits > 0
         assert advisor.cache.stats.lookups > cold_lookups
         assert recommendation_fingerprint(cold) == recommendation_fingerprint(warm)
@@ -121,8 +130,12 @@ def test_parallel_sweep_populates_the_shared_cache():
     # Structures are merged back too: studies varying the system reuse them.
     assert len(cache._structures) >= len(first.evaluated)
     cache.reset_stats()
-    warm = advisor.recommend()
-    # A fully warm parallel sweep is answered without recomputation.
+    # A fresh advisor sharing the cache (the same advisor would answer from
+    # its recommend() memo without probing at all): fully warm parallel
+    # sweeps are answered without recomputation.
+    warm = Warlock(
+        schema, workload, system, config, cache=cache, options=EngineOptions(jobs=4)
+    ).recommend()
     assert cache.stats.candidate_hits == len(first.evaluated)
     assert cache.stats.misses == 0
     assert recommendation_fingerprint(first) == recommendation_fingerprint(warm)

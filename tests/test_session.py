@@ -314,3 +314,148 @@ class TestSessionLifecycle:
         schema, workload, system, config = scenario
         with pytest.raises(AdvisorError):
             AdvisorSession(schema, workload, system, config, options={"jobs": 2})
+
+
+class TestRecommendMemo:
+    """A repeated identical recommend() answers O(1) from the session memo."""
+
+    def test_second_recommend_does_zero_sweep_work(self, scenario, monkeypatch):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        first = session.recommend()
+        lookups = session.stats.lookups
+
+        def explode(*args, **kwargs):  # pragma: no cover - must never run
+            raise AssertionError("memoized recommend() must not sweep")
+
+        # The memo must short-circuit before enumeration AND evaluation.
+        monkeypatch.setattr(session, "generate_specs", explode)
+        monkeypatch.setattr(session.engine, "evaluate_specs", explode)
+        second = session.recommend()
+        assert second is first
+        # Zero additional cache probes: the answer is O(1).
+        assert session.stats.lookups == lookups
+
+    def test_memoized_recommend_still_reports_completion(self, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        first = session.recommend()
+        events = []
+        session.recommend(on_progress=events.append)
+        assert len(events) == 1
+        assert events[0].completed == events[0].total == len(
+            first.recommendation.evaluated
+        )
+
+    def test_tune_after_recommend_reuses_the_memo(self, scenario, monkeypatch):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        best = session.recommend().best.spec
+        monkeypatch.setattr(
+            session.engine,
+            "evaluate_specs",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError("swept")),
+        )
+        # The implicit recommend inside tune(spec=None) answers from the memo
+        # (per-setting evaluations go through evaluate_spec, not the sweep).
+        result = session.tune("disks", settings=(8, 16))
+        assert result.study.settings == ["8", "16"]
+        assert best.label  # the memoized best spec drove the study
+
+    def test_pre_set_cancel_beats_the_memo(self, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        session.recommend()  # memo populated
+        token = CancellationToken()
+        token.cancel()
+        # The cancellation contract holds even for memoized answers.
+        with pytest.raises(EvaluationCancelled):
+            session.recommend(cancel=token)
+
+    def test_uncached_sessions_do_not_memoize(self, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(
+            schema, workload, system, config, options=EngineOptions(cache=False)
+        )
+        first = session.recommend()
+        second = session.recommend()
+        assert first is not second
+        assert first.fingerprint == second.fingerprint
+
+    def test_derived_sessions_do_not_inherit_the_memo(self, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        base = session.recommend()
+        edited = session.with_delta(disks=64)
+        assert edited.recommend().fingerprint != "" 
+        assert edited.recommend() is not base
+
+
+class TestCompiledInputSharing:
+    """with_delta reuse of compiled matrices and exclusion reports."""
+
+    def test_system_only_delta_reuses_the_compiled_class_matrix(self, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        matrix = session.engine.class_matrix()
+        edited = session.with_delta(disks=64)
+        # Same (schema, workload, scheme): the shared cache hands the derived
+        # session the identical compiled object, no re-compilation.
+        assert edited.engine.class_matrix() is matrix
+        # A workload edit changes the compilation inputs: fresh matrix.
+        heavier = next(iter(workload)).name
+        reweighted = session.with_delta(mix_weights={heavier: 7.0})
+        assert reweighted.engine.class_matrix() is not matrix
+
+    def test_exclusion_report_is_cached_and_not_rederived(self, scenario, monkeypatch):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        specs, report = session.generate_specs()
+
+        import repro.api.session as session_module
+
+        def explode(*args, **kwargs):  # pragma: no cover - must never run
+            raise AssertionError("cached generate_specs must not re-derive")
+
+        monkeypatch.setattr(session_module, "evaluate_thresholds", explode)
+        monkeypatch.setattr(
+            session_module, "enumerate_point_fragmentations", explode
+        )
+        again_specs, again_report = session.generate_specs()
+        assert [spec.label for spec in again_specs] == [
+            spec.label for spec in specs
+        ]
+        assert again_report.considered == report.considered
+        assert again_report.excluded == report.excluded
+
+    def test_exclusion_report_warm_starts_from_disk(self, scenario, tmp_path, monkeypatch):
+        schema, workload, system, config = scenario
+        store = tmp_path / "cache"
+        cold = AdvisorSession(
+            schema, workload, system, config,
+            options=EngineOptions(cache_dir=str(store)),
+        )
+        cold_result = cold.recommend()
+        cold.close()
+
+        warm = AdvisorSession(
+            schema, workload, system, config,
+            options=EngineOptions(cache_dir=str(store)),
+        )
+        import repro.api.session as session_module
+
+        def explode(*args, **kwargs):  # pragma: no cover - must never run
+            raise AssertionError("warm-from-disk run must not re-derive thresholds")
+
+        monkeypatch.setattr(session_module, "evaluate_thresholds", explode)
+        monkeypatch.setattr(
+            session_module, "enumerate_point_fragmentations", explode
+        )
+        warm_result = warm.recommend()
+        assert warm_result.fingerprint == cold_result.fingerprint
+        # The Recommendation diagnostics are reproduced, not re-derived.
+        cold_report = cold_result.recommendation.exclusion_report
+        warm_report = warm_result.recommendation.exclusion_report
+        assert warm_report.considered == cold_report.considered
+        assert warm_report.excluded == cold_report.excluded
+        assert warm_report.describe() == cold_report.describe()

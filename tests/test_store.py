@@ -26,7 +26,11 @@ from repro import (
     synthetic_schema,
 )
 from repro.engine import CacheStore, store_salt
-from repro.engine.store import BATCHES_FILENAME, ENTRIES_FILENAME
+from repro.engine.store import (
+    BATCHES_FILENAME,
+    CANDIDATES_FILENAME,
+    ENTRIES_FILENAME,
+)
 from repro.workload.generator import random_query_mix
 
 
@@ -57,21 +61,35 @@ def _advisor(scenario, cache_dir, jobs=1):
 
 
 class TestRoundTrip:
-    def test_cold_run_writes_both_store_files(self, scenario, tmp_path):
+    def test_cold_run_writes_all_store_files(self, scenario, tmp_path):
         advisor = _advisor(scenario, tmp_path)
         advisor.recommend()
         assert (tmp_path / ENTRIES_FILENAME).exists()
         assert (tmp_path / BATCHES_FILENAME).exists()
+        assert (tmp_path / CANDIDATES_FILENAME).exists()
         # No leftover temp files: saves are write-temp-then-rename.
         assert not list(tmp_path.glob("*.tmp"))
 
     def test_store_load_returns_the_saved_entries(self, scenario, tmp_path):
         advisor = _advisor(scenario, tmp_path)
         advisor.recommend()
-        structures, candidates = CacheStore(tmp_path).load()
+        structures, candidates, reports = CacheStore(tmp_path).load()
         assert len(candidates) == len(dict(advisor.cache._candidates))
         assert len(structures) == len(dict(advisor.cache.structure_items()))
         assert set(candidates) == set(advisor.cache._candidates)
+        # The candidate-exclusion report rides along with the store.
+        assert len(reports) == 1
+
+    def test_candidates_are_stored_columnar_not_pickled(self, scenario, tmp_path):
+        from repro.engine import CandidateColumns
+
+        advisor = _advisor(scenario, tmp_path)
+        advisor.recommend()
+        _structures, candidates, _reports = CacheStore(tmp_path).load()
+        assert candidates
+        assert all(
+            isinstance(value, CandidateColumns) for value in candidates.values()
+        )
 
     def test_batch_entries_round_trip_bit_exact(self, scenario, tmp_path):
         from repro.costmodel.batch import AccessStructureBatch
@@ -79,7 +97,7 @@ class TestRoundTrip:
 
         advisor = _advisor(scenario, tmp_path)
         advisor.recommend()
-        structures, _ = CacheStore(tmp_path).load()
+        structures, _, _ = CacheStore(tmp_path).load()
         original = dict(advisor.cache.structure_items())
         batches = {
             key: value
@@ -119,9 +137,10 @@ class TestWarmStartParity:
         assert recommendation_fingerprint(warm) == fingerprint
         assert warm_advisor.cache.stats.disk_hit_rate >= 0.9
 
-        # Corrupt both files in place: the store must be silently ignored.
+        # Corrupt every file in place: the store must be silently ignored.
         (tmp_path / ENTRIES_FILENAME).write_bytes(b"this is not a database")
         (tmp_path / BATCHES_FILENAME).write_bytes(b"\x00\x01garbage")
+        (tmp_path / CANDIDATES_FILENAME).write_bytes(b"\x00\x01garbage")
         corrupted_advisor = _advisor(scenario, tmp_path, jobs=jobs)
         corrupted = corrupted_advisor.recommend()
         assert recommendation_fingerprint(corrupted) == fingerprint
@@ -173,16 +192,27 @@ class TestFailureModes:
         assert (nested / ENTRIES_FILENAME).exists()
 
     def test_truncated_sqlite_only_still_loads_batches(self, scenario, tmp_path):
-        # The two files are validated independently: a corrupt entries file
-        # must not poison the (intact) batch file, and vice versa.
+        # The store files are validated independently: corrupt entry and
+        # candidate files must not poison the (intact) batch file.
         cold = _advisor(scenario, tmp_path)
         fingerprint = recommendation_fingerprint(cold.recommend())
         (tmp_path / ENTRIES_FILENAME).write_bytes(b"broken")
+        (tmp_path / CANDIDATES_FILENAME).write_bytes(b"broken")
         advisor = _advisor(scenario, tmp_path)
         result = advisor.recommend()
         assert recommendation_fingerprint(result) == fingerprint
         # Candidates were gone, but the class-axis batches warm-started.
         assert advisor.cache.loaded_from_disk > 0
+        assert advisor.cache.stats.structure_disk_hits > 0
+
+    def test_truncated_candidates_only_still_loads_the_rest(self, scenario, tmp_path):
+        cold = _advisor(scenario, tmp_path)
+        fingerprint = recommendation_fingerprint(cold.recommend())
+        (tmp_path / CANDIDATES_FILENAME).write_bytes(b"broken")
+        advisor = _advisor(scenario, tmp_path)
+        result = advisor.recommend()
+        assert recommendation_fingerprint(result) == fingerprint
+        assert advisor.cache.stats.candidate_disk_hits == 0
         assert advisor.cache.stats.structure_disk_hits > 0
 
 
@@ -216,12 +246,12 @@ class TestKeyEncoding:
         connection = sqlite3.connect(tmp_path / ENTRIES_FILENAME)
         connection.execute(
             "INSERT INTO entries VALUES (?, ?, ?)",
-            (_encode_key(store_salt(), ("bad-entry",)), "candidate", b"\x80truncated"),
+            (_encode_key(store_salt(), ("bad-entry",)), "structure", b"\x80truncated"),
         )
         connection.commit()
         connection.close()
-        _structures, candidates = CacheStore(tmp_path).load()
-        assert ("bad-entry",) not in candidates
+        structures, candidates, _reports = CacheStore(tmp_path).load()
+        assert ("bad-entry",) not in structures
         assert len(candidates) == len(dict(advisor.cache._candidates))
 
     def test_foreign_salted_rows_are_skipped_not_fatal(self, scenario, tmp_path):
@@ -236,13 +266,13 @@ class TestKeyEncoding:
         connection = sqlite3.connect(tmp_path / ENTRIES_FILENAME)
         connection.execute(
             "INSERT INTO entries VALUES (?, ?, ?)",
-            ('["foreign-salt", "x"]', "candidate", b"junk"),
+            ('["foreign-salt", "x"]', "structure", b"junk"),
         )
         connection.commit()
         connection.close()
-        structures, candidates = CacheStore(tmp_path).load()
+        structures, candidates, _reports = CacheStore(tmp_path).load()
         assert len(candidates) == len(dict(advisor.cache._candidates))
-        assert all(len(key) > 0 for key in candidates)
+        assert all(len(key) > 0 for key in structures)
 
 
 class TestCacheStoreHook:
@@ -266,7 +296,7 @@ class TestCacheStoreHook:
         advisor.cache.merge_structures([(("extra",), "entry")])
         assert advisor.cache.dirty
         advisor.cache.attach(CacheStore(dir_b))
-        structures_a, _ = CacheStore(dir_a).load()
+        structures_a, _, _ = CacheStore(dir_a).load()
         assert ("extra",) in structures_a
 
     def test_recomputed_entries_stop_counting_as_disk_hits(self):
@@ -291,7 +321,9 @@ class TestCacheStoreHook:
         advisor.recommend()
         store = CacheStore(tmp_path / "explicit")
         written = advisor.cache.save(store)
-        assert written == len(advisor.cache)
+        # Evaluation entries plus the one candidate-exclusion report (reports
+        # persist with the store but are not counted by len()).
+        assert written == len(advisor.cache) + 1
         fresh = EvaluationCache()
         assert fresh.load(store) == written
         assert len(fresh) == len(advisor.cache)

@@ -37,14 +37,18 @@ from repro import (
 )
 from repro.bitmap import design_bitmap_scheme
 from repro.costmodel import (
+    AccessStructureBatch2D,
     IOCostModel,
     compute_access_structure,
     compute_access_structure_batch,
+    compute_access_structure_batch_candidates,
     estimate_access,
     estimate_access_batch,
     evaluate_workload_batch,
+    evaluate_workload_batch_candidates,
     resolve_prefetch_setting,
     resolve_prefetch_setting_batch,
+    resolve_prefetch_settings_batch_candidates,
 )
 from repro.costmodel.model import _positioning_page_equivalent
 from repro.engine import CandidateResultBatch
@@ -225,6 +229,81 @@ class TestHypothesisSweep:
         )
 
 
+class TestCandidateAxisHypothesisSweep:
+    """Random layout stacks: candidate-axis slices == class-axis, bitwise."""
+
+    @PARITY_SETTINGS
+    @given(data=st.data())
+    def test_stacked_kernels_are_bit_identical_per_candidate(self, data):
+        import numpy as np
+
+        schema, workload, system, spec, scheme = _scenario(data.draw)
+        advisor = Warlock(
+            schema, workload, system, AdvisorConfig(max_fragments=MAX_FRAGMENTS)
+        )
+        specs, _ = advisor.generate_specs()
+        # The drawn spec's whole axis-structure group, stacked.
+        group = [s for s in specs if s.axis_structure == spec.axis_structure]
+        layouts = [
+            build_layout(
+                schema,
+                member,
+                page_size_bytes=system.page_size_bytes,
+                max_fragments=MAX_FRAGMENTS,
+            )
+            for member in group
+        ]
+        matrix = ClassMatrix.compile(schema, workload, scheme)
+        stacked = compute_access_structure_batch_candidates(layouts, matrix)
+        prefetches = resolve_prefetch_settings_batch_candidates(
+            stacked, matrix, system
+        )
+        evaluations = evaluate_workload_batch_candidates(
+            layouts, stacked, matrix, system, prefetches
+        )
+
+        references = []
+        for k, layout in enumerate(layouts):
+            reference = compute_access_structure_batch(layout, matrix)
+            references.append(reference)
+            sliced = stacked.candidate(k)
+            for field in dataclasses.fields(reference):
+                ours = getattr(reference, field.name)
+                theirs = getattr(sliced, field.name)
+                if isinstance(ours, np.ndarray):
+                    assert ours.dtype == theirs.dtype, field.name
+                    assert np.array_equal(ours, theirs), (
+                        f"{layout.spec.label}: {field.name}"
+                    )
+                else:
+                    assert ours == theirs, f"{layout.spec.label}: {field.name}"
+            # Prefetch resolution: batched granule selection == per-layout.
+            assert prefetches[k] == resolve_prefetch_setting_batch(
+                reference, matrix, system
+            )
+            # Full per-class records and cached totals.
+            expected = evaluate_workload_batch(
+                layout, reference, matrix, system, prefetches[k]
+            )
+            assert expected.per_class == evaluations[k].per_class
+            assert expected.total_io_cost_ms == evaluations[k].total_io_cost_ms
+            assert (
+                expected.total_response_time_ms
+                == evaluations[k].total_response_time_ms
+            )
+
+        # stack() (the cache-mixing path) rebuilds the identical 2-D batch.
+        restacked = AccessStructureBatch2D.stack(references)
+        for field in dataclasses.fields(stacked):
+            ours = getattr(stacked, field.name)
+            theirs = getattr(restacked, field.name)
+            if isinstance(ours, np.ndarray):
+                assert ours.dtype == theirs.dtype, field.name
+                assert np.array_equal(ours, theirs), field.name
+            else:
+                assert ours == theirs, field.name
+
+
 def _advisor_inputs():
     schema = synthetic_schema(
         num_dimensions=4,
@@ -276,8 +355,19 @@ class TestAdvisorParityMatrix:
         )
         cold_v = vectorized_advisor.recommend()
         cold_s = scalar_advisor.recommend()
-        warm_v = vectorized_advisor.recommend()
-        warm_s = scalar_advisor.recommend()
+        # Warm runs through fresh advisors sharing the caches (the same
+        # advisor would answer from its recommend() memo without a sweep).
+        warm_v = Warlock(
+            schema, workload, system, config, cache=vectorized_advisor.cache
+        ).recommend()
+        warm_s = Warlock(
+            schema,
+            workload,
+            system,
+            config,
+            cache=scalar_advisor.cache,
+            options=EngineOptions(vectorize=False),
+        ).recommend()
         assert vectorized_advisor.cache.stats.hits > 0
         fingerprints = {
             recommendation_fingerprint(rec)
@@ -300,6 +390,81 @@ class TestAdvisorParityMatrix:
         assert recommendation_fingerprint(vectorized) == recommendation_fingerprint(
             scalar
         )
+
+
+class TestCandidateAxisParityMatrix:
+    """One fingerprint across mode × jobs × cold/warm-from-columnar-store."""
+
+    def test_modes_jobs_and_columnar_store_warmup_agree(self, tmp_path):
+        schema, workload, system, config = _advisor_inputs()
+        fingerprints = {}
+        for mode in ("none", "classes", "candidates"):
+            for jobs in (1, 4):
+                store_dir = tmp_path / f"{mode}-jobs{jobs}"
+                cold = Warlock(
+                    schema,
+                    workload,
+                    system,
+                    config,
+                    options=EngineOptions(
+                        jobs=jobs, vectorize=mode, cache_dir=str(store_dir)
+                    ),
+                ).recommend()
+                # A separate advisor warm-starts from the columnar store.
+                warm_advisor = Warlock(
+                    schema,
+                    workload,
+                    system,
+                    config,
+                    options=EngineOptions(
+                        jobs=jobs, vectorize=mode, cache_dir=str(store_dir)
+                    ),
+                )
+                warm = warm_advisor.recommend()
+                assert warm_advisor.cache.stats.candidate_disk_hits > 0, (
+                    f"{mode}/jobs={jobs}: warm run must answer from the "
+                    f"columnar candidate store"
+                )
+                fingerprints[(mode, jobs, "cold")] = recommendation_fingerprint(cold)
+                fingerprints[(mode, jobs, "warm")] = recommendation_fingerprint(warm)
+        assert len(set(fingerprints.values())) == 1, fingerprints
+
+    def test_group_evaluation_equals_per_spec_path_with_mixed_cache(self):
+        """evaluate_specs_in_context == per-spec evaluation, warm or cold."""
+        from repro.engine import EvaluationCache, evaluate_specs_in_context
+        from repro.engine.executor import evaluate_spec_in_context
+
+        schema, workload, system, config = _advisor_inputs()
+        advisor = Warlock(schema, workload, system, config)
+        specs, _ = advisor.generate_specs()
+        engine = advisor.engine()
+        context = engine.context(specs=specs)
+        reference = [
+            evaluate_spec_in_context(context, spec, None) for spec in specs
+        ]
+        # Cold chunk evaluation, no cache.
+        chunked = evaluate_specs_in_context(context, range(len(specs)), None)
+        # Mixed-cache evaluation: pre-warm structure entries for every third
+        # spec, so groups stack cached and fresh structures together.
+        cache = EvaluationCache()
+        matrix = context.class_matrix
+        for index in range(0, len(specs), 3):
+            layout = reference[index].layout
+            cache.put_structure_batch(
+                layout,
+                matrix,
+                compute_access_structure_batch(layout, matrix),
+            )
+        mixed = evaluate_specs_in_context(context, range(len(specs)), cache)
+        for expected, cold, warm in zip(reference, chunked, mixed):
+            for other in (cold, warm):
+                assert other.label == expected.label
+                assert other.prefetch == expected.prefetch
+                assert (
+                    other.evaluation.per_class == expected.evaluation.per_class
+                )
+                assert other.io_cost_ms == expected.io_cost_ms
+                assert other.response_time_ms == expected.response_time_ms
 
 
 class TestColumnarResultBatch:
@@ -366,3 +531,183 @@ class TestColumnarResultBatch:
             CandidateResultBatch.from_candidates([0], candidates)
         with pytest.raises(AdvisorError):
             CandidateResultBatch.from_candidates([], [])
+
+
+class TestColumnarEvaluation:
+    """EvaluationColumns-backed WorkloadEvaluation: records, totals, pickling."""
+
+    @pytest.fixture
+    def evaluation(self):
+        from repro.costmodel import (
+            compute_access_structure_batch,
+            evaluate_workload_batch,
+            resolve_prefetch_setting_batch,
+        )
+
+        schema, workload, system, config = _advisor_inputs()
+        advisor = Warlock(schema, workload, system, config)
+        specs, _ = advisor.generate_specs()
+        scheme = advisor.design_bitmaps()
+        matrix = ClassMatrix.compile(schema, workload, scheme)
+        layout = build_layout(
+            schema,
+            specs[0],
+            page_size_bytes=system.page_size_bytes,
+            max_fragments=config.max_fragments,
+        )
+        structures = compute_access_structure_batch(layout, matrix)
+        prefetch = resolve_prefetch_setting_batch(structures, matrix, system)
+        return evaluate_workload_batch(layout, structures, matrix, system, prefetch)
+
+    def test_vectorized_evaluations_are_columnar_and_lazy(self, evaluation):
+        assert evaluation.columns is not None
+        assert evaluation._per_class is None
+        # Totals come straight off the columns...
+        total = evaluation.total_io_cost_ms
+        assert evaluation._per_class is None
+        # ...and equal the record-derived sums bit for bit.
+        assert total == sum(c.weighted_io_cost_ms for c in evaluation.per_class)
+
+    def test_columnar_pickle_round_trip_stays_columnar(self, evaluation):
+        clone = pickle.loads(pickle.dumps(evaluation))
+        assert clone.columns is not None
+        assert clone.per_class == evaluation.per_class
+        assert clone == evaluation
+
+    def test_from_records_round_trips(self, evaluation):
+        from repro.costmodel import EvaluationColumns, WorkloadEvaluation
+
+        columns = EvaluationColumns.from_records(
+            evaluation.per_class, evaluation.layout.fragment_count
+        )
+        rebuilt = WorkloadEvaluation(
+            layout=evaluation.layout, prefetch=evaluation.prefetch, columns=columns
+        )
+        assert rebuilt.per_class == evaluation.per_class
+        assert rebuilt.total_response_time_ms == evaluation.total_response_time_ms
+
+    def test_requires_exactly_one_backing(self, evaluation):
+        from repro.costmodel import WorkloadEvaluation
+        from repro.errors import CostModelError
+
+        with pytest.raises(CostModelError):
+            WorkloadEvaluation(evaluation.layout, evaluation.prefetch)
+        with pytest.raises(CostModelError):
+            WorkloadEvaluation(
+                evaluation.layout,
+                evaluation.prefetch,
+                per_class=evaluation.per_class,
+                columns=evaluation.columns,
+            )
+
+
+class TestCandidateAxisGuards:
+    """Error branches and slice helpers of the candidate-axis kernels."""
+
+    def _layouts(self):
+        schema, workload, system, config = _advisor_inputs()
+        advisor = Warlock(schema, workload, system, config)
+        specs, _ = advisor.generate_specs()
+        scheme = advisor.design_bitmaps()
+        matrix = ClassMatrix.compile(schema, workload, scheme)
+        layouts = [
+            build_layout(
+                schema,
+                spec,
+                page_size_bytes=system.page_size_bytes,
+                max_fragments=config.max_fragments,
+            )
+            for spec in specs
+        ]
+        return layouts, matrix, system
+
+    def test_mixed_axis_structures_are_rejected(self):
+        from repro.errors import CostModelError
+
+        layouts, matrix, _ = self._layouts()
+        mixed = [layouts[0], next(
+            layout
+            for layout in layouts
+            if layout.spec.axis_structure != layouts[0].spec.axis_structure
+        )]
+        with pytest.raises(CostModelError):
+            compute_access_structure_batch_candidates(mixed, matrix)
+        with pytest.raises(CostModelError):
+            compute_access_structure_batch_candidates([], matrix)
+
+    def test_empty_stack_and_concat_are_rejected(self):
+        from repro.errors import CostModelError
+
+        with pytest.raises(CostModelError):
+            AccessStructureBatch2D.stack([])
+        with pytest.raises(CostModelError):
+            AccessStructureBatch2D.concat([])
+
+    def test_profile_slices_match_class_axis_profiles(self):
+        import numpy as np
+
+        from repro.costmodel import estimate_access_batch, estimate_access_batch_candidates
+        from repro.costmodel.model import _positioning_page_equivalent
+
+        layouts, matrix, system = self._layouts()
+        group = [
+            layout
+            for layout in layouts
+            if layout.spec.axis_structure == layouts[0].spec.axis_structure
+        ]
+        stacked = compute_access_structure_batch_candidates(group, matrix)
+        ppe = _positioning_page_equivalent(system)
+        granules = np.full(len(group), 4.0)
+        profiles = estimate_access_batch_candidates(stacked, granules, granules, ppe)
+        for k, layout in enumerate(group):
+            reference = estimate_access_batch(
+                compute_access_structure_batch(layout, matrix),
+                PrefetchSetting.fixed(4, 4),
+                ppe,
+            )
+            sliced = profiles.candidate(k)
+            for i in range(matrix.num_classes):
+                _assert_fields_equal(
+                    reference.profile(i), sliced.profile(i), layout.spec.label
+                )
+
+    def test_batch_granule_selection_matches_scalar(self):
+        import numpy as np
+
+        from repro.storage import SystemParameters
+        from repro.storage.prefetch import (
+            optimal_prefetch_pages,
+            optimal_prefetch_pages_batch,
+        )
+        from repro.errors import StorageError
+
+        system = SystemParameters(num_disks=8)
+        rng = np.random.default_rng(7)
+        runs = rng.uniform(0.0, 600.0, size=(12, 5))
+        runs[rng.random(runs.shape) < 0.3] = 0.0
+        weights = (0.4, 0.1, 0.2, 0.2, 0.1)
+        batch_weighted = optimal_prefetch_pages_batch(
+            runs, system.disk, system.page_size_bytes, weights
+        )
+        batch_uniform = optimal_prefetch_pages_batch(
+            runs, system.disk, system.page_size_bytes
+        )
+        for k in range(runs.shape[0]):
+            assert batch_weighted[k] == optimal_prefetch_pages(
+                runs[k].tolist(), system.disk, system.page_size_bytes, weights
+            )
+            positive = [r for r in runs[k].tolist() if r > 0]
+            expected = (
+                optimal_prefetch_pages(positive, system.disk, system.page_size_bytes)
+                if positive
+                else 1
+            )
+            assert batch_uniform[k] == expected
+        with pytest.raises(StorageError):
+            optimal_prefetch_pages_batch(
+                runs[0], system.disk, system.page_size_bytes
+            )
+        with pytest.raises(StorageError):
+            optimal_prefetch_pages_batch(
+                -runs, system.disk, system.page_size_bytes
+            )
