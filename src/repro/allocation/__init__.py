@@ -11,6 +11,11 @@ from repro.allocation.placement import Allocation, fragment_total_pages
 from repro.allocation.round_robin import round_robin_allocation
 from repro.allocation.greedy import greedy_size_allocation
 from repro.allocation.chooser import NOTABLE_SKEW_CV, choose_allocation
+from repro.allocation.batch import (
+    batched_greedy_size_allocation,
+    choose_allocations_batch,
+    lpt_assignments,
+)
 
 __all__ = [
     "Allocation",
@@ -18,5 +23,8 @@ __all__ = [
     "round_robin_allocation",
     "greedy_size_allocation",
     "choose_allocation",
+    "choose_allocations_batch",
+    "batched_greedy_size_allocation",
+    "lpt_assignments",
     "NOTABLE_SKEW_CV",
 ]

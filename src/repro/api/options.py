@@ -92,6 +92,12 @@ class EngineOptions:
         after every sweep; ``False`` treats the store as read-only: the run
         still warm-starts from it but never writes back.  Meaningless (and
         ignored) without a ``cache_dir``.
+    cache_max_mb:
+        Byte budget of the persistent store in megabytes (CLI
+        ``--cache-max-mb``).  When set, every save garbage-collects the store
+        directory down to the budget, evicting the least-recently-used
+        entries first; ``None`` (default) keeps the store unbounded.
+        Requires ``cache_dir``.
     """
 
     jobs: Union[int, str] = 1
@@ -99,6 +105,7 @@ class EngineOptions:
     cache: bool = True
     cache_dir: Optional[str] = None
     persist: bool = True
+    cache_max_mb: Optional[float] = None
 
     def __post_init__(self) -> None:
         _validate_jobs(self.jobs)
@@ -127,6 +134,21 @@ class EngineOptions:
                 "EngineOptions.cache_dir requires cache=True: a persistent "
                 "store without an in-memory cache has nothing to fill or spill"
             )
+        if self.cache_max_mb is not None:
+            if (
+                isinstance(self.cache_max_mb, bool)
+                or not isinstance(self.cache_max_mb, (int, float))
+                or not self.cache_max_mb > 0
+            ):
+                raise AdvisorError(
+                    f"EngineOptions.cache_max_mb must be a positive number or "
+                    f"None, got {self.cache_max_mb!r}"
+                )
+            if self.cache_dir is None:
+                raise AdvisorError(
+                    "EngineOptions.cache_max_mb requires cache_dir: a byte "
+                    "budget without a persistent store bounds nothing"
+                )
 
     # -- derivation -------------------------------------------------------------
 
@@ -157,6 +179,7 @@ class EngineOptions:
             "cache": self.cache,
             "cache_dir": self.cache_dir,
             "persist": self.persist,
+            "cache_max_mb": self.cache_max_mb,
         }
 
     @classmethod
@@ -196,6 +219,8 @@ class EngineOptions:
             parts.append(
                 f"store={self.cache_dir}" + ("" if self.persist else " (read-only)")
             )
+            if self.cache_max_mb is not None:
+                parts.append(f"budget={self.cache_max_mb:g}MB")
         return ", ".join(parts)
 
 

@@ -50,7 +50,7 @@ from repro.bitmap import BitmapScheme
 from repro.core.advisor import DEFAULT_CACHE_ENTRIES, Recommendation
 from repro.core.candidates import FragmentationCandidate
 from repro.core.config import AdvisorConfig
-from repro.core.ranking import rank_candidates
+from repro.core.ranking import rank_candidates_columnar
 from repro.core.thresholds import ExclusionReport, evaluate_thresholds
 from repro.engine import EvaluationCache, EvaluationEngine
 from repro.errors import AdvisorError
@@ -314,8 +314,11 @@ class AdvisorSession:
                         phase="evaluate",
                         completed=total,
                         total=total,
-                        chunk=0,
-                        num_chunks=0,
+                        # One logical chunk that is already complete: consumers
+                        # computing chunk/num_chunks ratios must never divide
+                        # by zero on a memoized answer.
+                        chunk=1,
+                        num_chunks=1,
                         completed_units=total * per_candidate,
                         total_units=total * per_candidate,
                         label="memoized",
@@ -326,7 +329,7 @@ class AdvisorSession:
         candidates = self.engine.evaluate_specs(
             specs, on_progress=on_progress, cancel=cancel
         )
-        ranked = rank_candidates(
+        ranked = rank_candidates_columnar(
             candidates,
             top_fraction=self.config.top_fraction,
             top_candidates=self.config.top_candidates,

@@ -150,12 +150,19 @@ def _engine_options(args: argparse.Namespace) -> EngineOptions:
                 f"${CACHE_DIR_ENV} or config-file engine.cache_dir is set"
             )
         cache_dir = None
+    cache_max_mb = getattr(args, "cache_max_mb", None)
+    if cache_max_mb is None and cache_dir is not None:
+        # A config-file budget only applies when a store directory resolved;
+        # an *explicit* --cache-max-mb without any store is a real conflict
+        # and falls through to EngineOptions' validation error.
+        cache_max_mb = section.get("cache_max_mb")
     return EngineOptions(
         jobs=jobs,
         vectorize=vectorize,
         cache=section.get("cache", True),
         cache_dir=cache_dir,
         persist=section.get("persist", True),
+        cache_max_mb=cache_max_mb,
     )
 
 
@@ -470,6 +477,16 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "addressed, version-salted; corrupted or stale stores are ignored "
         f"and results never change).  Falls back to ${CACHE_DIR_ENV}, then "
         "to the config file's engine block",
+    )
+    parser.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="byte budget of the persistent cache directory in megabytes: "
+        "every save garbage-collects the store down to the budget, evicting "
+        "the least-recently-used entries first (requires a cache directory; "
+        "default: unbounded).  Falls back to the config file's engine block",
     )
     parser.add_argument(
         "--no-cache-persist",

@@ -11,7 +11,11 @@ recommendation.
 from repro.core.config import AdvisorConfig
 from repro.core.thresholds import ExclusionReport, evaluate_thresholds
 from repro.core.candidates import FragmentationCandidate
-from repro.core.ranking import RankedCandidate, rank_candidates
+from repro.core.ranking import (
+    RankedCandidate,
+    rank_candidates,
+    rank_candidates_columnar,
+)
 from repro.core.advisor import Recommendation, Warlock
 
 __all__ = [
@@ -21,6 +25,7 @@ __all__ = [
     "FragmentationCandidate",
     "RankedCandidate",
     "rank_candidates",
+    "rank_candidates_columnar",
     "Warlock",
     "Recommendation",
 ]

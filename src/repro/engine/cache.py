@@ -142,6 +142,11 @@ class EvaluationCache:
         # -- persistence state (see the "persistence" section below) --
         #: Keys whose entries came from a persistent store (disk-hit stats).
         self._disk_keys: Set[Tuple[str, ...]] = set()
+        #: Keys this process actually used (hit or inserted) since the last
+        #: save — the store's LRU garbage collection refreshes exactly these,
+        #: so entries a warm run still touches stay young while dead weight
+        #: ages out.  Loading alone does not touch.
+        self._touched: Set[Tuple[str, ...]] = set()
         #: Backing store attached via :meth:`attach`; ``None`` = memory only.
         self._store = None
         #: True when the cache holds entries the attached store has not seen.
@@ -225,6 +230,7 @@ class EvaluationCache:
             stats.structure_hits += 1
             if key in self._disk_keys:
                 stats.structure_disk_hits += 1
+            self._touched.add(key)
             return value
         stats.structure_misses += 1
         value = compute()
@@ -234,6 +240,7 @@ class EvaluationCache:
         # Computed in-process: hits on it must not count as disk hits, even
         # if an earlier incarnation of the entry came from the store.
         self._disk_keys.discard(key)
+        self._touched.add(key)
         self._dirty = True
         return value
 
@@ -272,6 +279,7 @@ class EvaluationCache:
             stats.structure_hits += 1
             if key in self._disk_keys:
                 stats.structure_disk_hits += 1
+            self._touched.add(key)
             return value
         stats.structure_misses += 1
         return None
@@ -292,6 +300,7 @@ class EvaluationCache:
             self._evict_oldest(store)
         store[key] = value
         self._disk_keys.discard(key)
+        self._touched.add(key)
         self._dirty = True
 
     def candidate(self, context, spec, compute):
@@ -324,6 +333,7 @@ class EvaluationCache:
         self.stats.candidate_hits += 1
         if key in self._disk_keys:
             self.stats.candidate_disk_hits += 1
+        self._touched.add(key)
         from repro.engine.result import CandidateColumns
 
         if isinstance(value, CandidateColumns):
@@ -347,6 +357,7 @@ class EvaluationCache:
             self._evict_oldest(store)
         store[key] = candidate
         self._disk_keys.discard(key)
+        self._touched.add(key)
         self._dirty = True
 
     # -- bulk transfer (worker -> parent) ---------------------------------------
@@ -355,11 +366,13 @@ class EvaluationCache:
         """Iterate the raw ``(key, structure)`` entries (for bulk transfer)."""
         return self._structures.items()
 
-    def merge_structures(self, items) -> None:
+    def merge_structures(self, items, touched: bool = True) -> None:
         """Insert structure entries computed elsewhere (e.g. by pool workers).
 
         Not probes — no counters move; the workers already accounted for the
-        computations in their own stats.
+        computations in their own stats.  ``touched=False`` (the bulk load
+        from a persistent store) merges without marking the entries as used
+        by this process.
         """
         store = self._structures
         for key, value in items:
@@ -371,6 +384,8 @@ class EvaluationCache:
                 self._evict_oldest(store)
             store[key] = value
             self._disk_keys.discard(key)
+            if touched:
+                self._touched.add(key)
             self._dirty = True
 
     # -- compiled class matrices (shared, in-memory only) -------------------------
@@ -407,7 +422,10 @@ class EvaluationCache:
         candidate *generation*, and its reuse must not skew the evaluation
         cache's hit-rate diagnostics.
         """
-        return self._reports.get(key)
+        payload = self._reports.get(key)
+        if payload is not None:
+            self._touched.add(key)
+        return payload
 
     def put_exclusions(self, key: Tuple[str, ...], payload) -> None:
         """Insert an exclusion payload (JSON-able dict; persisted with the store).
@@ -422,6 +440,7 @@ class EvaluationCache:
         ):
             self._reports.pop(next(iter(self._reports)))
         self._reports[key] = payload
+        self._touched.add(key)
         self._dirty = True
 
     # -- persistence (see repro.engine.store) -----------------------------------
@@ -449,7 +468,7 @@ class EvaluationCache:
         """
         structures, candidates, reports = store.load()
         dirty = self._dirty
-        self.merge_structures(structures.items())
+        self.merge_structures(structures.items(), touched=False)
         target = self._candidates
         for key, value in candidates.items():
             if (
@@ -469,14 +488,24 @@ class EvaluationCache:
         return loaded
 
     def save(self, store) -> Optional[int]:
-        """Spill the whole cache content to a persistent store (atomic).
+        """Spill the whole cache content to a persistent store (atomic merge).
 
-        Returns the number of entries written, or ``None`` when the store is
-        unwritable (best-effort — never an error).
+        The store merges the entries with the directory's current content and
+        receives the set of keys this process touched since the last save, so
+        its LRU garbage collection refreshes exactly the entries a warm run
+        still uses.  Returns the number of entries the store holds after the
+        save, or ``None`` when the store is unwritable (best-effort — never
+        an error).
         """
-        written = store.save(self._structures, self._candidates, self._reports)
+        written = store.save(
+            self._structures,
+            self._candidates,
+            self._reports,
+            touched=self._touched,
+        )
         if written is not None:
             self._dirty = False
+            self._touched = set()
         return written
 
     def attach(self, store) -> int:
@@ -522,6 +551,7 @@ class EvaluationCache:
         self._matrices.clear()
         self._reports.clear()
         self._disk_keys.clear()
+        self._touched.clear()
 
     def reset_stats(self) -> None:
         """Zero the hit/miss counters (entries are preserved)."""

@@ -45,7 +45,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.allocation import choose_allocation
+from repro.allocation import choose_allocation, choose_allocations_batch
 from repro.bitmap import BitmapScheme, design_bitmap_scheme
 from repro.core.candidates import FragmentationCandidate
 from repro.core.config import AdvisorConfig
@@ -231,6 +231,7 @@ def evaluate_specs_in_context(
         order: List[int] = []
         group_batches: List[AccessStructureBatch2D] = []
         layouts = []
+        allocations = []
         for group in groups.values():
             order.extend(group)
             group_layouts = [
@@ -247,6 +248,17 @@ def evaluate_specs_in_context(
             group_batches.append(
                 _group_structure_batch(context, group_layouts, matrix, cache)
             )
+            # Disk placement is batched per group as well: one LPT pass over
+            # the group's padded (candidate × fragment) page matrix, bit-
+            # identical to the per-candidate choose_allocation reference.
+            allocations.extend(
+                choose_allocations_batch(
+                    group_layouts,
+                    context.system,
+                    context.bitmap_scheme,
+                    skew_threshold_cv=context.config.allocation_skew_cv,
+                )
+            )
         batch = AccessStructureBatch2D.concat(group_batches)
         prefetches = resolve_prefetch_settings_batch_candidates(
             batch, matrix, context.system
@@ -254,16 +266,10 @@ def evaluate_specs_in_context(
         evaluations = evaluate_workload_batch_candidates(
             layouts, batch, matrix, context.system, prefetches
         )
-        for index, layout, prefetch, evaluation in zip(
-            order, layouts, prefetches, evaluations
+        for index, layout, prefetch, evaluation, allocation in zip(
+            order, layouts, prefetches, evaluations, allocations
         ):
             spec = context.specs[index]
-            allocation = choose_allocation(
-                layout,
-                context.system,
-                context.bitmap_scheme,
-                skew_threshold_cv=context.config.allocation_skew_cv,
-            )
             candidate = FragmentationCandidate(
                 spec=spec,
                 layout=layout,
@@ -436,7 +442,12 @@ class EvaluationEngine:
         if options.cache_dir and self.cache is not None:
             from repro.engine.store import CacheStore
 
-            self.cache.attach(CacheStore(options.cache_dir))
+            max_bytes = (
+                int(options.cache_max_mb * 1024 * 1024)
+                if options.cache_max_mb is not None
+                else None
+            )
+            self.cache.attach(CacheStore(options.cache_dir, max_bytes=max_bytes))
         self._bitmap_scheme: Optional[BitmapScheme] = None
         self._matrices: Dict[str, ClassMatrix] = {}
 

@@ -9,14 +9,18 @@ construction: a :class:`CacheStore` spills them under a cache directory and a
 later process reloads them, making repeated invocations and tuning sessions
 start warm.
 
-On-disk format (version 2)
+On-disk format (version 3)
 --------------------------
 
 ``entries.sqlite``
     One row per *scalar* access-structure entry (arbitrary frozen-dataclass
     graphs, pickled) and per candidate-exclusion report (JSON): the cache key
     (salt-prefixed, JSON-encoded tuple of content signatures) plus the
-    payload.  Sqlite gives atomic reads over the many small blobs.
+    payload.  Sqlite gives atomic reads over the many small blobs.  Version 3
+    adds an ``access`` bookkeeping table — one row per entry of *any* of the
+    three files with its estimated byte size and a last-access generation
+    counter — plus ``generation`` / ``dead_bytes`` meta rows, which drive the
+    LRU garbage collection and the append/compact write path below.
 
 ``structures.npz``
     The class-axis structure batches
@@ -47,15 +51,38 @@ with fresh content.  Persistence is strictly best-effort: no store failure
 (unreadable directory, read-only filesystem, concurrent writer) may ever
 change a result or crash the advisor, only forfeit the warm start.
 
+Maintenance (version 3)
+-----------------------
+
+Saves **merge** into the existing store instead of dumping the writer's cache
+last-one-wins: the save first re-reads what the directory holds, unions it
+with the in-memory entries (memory wins on key collisions — the values are
+content-addressed, so a collision carries the identical value), and writes
+the union back.  The sqlite file takes an *append* path — new rows are
+inserted into the live database inside one transaction — until the dead
+weight left behind by deleted rows exceeds
+:data:`COMPACT_DEAD_FRACTION` of the live payload, at which point the file
+is compacted: rewritten from scratch through the same temp-then-rename path
+every full write uses.  The npz files are rewritten only when their entry
+set actually changed.
+
+When the store was built with a byte budget (``max_bytes``, CLI
+``--cache-max-mb``), every save garbage-collects the merged union down to
+the budget before writing: entries are evicted oldest-first by their
+last-access generation (the advisor's in-memory cache reports which entries
+the finished sweep touched, so everything a warm run still uses stays young)
+and the written files are measured afterwards — eviction repeats until the
+directory's actual size fits the budget.
+
 Concurrency
 -----------
 
-Saves are atomic: each file is fully written to a temporary sibling and then
-``os.replace``'d into place, so concurrent CLI invocations sharing a cache
-directory either see the complete previous store or the complete new one,
-never a partial file.  Writers are last-one-wins; since every save dumps the
-writer's whole in-memory cache (which includes everything it loaded), the
-surviving store is always a superset of that writer's view.
+Full writes are atomic: each file is written to a temporary sibling and then
+``os.replace``'d into place; sqlite appends are single transactions on the
+live database.  Concurrent CLI invocations sharing a cache directory either
+see the complete previous store or the complete new one, never a partial
+file, and since every save merges the directory's current content with the
+writer's view, the surviving store is a superset of both up to GC.
 
 The scalar structure entries are loaded with :mod:`pickle`, so a cache
 directory must be trusted to the same degree as the code itself — point
@@ -77,6 +104,7 @@ from repro.engine.signature import stable_digest
 
 __all__ = [
     "STORE_FORMAT_VERSION",
+    "COMPACT_DEAD_FRACTION",
     "ENTRIES_FILENAME",
     "BATCHES_FILENAME",
     "CANDIDATES_FILENAME",
@@ -86,8 +114,20 @@ __all__ = [
 
 #: Bump on any incompatible change to the on-disk layout; old stores are then
 #: silently ignored (and overwritten on the next save).  Version 2 introduced
-#: the columnar candidate file and the exclusion-report rows.
-STORE_FORMAT_VERSION = 2
+#: the columnar candidate file and the exclusion-report rows; version 3 the
+#: access-tracking table behind the LRU garbage collection.
+STORE_FORMAT_VERSION = 3
+
+#: Compact (full temp-then-rename rewrite of) the sqlite file when the dead
+#: weight of replaced/deleted rows exceeds this fraction of the live payload.
+COMPACT_DEAD_FRACTION = 0.5
+
+#: Estimated fixed per-entry overhead (sqlite row / npz member headers).
+_ENTRY_OVERHEAD_BYTES = 512
+#: Estimated fixed per-store overhead (sqlite page tree, npz/zip directory).
+_BASE_OVERHEAD_BYTES = 24 * 1024
+#: Hard cap on write→measure→evict rounds of one budgeted save.
+_MAX_GC_ROUNDS = 8
 
 #: Scalar-structure and exclusion-report entries (sqlite).
 ENTRIES_FILENAME = "entries.sqlite"
@@ -151,14 +191,27 @@ class CacheStore:
     """One persistent cache directory (see the module docstring for format).
 
     The store is deliberately stateless between calls: :meth:`load` reads
-    whatever the directory currently holds, :meth:`save` atomically replaces
-    it.  All failures — missing directory, corruption, version mismatch,
-    unwritable filesystem — degrade to "no store", never to an error.
+    whatever the directory currently holds, :meth:`save` merges into it (and
+    garbage-collects when a byte budget is set).  All failures — missing
+    directory, corruption, version mismatch, unwritable filesystem — degrade
+    to "no store", never to an error.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the three store files.
+    max_bytes:
+        Byte budget of the whole directory (``None`` = unbounded): after
+        every save the store's files must not exceed it, least-recently-used
+        entries being evicted first.
     """
 
-    def __init__(self, cache_dir) -> None:
+    def __init__(self, cache_dir, max_bytes: Optional[int] = None) -> None:
         self.cache_dir = os.fspath(cache_dir)
         self.salt = store_salt()
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive when set, got {max_bytes}")
+        self.max_bytes = max_bytes
 
     @property
     def entries_path(self) -> str:
@@ -308,6 +361,11 @@ class CacheStore:
                             key = _decode_key(self.salt, json.dumps(key_parts))
                             if key is None:
                                 continue
+                            # All per-candidate slices are copied: a view
+                            # would pin the group's whole stacked cube (or
+                            # concatenated allocation vector) alive for as
+                            # long as any single candidate survives in the
+                            # in-memory cache.
                             entries[key] = CandidateColumns(
                                 columns=EvaluationColumns(
                                     query_names=query_names,
@@ -315,10 +373,10 @@ class CacheStore:
                                     fragments_total=int(
                                         meta["fragments_total"][j]
                                     ),
-                                    metrics=metrics[j],
-                                    disks_used=disks[j],
-                                    sequential=sequential[j],
-                                    forced=forced[j],
+                                    metrics=metrics[j].copy(),
+                                    disks_used=disks[j].copy(),
+                                    sequential=sequential[j].copy(),
+                                    forced=forced[j].copy(),
                                     attributes_used=tuple(
                                         tuple(
                                             tuple(pair)
@@ -333,10 +391,10 @@ class CacheStore:
                                 allocation_scheme=meta["allocation_schemes"][j],
                                 allocation_disks=alloc_disks[
                                     offsets[j] : offsets[j + 1]
-                                ],
+                                ].copy(),
                                 allocation_pages=alloc_pages[
                                     offsets[j] : offsets[j + 1]
-                                ],
+                                ].copy(),
                             )
                         except Exception:
                             continue
@@ -351,14 +409,31 @@ class CacheStore:
         structures: Mapping[Tuple[str, ...], Any],
         candidates: Mapping[Tuple[str, ...], Any],
         reports: Optional[Mapping[Tuple[str, ...], Any]] = None,
+        touched: Optional[set] = None,
     ) -> Optional[int]:
-        """Atomically replace the store with the given cache content.
+        """Merge the given cache content into the store (append+compact, GC'd).
 
-        Returns the number of entries written, or ``None`` when the store
-        could not be written (best-effort: the evaluation already succeeded,
-        only the warm start of the *next* process is forfeited).
+        The directory's current entries are unioned with the provided ones
+        (provided entries win on key collisions; the keys are content
+        signatures, so a collision carries the identical value), the union is
+        garbage-collected down to ``max_bytes`` when a budget is set, and the
+        three files are written — the sqlite file through an in-place append
+        (compacted via the atomic temp-then-rename path once its dead weight
+        crosses :data:`COMPACT_DEAD_FRACTION`), the npz files only when their
+        entry set changed.
+
+        ``touched`` names the cache keys the writing process actually used
+        (hit or inserted) this run: their last-access generation is
+        refreshed, everything else keeps its age.  ``None`` refreshes every
+        provided entry.
+
+        Returns the number of entries the store holds after the save, or
+        ``None`` when the store could not be written (best-effort: the
+        evaluation already succeeded, only the warm start of the *next*
+        process is forfeited).
         """
         from repro.costmodel.batch import AccessStructureBatch
+        from repro.engine.result import CandidateColumns
 
         reports = {} if reports is None else reports
         scalar: Dict[Tuple[str, ...], Any] = {}
@@ -367,12 +442,378 @@ class CacheStore:
             (batches if isinstance(value, AccessStructureBatch) else scalar)[key] = value
         try:
             os.makedirs(self.cache_dir, exist_ok=True)
-            self._save_entries(scalar, reports)
-            self._save_batches(batches)
-            self._save_candidates(candidates)
+            records = {
+                key: (
+                    value
+                    if isinstance(value, CandidateColumns)
+                    else CandidateColumns.from_candidate(value)
+                )
+                for key, value in candidates.items()
+            }
+            disk_scalar, disk_reports = self._load_entries()
+            disk_batches = self._load_batches()
+            disk_candidates = self._load_candidates()
+            disk_keys = {
+                "structure": set(disk_scalar),
+                "report": set(disk_reports),
+                "batch": set(disk_batches),
+                "candidate": set(disk_candidates),
+            }
+            merged: Dict[str, Dict[Tuple[str, ...], Any]] = {
+                "structure": {**disk_scalar, **scalar},
+                "report": {**disk_reports, **reports},
+                "batch": {**disk_batches, **batches},
+                "candidate": {**disk_candidates, **records},
+            }
+            provided = {
+                "structure": set(scalar),
+                "report": set(reports),
+                "batch": set(batches),
+                "candidate": set(records),
+            }
+            old_access, generation, dead_bytes = self._read_access_state()
+            generation += 1
+            payloads = self._encode_payloads(merged)
+            new_access: Dict[Tuple[str, ...], Tuple[str, int, int]] = {}
+            for kind, entries in merged.items():
+                for key in entries:
+                    old = old_access.get(key)
+                    refreshed = (
+                        key in provided[kind] if touched is None else key in touched
+                    )
+                    new_access[key] = (
+                        kind,
+                        self._entry_bytes(kind, key, merged, payloads),
+                        generation if refreshed or old is None else old[2],
+                    )
+            self._collect_and_write(
+                merged, new_access, payloads, disk_keys, old_access,
+                generation, dead_bytes,
+            )
         except Exception:
             return None
-        return len(scalar) + len(candidates) + len(batches) + len(reports)
+        return sum(len(entries) for entries in merged.values())
+
+    def _read_access_state(self):
+        """``(access map, generation, dead bytes)`` from the live sqlite file.
+
+        Best-effort like every read: a missing, corrupted or foreign-salted
+        file yields empty bookkeeping, which simply makes every entry "new".
+        """
+        path = self.entries_path
+        try:
+            if not os.path.exists(path):
+                return {}, 0, 0
+            connection = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+            try:
+                rows = connection.execute(
+                    "SELECT value FROM meta WHERE key = 'salt'"
+                ).fetchall()
+                if not rows or rows[0][0] != self.salt:
+                    return {}, 0, 0
+                generation = 0
+                dead_bytes = 0
+                for key, value in connection.execute("SELECT key, value FROM meta"):
+                    try:
+                        if key == "generation":
+                            generation = int(value)
+                        elif key == "dead_bytes":
+                            dead_bytes = int(value)
+                    except (TypeError, ValueError):
+                        continue
+                access: Dict[Tuple[str, ...], Tuple[str, int, int]] = {}
+                for key_text, kind, nbytes, last in connection.execute(
+                    "SELECT key, kind, bytes, last_access FROM access"
+                ):
+                    try:
+                        key = _decode_key(self.salt, key_text)
+                        if key is None:
+                            continue
+                        access[key] = (str(kind), int(nbytes), int(last))
+                    except Exception:
+                        continue
+                return access, generation, dead_bytes
+            finally:
+                connection.close()
+        except Exception:
+            return {}, 0, 0
+
+    def _encode_payloads(self, merged):
+        """The sqlite payload blobs of the merged scalar/report entries."""
+        payloads: Dict[Tuple[str, Tuple[str, ...]], bytes] = {}
+        for key, value in merged["structure"].items():
+            payloads[("structure", key)] = pickle.dumps(
+                value, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        for key, value in merged["report"].items():
+            payloads[("report", key)] = json.dumps(value).encode("utf-8")
+        return payloads
+
+    @staticmethod
+    def _entry_bytes(kind, key, merged, payloads) -> int:
+        """Estimated on-disk footprint of one entry (payload + fixed overhead)."""
+        if kind in ("structure", "report"):
+            return len(payloads[(kind, key)]) + _ENTRY_OVERHEAD_BYTES
+        value = merged[kind][key]
+        if kind == "batch":
+            total = sum(
+                np.asarray(getattr(value, name)).nbytes
+                for name in _BATCH_ARRAY_FIELDS
+            )
+        else:
+            columns = value.columns
+            total = (
+                columns.metrics.nbytes
+                + columns.disks_used.nbytes
+                + columns.sequential.nbytes
+                + columns.forced.nbytes
+                + np.asarray(value.allocation_disks).nbytes
+                + np.asarray(value.allocation_pages).nbytes
+            )
+        return int(total) + _ENTRY_OVERHEAD_BYTES
+
+    def _select_evictions(self, new_access, over_bytes: Optional[int] = None):
+        """Oldest-first eviction set covering the (estimated or measured) excess.
+
+        Ordering is deterministic: ascending last-access generation, ties by
+        kind then key.
+        """
+        if self.max_bytes is None:
+            return set()
+        if over_bytes is None:
+            total = _BASE_OVERHEAD_BYTES + sum(
+                nbytes for _, nbytes, _ in new_access.values()
+            )
+            over_bytes = total - self.max_bytes
+        if over_bytes <= 0:
+            return set()
+        evicted = set()
+        for key, (kind, nbytes, last) in sorted(
+            new_access.items(), key=lambda item: (item[1][2], item[1][0], item[0])
+        ):
+            if over_bytes <= 0:
+                break
+            evicted.add(key)
+            over_bytes -= nbytes
+        return evicted
+
+    @staticmethod
+    def _drop(merged, new_access, payloads, evicted) -> None:
+        for key in evicted:
+            kind = new_access.pop(key)[0]
+            merged[kind].pop(key, None)
+            payloads.pop((kind, key), None)
+
+    def _store_bytes(self) -> int:
+        """Actual byte size of the three store files (missing files count 0)."""
+        total = 0
+        for path in (self.entries_path, self.batches_path, self.candidates_path):
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                continue
+        return total
+
+    def _collect_and_write(
+        self, merged, new_access, payloads, disk_keys, old_access,
+        generation, dead_bytes,
+    ) -> None:
+        """GC the merged union to the byte budget, then write the files.
+
+        Without a budget this is one plain write.  With one, the estimated
+        total is trimmed before writing, the written files are *measured*,
+        and eviction repeats oldest-first until the directory actually fits —
+        estimates only steer, the budget is enforced on real file sizes.  A
+        budget no store can fit (smaller than the fixed file overheads)
+        removes the files entirely.
+        """
+        evicted = self._select_evictions(new_access)
+        self._drop(merged, new_access, payloads, evicted)
+        force_full = False
+        for _ in range(_MAX_GC_ROUNDS):
+            self._write_files(
+                merged, new_access, payloads, disk_keys, old_access,
+                generation, dead_bytes, force_full,
+            )
+            measured = self._store_bytes()
+            if self.max_bytes is None or measured <= self.max_bytes:
+                return
+            if not new_access:
+                break
+            over = measured - self.max_bytes
+            # The per-entry sizes steering the eviction are payload
+            # *estimates*; on disk every entry also pays format overhead
+            # (zip headers, sqlite pages) the estimate cannot see.  Translate
+            # the measured excess into estimate units before selecting: a
+            # store whose files run 2-3x the estimate would otherwise free
+            # 2-3x too many entries — down to an empty directory — in one
+            # round.  Undershooting is safe; the next round measures again.
+            estimated = _BASE_OVERHEAD_BYTES + sum(
+                nbytes for _, nbytes, _ in new_access.values()
+            )
+            if measured > estimated:
+                over = -(-over * estimated // measured)
+            evicted = self._select_evictions(new_access, over_bytes=over)
+            if not evicted:
+                evicted = {
+                    min(
+                        new_access,
+                        key=lambda k: (new_access[k][2], new_access[k][0], k),
+                    )
+                }
+            self._drop(merged, new_access, payloads, evicted)
+            force_full = True
+        # Still over budget with nothing (left) to evict — or the rounds ran
+        # out: the budget wins over keeping a store at all.
+        self._drop(merged, new_access, payloads, set(new_access))
+        for path in (self.entries_path, self.batches_path, self.candidates_path):
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+
+    def _write_files(
+        self, merged, new_access, payloads, disk_keys, old_access,
+        generation, dead_bytes, force_full,
+    ) -> None:
+        if (
+            force_full
+            or set(merged["batch"]) != disk_keys["batch"]
+            or not os.path.exists(self.batches_path)
+        ):
+            self._save_batches(merged["batch"])
+        if (
+            force_full
+            or set(merged["candidate"]) != disk_keys["candidate"]
+            or not os.path.exists(self.candidates_path)
+        ):
+            self._save_candidates(merged["candidate"])
+        self._write_entries(
+            merged, new_access, payloads, disk_keys, old_access,
+            generation, dead_bytes, force_full,
+        )
+
+    def _write_entries(
+        self, merged, new_access, payloads, disk_keys, old_access,
+        generation, dead_bytes, force_full,
+    ) -> None:
+        """Append into the live sqlite file, or compact it via a full rewrite.
+
+        The append path inserts only rows the file does not hold yet and
+        deletes evicted ones inside a single transaction; the bytes freed by
+        deletions accumulate as *dead weight* (sqlite recycles pages
+        internally but never shrinks the file) and trigger the compaction —
+        the same atomic temp-then-rename full write a fresh store gets.
+        """
+        sqlite_disk_keys = disk_keys["structure"] | disk_keys["report"]
+        sqlite_keys = set(merged["structure"]) | set(merged["report"])
+        deleted = sqlite_disk_keys - sqlite_keys
+        dead = dead_bytes + sum(
+            old_access[key][1] if key in old_access else _ENTRY_OVERHEAD_BYTES
+            for key in deleted
+        )
+        live_bytes = sum(len(payload) for payload in payloads.values())
+        access_rows = [
+            (_encode_key(self.salt, key), kind, int(nbytes), int(last))
+            for key, (kind, nbytes, last) in new_access.items()
+        ]
+        if (
+            not force_full
+            and os.path.exists(self.entries_path)
+            and dead <= COMPACT_DEAD_FRACTION * max(live_bytes, 1)
+        ):
+            new_rows = []
+            for key in sqlite_keys - sqlite_disk_keys:
+                kind = "structure" if key in merged["structure"] else "report"
+                new_rows.append(
+                    (_encode_key(self.salt, key), kind, payloads[(kind, key)])
+                )
+            try:
+                self._append_entries(new_rows, deleted, access_rows, generation, dead)
+                return
+            except Exception:
+                # Foreign salt, locked or tampered file: fall through to the
+                # atomic full rewrite, which replaces it wholesale.
+                pass
+        self._write_entries_full(merged, payloads, access_rows, generation)
+
+    def _append_entries(
+        self, new_rows, deleted_keys, access_rows, generation, dead_bytes
+    ) -> None:
+        connection = sqlite3.connect(self.entries_path)
+        try:
+            with connection:
+                rows = connection.execute(
+                    "SELECT value FROM meta WHERE key = 'salt'"
+                ).fetchall()
+                if not rows or rows[0][0] != self.salt:
+                    raise ValueError("store salt mismatch")
+                connection.executemany(
+                    "INSERT OR REPLACE INTO entries VALUES (?, ?, ?)", new_rows
+                )
+                connection.executemany(
+                    "DELETE FROM entries WHERE key = ?",
+                    [(_encode_key(self.salt, key),) for key in deleted_keys],
+                )
+                connection.execute(
+                    "CREATE TABLE IF NOT EXISTS access "
+                    "(key TEXT PRIMARY KEY, kind TEXT NOT NULL, "
+                    "bytes INTEGER NOT NULL, last_access INTEGER NOT NULL)"
+                )
+                connection.execute("DELETE FROM access")
+                connection.executemany(
+                    "INSERT INTO access VALUES (?, ?, ?, ?)", access_rows
+                )
+                connection.executemany(
+                    "INSERT OR REPLACE INTO meta VALUES (?, ?)",
+                    [
+                        ("generation", str(generation)),
+                        ("dead_bytes", str(int(dead_bytes))),
+                    ],
+                )
+        finally:
+            connection.close()
+
+    def _write_entries_full(self, merged, payloads, access_rows, generation) -> None:
+        rows = []
+        for kind in ("structure", "report"):
+            for key in merged[kind]:
+                rows.append((_encode_key(self.salt, key), kind, payloads[(kind, key)]))
+
+        def write(tmp_path: str) -> None:
+            connection = sqlite3.connect(tmp_path)
+            try:
+                connection.execute(
+                    "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)"
+                )
+                connection.execute(
+                    "CREATE TABLE entries "
+                    "(key TEXT PRIMARY KEY, kind TEXT NOT NULL, payload BLOB NOT NULL)"
+                )
+                connection.execute(
+                    "CREATE TABLE access "
+                    "(key TEXT PRIMARY KEY, kind TEXT NOT NULL, "
+                    "bytes INTEGER NOT NULL, last_access INTEGER NOT NULL)"
+                )
+                connection.executemany(
+                    "INSERT INTO meta VALUES (?, ?)",
+                    [
+                        ("salt", self.salt),
+                        ("generation", str(generation)),
+                        ("dead_bytes", "0"),
+                    ],
+                )
+                connection.executemany(
+                    "INSERT OR REPLACE INTO entries VALUES (?, ?, ?)", rows
+                )
+                connection.executemany(
+                    "INSERT INTO access VALUES (?, ?, ?, ?)", access_rows
+                )
+                connection.commit()
+            finally:
+                connection.close()
+
+        self._atomic_write(self.entries_path, write)
 
     def _atomic_write(self, final_path: str, write):
         """Run ``write(tmp_path)`` then rename the temp file into place."""
@@ -386,43 +827,6 @@ class CacheStore:
         finally:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
-
-    def _save_entries(self, structures, reports) -> None:
-        def write(tmp_path: str) -> None:
-            connection = sqlite3.connect(tmp_path)
-            try:
-                connection.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)")
-                connection.execute(
-                    "CREATE TABLE entries "
-                    "(key TEXT PRIMARY KEY, kind TEXT NOT NULL, payload BLOB NOT NULL)"
-                )
-                connection.execute(
-                    "INSERT INTO meta VALUES ('salt', ?)", (self.salt,)
-                )
-                rows = [
-                    (
-                        _encode_key(self.salt, key),
-                        "structure",
-                        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
-                    )
-                    for key, value in structures.items()
-                ]
-                rows.extend(
-                    (
-                        _encode_key(self.salt, key),
-                        "report",
-                        json.dumps(payload).encode("utf-8"),
-                    )
-                    for key, payload in reports.items()
-                )
-                connection.executemany(
-                    "INSERT OR REPLACE INTO entries VALUES (?, ?, ?)", rows
-                )
-                connection.commit()
-            finally:
-                connection.close()
-
-        self._atomic_write(self.entries_path, write)
 
     def _save_batches(self, batches) -> None:
         arrays: Dict[str, np.ndarray] = {

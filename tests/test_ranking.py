@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro import FragmentationSpec
-from repro.core import rank_candidates
+from repro.core import rank_candidates, rank_candidates_columnar
 from repro.errors import AdvisorError
 
 
@@ -93,3 +96,99 @@ class TestRankCandidates:
             rank_candidates(toy_candidates, top_fraction=1.5)
         with pytest.raises(AdvisorError):
             rank_candidates(toy_candidates, top_candidates=0)
+
+    def test_duplicate_objects_get_one_rank_per_slot(self, toy_candidates):
+        """Regression: the rank map used to key on id(candidate), so a list
+        holding the same object twice collapsed both slots onto one rank."""
+        duplicated = [toy_candidates[0], toy_candidates[0], toy_candidates[1]]
+        ranked = rank_candidates(duplicated, top_fraction=1.0)
+        assert len(ranked) == 3
+        assert sorted(r.io_rank for r in ranked) == [1, 2, 3]
+        assert [r.final_rank for r in ranked] == [1, 2, 3]
+
+
+class _StubEvaluation:
+    """Bare evaluation stub: no columnar block, forcing the property fallback."""
+
+    columns = None
+
+
+@dataclass
+class _StubCandidate:
+    label: str
+    fragment_count: int
+    io_cost_ms: float
+    response_time_ms: float
+
+    evaluation = _StubEvaluation()
+
+
+def _assert_rankings_identical(candidates, top_fraction, top_candidates):
+    scalar = rank_candidates(
+        candidates, top_fraction=top_fraction, top_candidates=top_candidates
+    )
+    columnar = rank_candidates_columnar(
+        candidates, top_fraction=top_fraction, top_candidates=top_candidates
+    )
+    assert len(scalar) == len(columnar)
+    for left, right in zip(scalar, columnar):
+        assert left.candidate is right.candidate
+        assert left.io_rank == right.io_rank
+        assert left.final_rank == right.final_rank
+
+
+# Tiny value pools force heavy ties on every key component.
+_TIE_HEAVY_CANDIDATES = st.lists(
+    st.builds(
+        _StubCandidate,
+        label=st.sampled_from(["a", "b", "c", "aa"]),
+        fragment_count=st.integers(min_value=1, max_value=3),
+        io_cost_ms=st.sampled_from([1.0, 2.0, 2.5]),
+        response_time_ms=st.sampled_from([0.5, 1.0, 1.5]),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestColumnarParity:
+    """rank_candidates_columnar must be bit-identical to the scalar reference."""
+
+    @pytest.mark.parametrize("top_fraction", [0.01, 0.25, 0.5, 1.0])
+    @pytest.mark.parametrize("top_candidates", [1, 2, 10])
+    def test_evaluated_candidates_parity(
+        self, toy_candidates, top_fraction, top_candidates
+    ):
+        # Real evaluated candidates carry columnar blocks, so this covers the
+        # metric-cube accumulation path of the totals.
+        _assert_rankings_identical(toy_candidates, top_fraction, top_candidates)
+
+    def test_duplicate_objects_parity(self, toy_candidates):
+        duplicated = [toy_candidates[0]] * 3 + list(toy_candidates)
+        _assert_rankings_identical(duplicated, 1.0, 10)
+
+    def test_single_candidate(self, toy_candidates):
+        _assert_rankings_identical(toy_candidates[:1], 0.25, 10)
+
+    def test_invalid_arguments(self, toy_candidates):
+        with pytest.raises(AdvisorError):
+            rank_candidates_columnar([], top_fraction=0.5)
+        with pytest.raises(AdvisorError):
+            rank_candidates_columnar(toy_candidates, top_fraction=0.0)
+        with pytest.raises(AdvisorError):
+            rank_candidates_columnar(toy_candidates, top_fraction=1.5)
+        with pytest.raises(AdvisorError):
+            rank_candidates_columnar(toy_candidates, top_candidates=0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        candidates=_TIE_HEAVY_CANDIDATES,
+        top_fraction=st.floats(
+            min_value=0.01, max_value=1.0, allow_nan=False, allow_infinity=False
+        ),
+        top_candidates=st.integers(min_value=1, max_value=12),
+    )
+    def test_property_parity_on_tie_heavy_inputs(
+        self, candidates, top_fraction, top_candidates
+    ):
+        _assert_rankings_identical(candidates, top_fraction, top_candidates)

@@ -164,6 +164,21 @@ class TestProgress:
         assert warm.fingerprint == first.fingerprint
         assert events[-1].completed == events[-1].total
 
+    def test_memoized_result_reports_one_complete_chunk(self, scenario):
+        session, _, first = self._collect(EngineOptions(jobs=1), scenario)
+        events = []
+        memoized = session.recommend(on_progress=events.append)
+        assert memoized.fingerprint == first.fingerprint
+        [event] = [e for e in events if e.label == "memoized"]
+        # Regression: the memoized answer used to claim chunk 0 of 0 chunks,
+        # which reads as "no progress" and breaks chunk-ratio consumers.
+        assert event.chunk == 1
+        assert event.num_chunks == 1
+        assert event.completed == event.total == len(
+            memoized.recommendation.evaluated
+        )
+        assert event.completed_units == event.total_units > 0
+
 
 class TestCancellation:
     def test_serial_cancellation_leaves_the_cache_consistent(self, scenario):

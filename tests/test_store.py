@@ -115,6 +115,27 @@ class TestRoundTrip:
                 assert ours.dtype == theirs.dtype, field
                 assert np.array_equal(ours, theirs), field
 
+    def test_loaded_candidate_arrays_retain_no_base(self, scenario, tmp_path):
+        """Regression: loaded per-candidate arrays used to be numpy *views*
+        into the group's stacked cube / concatenated allocation vector, so one
+        surviving candidate pinned its whole group's arrays in memory."""
+        advisor = _advisor(scenario, tmp_path)
+        advisor.recommend()
+        _structures, candidates, _reports = CacheStore(tmp_path).load()
+        assert candidates
+        for value in candidates.values():
+            columns = value.columns
+            for array in (
+                columns.metrics,
+                columns.disks_used,
+                columns.sequential,
+                columns.forced,
+                value.allocation_disks,
+                value.allocation_pages,
+            ):
+                array = np.asarray(array)
+                assert array.base is None, "candidate array is a view"
+
     def test_disk_hits_are_counted(self, scenario, tmp_path):
         cold = _advisor(scenario, tmp_path)
         cold.recommend()
@@ -328,6 +349,18 @@ class TestCacheStoreHook:
         assert fresh.load(store) == written
         assert len(fresh) == len(advisor.cache)
 
+    def test_saves_merge_instead_of_overwriting(self, tmp_path):
+        # Two writers with disjoint entries: the second save must union with
+        # the directory's content, not replace it last-one-wins.
+        first = EvaluationCache()
+        first.merge_structures([(("a",), "alpha")])
+        assert first.save(CacheStore(tmp_path)) == 1
+        second = EvaluationCache()
+        second.merge_structures([(("b",), "beta")])
+        assert second.save(CacheStore(tmp_path)) == 2
+        structures, _, _ = CacheStore(tmp_path).load()
+        assert structures == {("a",): "alpha", ("b",): "beta"}
+
     def test_shared_cache_dir_with_tuning_studies(self, scenario, tmp_path):
         from repro.tuning import disk_count_study
 
@@ -349,3 +382,119 @@ class TestCacheStoreHook:
         )
         assert study_cache.loaded_from_disk > 0
         assert study_cache.stats.structure_disk_hits > 0
+
+
+def _store_size(cache_dir) -> int:
+    return sum(
+        (cache_dir / name).stat().st_size
+        for name in (ENTRIES_FILENAME, BATCHES_FILENAME, CANDIDATES_FILENAME)
+        if (cache_dir / name).exists()
+    )
+
+
+class TestStoreMaintenance:
+    """Byte-budgeted LRU garbage collection and the append/compact write path."""
+
+    def test_invalid_budget(self, tmp_path):
+        with pytest.raises(ValueError):
+            CacheStore(tmp_path, max_bytes=0)
+        with pytest.raises(ValueError):
+            CacheStore(tmp_path, max_bytes=-5)
+
+    def test_lru_evicts_untouched_entries_first(self, tmp_path):
+        # Four 10 KB entries on disk; a second process touches two of them,
+        # adds a fifth, and saves under a budget that holds only three.
+        first = EvaluationCache()
+        first.merge_structures(
+            [((f"k{i}",), bytes([i]) * 10_000) for i in range(1, 5)]
+        )
+        assert first.save(CacheStore(tmp_path)) == 4
+
+        budget = 60_000
+        second = EvaluationCache()
+        budgeted = CacheStore(tmp_path, max_bytes=budget)
+        assert second.attach(budgeted) == 4
+        # Hits refresh k3/k4; k1/k2 stay merely loaded (not touched).
+        assert second._memoized_structure(("k3",), lambda: None) == b"\x03" * 10_000
+        assert second._memoized_structure(("k4",), lambda: None) == b"\x04" * 10_000
+        second.merge_structures([(("k5",), b"\x05" * 10_000)])
+        written = second.save(budgeted)
+        assert written is not None and 0 < written < 5
+
+        structures, _, _ = CacheStore(tmp_path).load()
+        assert _store_size(tmp_path) <= budget
+        # Eviction is strictly oldest-first: untouched k1/k2 age out before
+        # the entries this run touched, so the survivors form a suffix of the
+        # LRU order and the newest entry always makes it.
+        order = [("k1",), ("k2",), ("k3",), ("k4",), ("k5",)]
+        survivors = [key for key in order if key in structures]
+        assert survivors == order[len(order) - len(survivors) :]
+        assert ("k1",) not in structures
+        assert ("k5",) in structures
+
+        # Survivors still serve warm (disk) hits for a third process.
+        third = EvaluationCache()
+        assert third.attach(CacheStore(tmp_path)) == len(survivors)
+        assert third._memoized_structure(("k5",), lambda: None) == b"\x05" * 10_000
+        assert third.stats.structure_disk_hits == 1
+
+    def test_budget_smaller_than_any_store_clears_the_directory(self, tmp_path):
+        cache = EvaluationCache()
+        cache.merge_structures([(("k",), b"x" * 50_000)])
+        store = CacheStore(tmp_path, max_bytes=1_000)
+        assert cache.save(store) == 0
+        assert _store_size(tmp_path) == 0
+        assert CacheStore(tmp_path).load() == ({}, {}, {})
+
+    def test_unbudgeted_saves_never_evict(self, tmp_path):
+        cache = EvaluationCache()
+        cache.merge_structures(
+            [((f"k{i}",), bytes([i]) * 10_000) for i in range(1, 9)]
+        )
+        assert cache.save(CacheStore(tmp_path)) == 8
+        structures, _, _ = CacheStore(tmp_path).load()
+        assert len(structures) == 8
+
+    def test_budgeted_sweeps_stay_under_budget_and_warm_start(
+        self, scenario, tmp_path
+    ):
+        schema, workload, system, config = scenario
+        baseline_dir = tmp_path / "unbounded"
+        _advisor(scenario, baseline_dir).recommend()
+        unbounded = _store_size(baseline_dir)
+
+        # Three quarters of the unbounded footprint: tight enough to force
+        # eviction, loose enough that survivors keep serving warm starts.
+        budget_mb = (unbounded * 0.75) / (1024 * 1024)
+        effective_budget = int(budget_mb * 1024 * 1024)
+        bounded_dir = tmp_path / "bounded"
+        options = EngineOptions(
+            cache_dir=str(bounded_dir), cache_max_mb=budget_mb
+        )
+        cold = Warlock(schema, workload, system, config, options=options)
+        fingerprint = recommendation_fingerprint(cold.recommend())
+        assert _store_size(bounded_dir) <= effective_budget
+
+        warm = Warlock(schema, workload, system, config, options=options)
+        assert warm.cache.loaded_from_disk > 0
+        assert recommendation_fingerprint(warm.recommend()) == fingerprint
+        assert _store_size(bounded_dir) <= effective_budget
+
+    def test_append_then_compaction_preserves_fingerprint(self, scenario, tmp_path):
+        # First sweep writes the store; a reweighted-workload sweep appends
+        # into the same directory; the original sweep must still warm-start
+        # bit-identically afterwards.
+        schema, workload, system, config = scenario
+        cold = _advisor(scenario, tmp_path)
+        fingerprint = recommendation_fingerprint(cold.recommend())
+        other_system = SystemParameters(num_disks=8)
+        Warlock(
+            schema,
+            workload,
+            other_system,
+            config,
+            options=EngineOptions(cache_dir=str(tmp_path)),
+        ).recommend()
+        warm = _advisor(scenario, tmp_path)
+        assert recommendation_fingerprint(warm.recommend()) == fingerprint
+        assert warm.cache.stats.disk_hit_rate >= 0.9
