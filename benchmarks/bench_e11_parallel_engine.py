@@ -39,6 +39,16 @@ kernels on the stock 8-class APB-1 mix (where the class-axis win broke even
 at ~1.05x), plus the warm start from the columnar candidate store;
 measurements are appended to ``BENCH_e11.json``.
 
+**Part 7 — the HTTP service under concurrent load**: an
+:class:`repro.service.AdvisorServer` holding two warm sessions serves a batch
+of concurrent what-if requests (recommend + tune, 8 in quick mode, 16 in
+full) issued from client threads over real sockets.  Reported: request
+throughput and p50/p99 latency, plus one SSE-streamed request per warehouse
+whose progress frames must terminate with ``completed == total``.  Every
+HTTP result is asserted fingerprint-identical to an in-process
+``AdvisorSession`` over the same inputs; measurements are appended to
+``BENCH_e11.json``.
+
 **Part 6 — the columnar two-phase ranking**: ``rank_candidates_columnar``
 vs the scalar ``rank_candidates`` tail on a ~1000-candidate sweep.  The
 scalar ranking re-derives the workload-weighted totals through per-candidate
@@ -958,3 +968,193 @@ def test_e11_columnar_ranking(quick):
         f"columnar ranking only {ratio:.2f}x over scalar "
         f"({columnar_s * 1000:.2f}ms vs {scalar_s * 1000:.2f}ms)"
     )
+
+
+# ---------------------------------------------------------------------------
+# Part 7: the HTTP service under concurrent what-if load
+# ---------------------------------------------------------------------------
+
+#: Concurrent requests fired at the service (threads = requests: every client
+#: has its own socket, so the bound is the service's worker pool, not the
+#: client side).
+SERVICE_LOAD_QUICK = 8
+SERVICE_LOAD_FULL = 16
+
+
+def _http_post_json(url, payload, timeout=600):
+    import urllib.request
+
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(), method="POST"
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _http_post_sse(url, payload, timeout=600):
+    import urllib.request
+
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        method="POST",
+        headers={"Accept": "text/event-stream"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        raw = response.read().decode()
+    frames = []
+    for block in raw.split("\n\n"):
+        if block.strip():
+            lines = dict(line.split(": ", 1) for line in block.splitlines())
+            frames.append((lines["event"], json.loads(lines["data"])))
+    return frames
+
+
+def _percentile(sorted_values, fraction):
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def test_e11_service_concurrent_load(quick):
+    """Part 7: the advisor service under concurrent what-if load.
+
+    Two warehouses (the same inputs at 64 and 32 disks) are registered and
+    warmed with one recommend each — the paper's interactive session shape,
+    now multi-tenant.  A batch of concurrent clients then mixes memoized
+    recommends with tune studies across both warehouses; the streamed
+    variants must terminate their progress at ``completed == total`` and
+    every result must be fingerprint-identical to an in-process session over
+    the same inputs.
+    """
+    import threading
+
+    from repro.service import AdvisorServer, RequestExecutor, SessionRegistry
+
+    params = QUICK if quick else FULL
+    load = SERVICE_LOAD_QUICK if quick else SERVICE_LOAD_FULL
+    schema, workload, system, config = _inputs(params)
+    systems = {"wh64": system, "wh32": system.with_disks(32)}
+
+    server = AdvisorServer(
+        registry=SessionRegistry(max_sessions=4),
+        executor=RequestExecutor(workers=4, capacity=load * 2),
+    )
+    for name, sys_params in systems.items():
+        server.registry.register(name, schema, workload, sys_params, config=config)
+    server.start_in_background()
+    try:
+        # -- warm both sessions (one cold sweep each, timed as reference) -------
+        warm_times = {}
+        for name in systems:
+            start = time.perf_counter()
+            _http_post_json(
+                f"{server.url}/warehouses/{name}/submit", {"kind": "recommend"}
+            )
+            warm_times[name] = time.perf_counter() - start
+        assert server.registry.live_sessions == len(systems)
+
+        # -- concurrent what-if load over the warm sessions ---------------------
+        warehouses = list(systems)
+        payloads = [
+            {"kind": "recommend"}
+            if index % 2 == 0
+            else {"kind": "tune", "study": "disks", "settings": [16, 32, 64]}
+            for index in range(load)
+        ]
+        results = [None] * load
+        latencies = [None] * load
+
+        def client(index):
+            name = warehouses[index % len(warehouses)]
+            start = time.perf_counter()
+            body = _http_post_json(
+                f"{server.url}/warehouses/{name}/submit", payloads[index]
+            )
+            latencies[index] = time.perf_counter() - start
+            results[index] = (name, body)
+
+        batch_start = time.perf_counter()
+        threads = [
+            threading.Thread(target=client, args=(index,)) for index in range(load)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        batch_s = time.perf_counter() - batch_start
+        assert all(result is not None for result in results), "a client failed"
+
+        # -- one streamed request per warehouse: progress must terminate --------
+        for name in systems:
+            frames = _http_post_sse(
+                f"{server.url}/warehouses/{name}/submit?stream=1",
+                {"kind": "tune", "study": "disks", "settings": [16, 32, 64]},
+            )
+            kinds = [kind for kind, _ in frames]
+            assert kinds[-2:] == ["result", "done"]
+            progress = [data for kind, data in frames if kind == "progress"]
+            assert progress
+            assert progress[-1]["completed"] == progress[-1]["total"]
+
+        # -- parity: every HTTP result == the in-process session ----------------
+        oracles = {
+            name: AdvisorSession(schema, workload, sys_params, config=config)
+            for name, sys_params in systems.items()
+        }
+        for index, (name, body) in enumerate(results):
+            oracle = oracles[name]
+            if payloads[index]["kind"] == "recommend":
+                assert body["fingerprint"] == oracle.recommend().fingerprint, (
+                    f"HTTP recommend diverged from in-process on {name}"
+                )
+            else:
+                expected = oracle.tune("disks", settings=(16, 32, 64)).to_dict()
+                assert body["result"] == json.loads(json.dumps(expected)), (
+                    f"HTTP tune diverged from in-process on {name}"
+                )
+
+        sorted_latency = sorted(latencies)
+        p50 = _percentile(sorted_latency, 0.50)
+        p99 = _percentile(sorted_latency, 0.99)
+        print()
+        print_table(
+            f"E11: service load — {load} concurrent what-if requests over "
+            f"{len(systems)} warm sessions (4 request workers)",
+            ["metric", "value"],
+            [
+                ["cold warm-up sweeps [s]",
+                 ", ".join(f"{name} {t:.3f}" for name, t in warm_times.items())],
+                ["batch wall time [s]", f"{batch_s:.3f}"],
+                ["throughput [req/s]", f"{load / batch_s:.1f}"],
+                ["p50 latency [s]", f"{p50:.3f}"],
+                ["p99 latency [s]", f"{p99:.3f}"],
+                ["served / cancelled", f"{server.served} / {server.cancelled}"],
+            ],
+        )
+
+        _append_trajectory(
+            {
+                "part": "7-service-load",
+                "quick": quick,
+                "concurrent_requests": load,
+                "warm_sessions": len(systems),
+                "request_workers": 4,
+                "batch_s": round(batch_s, 4),
+                "throughput_rps": round(load / batch_s, 2),
+                "p50_s": round(p50, 4),
+                "p99_s": round(p99, 4),
+                "cold_sweep_s": {
+                    name: round(t, 4) for name, t in warm_times.items()
+                },
+            }
+        )
+
+        # The warm what-if requests ride the session memo and cache: even the
+        # p99 must come in well under a cold sweep (loose bound — the point
+        # is "interactive against warm sessions", not a specific speedup).
+        assert p99 < max(warm_times.values()) * 2 + 5.0, (
+            f"p99 latency {p99:.3f}s is not interactive against warm sessions "
+            f"(cold sweeps {warm_times})"
+        )
+    finally:
+        server.stop()

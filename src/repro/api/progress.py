@@ -18,8 +18,8 @@ their inputs — remains valid, so a later retry resumes warm.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Union
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Optional, Union
 
 __all__ = [
     "ProgressEvent",
@@ -27,6 +27,7 @@ __all__ = [
     "ProgressCallback",
     "CancelSignal",
     "cancel_requested",
+    "sweep_scoped",
 ]
 
 
@@ -53,6 +54,12 @@ class ProgressEvent:
     total_units: int
     #: Label of the last candidate the completed chunk evaluated ("" at start).
     label: str = ""
+    #: Composite requests (``tune``/``simulate`` with their implicit
+    #: recommend) run several sweeps under one meter; ``sweep``/``num_sweeps``
+    #: say which sweep of the request this event belongs to.  Plain
+    #: single-sweep requests leave both at 1.
+    sweep: int = 1
+    num_sweeps: int = 1
 
     @property
     def fraction(self) -> float:
@@ -70,6 +77,8 @@ class ProgressEvent:
             "completed_units": self.completed_units,
             "total_units": self.total_units,
             "label": self.label,
+            "sweep": self.sweep,
+            "num_sweeps": self.num_sweeps,
             "fraction": self.fraction,
         }
 
@@ -79,6 +88,8 @@ class ProgressEvent:
             f"{self.phase} {self.completed}/{self.total} candidates "
             f"(chunk {self.chunk}/{self.num_chunks})"
         )
+        if self.num_sweeps > 1:
+            text = f"sweep {self.sweep}/{self.num_sweeps}: " + text
         if self.label:
             text += f" {self.label}"
         return text
@@ -108,6 +119,26 @@ class CancellationToken:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "active"
         return f"<CancellationToken {state}>"
+
+
+def sweep_scoped(
+    on_progress: Optional["ProgressCallback"], sweep: int, num_sweeps: int
+) -> Optional["ProgressCallback"]:
+    """Re-emit a sweep's events stamped as sweep ``sweep`` of ``num_sweeps``.
+
+    Composite requests (a ``tune`` that first runs its implicit recommend,
+    then the study settings) forward each inner sweep's events through this
+    wrapper so a consumer can render one meter per *request*: "sweep k of n"
+    plus the inner sweep's own completion ratio.  ``None`` passes through, so
+    call sites need no progress-enabled special case.
+    """
+    if on_progress is None:
+        return None
+
+    def scoped(event: ProgressEvent) -> None:
+        on_progress(replace(event, sweep=sweep, num_sweeps=num_sweeps))
+
+    return scoped
 
 
 def cancel_requested(cancel: Any) -> bool:

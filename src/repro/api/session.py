@@ -232,7 +232,7 @@ class AdvisorSession:
         if isinstance(request, RecommendRequest):
             return self.recommend(on_progress=on_progress, cancel=cancel)
         if isinstance(request, EvaluateSpecRequest):
-            return self.evaluate(request)
+            return self.evaluate(request, on_progress=on_progress, cancel=cancel)
         if isinstance(request, CompareRequest):
             return self.compare(
                 request.specs,
@@ -348,12 +348,45 @@ class AdvisorSession:
             self._recommend_memo = (fingerprint, result)
         return result
 
-    def evaluate(self, request: EvaluateSpecRequest) -> EvaluateSpecResult:
-        """Fully evaluate a single fragmentation candidate."""
+    def evaluate(
+        self,
+        request: EvaluateSpecRequest,
+        on_progress: Optional[ProgressCallback] = None,
+        cancel: Optional[CancelSignal] = None,
+    ) -> EvaluateSpecResult:
+        """Fully evaluate a single fragmentation candidate.
+
+        A single candidate is below chunk granularity, so the progress/cancel
+        contract degenerates to the request boundary: a pre-set ``cancel``
+        signal raises :class:`~repro.errors.EvaluationCancelled` before any
+        work, and ``on_progress`` receives exactly one completed event once
+        the candidate is evaluated.
+        """
+        from repro.api.progress import ProgressEvent, cancel_requested
+        from repro.errors import EvaluationCancelled
+
+        if cancel_requested(cancel):
+            raise EvaluationCancelled(
+                "evaluate cancelled before evaluating the candidate"
+            )
         scheme = None
         if request.bitmap_exclude:
             scheme = self.design_bitmaps().without(*request.bitmap_exclude)
         candidate = self.engine.evaluate_spec(request.spec, bitmap_scheme=scheme)
+        if on_progress is not None:
+            per_candidate = len(self.workload)
+            on_progress(
+                ProgressEvent(
+                    phase="evaluate",
+                    completed=1,
+                    total=1,
+                    chunk=1,
+                    num_chunks=1,
+                    completed_units=per_candidate,
+                    total_units=per_candidate,
+                    label=request.spec.label,
+                )
+            )
         return EvaluateSpecResult(candidate)
 
     def evaluate_spec(
@@ -405,9 +438,12 @@ class AdvisorSession:
         the session's cache, so settings that keep the access structures
         unchanged reuse the session's earlier work.  ``cancel`` is checked at
         every setting boundary (and inside the implicit recommend);
-        ``on_progress`` covers only the implicit recommend sweep — per-setting
-        evaluations are single candidates, below chunk granularity.
+        ``on_progress`` receives one composite meter for the whole request —
+        the implicit recommend sweep is reported as sweep 1 of 2 and the
+        per-setting study events as sweep 2 of 2 (a request with an explicit
+        ``spec`` runs a single study sweep).
         """
+        from repro.api.progress import sweep_scoped
         from repro.tuning import (
             architecture_study,
             bitmap_exclusion_study,
@@ -416,10 +452,18 @@ class AdvisorSession:
             workload_weight_study,
         )
 
+        study_progress = on_progress
         if spec is None:
-            spec = self.recommend(on_progress=on_progress, cancel=cancel).best.spec
+            spec = self.recommend(
+                on_progress=sweep_scoped(on_progress, 1, 2), cancel=cancel
+            ).best.spec
+            study_progress = sweep_scoped(on_progress, 2, 2)
         common = dict(
-            config=self.config, cache=self.cache, options=self.options, cancel=cancel
+            config=self.config,
+            cache=self.cache,
+            options=self.options,
+            cancel=cancel,
+            on_progress=study_progress,
         )
         if study == "disks":
             args = {} if settings is None else {"disk_counts": tuple(settings)}
@@ -473,15 +517,26 @@ class AdvisorSession:
         on_progress: Optional[ProgressCallback] = None,
         cancel: Optional[CancelSignal] = None,
     ) -> SimulateResult:
-        """Replay the workload on an evaluated candidate's allocation."""
+        """Replay the workload on an evaluated candidate's allocation.
+
+        A composite request: the implicit recommend sweep reports as sweep 1
+        of 2, the replay itself as a single completed event in sweep 2 of 2
+        (the event-driven simulation has no chunk boundaries of its own).
+        """
+        from repro.api.progress import ProgressEvent, cancel_requested, sweep_scoped
+        from repro.errors import EvaluationCancelled
         from repro.simulation import DiskSimulator
 
-        recommendation = self.recommend(on_progress=on_progress, cancel=cancel)
+        recommendation = self.recommend(
+            on_progress=sweep_scoped(on_progress, 1, 2), cancel=cancel
+        )
         candidate = (
             recommendation.recommendation.candidate(fragmentation)
             if fragmentation
             else recommendation.best
         )
+        if cancel_requested(cancel):
+            raise EvaluationCancelled("simulate cancelled before the replay")
         simulator = DiskSimulator(self.system)
         replay = simulator.run_workload(
             candidate.layout,
@@ -492,6 +547,22 @@ class AdvisorSession:
             queries_per_class=queries_per_class,
             seed=seed,
         )
+        if on_progress is not None:
+            queries = len(self.workload) * queries_per_class
+            on_progress(
+                ProgressEvent(
+                    phase="simulate",
+                    completed=1,
+                    total=1,
+                    chunk=1,
+                    num_chunks=1,
+                    completed_units=queries,
+                    total_units=queries,
+                    label=candidate.label,
+                    sweep=2,
+                    num_sweeps=2,
+                )
+            )
         return SimulateResult(
             candidate_label=candidate.label,
             simulation=replay,

@@ -19,8 +19,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.analysis import (
     format_allocation_report,
@@ -167,17 +168,53 @@ def _engine_options(args: argparse.Namespace) -> EngineOptions:
 
 
 def _progress_meter(args: argparse.Namespace):
-    """The ``--progress`` stderr meter (``None`` when disabled)."""
+    """The ``--progress`` stderr meter (``None`` when disabled).
+
+    Interactive terminals get the animated single-line meter (carriage-
+    returned frames, completed with a newline).  When stderr is redirected —
+    CI logs, ``2>file`` — the ``\\r`` frames would pile up into one garbled
+    line, so each event is printed as its own newline-terminated record
+    instead.
+    """
     if not getattr(args, "progress", False):
         return None
+    animate = sys.stderr.isatty()
 
     def on_progress(event) -> None:
-        # One carriage-returned line per sweep, completed with a newline so
-        # the next sweep (or the result) starts clean.
-        end = "\n" if event.completed >= event.total else ""
-        print(f"\rwarlock: {event.describe()}", end=end, file=sys.stderr, flush=True)
+        if animate:
+            # One carriage-returned line per sweep, completed with a newline
+            # so the next sweep (or the result) starts clean.
+            end = "\n" if event.completed >= event.total else ""
+            print(
+                f"\rwarlock: {event.describe()}", end=end, file=sys.stderr, flush=True
+            )
+        else:
+            print(f"warlock: {event.describe()}", file=sys.stderr, flush=True)
 
     return on_progress
+
+
+def _install_sigint(token) -> Callable[[], None]:
+    """Route the first Ctrl-C to ``token.cancel()``; returns a restorer.
+
+    The sweep then stops cooperatively at its next chunk boundary and the
+    engine's persist-in-finally path still spills every completed entry to an
+    attached store.  A second Ctrl-C raises :class:`KeyboardInterrupt` as
+    usual (escape hatch for a stuck sweep).  Off the main thread — embedded
+    callers running the CLI programmatically — signals cannot be installed;
+    the restorer is then a no-op and cancellation simply stays manual.
+    """
+
+    def handler(signum, frame):
+        if token.cancelled:
+            raise KeyboardInterrupt
+        token.cancel()
+
+    try:
+        previous = signal.signal(signal.SIGINT, handler)
+    except ValueError:
+        return lambda: None
+    return lambda: signal.signal(signal.SIGINT, previous)
 
 
 def _advisor(args: argparse.Namespace) -> Warlock:
@@ -223,7 +260,9 @@ def _finish_cache(advisor: Warlock) -> None:
 
 def _cmd_recommend(args: argparse.Namespace) -> int:
     advisor = _advisor(args)
-    recommendation = advisor.recommend(on_progress=_progress_meter(args))
+    recommendation = advisor.recommend(
+        on_progress=_progress_meter(args), cancel=getattr(args, "cancel", None)
+    )
     if args.json:
         payload = recommendation_to_dict(recommendation)
         # Convenience aliases for scripts that only need the headline counts.
@@ -238,7 +277,9 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     advisor = _advisor(args)
-    recommendation = advisor.recommend(on_progress=_progress_meter(args))
+    recommendation = advisor.recommend(
+        on_progress=_progress_meter(args), cancel=getattr(args, "cancel", None)
+    )
     candidate = (
         recommendation.candidate(args.fragmentation)
         if args.fragmentation
@@ -255,7 +296,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     advisor = _advisor(args)
-    recommendation = advisor.recommend(on_progress=_progress_meter(args))
+    recommendation = advisor.recommend(
+        on_progress=_progress_meter(args), cancel=getattr(args, "cancel", None)
+    )
     print(format_full_report(recommendation, detail_top=args.detail_top))
     _finish_cache(advisor)
     return 0
@@ -263,7 +306,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     advisor = _advisor(args)
-    recommendation = advisor.recommend(on_progress=_progress_meter(args))
+    recommendation = advisor.recommend(
+        on_progress=_progress_meter(args), cancel=getattr(args, "cancel", None)
+    )
     candidate = (
         recommendation.candidate(args.fragmentation)
         if args.fragmentation
@@ -324,7 +369,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     from repro.tuning import architecture_study, disk_count_study, prefetch_study
 
     advisor = _advisor(args)
-    recommendation = advisor.recommend(on_progress=_progress_meter(args))
+    recommendation = advisor.recommend(
+        on_progress=_progress_meter(args), cancel=getattr(args, "cancel", None)
+    )
     candidate = (
         recommendation.candidate(args.fragmentation)
         if args.fragmentation
@@ -343,6 +390,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         config=advisor.config,
         cache=advisor.cache,
         options=advisor.options,
+        cancel=getattr(args, "cancel", None),
     )
     print(disks.format())
     print()
@@ -354,6 +402,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         config=advisor.config,
         cache=advisor.cache,
         options=advisor.options,
+        cancel=getattr(args, "cancel", None),
     )
     print(architecture.format())
     print()
@@ -365,9 +414,61 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         config=advisor.config,
         cache=advisor.cache,
         options=advisor.options,
+        cancel=getattr(args, "cancel", None),
     )
     print(prefetch.format())
     _finish_cache(advisor)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve advisor sessions over HTTP (see :mod:`repro.service`)."""
+    from repro.service import AdvisorServer, RequestExecutor, SessionRegistry
+
+    # The serve command shares the whole input/engine resolver stack: the
+    # common flags describe the warehouse preloaded at startup, and the
+    # resolved EngineOptions become the server-wide defaults every HTTP
+    # registration's "engine" block overrides field by field.
+    options = _engine_options(args)
+    registry = SessionRegistry(
+        max_sessions=args.max_sessions, idle_timeout=args.idle_timeout
+    )
+    executor = RequestExecutor(
+        workers=args.request_workers, capacity=args.queue_capacity
+    )
+    server = AdvisorServer(
+        registry=registry,
+        executor=executor,
+        host=args.host,
+        port=args.port,
+        options=options,
+    )
+    if args.warehouse:
+        schema, workload, system = _resolve_inputs(args)
+        config = AdvisorConfig(
+            top_fraction=args.top_fraction,
+            top_candidates=args.top,
+            max_fragments=args.max_fragments,
+        )
+        registry.register(
+            args.warehouse, schema, workload, system, config=config, options=options
+        )
+        print(f"warlock: preloaded warehouse {args.warehouse!r}", file=sys.stderr)
+
+    def announce(srv) -> None:
+        print(
+            f"warlock: serving advisor sessions on {srv.url} "
+            f"(max {args.max_sessions} sessions, {args.request_workers} request "
+            f"workers; Ctrl-C to stop)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    # The SIGINT-wired token from main() doubles as the shutdown signal:
+    # the first Ctrl-C stops accepting connections, closes every session
+    # (flushing caches to attached stores) and returns cleanly.
+    server.run(shutdown=getattr(args, "cancel", None), on_ready=announce)
+    print("warlock: server stopped", file=sys.stderr)
     return 0
 
 
@@ -549,6 +650,51 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--fragmentation", help="label of the candidate to study (default: best)")
     tune.set_defaults(func=_cmd_tune)
 
+    serve = subparsers.add_parser(
+        "serve", help="serve advisor sessions over HTTP (SSE progress streaming)"
+    )
+    _add_common_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8642, help="bind port (default 8642; 0 picks a free port)"
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=8,
+        help="cap on simultaneously live advisor sessions; the least-recently-"
+        "used session over the cap is closed (its cache flushed to any "
+        "attached store) while its warehouse stays registered",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="close sessions idle longer than this on the next registry "
+        "access (default: never)",
+    )
+    serve.add_argument(
+        "--request-workers",
+        type=int,
+        default=4,
+        help="worker threads draining the request queue (concurrent sweeps)",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        help="bound on queued requests; a saturated queue answers 503",
+    )
+    serve.add_argument(
+        "--warehouse",
+        default=None,
+        metavar="NAME",
+        help="preload the warehouse described by the dataset/config flags "
+        "under this name (more can be registered over HTTP)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
     example = subparsers.add_parser("example-config", help="print a JSON configuration template")
     example.set_defaults(func=_cmd_example_config)
 
@@ -557,13 +703,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
+    from repro.api import CancellationToken
+    from repro.errors import EvaluationCancelled
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Every command runs under a SIGINT-wired CancellationToken: Ctrl-C
+    # cancels the sweep cooperatively at the next chunk boundary (completed
+    # entries are still spilled to an attached store by the engine's
+    # persist-in-finally path) instead of dumping a KeyboardInterrupt trace.
+    args.cancel = CancellationToken()
+    restore_sigint = _install_sigint(args.cancel)
     try:
         return args.func(args)
+    except EvaluationCancelled as error:
+        print(f"warlock: cancelled ({error})", file=sys.stderr)
+        return 130
     except WarlockError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        restore_sigint()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -694,12 +694,16 @@ class EvaluationEngine:
                 else:
                     results[index] = candidate
         warm = plan.num_candidates - len(pending)
+        # The cancellation contract holds even for a fully-warm sweep: a
+        # request whose signal is already set raises, never returns.
+        self._check_cancel(cancel, warm, plan.num_candidates)
         if not pending:
             if on_progress is not None:
-                on_progress(self._progress_event(plan, warm, 0, 0))
+                # A fully-warm sweep dispatches no chunks; report one logical
+                # chunk that is already complete (never 0/0 — wire consumers
+                # computing chunk/num_chunks ratios must not divide by zero).
+                on_progress(self._progress_event(plan, warm, 1, 1))
             return results  # type: ignore[return-value]
-
-        self._check_cancel(cancel, warm, plan.num_candidates)
         # Candidate-axis mode keeps same-axis-structure candidates on one
         # worker so the kernels batch at full group width.
         chunks = plan.partition_indices(

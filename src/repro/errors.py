@@ -22,6 +22,7 @@ __all__ = [
     "EvaluationCancelled",
     "SimulationError",
     "ReportError",
+    "ServiceError",
 ]
 
 
@@ -76,3 +77,17 @@ class SimulationError(WarlockError):
 
 class ReportError(WarlockError):
     """Raised by the analysis/report layer."""
+
+
+class ServiceError(WarlockError):
+    """Raised by the HTTP service layer (:mod:`repro.service`).
+
+    Carries the HTTP ``status`` the front end should answer with — 404 for an
+    unknown warehouse, 503 for a saturated request queue, 400 for a malformed
+    request body, and so on — so the server maps library errors to wire
+    responses in one place.
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status

@@ -1,0 +1,33 @@
+"""Advisor-as-a-service: the HTTP front end over advisor sessions.
+
+The package turns the in-process :class:`~repro.api.AdvisorSession` workflow
+into a long-running service: a :class:`SessionRegistry` keeps one warm session
+per registered warehouse (LRU-bounded, idle-timed-out), a
+:class:`RequestExecutor` drains submitted requests on a fixed worker pool with
+503 back-pressure, and :class:`AdvisorServer` serves the ``submit()`` wire
+format over stdlib asyncio HTTP with Server-Sent-Events progress streaming
+and disconnect-driven cooperative cancellation.
+
+Start one from Python::
+
+    from repro.service import AdvisorServer
+
+    server = AdvisorServer().start_in_background()
+    ...  # PUT {server.url}/warehouses/shop, POST .../shop/submit
+    server.stop()
+
+or from the shell with ``warlock serve``.
+"""
+
+from repro.service.executor import RequestExecutor, RequestJob
+from repro.service.registry import SessionRegistry, WarehouseEntry
+from repro.service.server import AdvisorServer, warehouse_inputs_from_dict
+
+__all__ = [
+    "AdvisorServer",
+    "RequestExecutor",
+    "RequestJob",
+    "SessionRegistry",
+    "WarehouseEntry",
+    "warehouse_inputs_from_dict",
+]

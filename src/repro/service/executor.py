@@ -1,0 +1,189 @@
+"""The bounded queue/drain request executor of the advisor service.
+
+The shape follows PostBOUND's ``ParallelQueryExecutor`` (SNIPPETS.md
+exemplar 3): producers enqueue work onto one bounded queue, a fixed pool of
+worker threads drains it, and a ``drain()`` barrier lets a caller wait until
+everything submitted so far has finished.  Differences fitting this service:
+
+* the queue is **bounded and non-blocking on submit** — a saturated service
+  answers 503 immediately (back-pressure to the client) instead of stacking
+  unbounded work behind the listener;
+* each submission returns a :class:`RequestJob` handle carrying the result /
+  error and a completion hook the asyncio front end uses to wake the awaiting
+  coroutine (``loop.call_soon_threadsafe``) without polling.
+
+Workers are plain threads: one advisor request is CPU-heavy Python that
+itself fans out over the engine's *process* pool, so the thread count caps
+concurrent sweeps while the real parallelism stays in the engine.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, List, Optional
+
+from repro.errors import ServiceError
+
+__all__ = ["RequestExecutor", "RequestJob"]
+
+#: Default worker threads draining the request queue.
+DEFAULT_WORKERS = 4
+#: Default bound on queued-but-not-started requests.
+DEFAULT_CAPACITY = 64
+
+
+class RequestJob:
+    """Handle of one submitted request: result, error, completion event."""
+
+    def __init__(
+        self,
+        fn: Callable[[], Any],
+        label: str = "",
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.fn = fn
+        self.label = label
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._on_done = on_done
+        self._done = threading.Event()
+
+    def run(self) -> None:
+        """Execute the job (worker side); never raises."""
+        try:
+            self.result = self.fn()
+        except BaseException as error:  # noqa: BLE001 - relayed to the waiter
+            self.error = error
+        finally:
+            self._done.set()
+            if self._on_done is not None:
+                try:
+                    self._on_done()
+                except Exception:  # pragma: no cover - notification best-effort
+                    pass
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finished; True when it did."""
+        return self._done.wait(timeout)
+
+    def outcome(self) -> Any:
+        """The job's result, re-raising its error (call after completion)."""
+        if not self._done.is_set():
+            raise ServiceError("request job read before completion", status=500)
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+#: Poison pill the shutdown path posts once per worker.
+_STOP = object()
+
+
+class RequestExecutor:
+    """A fixed worker pool draining one bounded request queue."""
+
+    def __init__(
+        self, workers: int = DEFAULT_WORKERS, capacity: int = DEFAULT_CAPACITY
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be positive, got {workers}")
+        if capacity < 1:
+            raise ServiceError(f"capacity must be positive, got {capacity}")
+        self.workers = workers
+        self.capacity = capacity
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=capacity)
+        self._threads: List[threading.Thread] = []
+        self._pending = 0
+        self._idle = threading.Condition()
+        self._shutdown = False
+        self._started = False
+        self._start_lock = threading.Lock()
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spin up the worker threads (idempotent; submit() starts lazily)."""
+        with self._start_lock:
+            if self._started:
+                return
+            self._started = True
+            for number in range(self.workers):
+                thread = threading.Thread(
+                    target=self._drain_loop,
+                    name=f"advisor-request-worker-{number}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and terminate the workers via poison pills."""
+        with self._start_lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            started = self._started
+        if not started:
+            return
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable[[], Any],
+        label: str = "",
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> RequestJob:
+        """Enqueue one request; 503 immediately when the queue is saturated."""
+        if self._shutdown:
+            raise ServiceError("request executor is shut down", status=503)
+        self.start()
+        job = RequestJob(fn, label=label, on_done=on_done)
+        with self._idle:
+            self._pending += 1
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._idle:
+                self._pending -= 1
+            raise ServiceError(
+                f"request queue saturated ({self.capacity} queued); retry later",
+                status=503,
+            )
+        return job
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until everything submitted so far finished; True when idle."""
+        with self._idle:
+            return self._idle.wait_for(lambda: self._pending == 0, timeout)
+
+    @property
+    def pending(self) -> int:
+        """Requests submitted but not yet finished (queued + running)."""
+        with self._idle:
+            return self._pending
+
+    # -- worker side ------------------------------------------------------------
+
+    def _drain_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                break
+            try:
+                item.run()
+            finally:
+                with self._idle:
+                    self._pending -= 1
+                    if self._pending == 0:
+                        self._idle.notify_all()

@@ -192,6 +192,30 @@ def _check_cancel(cancel) -> None:
         raise EvaluationCancelled("tuning study cancelled between settings")
 
 
+def _notify_setting(on_progress, completed: int, total: int, label: str) -> None:
+    """Emit one per-setting progress event (settings are a study's chunks).
+
+    The unit accounting is per setting — a study evaluates one candidate per
+    setting, so candidates, chunks and units all count settings here.
+    """
+    if on_progress is None:
+        return
+    from repro.api.progress import ProgressEvent
+
+    on_progress(
+        ProgressEvent(
+            phase="study",
+            completed=completed,
+            total=total,
+            chunk=completed,
+            num_chunks=total,
+            completed_units=completed,
+            total_units=total,
+            label=label,
+        )
+    )
+
+
 def _finish(cache, options) -> None:
     """Spill the study's new entries to the attached store (persist policy)."""
     if options.persist:
@@ -230,6 +254,7 @@ def disk_count_study(
     cache_dir: Any = None,
     options=None,
     cancel=None,
+    on_progress=None,
 ) -> TuningStudy:
     """Vary the number of disks (the classic scale-out question)."""
     if not disk_counts:
@@ -248,6 +273,7 @@ def disk_count_study(
             options=options,
         )
         records.append((str(disks), _candidate_metrics(candidate)))
+        _notify_setting(on_progress, len(records), len(disk_counts), str(disks))
     _finish(cache, options)
     return TuningStudy(
         name=f"Disk-count study for {spec.label}",
@@ -267,6 +293,7 @@ def architecture_study(
     cache_dir: Any = None,
     options=None,
     cancel=None,
+    on_progress=None,
 ) -> TuningStudy:
     """Compare Shared Everything and Shared Disk for the same fragmentation."""
     options, cache = _study_setup(
@@ -285,6 +312,7 @@ def architecture_study(
             options=options,
         )
         records.append((architecture, _candidate_metrics(candidate)))
+        _notify_setting(on_progress, len(records), 2, architecture)
     _finish(cache, options)
     return TuningStudy(
         name=f"Architecture study for {spec.label}",
@@ -305,6 +333,7 @@ def prefetch_study(
     cache_dir: Any = None,
     options=None,
     cancel=None,
+    on_progress=None,
 ) -> TuningStudy:
     """Vary the fact-table prefetch granule (bitmap granule stays on auto)."""
     if not fact_granules:
@@ -321,6 +350,7 @@ def prefetch_study(
         record = _candidate_metrics(candidate)
         record["resolved_fact_granule"] = candidate.prefetch.fact_pages
         records.append((label, record))
+        _notify_setting(on_progress, len(records), len(fact_granules), label)
     _finish(cache, options)
     return TuningStudy(
         name=f"Prefetch study for {spec.label}",
@@ -341,6 +371,7 @@ def bitmap_exclusion_study(
     cache_dir: Any = None,
     options=None,
     cancel=None,
+    on_progress=None,
 ) -> TuningStudy:
     """Vary the set of excluded bitmap indexes (the space-saving knob of §3.3)."""
     if not exclusions:
@@ -368,6 +399,7 @@ def bitmap_exclusion_study(
             else "without " + ", ".join(f"{d}.{l}" for d, l in excluded)
         )
         records.append((label, _candidate_metrics(candidate)))
+        _notify_setting(on_progress, len(records), len(exclusions), label)
     _finish(cache, options)
     return TuningStudy(
         name=f"Bitmap exclusion study for {spec.label}",
@@ -388,6 +420,7 @@ def skew_study(
     cache_dir: Any = None,
     options=None,
     cancel=None,
+    on_progress=None,
 ) -> TuningStudy:
     """Vary the data skew.
 
@@ -406,6 +439,7 @@ def skew_study(
             schema, workload, system, spec, config, cache=cache, options=options
         )
         records.append((f"{theta:.2f}", _candidate_metrics(candidate)))
+        _notify_setting(on_progress, len(records), len(thetas), f"{theta:.2f}")
     _finish(cache, options)
     return TuningStudy(
         name=f"Skew study for {spec.label}",
@@ -426,6 +460,7 @@ def workload_weight_study(
     cache_dir: Any = None,
     options=None,
     cancel=None,
+    on_progress=None,
 ) -> TuningStudy:
     """Vary the query-class weights ("query load specifics can be adapted").
 
@@ -442,6 +477,7 @@ def workload_weight_study(
         schema, workload, system, spec, config, cache=cache, options=options
     )
     records.append(("baseline", _candidate_metrics(baseline)))
+    _notify_setting(on_progress, 1, 1 + len(reweightings), "baseline")
     for label, weights in reweightings.items():
         _check_cancel(cancel)
         candidate = _evaluate(
@@ -454,6 +490,7 @@ def workload_weight_study(
             options=options,
         )
         records.append((label, _candidate_metrics(candidate)))
+        _notify_setting(on_progress, len(records), 1 + len(reweightings), label)
     _finish(cache, options)
     return TuningStudy(
         name=f"Workload weight study for {spec.label}",

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import re
+import sys
 
 import pytest
 
@@ -429,6 +430,111 @@ class TestProgressFlag:
     def test_progress_off_by_default(self, capsys):
         assert main(["recommend", *self.COMMON, "--top", "3"]) == 0
         assert "warlock: evaluate" not in capsys.readouterr().err
+
+    def test_non_tty_meter_emits_newline_records_without_cr(self, capsys):
+        # Regression: the meter used to print carriage-returned frames
+        # unconditionally, so redirected stderr (CI logs, `2>file`) collected
+        # one garbled line.  Without a TTY every event must be its own
+        # newline-terminated record and no \r may appear at all.
+        assert not sys.stderr.isatty()  # capsys replaces stderr with a pipe
+        assert main(["recommend", *self.COMMON, "--progress", "--top", "3"]) == 0
+        err = capsys.readouterr().err
+        assert "\r" not in err
+        frames = [line for line in err.splitlines() if line.startswith("warlock: ")]
+        assert len(frames) > 1  # one record per chunk, not one mutated line
+
+    def test_tty_meter_animates_with_carriage_returns(self, capsys, monkeypatch):
+        from repro.api import ProgressEvent
+        from repro.cli import _progress_meter, build_parser
+
+        monkeypatch.setattr(sys.stderr, "isatty", lambda: True, raising=False)
+        args = build_parser().parse_args(["recommend", "--progress"])
+        meter = _progress_meter(args)
+        meter(ProgressEvent(phase="evaluate", completed=1, total=2, chunk=1,
+                            num_chunks=2, completed_units=6, total_units=12))
+        meter(ProgressEvent(phase="evaluate", completed=2, total=2, chunk=2,
+                            num_chunks=2, completed_units=12, total_units=12))
+        err = capsys.readouterr().err
+        # Animated frames share one line (\r prefix); only the final,
+        # complete frame ends with a newline so the result starts clean.
+        assert err.startswith("\r")
+        assert err.count("\r") == 2
+        assert err.endswith("\n") and err.count("\n") == 1
+
+
+class TestSigintCancellation:
+    COMMON = ["--scale", "0.01", "--disks", "16", "--max-fragments", "20000"]
+
+    def test_first_sigint_cancels_token_second_raises(self):
+        import signal as signal_module
+
+        from repro.api import CancellationToken
+        from repro.cli import _install_sigint
+
+        token = CancellationToken()
+        restore = _install_sigint(token)
+        try:
+            handler = signal_module.getsignal(signal_module.SIGINT)
+            handler(signal_module.SIGINT, None)
+            assert token.cancelled  # first Ctrl-C: cooperative cancel
+            with pytest.raises(KeyboardInterrupt):
+                handler(signal_module.SIGINT, None)  # second: escape hatch
+        finally:
+            restore()
+
+    def test_cancelled_run_exits_130_with_a_message(self, capsys, monkeypatch):
+        from repro.core import Warlock
+        from repro.errors import EvaluationCancelled
+
+        def cancelled(self, **kwargs):
+            raise EvaluationCancelled("sweep cancelled at chunk 3/9")
+
+        monkeypatch.setattr(Warlock, "recommend", cancelled)
+        assert main(["recommend", *self.COMMON]) == 130
+        err = capsys.readouterr().err
+        assert "warlock: cancelled" in err
+        assert "chunk 3/9" in err
+
+    def test_off_main_thread_install_is_a_noop(self):
+        import threading
+
+        from repro.api import CancellationToken
+        from repro.cli import _install_sigint
+
+        outcome = {}
+
+        def run():
+            restore = _install_sigint(CancellationToken())
+            outcome["restored"] = restore()  # must not raise
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        thread.join()
+        assert "restored" in outcome
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8642
+        assert args.max_sessions == 8
+        assert args.idle_timeout is None
+        assert args.request_workers == 4
+        assert args.queue_capacity == 64
+        assert args.warehouse is None
+
+    def test_serve_accepts_the_common_flag_stack(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--warehouse", "shop", "--dataset", "retail",
+             "--disks", "32", "--jobs", "2", "--max-sessions", "2",
+             "--idle-timeout", "30", "--request-workers", "8"]
+        )
+        assert args.warehouse == "shop"
+        assert args.dataset == "retail"
+        assert args.idle_timeout == 30.0
+        # The serve command rides the same EngineOptions resolver stack.
+        assert _engine_options(args).jobs == 2
 
 
 class TestSimulateUsesEvaluatedPrefetch:

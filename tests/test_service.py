@@ -1,0 +1,499 @@
+"""Tests for the HTTP service layer (repro.service).
+
+The contract under test:
+
+* the registry keeps at most ``max_sessions`` live sessions (LRU eviction,
+  idle timeout, in-flight entries never evicted) while warehouses stay
+  registered;
+* the executor bounds queued work and answers saturation with 503;
+* every request type round-trips over HTTP with results identical to the
+  in-process ``AdvisorSession.submit()`` (fingerprint parity for recommend);
+* SSE streams order progress frames before the result, ending with
+  ``completed == total``;
+* a client disconnect mid-stream cancels the sweep cooperatively and leaves
+  the session cache consistent and warm.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import (
+    AdvisorConfig,
+    AdvisorSession,
+    EngineOptions,
+    SystemParameters,
+    synthetic_schema,
+)
+from repro.api.requests import (
+    CompareRequest,
+    EvaluateSpecRequest,
+    RecommendRequest,
+    SimulateRequest,
+    TuneRequest,
+)
+from repro.errors import ServiceError
+from repro.service import (
+    AdvisorServer,
+    RequestExecutor,
+    SessionRegistry,
+    warehouse_inputs_from_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    schema = synthetic_schema(
+        num_dimensions=4,
+        levels_per_dimension=3,
+        bottom_cardinality=300,
+        fact_rows=2_000_000,
+        seed=3,
+    )
+    workload = __import__("repro.workload.generator", fromlist=["random_query_mix"]).random_query_mix(
+        schema, num_classes=6, seed=5
+    )
+    system = SystemParameters(num_disks=16)
+    config = AdvisorConfig(max_fragments=20_000, top_candidates=8)
+    return schema, workload, system, config
+
+
+@pytest.fixture(scope="module")
+def server(scenario):
+    schema, workload, system, config = scenario
+    srv = AdvisorServer(
+        registry=SessionRegistry(max_sessions=4),
+        executor=RequestExecutor(workers=4, capacity=16),
+    )
+    srv.registry.register("main", schema, workload, system, config=config)
+    srv.start_in_background()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture(scope="module")
+def parity_session(scenario):
+    """In-process twin of the served "main" warehouse (parity oracle)."""
+    schema, workload, system, config = scenario
+    return AdvisorSession(schema, workload, system, config)
+
+
+def http_json(server, method, path, payload=None, timeout=60):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(server.url + path, data=data, method=method)
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+def http_error(server, method, path, payload=None):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        http_json(server, method, path, payload)
+    error = excinfo.value
+    return error.code, json.loads(error.read())
+
+
+def http_sse(server, path, payload, timeout=120):
+    """POST and parse an SSE stream into ``[(event, data), ...]``."""
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(payload).encode(),
+        method="POST",
+        headers={"Accept": "text/event-stream"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        assert response.headers["Content-Type"] == "text/event-stream"
+        raw = response.read().decode()
+    frames = []
+    for block in raw.split("\n\n"):
+        if not block.strip():
+            continue
+        lines = dict(line.split(": ", 1) for line in block.splitlines())
+        frames.append((lines["event"], json.loads(lines["data"])))
+    return frames
+
+
+class TestRegistry:
+    def test_unknown_warehouse_is_a_404(self, scenario):
+        registry = SessionRegistry()
+        with pytest.raises(ServiceError) as excinfo:
+            registry.acquire("ghost")
+        assert excinfo.value.status == 404
+
+    def test_lru_cap_closes_the_coldest_session(self, scenario):
+        schema, workload, system, config = scenario
+        registry = SessionRegistry(max_sessions=2)
+        for name in ("a", "b", "c"):
+            registry.register(name, schema, workload, system, config=config)
+        for name in ("a", "b", "c"):
+            entry = registry.acquire(name)
+            with entry.lock:
+                entry.ensure_session()
+        # "a" is the least recently used of the three: evicted, but still
+        # registered — a later acquire simply rebuilds its session.
+        assert registry.live_sessions == 2
+        assert set(registry.names()) == {"a", "b", "c"}
+        assert registry.evictions == 1
+        entry_a = registry.acquire("a")
+        assert entry_a.session is None
+        with entry_a.lock:
+            entry_a.ensure_session()
+        assert registry.live_sessions == 2  # now "b" went
+
+    def test_in_flight_sessions_are_never_evicted(self, scenario):
+        schema, workload, system, config = scenario
+        registry = SessionRegistry(max_sessions=1)
+        for name in ("busy", "idle", "next"):
+            registry.register(name, schema, workload, system, config=config)
+        busy = registry.acquire("busy")
+        with busy.lock:  # request in flight
+            busy.ensure_session()
+            idle = registry.acquire("idle")
+            with idle.lock:
+                idle.ensure_session()
+            # Both live although the cap is 1: the busy one is untouchable.
+            assert registry.live_sessions == 2
+            registry.acquire("next")
+            assert busy.session is not None
+            assert idle.session is None  # the idle one was the victim
+
+    def test_idle_timeout_purges_on_access(self, scenario):
+        schema, workload, system, config = scenario
+        now = [0.0]
+        registry = SessionRegistry(idle_timeout=10.0, clock=lambda: now[0])
+        registry.register("old", schema, workload, system, config=config)
+        registry.register("new", schema, workload, system, config=config)
+        for name in ("old", "new"):
+            entry = registry.acquire(name)
+            with entry.lock:
+                entry.ensure_session()
+        now[0] = 5.0
+        new = registry.acquire("new")  # refreshes "new" only
+        assert registry.live_sessions == 2
+        now[0] = 12.0  # "old" idle 12s > 10s, "new" idle 7s
+        registry.acquire("new")
+        assert registry.live_sessions == 1
+        assert new.session is not None
+        assert registry.acquire("old").session is None
+
+    def test_register_replaces_and_remove_drops(self, scenario):
+        schema, workload, system, config = scenario
+        registry = SessionRegistry()
+        registry.register("w", schema, workload, system, config=config)
+        entry = registry.acquire("w")
+        with entry.lock:
+            entry.ensure_session()
+        replaced = registry.register("w", schema, workload, system, config=config)
+        assert replaced.session is None  # the old session was closed
+        assert registry.remove("w") is True
+        assert registry.remove("w") is False
+        with pytest.raises(ServiceError):
+            registry.acquire("w")
+
+    def test_describe_is_json_ready(self, scenario):
+        schema, workload, system, config = scenario
+        registry = SessionRegistry(max_sessions=3, idle_timeout=60.0)
+        registry.register("w", schema, workload, system, config=config)
+        snapshot = registry.describe()
+        json.dumps(snapshot)  # serializable as-is
+        assert snapshot["max_sessions"] == 3
+        assert snapshot["warehouses"][0]["name"] == "w"
+        assert snapshot["warehouses"][0]["live"] is False
+
+
+class TestExecutor:
+    def test_jobs_run_and_return_results(self):
+        executor = RequestExecutor(workers=2, capacity=8)
+        jobs = [executor.submit(lambda k=k: k * k) for k in range(6)]
+        assert executor.drain(timeout=10)
+        assert [job.outcome() for job in jobs] == [0, 1, 4, 9, 16, 25]
+        executor.shutdown()
+
+    def test_errors_propagate_through_outcome(self):
+        executor = RequestExecutor(workers=1, capacity=4)
+
+        def boom():
+            raise ValueError("exploded")
+
+        job = executor.submit(boom)
+        assert job.wait(timeout=10)
+        with pytest.raises(ValueError, match="exploded"):
+            job.outcome()
+        executor.shutdown()
+
+    def test_saturation_answers_503_without_blocking(self):
+        executor = RequestExecutor(workers=1, capacity=1)
+        release = threading.Event()
+        running = threading.Event()
+
+        def block():
+            running.set()
+            return release.wait()
+
+        blocker = executor.submit(block)
+        assert running.wait(timeout=10)  # the worker holds it, queue is empty
+        queued = executor.submit(lambda: "queued")  # fills the queue
+        with pytest.raises(ServiceError) as excinfo:
+            executor.submit(lambda: "rejected")
+        assert excinfo.value.status == 503
+        release.set()
+        assert executor.drain(timeout=10)
+        assert blocker.outcome() is True
+        assert queued.outcome() == "queued"
+        executor.shutdown()
+
+    def test_shutdown_rejects_new_work(self):
+        executor = RequestExecutor(workers=1)
+        executor.start()
+        executor.shutdown()
+        with pytest.raises(ServiceError) as excinfo:
+            executor.submit(lambda: None)
+        assert excinfo.value.status == 503
+
+    def test_on_done_hook_fires_after_completion(self):
+        executor = RequestExecutor(workers=1)
+        fired = threading.Event()
+        job = executor.submit(lambda: 7, on_done=fired.set)
+        assert fired.wait(timeout=10)
+        assert job.done and job.outcome() == 7
+        executor.shutdown()
+
+
+class TestWarehouseRegistration:
+    def test_dataset_shorthand_builds_the_bundled_inputs(self):
+        schema, workload, system, config, engine = warehouse_inputs_from_dict(
+            {"dataset": "apb1", "scale": 0.05, "disks": 16}
+        )
+        assert "apb1" in schema.name
+        assert len(workload) > 0
+        assert system.num_disks == 16
+        assert config is None and engine == {}
+
+    def test_advisor_and_engine_blocks_are_validated(self):
+        _, _, _, config, engine = warehouse_inputs_from_dict(
+            {
+                "dataset": "retail",
+                "advisor": {"top_candidates": 5},
+                "engine": {"jobs": 2, "vectorize": True},
+            }
+        )
+        assert config.top_candidates == 5
+        assert engine == {"jobs": 2, "vectorize": True}
+        with pytest.raises(ServiceError, match="advisor block"):
+            warehouse_inputs_from_dict(
+                {"dataset": "apb1", "advisor": {"not_a_knob": 1}}
+            )
+
+    def test_unknown_dataset_is_rejected(self):
+        with pytest.raises(ServiceError, match="unknown dataset"):
+            warehouse_inputs_from_dict({"dataset": "tpch"})
+
+
+class TestHTTPEndpoints:
+    def test_health_and_warehouse_listing(self, server):
+        status, health = http_json(server, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        status, listing = http_json(server, "GET", "/warehouses")
+        assert [row["name"] for row in listing["warehouses"]] == ["main"]
+
+    def test_unknown_route_and_method(self, server):
+        code, body = http_error(server, "GET", "/nope")
+        assert code == 404
+        code, _ = http_error(server, "POST", "/warehouses/main")
+        assert code == 405
+        # The submit path exists for every method: wrong verb is 405, not 404.
+        code, _ = http_error(server, "GET", "/warehouses/main/submit")
+        assert code == 405
+
+    def test_unknown_warehouse_is_404(self, server):
+        code, body = http_error(
+            server, "POST", "/warehouses/ghost/submit", {"kind": "recommend"}
+        )
+        assert code == 404
+        assert "ghost" in body["error"]
+
+    def test_malformed_bodies_are_400(self, server):
+        code, body = http_error(
+            server, "POST", "/warehouses/main/submit", {"kind": "teleport"}
+        )
+        assert code == 400 and "teleport" in body["error"]
+        code, body = http_error(
+            server, "POST", "/warehouses/main/submit",
+            {"kind": "tune", "parameter": "disks"},
+        )
+        assert code == 400 and "invalid request body" in body["error"]
+
+    def test_register_and_delete_over_http(self, server):
+        status, body = http_json(
+            server, "PUT", "/warehouses/shop",
+            {"dataset": "apb1", "scale": 0.02, "disks": 8},
+        )
+        assert status == 200
+        assert body["registered"]["name"] == "shop"
+        status, body = http_json(server, "DELETE", "/warehouses/shop")
+        assert status == 200 and body["removed"] is True
+        code, _ = http_error(server, "DELETE", "/warehouses/shop")
+        assert code == 404
+
+
+class TestHTTPRoundTrip:
+    """Every request type over HTTP == the in-process submit(), bit for bit."""
+
+    def _wire_requests(self, parity_session):
+        spec = parity_session.recommend().best.spec
+        return [
+            RecommendRequest(),
+            EvaluateSpecRequest(spec=spec),
+            CompareRequest(specs=(spec,)),
+            TuneRequest(study="disks", spec=spec, settings=(8, 16)),
+            SimulateRequest(queries_per_class=2, seed=7),
+        ]
+
+    def test_all_five_request_types_round_trip(self, server, parity_session):
+        for request in self._wire_requests(parity_session):
+            payload = request.to_dict()
+            status, body = http_json(
+                server, "POST", "/warehouses/main/submit", payload
+            )
+            assert status == 200, payload["kind"]
+            assert body["kind"] == payload["kind"]
+            expected = parity_session.submit(request).to_dict()
+            assert body["result"] == json.loads(json.dumps(expected)), payload["kind"]
+
+    def test_recommend_fingerprint_matches_in_process(self, server, parity_session):
+        _, body = http_json(
+            server, "POST", "/warehouses/main/submit", {"kind": "recommend"}
+        )
+        assert body["fingerprint"] == parity_session.recommend().fingerprint
+
+
+class TestSSEStreaming:
+    def test_stream_orders_progress_then_result_then_done(self, server, parity_session):
+        frames = http_sse(
+            server, "/warehouses/main/submit?stream=1", {"kind": "recommend"}
+        )
+        kinds = [kind for kind, _ in frames]
+        assert kinds[-2:] == ["result", "done"]
+        assert set(kinds[:-2]) <= {"progress"}
+        progress = [data for kind, data in frames if kind == "progress"]
+        assert progress, "a streamed request must report progress"
+        completed = [p["completed"] for p in progress]
+        assert completed == sorted(completed)
+        assert progress[-1]["completed"] == progress[-1]["total"]
+        result = dict(frames)["result"]
+        assert result["fingerprint"] == parity_session.recommend().fingerprint
+
+    def test_composite_tune_streams_both_sweeps(self, server):
+        frames = http_sse(
+            server,
+            "/warehouses/main/submit?stream=1",
+            {"kind": "tune", "study": "disks", "settings": [8, 16]},
+        )
+        progress = [data for kind, data in frames if kind == "progress"]
+        sweeps = sorted({(p["sweep"], p["num_sweeps"]) for p in progress})
+        # Sweep 1/2 may answer from the session memo in one frame, but both
+        # composite phases must be reported and the study must end complete.
+        assert sweeps == [(1, 2), (2, 2)]
+        last = progress[-1]
+        assert last["phase"] == "study"
+        assert last["completed"] == last["total"] == 2
+
+    def test_stream_reports_errors_as_sse_frames(self, server):
+        frames = http_sse(
+            server,
+            "/warehouses/main/submit?stream=1",
+            {"kind": "tune", "study": "weights", "settings": None},
+        )
+        kinds = [kind for kind, _ in frames]
+        assert kinds[-2:] == ["error", "done"]
+        assert "weights" in dict(frames)["error"]["error"]
+
+
+class TestDisconnectCancellation:
+    def test_disconnect_cancels_the_sweep_and_leaves_the_cache_warm(
+        self, scenario
+    ):
+        schema, workload, system, config = scenario
+        server = AdvisorServer(
+            registry=SessionRegistry(),
+            executor=RequestExecutor(workers=2, capacity=8),
+        )
+        # A dedicated warehouse: its session is cold, so the streamed sweep
+        # has many chunks left when the client hangs up.
+        server.registry.register(
+            "dropped", schema, workload, system, config=config,
+            options=EngineOptions(jobs=1),
+        )
+        server.start_in_background()
+        try:
+            payload = json.dumps({"kind": "recommend"}).encode()
+            with socket.create_connection(("127.0.0.1", server.port), timeout=30) as sock:
+                sock.sendall(
+                    b"POST /warehouses/dropped/submit?stream=1 HTTP/1.1\r\n"
+                    b"Host: localhost\r\n"
+                    b"Content-Type: application/json\r\n"
+                    + f"Content-Length: {len(payload)}\r\n\r\n".encode()
+                    + payload
+                )
+                # Wait for the first progress frame — the sweep is live now —
+                # then hang up without reading the rest.
+                buffer = b""
+                while b"event: progress" not in buffer:
+                    chunk = sock.recv(4096)
+                    assert chunk, "stream closed before any progress frame"
+                    buffer += chunk
+            # The EOF watchdog flips the token; the worker stops at the next
+            # chunk boundary and the executor drains without finishing the
+            # sweep.
+            assert server.executor.drain(timeout=60)
+            deadline = time.monotonic() + 10
+            while server.cancelled == 0 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert server.cancelled >= 1
+            assert server.served == 0  # the request never completed
+
+            # The abandoned sweep's completed chunks persist: the session
+            # cache is non-empty and a retry completes with the exact
+            # fingerprint of an untouched in-process advisor.
+            entry = server.registry.acquire("dropped")
+            assert entry.session is not None
+            assert len(entry.session.cache) > 0
+            status, body = http_json(
+                server, "POST", "/warehouses/dropped/submit", {"kind": "recommend"}
+            )
+            assert status == 200
+            oracle = AdvisorSession(schema, workload, system, config)
+            assert body["fingerprint"] == oracle.recommend().fingerprint
+        finally:
+            server.stop()
+
+
+class TestEvictionOverHTTP:
+    def test_live_sessions_stay_capped_across_warehouses(self, scenario):
+        schema, workload, system, config = scenario
+        server = AdvisorServer(
+            registry=SessionRegistry(max_sessions=2),
+            executor=RequestExecutor(workers=2, capacity=8),
+        )
+        for name in ("w1", "w2", "w3"):
+            server.registry.register(name, schema, workload, system, config=config)
+        server.start_in_background()
+        try:
+            spec_payload = {"kind": "recommend"}
+            for name in ("w1", "w2", "w3"):
+                status, _ = http_json(
+                    server, "POST", f"/warehouses/{name}/submit", spec_payload
+                )
+                assert status == 200
+            _, listing = http_json(server, "GET", "/warehouses")
+            assert listing["live_sessions"] <= 2
+            assert len(listing["warehouses"]) == 3  # registrations all survive
+            assert listing["evictions"] >= 1
+        finally:
+            server.stop()

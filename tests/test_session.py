@@ -164,6 +164,30 @@ class TestProgress:
         assert warm.fingerprint == first.fingerprint
         assert events[-1].completed == events[-1].total
 
+    @pytest.mark.parametrize(
+        "options", [EngineOptions(jobs=1), EngineOptions(jobs=4)], ids=["serial", "jobs4"]
+    )
+    def test_fully_warm_engine_sweep_reports_completion(self, options, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config, options=options)
+        specs, _ = session.generate_specs()
+        session.engine.evaluate_specs(specs)  # cold sweep fills the cache
+        events = []
+        session.engine.evaluate_specs(specs, on_progress=events.append)
+        # Regression: the fully-warm jobs>1 sweep used to emit a single event
+        # claiming chunk 0 of 0 chunks — "no progress" to chunk-ratio
+        # consumers (and a division by zero on the wire).  Both backends must
+        # report a complete sweep with well-formed chunk fields.
+        assert events
+        last = events[-1]
+        assert last.completed == last.total == len(specs)
+        for event in events:
+            assert event.num_chunks >= 1
+            assert 0 <= event.chunk <= event.num_chunks
+        if options.jobs == 4:
+            [event] = events
+            assert event.chunk == 1 and event.num_chunks == 1
+
     def test_memoized_result_reports_one_complete_chunk(self, scenario):
         session, _, first = self._collect(EngineOptions(jobs=1), scenario)
         events = []
@@ -257,6 +281,114 @@ class TestCancellation:
         result = session.tune("disks", spec=spec, settings=(8, 16, 32, 64))
         assert result.study.settings == ["8", "16", "32", "64"]
         assert session.stats.candidate_hits >= 2
+
+
+class TestSubmitContract:
+    """submit() honors on_progress/cancel for EVERY request type.
+
+    Regression: EvaluateSpecRequest used to drop both arguments on the floor
+    — a pre-set token evaluated anyway and the wire front end saw no progress.
+    """
+
+    def _requests(self, session):
+        from repro.api.requests import (
+            CompareRequest,
+            EvaluateSpecRequest,
+            RecommendRequest,
+            SimulateRequest,
+            TuneRequest,
+        )
+
+        spec = session.recommend().best.spec
+        return [
+            RecommendRequest(),
+            EvaluateSpecRequest(spec=spec),
+            CompareRequest(specs=(spec,)),
+            TuneRequest(study="disks", spec=spec, settings=(8, 16)),
+            SimulateRequest(queries_per_class=2),
+        ]
+
+    def test_pre_set_cancel_raises_for_every_request_type(self, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        for request in self._requests(session):
+            token = CancellationToken()
+            token.cancel()
+            with pytest.raises(EvaluationCancelled):
+                session.submit(request, cancel=token)
+
+    def test_every_request_type_reports_progress(self, scenario):
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        for request in self._requests(session):
+            events = []
+            session.submit(request, on_progress=events.append)
+            assert events, type(request).__name__
+            last = events[-1]
+            assert last.completed == last.total > 0
+            assert 1 <= last.chunk <= last.num_chunks
+
+    def test_evaluate_progress_event_names_the_spec(self, scenario):
+        from repro.api.requests import EvaluateSpecRequest
+
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        spec = session.recommend().best.spec
+        events = []
+        session.submit(EvaluateSpecRequest(spec=spec), on_progress=events.append)
+        [event] = events
+        assert event.label == spec.label
+        assert event.completed == event.total == 1
+        assert event.total_units == len(workload)
+
+    def test_composite_tune_reports_both_sweeps(self, scenario):
+        from repro.api.requests import TuneRequest
+
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        events = []
+        session.submit(
+            TuneRequest(study="disks", settings=(8, 16)), on_progress=events.append
+        )
+        sweeps = [(event.sweep, event.num_sweeps) for event in events]
+        # The implicit recommend reports as sweep 1/2, the study as 2/2 —
+        # and both phases end complete.
+        assert set(sweeps) == {(1, 2), (2, 2)}
+        assert sweeps == sorted(sweeps)  # recommend frames precede the study
+        recommend_last = [e for e in events if e.sweep == 1][-1]
+        study_last = events[-1]
+        assert recommend_last.completed == recommend_last.total
+        assert study_last.sweep == 2
+        assert study_last.completed == study_last.total == 2
+        assert "sweep 2/2" in study_last.describe()
+
+    def test_composite_simulate_reports_both_sweeps(self, scenario):
+        from repro.api.requests import SimulateRequest
+
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        events = []
+        session.submit(
+            SimulateRequest(queries_per_class=2), on_progress=events.append
+        )
+        assert events[-1].phase == "simulate"
+        assert events[-1].sweep == 2 and events[-1].num_sweeps == 2
+        assert events[-1].total_units == len(workload) * 2
+        assert all(e.sweep == 1 for e in events[:-1])
+
+    def test_explicit_spec_tune_is_a_single_sweep(self, scenario):
+        from repro.api.requests import TuneRequest
+
+        schema, workload, system, config = scenario
+        session = AdvisorSession(schema, workload, system, config)
+        spec = session.recommend().best.spec
+        events = []
+        session.submit(
+            TuneRequest(study="disks", spec=spec, settings=(8, 16)),
+            on_progress=events.append,
+        )
+        assert events
+        assert all(e.sweep == 1 and e.num_sweeps == 1 for e in events)
 
 
 class TestSessionLifecycle:
