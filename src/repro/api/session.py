@@ -67,6 +67,7 @@ _Request = Union[
 ]
 
 
+# lint: not-thread-safe instances=session
 class AdvisorSession:
     """A long-lived advisor bound to one (schema, workload, system) input set.
 

@@ -421,6 +421,18 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static-analysis rules (see :mod:`repro.lint`)."""
+    from repro.lint.framework import LintError
+    from repro.lint.runner import run_from_args
+
+    try:
+        return run_from_args(args)
+    except LintError as error:
+        print(f"lint: error: {error}", file=sys.stderr)
+        return 2
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Serve advisor sessions over HTTP (see :mod:`repro.service`)."""
     from repro.service import AdvisorServer, RequestExecutor, SessionRegistry
@@ -698,6 +710,17 @@ def build_parser() -> argparse.ArgumentParser:
     example = subparsers.add_parser("example-config", help="print a JSON configuration template")
     example.set_defaults(func=_cmd_example_config)
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="static analysis over the advisor's load-bearing contracts "
+        "(see also: python -m repro.lint)",
+    )
+    # Deferred import: the lint framework is only needed by this subcommand.
+    from repro.lint.runner import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
+
     return parser
 
 
@@ -706,6 +729,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.api import CancellationToken
     from repro.errors import EvaluationCancelled
 
+    from repro.lint.sanitizer import install_from_env
+
+    # Opt-in runtime concurrency sanitizer (WARLOCK_SANITIZE=1): no-op when
+    # the variable is unset, instrument-only when set.
+    install_from_env()
     parser = build_parser()
     args = parser.parse_args(argv)
     # Every command runs under a SIGINT-wired CancellationToken: Ctrl-C

@@ -106,6 +106,7 @@ class CacheStats:
         )
 
 
+# lint: not-thread-safe instances=cache
 class EvaluationCache:
     """Content-addressed memo of access structures and query costs.
 

@@ -459,8 +459,8 @@ class EvaluationEngine:
         return self.options.jobs
 
     @property
-    def vectorize(self) -> bool:
-        """Whether the class-axis sweep is vectorized (``options.vectorize``)."""
+    def vectorize(self) -> Union[bool, str]:
+        """The vectorization mode of the sweep (``options.vectorize``)."""
         return self.options.vectorize
 
     @property

@@ -1,0 +1,34 @@
+"""``repro.lint`` — static analysis + runtime sanitizers for the contracts.
+
+Two halves:
+
+* the AST rule framework (:mod:`repro.lint.framework`, the rules under
+  :mod:`repro.lint.rules`) run via ``warlock lint`` / ``python -m
+  repro.lint``;
+* the opt-in runtime concurrency sanitizer (:mod:`repro.lint.sanitizer`),
+  enabled with ``WARLOCK_SANITIZE=1``.
+"""
+
+from repro.lint.framework import (
+    Finding,
+    LintError,
+    LintResult,
+    ModuleInfo,
+    ProjectIndex,
+    Rule,
+    RULES,
+    register,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "LintResult",
+    "ModuleInfo",
+    "ProjectIndex",
+    "Rule",
+    "RULES",
+    "register",
+    "run_lint",
+]

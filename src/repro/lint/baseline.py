@@ -1,0 +1,76 @@
+"""The committed zero-finding baseline and its fingerprint matching.
+
+The baseline file (``lint-baseline.json`` at the repo root) records the
+fingerprints of findings that were present when the gate was introduced.
+The policy of this repo is a **zero-finding baseline** — the committed file
+is empty, every finding fails CI — but the mechanism is general: a finding
+whose fingerprint appears in the baseline is reported as *baselined* and
+does not fail the run, so the gate could be adopted mid-stream on a dirty
+tree without blocking unrelated work.
+
+Fingerprints are line-number free (``rule:path:stripped-source-line``):
+moving code around a file does not churn the baseline, while editing the
+offending line re-surfaces the finding for a fresh decision.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+from repro.lint.framework import Finding, LintError
+
+__all__ = ["DEFAULT_BASELINE", "load_baseline", "split_findings", "write_baseline"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Fingerprint -> allowed count from a baseline file ({} when absent)."""
+    if not os.path.exists(path):
+        return {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise LintError(f"cannot read baseline {path}: {error}") from error
+    if not isinstance(data, dict) or not isinstance(data.get("findings", []), list):
+        raise LintError(f"baseline {path} is not a lint baseline file")
+    counts: Dict[str, int] = {}
+    for fingerprint in data.get("findings", []):
+        counts[fingerprint] = counts.get(fingerprint, 0) + 1
+    return counts
+
+
+def write_baseline(path: str, findings: List[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, deterministic)."""
+    payload = {
+        "version": 1,
+        "findings": sorted(finding.fingerprint for finding in findings),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def split_findings(
+    findings: List[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition into (new, baselined) against fingerprint counts.
+
+    Duplicate fingerprints are matched one-for-one: a baseline entry absorbs
+    at most as many findings as it was recorded with, so *adding* a second
+    copy of a baselined pattern still fails the gate.
+    """
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        allowance = remaining.get(finding.fingerprint, 0)
+        if allowance > 0:
+            remaining[finding.fingerprint] = allowance - 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

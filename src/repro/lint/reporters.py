@@ -1,0 +1,61 @@
+"""Text and JSON reporters for ``warlock lint``."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.lint.framework import Finding, LintResult
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(
+    result: LintResult, new: List[Finding], baselined: List[Finding]
+) -> str:
+    """Human-readable report: one line per finding plus a summary line."""
+    lines = [finding.describe() for finding in new]
+    for finding in baselined:
+        lines.append(f"{finding.describe()} [baselined]")
+    noun = "finding" if len(new) == 1 else "findings"
+    summary = (
+        f"{len(new)} {noun} "
+        f"({result.files_scanned} files, {len(result.rules)} rules"
+    )
+    if baselined:
+        summary += f", {len(baselined)} baselined"
+    if result.suppressed:
+        summary += f", {result.suppressed} suppressed"
+    summary += ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    result: LintResult, new: List[Finding], baselined: List[Finding]
+) -> str:
+    """Machine-readable report (stable key order)."""
+
+    def row(finding: Finding, is_baselined: bool) -> dict:
+        return {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "message": finding.message,
+            "snippet": finding.snippet,
+            "fingerprint": finding.fingerprint,
+            "baselined": is_baselined,
+        }
+
+    payload = {
+        "findings": [row(f, False) for f in new] + [row(f, True) for f in baselined],
+        "summary": {
+            "new": len(new),
+            "baselined": len(baselined),
+            "suppressed": result.suppressed,
+            "files_scanned": result.files_scanned,
+            "rules": list(result.rules),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,9 @@
+"""Rule modules register themselves on import (see ``framework.RULES``)."""
+
+from repro.lint.rules import (  # noqa: F401
+    deprecation,
+    lock_discipline,
+    numeric_determinism,
+    picklability,
+    wire_contract,
+)

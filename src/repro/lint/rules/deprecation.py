@@ -1,0 +1,85 @@
+"""Rule ``deprecation-hygiene``: no internal callers on the legacy shims.
+
+``EngineOptions`` consolidated the engine knobs in PR 5; the old per-kwarg
+spellings (``jobs=``, ``vectorize=``, ``cache_dir=``, ``cache=False``)
+survive on a known set of shimmed callables purely for external
+compatibility, warning :class:`~repro.api.EngineOptionsDeprecationWarning`.
+Internal code migrated off them in the same PR — and must stay off, or the
+warnings CI treats as noise start masking real ones.  This rule flags any
+call to a shimmed owner that passes a deprecated keyword.
+
+``cache=<EvaluationCache instance>`` is *not* deprecated (it is the
+supported cross-engine sharing hook); only the literal ``cache=False``
+switch is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.framework import Finding, ModuleInfo, ProjectIndex, Rule, register
+
+#: Callables that still accept the legacy kwargs through
+#: ``repro.api.options.resolve_engine_options``.
+SHIMMED_OWNERS = frozenset(
+    [
+        "Warlock",
+        "EvaluationEngine",
+        "compare_specs",
+        "disk_count_study",
+        "architecture_study",
+        "prefetch_study",
+        "bitmap_exclusion_study",
+        "skew_study",
+        "workload_weight_study",
+    ]
+)
+
+_DEPRECATED_KWARGS = ("jobs", "vectorize", "cache_dir")
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@register
+class DeprecationHygieneRule(Rule):
+    name = "deprecation-hygiene"
+    description = (
+        "internal callers must pass options=EngineOptions(...) instead of "
+        "the deprecated legacy kwargs on shimmed callables"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name not in SHIMMED_OWNERS:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg in _DEPRECATED_KWARGS:
+                    yield module.finding(
+                        self.name,
+                        keyword.value,
+                        f"{name}({keyword.arg}=...) uses a deprecated legacy "
+                        f"kwarg: pass options=EngineOptions("
+                        f"{keyword.arg}=...) instead",
+                    )
+                elif (
+                    keyword.arg == "cache"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is False
+                ):
+                    yield module.finding(
+                        self.name,
+                        keyword.value,
+                        f"{name}(cache=False) uses the deprecated switch: "
+                        f"pass options=EngineOptions(cache=False) instead",
+                    )

@@ -1,0 +1,116 @@
+"""Rule ``lock-discipline``: not-thread-safe objects only under their lock.
+
+The multi-threaded ``service/`` layer shares objects that are deliberately
+*not* thread-safe — the :class:`~repro.engine.EvaluationCache` and the
+:class:`~repro.api.AdvisorSession` that wraps it — and serializes access with
+the registry's per-entry lock.  That convention is invisible to Python, so
+this rule makes it lexical: in service modules (path contains ``/service/``
+or marked ``# lint: service-module``), a call on an instance of a class
+annotated ``# lint: not-thread-safe`` must sit inside a ``with <...>.lock:``
+block.
+
+What counts as such a call is a receiver-name heuristic — static analysis
+cannot type-infer, so the class annotation names its conventional receiver
+identifiers (``instances=session,cache``) and the rule flags
+``<...>.session.method(...)`` / ``session.method(...)`` only when ``method``
+is actually defined by an annotated class.  Modules marked
+``# lint: single-threaded`` are exempt (no concurrent callers by
+construction).  Deliberate out-of-``with`` patterns — e.g. closing an evicted
+session whose lock was acquired non-blocking — carry a
+``# lint: disable=lock-discipline -- reason`` suppression documenting why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.framework import Finding, ModuleInfo, ProjectIndex, Rule, register
+
+
+def _is_service_module(module: ModuleInfo) -> bool:
+    if "service-module" in module.markers:
+        return True
+    return "/service/" in module.path
+
+
+def _receiver_name(func: ast.expr) -> Optional[str]:
+    """Trailing receiver identifier of ``<recv>.method`` (None when opaque)."""
+    if not isinstance(func, ast.Attribute):
+        return None
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    return None
+
+
+def _is_lock_expr(expr: ast.expr) -> bool:
+    """True for ``with`` context expressions naming a lock.
+
+    Accepts ``<...>.lock``, ``<...>._lock``, and bare names ending in
+    ``lock`` — the project convention for entry/registry locks.
+    """
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in {"lock", "_lock"} or expr.attr.endswith("_lock")
+    if isinstance(expr, ast.Name):
+        return expr.id.endswith("lock")
+    if isinstance(expr, ast.Call):
+        # with lock.acquire_timeout(...) style helpers.
+        return _is_lock_expr(expr.func) if not isinstance(expr.func, ast.Name) else False
+    return False
+
+
+@register
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "in service modules, calls on not-thread-safe instances must sit "
+        "inside the per-entry lock's 'with' scope"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        if not _is_service_module(module) or "single-threaded" in module.markers:
+            return
+        if not project.thread_unsafe:
+            return
+        guarded_methods = project.guarded_methods
+        hints = project.instance_hints
+        # Line spans covered by a `with <lock>:` block.
+        spans: List[Tuple[int, int]] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                if any(_is_lock_expr(item.context_expr) for item in node.items):
+                    spans.append((node.lineno, node.end_lineno or node.lineno))
+
+        def covered(line: int) -> bool:
+            return any(start <= line <= end for start, end in spans)
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            method = func.attr
+            receiver = _receiver_name(func)
+            if method not in guarded_methods or receiver not in hints:
+                continue
+            if covered(node.lineno):
+                continue
+            owners = sorted(
+                info.name
+                for info in project.thread_unsafe.values()
+                if method in info.methods and receiver in info.instance_hints
+            )
+            if not owners:
+                continue
+            yield module.finding(
+                self.name,
+                node,
+                f"{receiver}.{method}() touches a not-thread-safe "
+                f"{'/'.join(owners)} outside a 'with <entry>.lock:' block; "
+                f"hold the per-entry lock (or suppress with a reason if the "
+                f"lock is provably held here)",
+            )

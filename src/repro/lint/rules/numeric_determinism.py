@@ -1,0 +1,138 @@
+"""Rule ``numeric-determinism``: keep parity-critical arithmetic ordered.
+
+The cost model's bit-identical parity contract (scalar reference vs columnar
+kernels, warm vs cold cache, HTTP vs in-process) depends on scalar
+accumulation happening in one deterministic order and on ``**`` routing
+through the pinned float-pow helper (``costmodel/formulas.py``), which pins
+CPython float semantics on both the scalar and vectorized paths.  This rule
+guards the parity-critical modules — ``costmodel/``, ``allocation/`` and
+``core/ranking.py``, or anything marked ``# lint: parity-critical`` — against
+the patterns that break those contracts:
+
+* ``sum()`` / ``np.sum()`` over a set or dict expression — unordered
+  reduction, the float result depends on hash iteration order;
+* ``for`` loops iterating a set/dict expression whose body accumulates
+  (``+=`` and friends) — same hazard spelled as a loop;
+* ``math.pow(...)`` or the ``**`` operator anywhere outside the pinned helper
+  module — pow must flow through ``_elementwise_pow`` so the scalar and numpy
+  paths agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.framework import Finding, ModuleInfo, ProjectIndex, Rule, register
+
+#: Path fragments that make a module parity-critical without a marker.
+PARITY_PATHS = ("/costmodel/", "/allocation/")
+PARITY_SUFFIXES = ("core/ranking.py",)
+
+#: The one module allowed to spell ``**`` / ``pow`` directly: it *is* the
+#: pinned helper.
+POW_HELPER_SUFFIX = "costmodel/formulas.py"
+
+_REDUCERS = {"sum", "fsum", "prod", "min", "max"}
+
+
+def _is_parity_module(module: ModuleInfo) -> bool:
+    if "parity-critical" in module.markers:
+        return True
+    path = module.path
+    return any(part in path for part in PARITY_PATHS) or path.endswith(PARITY_SUFFIXES)
+
+
+def _call_name(func: ast.expr) -> Optional[str]:
+    """Trailing identifier of a call target (``np.sum`` -> ``sum``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _dotted(func: ast.expr) -> str:
+    """Best-effort dotted name (``math.pow`` -> ``"math.pow"``)."""
+    parts = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_unordered(expr: ast.expr) -> bool:
+    """True when ``expr`` evaluates to a set, or iterates one."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        name = _call_name(expr.func)
+        if isinstance(expr.func, ast.Name) and name in {"set", "frozenset"}:
+            return True
+    if isinstance(expr, (ast.GeneratorExp, ast.ListComp)):
+        # A comprehension is only as ordered as its innermost iterable.
+        return any(_is_unordered(gen.iter) for gen in expr.generators)
+    return False
+
+
+@register
+class NumericDeterminismRule(Rule):
+    name = "numeric-determinism"
+    description = (
+        "parity-critical modules must not reduce over unordered collections "
+        "or bypass the pinned float-pow helper"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        if not _is_parity_module(module):
+            return
+        pow_allowed = module.path.endswith(POW_HELPER_SUFFIX)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = _call_name(node.func)
+                if name in _REDUCERS and node.args and _is_unordered(node.args[0]):
+                    yield module.finding(
+                        self.name,
+                        node,
+                        f"{_dotted(node.func)}() over an unordered collection: "
+                        f"the float result depends on set iteration order; "
+                        f"reduce over a sorted or insertion-ordered sequence",
+                    )
+                elif not pow_allowed and _dotted(node.func) == "math.pow":
+                    yield module.finding(
+                        self.name,
+                        node,
+                        "math.pow() in a parity-critical module: route powers "
+                        "through costmodel.formulas._elementwise_pow so scalar "
+                        "and vectorized paths agree bit-for-bit",
+                    )
+            elif (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.Pow)
+                and not pow_allowed
+            ):
+                yield module.finding(
+                    self.name,
+                    node,
+                    "'**' in a parity-critical module: route powers through "
+                    "costmodel.formulas._elementwise_pow so scalar and "
+                    "vectorized paths agree bit-for-bit",
+                )
+            elif isinstance(node, (ast.For, ast.AsyncFor)) and _is_unordered(
+                node.iter
+            ):
+                if any(
+                    isinstance(child, ast.AugAssign)
+                    for stmt in node.body
+                    for child in ast.walk(stmt)
+                ):
+                    yield module.finding(
+                        self.name,
+                        node,
+                        "accumulating over an unordered collection: iterate a "
+                        "sorted or insertion-ordered sequence so the running "
+                        "float total is deterministic",
+                    )

@@ -1,0 +1,164 @@
+"""Rule ``pool-boundary-picklability``: only picklable values cross the pool.
+
+The sweep fans chunks out over a ``ProcessPoolExecutor``; everything handed
+to ``submit()`` / ``map()`` (and the pool's ``initargs=``) is pickled into
+the worker.  Lambdas, functions nested inside another function, open file
+handles, and module-level mutable state either fail to pickle outright or —
+worse — pickle a *copy* the parent never sees mutated.  The engine's
+convention is strict: chunk payloads are small frozen value objects and the
+worker entry points are module-level functions.
+
+This rule tracks names bound to ``ProcessPoolExecutor(...)`` (assignment or
+``with ... as pool``) and flags, at each ``pool.submit``/``pool.map`` call
+and in each pool construction's ``initargs=``:
+
+* ``lambda`` expressions anywhere in the arguments,
+* references to functions defined *inside* another function (closures),
+* ``open(...)`` calls inline in the arguments (an open handle),
+* names bound at module level to mutable literals (``list``/``dict``/``set``)
+  — workers receive a copy, so mutation is a silent divergence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.lint.framework import Finding, ModuleInfo, ProjectIndex, Rule, register
+
+_POOL_TYPES = {"ProcessPoolExecutor", "Pool"}
+_SUBMIT_METHODS = {"submit", "map", "apply_async", "imap", "imap_unordered"}
+
+
+def _call_type_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class _Collector(ast.NodeVisitor):
+    """Pool-bound names, nested function names, module-level mutable names."""
+
+    def __init__(self) -> None:
+        self.pool_names: Set[str] = set()
+        self.nested_functions: Set[str] = set()
+        self.module_mutables: Dict[str, int] = {}
+        self._function_depth = 0
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if self._function_depth > 0:
+            self.nested_functions.add(node.name)
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        value = node.value
+        if isinstance(value, ast.Call) and _call_type_name(value) in _POOL_TYPES:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.pool_names.add(target.id)
+        if self._function_depth == 0 and isinstance(
+            value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.module_mutables[target.id] = node.lineno
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Call)
+                and _call_type_name(expr) in _POOL_TYPES
+                and isinstance(item.optional_vars, ast.Name)
+            ):
+                self.pool_names.add(item.optional_vars.id)
+        self.generic_visit(node)
+
+    visit_AsyncWith = visit_With  # type: ignore[assignment]
+
+
+@register
+class PoolBoundaryPicklabilityRule(Rule):
+    name = "pool-boundary-picklability"
+    description = (
+        "arguments crossing the process-pool boundary must be picklable "
+        "values: no lambdas, closures, open handles, or shared mutable "
+        "module state"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        collector = _Collector()
+        collector.visit(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            payload = None
+            context = None
+            if _call_type_name(node) in _POOL_TYPES:
+                for keyword in node.keywords:
+                    if keyword.arg == "initargs":
+                        payload = [keyword.value]
+                        context = "initargs"
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SUBMIT_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in collector.pool_names
+            ):
+                payload = list(node.args) + [kw.value for kw in node.keywords]
+                context = f"{node.func.value.id}.{node.func.attr}()"
+            if not payload:
+                continue
+            for arg in payload:
+                yield from self._check_payload(module, collector, arg, context)
+
+    def _check_payload(
+        self,
+        module: ModuleInfo,
+        collector: _Collector,
+        arg: ast.expr,
+        context: Optional[str],
+    ) -> Iterator[Finding]:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Lambda):
+                yield module.finding(
+                    self.name,
+                    sub,
+                    f"lambda crosses the pool boundary in {context}: lambdas "
+                    f"do not pickle; use a module-level function",
+                )
+            elif isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name):
+                if sub.func.id == "open":
+                    yield module.finding(
+                        self.name,
+                        sub,
+                        f"open() handle crosses the pool boundary in "
+                        f"{context}: pass the path and open in the worker",
+                    )
+            elif isinstance(sub, ast.Name):
+                if sub.id in collector.nested_functions:
+                    yield module.finding(
+                        self.name,
+                        sub,
+                        f"nested function {sub.id!r} crosses the pool "
+                        f"boundary in {context}: closures do not pickle; "
+                        f"hoist it to module level",
+                    )
+                elif sub.id in collector.module_mutables:
+                    yield module.finding(
+                        self.name,
+                        sub,
+                        f"module-level mutable {sub.id!r} (defined at line "
+                        f"{collector.module_mutables[sub.id]}) crosses the "
+                        f"pool boundary in {context}: workers receive a "
+                        f"copy, so mutation silently diverges; pass an "
+                        f"immutable snapshot",
+                    )

@@ -1,0 +1,109 @@
+"""Rule ``wire-contract``: result types serialize; progress never divides by 0.
+
+Two wire contracts the HTTP service (and any future fleet protocol) leans on:
+
+* Every public result type in ``api/results.py`` — or any module marked
+  ``# lint: wire-types`` — must define ``to_dict()``.  The service
+  serializes responses by calling it; a result class without one raises at
+  request time, long after the type checked out locally.
+* :class:`~repro.api.ProgressEvent` must never be constructed with
+  ``num_chunks=0``.  The chunk-progress contract is ``1 <= chunk <=
+  num_chunks``; a literal zero (the bug class fixed in PRs 6-7: empty sweeps
+  emitting a 0/0 frame that crashed percentage rendering downstream) is
+  always wrong — empty work emits a single 1/1 completion frame instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.framework import Finding, ModuleInfo, ProjectIndex, Rule, register
+
+WIRE_MODULE_SUFFIX = "api/results.py"
+
+#: Index of ``num_chunks`` among ProgressEvent's positional fields
+#: (phase, completed, total, chunk, num_chunks, ...).
+_NUM_CHUNKS_POSITION = 4
+
+
+def _is_wire_module(module: ModuleInfo) -> bool:
+    return "wire-types" in module.markers or module.path.endswith(WIRE_MODULE_SUFFIX)
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_zero(expr: ast.expr) -> bool:
+    return isinstance(expr, ast.Constant) and expr.value == 0 and expr.value is not False
+
+
+@register
+class WireContractRule(Rule):
+    name = "wire-contract"
+    description = (
+        "wire result types must define to_dict(); ProgressEvent must never "
+        "be built with num_chunks=0"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        if _is_wire_module(module):
+            yield from self._check_wire_types(module)
+        yield from self._check_progress_events(module)
+
+    def _check_wire_types(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef) or node.name.startswith("_"):
+                continue
+            methods = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "to_dict" not in methods:
+                yield module.finding(
+                    self.name,
+                    node,
+                    f"wire type {node.name} does not define to_dict(): the "
+                    f"service serializes every result through it",
+                )
+
+    def _check_progress_events(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name == "ProgressEvent":
+                zero = None
+                for keyword in node.keywords:
+                    if keyword.arg == "num_chunks" and _is_zero(keyword.value):
+                        zero = keyword.value
+                if (
+                    zero is None
+                    and len(node.args) > _NUM_CHUNKS_POSITION
+                    and _is_zero(node.args[_NUM_CHUNKS_POSITION])
+                ):
+                    zero = node.args[_NUM_CHUNKS_POSITION]
+                if zero is not None:
+                    yield module.finding(
+                        self.name,
+                        zero,
+                        "ProgressEvent with num_chunks=0: the chunk contract "
+                        "is 1 <= chunk <= num_chunks; emit a single 1/1 "
+                        "completion frame for empty work instead",
+                    )
+            elif name == "replace":
+                for keyword in node.keywords:
+                    if keyword.arg == "num_chunks" and _is_zero(keyword.value):
+                        yield module.finding(
+                            self.name,
+                            keyword.value,
+                            "replace(..., num_chunks=0): the chunk contract "
+                            "is 1 <= chunk <= num_chunks",
+                        )

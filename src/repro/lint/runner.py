@@ -1,0 +1,97 @@
+"""The ``warlock lint`` command driver (shared by the CLI and ``-m``)."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.framework import RULES, LintError, run_lint
+from repro.lint.reporters import render_json, render_text
+
+__all__ = ["add_lint_arguments", "main", "run_from_args"]
+
+DEFAULT_PATHS = ("src/repro",)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags to ``parser`` (used by the CLI subcommand)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="NAME",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=baseline_mod.DEFAULT_BASELINE,
+        help=f"baseline file (default: {baseline_mod.DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+
+
+def run_from_args(args: argparse.Namespace, stream=None) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    out = stream if stream is not None else sys.stdout
+    # Importing the rules package populates the registry before --list-rules.
+    from repro.lint import rules as _rules  # noqa: F401
+
+    if args.list_rules:
+        for name in sorted(RULES):
+            print(f"{name}: {RULES[name].description}", file=out)
+        return 0
+
+    result = run_lint(args.paths, args.rules)
+    if args.write_baseline:
+        baseline_mod.write_baseline(args.baseline, result.findings)
+        print(
+            f"wrote {len(result.findings)} fingerprints to {args.baseline}",
+            file=out,
+        )
+        return 0
+
+    allowed = baseline_mod.load_baseline(args.baseline)
+    new, baselined = baseline_mod.split_findings(result.findings, allowed)
+    if args.format == "json":
+        print(render_json(result, new, baselined), file=out)
+    else:
+        print(render_text(result, new, baselined), file=out)
+    return 1 if new else 0
+
+
+def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static analysis for the advisor's load-bearing contracts.",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return run_from_args(args, stream=stream)
+    except LintError as error:
+        print(f"lint: error: {error}", file=sys.stderr)
+        return 2

@@ -32,7 +32,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api.options import EngineOptions
 from repro.api.session import AdvisorSession
@@ -46,6 +46,10 @@ __all__ = ["SessionRegistry", "WarehouseEntry"]
 
 #: Default cap on simultaneously live sessions.
 DEFAULT_MAX_SESSIONS = 8
+
+#: An evicted session paired with its *still-held* entry lock: the caller
+#: closes the session, then releases the lock (see ``_collect_evictions``).
+_Victim = Tuple[AdvisorSession, threading.Lock]
 
 
 class WarehouseEntry:
@@ -151,8 +155,13 @@ class SessionRegistry:
         with self._lock:
             previous = self._entries.pop(name, None)
             self._entries[name] = entry
-        if previous is not None and previous.session is not None:
-            previous.session.close()
+        if previous is not None:
+            # Close under the entry lock: a worker that acquired the entry
+            # before the swap may still be submitting on this session.
+            with previous.lock:
+                if previous.session is not None:
+                    previous.session.close()
+                    previous.session = None
         return entry
 
     def remove(self, name: str) -> bool:
@@ -161,9 +170,12 @@ class SessionRegistry:
             entry = self._entries.pop(name, None)
         if entry is None:
             return False
-        if entry.session is not None:
-            entry.session.close()
-            entry.session = None
+        # Close under the entry lock: an in-flight request that acquired this
+        # entry before the pop still owns the session until it releases.
+        with entry.lock:
+            if entry.session is not None:
+                entry.session.close()
+                entry.session = None
         return True
 
     # -- access -----------------------------------------------------------------
@@ -176,7 +188,7 @@ class SessionRegistry:
         the registry itself never blocks on a busy session.
         """
         now = self._clock()
-        to_close: List[AdvisorSession] = []
+        to_close: List[_Victim] = []
         with self._lock:
             entry = self._entries.get(name)
             if entry is None:
@@ -185,27 +197,37 @@ class SessionRegistry:
             entry.requests += 1
             self._entries.move_to_end(name)
             to_close = self._collect_evictions(keep=name)
-        for session in to_close:
-            session.close()
+        for session, lock in to_close:
+            # The victim's entry lock was acquired (non-blocking) inside
+            # _collect_evictions, so no worker can be mid-submit on this
+            # session; close outside the registry lock, release last.
+            try:
+                session.close()  # lint: disable=lock-discipline -- entry lock acquired non-blocking in _collect_evictions; released in finally
+            finally:
+                lock.release()
         return entry
 
-    def _collect_evictions(self, keep: str) -> List[AdvisorSession]:
-        """Pick sessions to close (idle timeout + LRU cap); lock held.
+    def _collect_evictions(self, keep: str) -> List["_Victim"]:
+        """Pick sessions to close (idle timeout + LRU cap); registry lock held.
 
-        Sessions whose entry lock is held are in flight and never victims;
-        the cap then falls on the next least-recently-used idle session.
+        A victim's entry lock is acquired *non-blocking* here: success proves
+        no request is in flight and freezes the entry until the caller closes
+        the session and releases; failure means the session is busy and it is
+        skipped (the cap then falls on the next least-recently-used idle
+        session).  The returned pairs carry the still-held locks — the caller
+        closes each session and releases its lock outside the registry lock.
         """
-        victims: List[AdvisorSession] = []
+        victims: List[_Victim] = []
         live = [e for e in self._entries.values() if e.session is not None]
         for entry in live:
-            if entry.name == keep or entry.lock.locked():
+            if entry.name == keep:
                 continue
             idle = (
                 self.idle_timeout is not None
                 and self._clock() - entry.last_used > self.idle_timeout
             )
-            if idle:
-                victims.append(entry.session)
+            if idle and entry.lock.acquire(blocking=False):
+                victims.append((entry.session, entry.lock))
                 entry.session = None
         live = [e for e in self._entries.values() if e.session is not None]
         # The acquired entry's session is built lazily after this call, so
@@ -221,11 +243,12 @@ class SessionRegistry:
             for entry in live:
                 if over <= 0:
                     break
-                if entry.name == keep or entry.lock.locked():
+                if entry.name == keep:
                     continue
-                victims.append(entry.session)
-                entry.session = None
-                over -= 1
+                if entry.lock.acquire(blocking=False):
+                    victims.append((entry.session, entry.lock))
+                    entry.session = None
+                    over -= 1
         self.evictions += len(victims)
         return victims
 
@@ -259,6 +282,9 @@ class SessionRegistry:
         with self._lock:
             entries = list(self._entries.values())
         for entry in entries:
-            if entry.session is not None:
-                entry.session.close()
-                entry.session = None
+            # Shutdown still respects the entry lock: a request draining in
+            # the executor may hold it until its submit returns.
+            with entry.lock:
+                if entry.session is not None:
+                    entry.session.close()
+                    entry.session = None

@@ -27,6 +27,13 @@ from repro import (
 )
 from repro.storage import DiskParameters
 
+# WARLOCK_SANITIZE=1 runs the whole suite under the runtime concurrency
+# sanitizer (see repro.lint.sanitizer): lock-discipline violations raise
+# instead of racing silently.  A no-op when the variable is unset.
+from repro.lint.sanitizer import install_from_env
+
+install_from_env()
+
 
 @pytest.fixture
 def toy_schema() -> StarSchema:

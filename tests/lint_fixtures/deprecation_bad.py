@@ -1,0 +1,12 @@
+"""True positives for the deprecation-hygiene rule."""
+
+from repro import Warlock
+from repro.tuning import disk_count_study
+
+
+def legacy_kwargs(schema, workload, system, layout):
+    advisor = Warlock(schema, workload, system, jobs=4, vectorize=False)
+    study = disk_count_study(
+        schema, workload, system, layout, cache=False, cache_dir="/tmp/cache"
+    )
+    return advisor, study

@@ -1,0 +1,20 @@
+"""Clean negatives for the deprecation-hygiene rule."""
+
+from repro import Warlock
+from repro.api import EngineOptions
+from repro.engine import EvaluationCache
+from repro.tuning import disk_count_study
+
+
+def modern_options(schema, workload, system, layout):
+    advisor = Warlock(
+        schema,
+        workload,
+        system,
+        options=EngineOptions(jobs=4, vectorize=False),
+    )
+    # cache=<instance> is the supported sharing hook, not a deprecated kwarg.
+    study = disk_count_study(
+        schema, workload, system, layout, cache=EvaluationCache()
+    )
+    return advisor, study

@@ -1,0 +1,7 @@
+# lint: service-module
+"""True positive for the lock-discipline rule: submit outside the lock."""
+
+
+def handle(entry, request):
+    session = entry.session
+    return session.submit(request)

@@ -1,0 +1,15 @@
+"""A not-thread-safe class for the lock-discipline fixtures.
+
+The annotation is harvested project-wide during the collect pass, so the
+``_bad``/``_ok`` fixtures in this directory see it cross-file exactly the
+way the real rules see ``EvaluationCache``/``AdvisorSession``.
+"""
+
+
+# lint: not-thread-safe instances=session
+class FixtureSession:
+    def submit(self, request):
+        return request
+
+    def close(self):
+        pass

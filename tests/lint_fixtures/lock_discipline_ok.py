@@ -1,0 +1,8 @@
+# lint: service-module
+"""Clean negative for the lock-discipline rule: submit under the lock."""
+
+
+def handle(entry, request):
+    with entry.lock:
+        session = entry.session
+        return session.submit(request)

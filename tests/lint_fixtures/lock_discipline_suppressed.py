@@ -1,0 +1,19 @@
+# lint: service-module
+"""The lock-discipline pattern with documented suppressions."""
+
+
+def close_evicted(victims):
+    for session, lock in victims:
+        try:
+            session.close()  # lint: disable=lock-discipline -- lock acquired non-blocking upstream
+        finally:
+            lock.release()
+
+
+def close_evicted_standalone(victims):
+    for session, lock in victims:
+        try:
+            # lint: disable=lock-discipline -- lock acquired non-blocking upstream
+            session.close()
+        finally:
+            lock.release()

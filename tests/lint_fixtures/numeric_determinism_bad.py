@@ -1,0 +1,20 @@
+# lint: parity-critical
+"""True positives for the numeric-determinism rule."""
+
+import math
+
+
+def unordered_reduction(values):
+    return sum({float(v) for v in values})
+
+
+def bare_pow(base, exponent):
+    scaled = math.pow(base, exponent)
+    return scaled + base**2
+
+
+def set_accumulation(values):
+    total = 0.0
+    for value in set(values):
+        total += value
+    return total

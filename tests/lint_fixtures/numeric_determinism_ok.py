@@ -1,0 +1,19 @@
+# lint: parity-critical
+"""Clean negatives for the numeric-determinism rule."""
+
+from repro.costmodel.formulas import _elementwise_pow
+
+
+def ordered_reduction(values):
+    return sum(sorted(float(v) for v in values))
+
+
+def pinned_pow(base, exponent):
+    return _elementwise_pow(base, exponent)
+
+
+def list_accumulation(values):
+    total = 0.0
+    for value in sorted(values):
+        total += value
+    return total

@@ -1,0 +1,17 @@
+# lint: wire-types
+"""True positives for the wire-contract rule."""
+
+from repro.api.progress import ProgressEvent
+
+
+class LeakyResult:
+    """A public wire type without to_dict()."""
+
+    def __init__(self, value):
+        self.value = value
+
+
+def empty_sweep_event():
+    return ProgressEvent(
+        phase="evaluate", completed=0, total=0, chunk=0, num_chunks=0
+    )

@@ -1,0 +1,22 @@
+# lint: wire-types
+"""Clean negatives for the wire-contract rule."""
+
+from repro.api.progress import ProgressEvent
+
+
+class TidyResult:
+    def __init__(self, value):
+        self.value = value
+
+    def to_dict(self):
+        return {"value": self.value}
+
+
+class _Internal:
+    """Private helpers need no wire contract."""
+
+
+def completion_event():
+    return ProgressEvent(
+        phase="evaluate", completed=1, total=1, chunk=1, num_chunks=1
+    )

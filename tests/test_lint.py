@@ -1,0 +1,211 @@
+"""Tests for ``warlock lint``: framework, rules, suppressions, baseline, CLI.
+
+Every rule is proven twice — a *bad* fixture under ``tests/lint_fixtures/``
+must produce findings (the rule detects its target pattern) and an *ok*
+fixture must stay clean (the rule does not cry wolf on the idiomatic
+spelling).  On top of that, the final tree itself must lint clean: the
+self-check test runs the full rule set over ``src/repro`` exactly like the
+CI gate does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.lint import LintError, run_lint
+from repro.lint.baseline import load_baseline, split_findings, write_baseline
+from repro.lint.framework import ModuleInfo, RULES
+from repro.lint.runner import main as lint_main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "lint_fixtures")
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src", "repro")
+
+
+def fixture(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+def findings_for(path: str, rule: str):
+    result = run_lint([path, fixture("lock_discipline_classes.py")], [rule])
+    return [f for f in result.findings if f.path.endswith(os.path.basename(path))]
+
+
+RULE_FIXTURES = [
+    ("numeric-determinism", "numeric_determinism", 4),
+    ("lock-discipline", "lock_discipline", 1),
+    ("pool-boundary-picklability", "picklability", 5),
+    ("wire-contract", "wire_contract", 2),
+    ("deprecation-hygiene", "deprecation", 4),
+]
+
+
+class TestRules:
+    @pytest.mark.parametrize("rule,stem,expected", RULE_FIXTURES)
+    def test_bad_fixture_is_detected(self, rule, stem, expected):
+        found = findings_for(fixture(f"{stem}_bad.py"), rule)
+        assert len(found) == expected
+        assert all(f.rule == rule for f in found)
+        assert all(f.snippet for f in found)
+
+    @pytest.mark.parametrize("rule,stem,expected", RULE_FIXTURES)
+    def test_ok_fixture_is_clean(self, rule, stem, expected):
+        assert findings_for(fixture(f"{stem}_ok.py"), rule) == []
+
+    def test_rule_selection_is_scoped(self):
+        # Only the requested rule runs: the deprecation fixture holds no
+        # numeric-determinism positives, so a scoped run is empty.
+        result = run_lint([fixture("deprecation_bad.py")], ["numeric-determinism"])
+        assert result.findings == []
+        assert result.rules == ("numeric-determinism",)
+
+    def test_unknown_rule_is_an_error(self):
+        with pytest.raises(LintError, match="unknown rule"):
+            run_lint([FIXTURES], ["no-such-rule"])
+
+    def test_all_registered_rules_are_covered_by_fixtures(self):
+        run_lint([fixture("deprecation_ok.py")])  # populate the registry
+        assert set(RULES) == {rule for rule, _, _ in RULE_FIXTURES}
+
+
+class TestSuppressions:
+    def test_trailing_and_standalone_suppressions(self):
+        result = run_lint(
+            [
+                fixture("lock_discipline_suppressed.py"),
+                fixture("lock_discipline_classes.py"),
+            ],
+            ["lock-discipline"],
+        )
+        # Both spellings (same-line and preceding-line) silence the finding;
+        # the run still reports how many were suppressed.
+        assert result.findings == []
+        assert result.suppressed == 2
+
+    def test_suppression_is_per_rule(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "# lint: parity-critical\n"
+            "import math\n"
+            "x = math.pow(2.0, 3.0)  # lint: disable=wire-contract -- wrong rule\n"
+        )
+        result = run_lint([str(path)])
+        assert [f.rule for f in result.findings] == ["numeric-determinism"]
+        assert result.suppressed == 0
+
+    def test_unknown_directive_is_an_error(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("# lint: frobnicate\n")
+        with pytest.raises(LintError, match="unknown lint directive"):
+            run_lint([str(path)])
+
+
+class TestBaseline:
+    def test_round_trip_baselines_every_finding(self, tmp_path):
+        result = run_lint([fixture("numeric_determinism_bad.py")])
+        assert result.findings
+        baseline_path = str(tmp_path / "baseline.json")
+        write_baseline(baseline_path, result.findings)
+        allowed = load_baseline(baseline_path)
+        new, baselined = split_findings(result.findings, allowed)
+        assert new == []
+        assert len(baselined) == len(result.findings)
+
+    def test_new_findings_are_not_absorbed(self, tmp_path):
+        numeric = run_lint([fixture("numeric_determinism_bad.py")])
+        baseline_path = str(tmp_path / "baseline.json")
+        write_baseline(baseline_path, numeric.findings)
+        both = run_lint(
+            [
+                fixture("numeric_determinism_bad.py"),
+                fixture("deprecation_bad.py"),
+            ]
+        )
+        new, baselined = split_findings(both.findings, load_baseline(baseline_path))
+        assert len(baselined) == len(numeric.findings)
+        assert {f.rule for f in new} == {"deprecation-hygiene"}
+
+    def test_fingerprints_survive_reordering(self):
+        # Fingerprints carry no line numbers: the same offending line at a
+        # different position still matches its baseline entry.
+        first = ModuleInfo("mod.py", "# lint: parity-critical\nx = 2.0 ** 8\n")
+        second = ModuleInfo("mod.py", "# lint: parity-critical\n\n\nx = 2.0 ** 8\n")
+
+        def fingerprint(module):
+            rule = RULES["numeric-determinism"]()
+            from repro.lint.framework import ProjectIndex
+
+            (finding,) = list(rule.check(module, ProjectIndex()))
+            return finding.fingerprint
+
+        assert fingerprint(first) == fingerprint(second)
+
+    def test_missing_baseline_means_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "absent.json")) == {}
+
+    def test_corrupt_baseline_is_an_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json")
+        with pytest.raises(LintError, match="cannot read baseline"):
+            load_baseline(str(path))
+
+
+class TestSelfCheck:
+    def test_src_repro_lints_clean(self):
+        """The committed tree holds zero findings — the CI gate's invariant."""
+        result = run_lint([SRC])
+        assert result.findings == [], "\n".join(
+            f.describe() for f in result.findings
+        )
+        # The one deliberate suppression (registry eviction) is documented.
+        assert result.suppressed >= 1
+
+    def test_committed_baseline_is_empty(self):
+        repo_root = os.path.join(os.path.dirname(__file__), os.pardir)
+        allowed = load_baseline(os.path.join(repo_root, "lint-baseline.json"))
+        assert allowed == {}
+
+
+class TestCommandLine:
+    def test_module_entry_point_reports_json(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        code = lint_main(
+            [
+                fixture("deprecation_bad.py"),
+                "--format",
+                "json",
+                "--baseline",
+                baseline,
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["new"] == 4
+        assert all(f["rule"] == "deprecation-hygiene" for f in payload["findings"])
+
+    def test_write_baseline_then_gate_passes(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        target = fixture("deprecation_bad.py")
+        assert lint_main([target, "--baseline", baseline, "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert lint_main([target, "--baseline", baseline]) == 0
+        out = capsys.readouterr().out
+        assert "[baselined]" in out
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule, _, _ in RULE_FIXTURES:
+            assert rule in out
+
+    def test_bad_path_exits_2(self, capsys):
+        assert lint_main(["definitely/not/a/path"]) == 2
+
+    def test_cli_subcommand_is_wired(self, capsys):
+        from repro.cli import main as cli_main
+
+        code = cli_main(["lint", fixture("wire_contract_ok.py")])
+        assert code == 0
+        assert "0 findings" in capsys.readouterr().out

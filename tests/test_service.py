@@ -196,6 +196,75 @@ class TestRegistry:
         with pytest.raises(ServiceError):
             registry.acquire("w")
 
+    def test_eviction_releases_the_entry_lock(self, scenario):
+        # Regression: eviction acquires the victim's entry lock (non-blocking)
+        # so no in-flight request can race the close; the lock must be
+        # released again afterwards, not leaked.
+        schema, workload, system, config = scenario
+        registry = SessionRegistry(max_sessions=1)
+        for name in ("old", "new"):
+            registry.register(name, schema, workload, system, config=config)
+        old = registry.acquire("old")
+        with old.lock:
+            old.ensure_session()
+        new = registry.acquire("new")
+        with new.lock:
+            new.ensure_session()
+        assert old.session is None  # evicted by the cap
+        assert registry.evictions == 1
+        assert not old.lock.locked()  # the eviction path released it
+        # The evicted warehouse is still usable: rebuild its session.
+        entry = registry.acquire("old")
+        with entry.lock:
+            entry.ensure_session()
+        assert entry.session is not None
+
+    def test_replace_waits_for_in_flight_request(self, scenario):
+        # Regression: register() used to close the replaced session without
+        # the entry lock, racing a worker mid-submit on that session.  It now
+        # blocks until the in-flight request releases the lock.
+        schema, workload, system, config = scenario
+        registry = SessionRegistry()
+        registry.register("w", schema, workload, system, config=config)
+        entry = registry.acquire("w")
+        replaced = threading.Event()
+
+        def replace():
+            registry.register("w", schema, workload, system, config=config)
+            replaced.set()
+
+        with entry.lock:  # a request in flight on the old entry
+            entry.ensure_session()
+            worker = threading.Thread(target=replace)
+            worker.start()
+            # The replacement is visible immediately (new entry in the map)
+            # but the old session's close must wait for our lock.
+            assert not replaced.wait(timeout=0.2)
+        worker.join(timeout=5)
+        assert replaced.is_set()
+
+    def test_remove_waits_for_in_flight_request(self, scenario):
+        # Regression: remove() used to close the session without the entry
+        # lock; it now waits for the in-flight request to finish.
+        schema, workload, system, config = scenario
+        registry = SessionRegistry()
+        registry.register("w", schema, workload, system, config=config)
+        entry = registry.acquire("w")
+        removed = threading.Event()
+
+        def remove():
+            registry.remove("w")
+            removed.set()
+
+        with entry.lock:
+            entry.ensure_session()
+            worker = threading.Thread(target=remove)
+            worker.start()
+            assert not removed.wait(timeout=0.2)
+        worker.join(timeout=5)
+        assert removed.is_set()
+        assert entry.session is None
+
     def test_describe_is_json_ready(self, scenario):
         schema, workload, system, config = scenario
         registry = SessionRegistry(max_sessions=3, idle_timeout=60.0)
