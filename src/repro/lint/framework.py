@@ -43,8 +43,11 @@ import ast
 import io
 import os
 import tokenize
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:
+    from repro.lint.graphs import ProjectGraph
 
 __all__ = [
     "Directive",
@@ -93,6 +96,13 @@ class Finding:
     message: str
     #: The stripped source line, for reporters and baseline fingerprints.
     snippet: str = ""
+    #: 1-based index among findings sharing (rule, path, snippet) in one run,
+    #: assigned by :func:`run_lint` in source order.  Keeps two identical
+    #: offending lines in one file from collapsing onto one baseline entry.
+    occurrence: int = 1
+    #: Optional source-to-sink call chain (graph rules), rendered by
+    #: ``warlock lint --explain``.
+    chain: Tuple[str, ...] = ()
 
     @property
     def fingerprint(self) -> str:
@@ -100,9 +110,13 @@ class Finding:
 
         Deliberately line-number free (``rule:path:snippet``): re-ordering a
         file must not churn the baseline, while editing the offending line
-        surfaces the finding again for a fresh decision.
+        surfaces the finding again for a fresh decision.  Repeated identical
+        snippets in one file are disambiguated with an occurrence suffix
+        (``#2``, ``#3`` ...) so each real finding owns its own fingerprint;
+        the first occurrence keeps the bare form for baseline stability.
         """
-        return f"{self.rule}:{self.path}:{self.snippet}"
+        base = f"{self.rule}:{self.path}:{self.snippet}"
+        return base if self.occurrence <= 1 else f"{base}#{self.occurrence}"
 
     def describe(self) -> str:
         """One reporter line: ``path:line:col: rule: message``."""
@@ -253,6 +267,9 @@ class ProjectIndex:
     """Cross-file facts the collect pass accumulates for the check pass."""
 
     thread_unsafe: Dict[str, ThreadUnsafeClass] = field(default_factory=dict)
+    #: The whole-program import/call graphs (see :mod:`repro.lint.graphs`),
+    #: built once per run before any rule's collect pass.
+    graph: Optional["ProjectGraph"] = None
 
     @property
     def guarded_methods(self) -> Set[str]:
@@ -344,6 +361,24 @@ class LintResult:
         return counts
 
 
+def _assign_occurrences(findings: List[Finding]) -> List[Finding]:
+    """Number findings sharing (rule, path, snippet) in source order.
+
+    The fingerprint is line-number free, so two identical offending lines in
+    one file would otherwise collapse onto one baseline entry and the second
+    real finding would be silently absorbed.
+    """
+    counts: Dict[Tuple[str, str, str], int] = {}
+    numbered: List[Finding] = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.snippet)
+        counts[key] = counts.get(key, 0) + 1
+        if counts[key] > 1:
+            finding = replace(finding, occurrence=counts[key])
+        numbered.append(finding)
+    return numbered
+
+
 def run_lint(
     paths: Sequence[str],
     rule_names: Optional[Iterable[str]] = None,
@@ -354,8 +389,11 @@ def run_lint(
     (cross-file facts like class annotations), then :meth:`Rule.check` runs
     per module.  Suppressed findings are counted but not returned.
     """
-    # Import for side effect: the rule modules register themselves.
+    # Import for side effect: the rule modules register themselves.  The
+    # graph builder is imported here (not at module top) so framework stays
+    # import-light for the sanitizer's startup path.
     from repro.lint import rules as _rules  # noqa: F401
+    from repro.lint.graphs import build_project_graph
 
     if rule_names is None:
         selected = sorted(RULES)
@@ -376,7 +414,7 @@ def run_lint(
             source = handle.read()
         modules.append(ModuleInfo(file, source))
 
-    project = ProjectIndex()
+    project = ProjectIndex(graph=build_project_graph(modules))
     for module in modules:
         for info in module.thread_unsafe_classes:
             project.thread_unsafe[info.name] = info
@@ -393,6 +431,7 @@ def run_lint(
                 else:
                     findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    findings = _assign_occurrences(findings)
     return LintResult(
         findings=findings,
         files_scanned=len(modules),

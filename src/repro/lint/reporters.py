@@ -37,7 +37,7 @@ def render_json(
     """Machine-readable report (stable key order)."""
 
     def row(finding: Finding, is_baselined: bool) -> dict:
-        return {
+        payload = {
             "rule": finding.rule,
             "path": finding.path,
             "line": finding.line,
@@ -47,6 +47,9 @@ def render_json(
             "fingerprint": finding.fingerprint,
             "baselined": is_baselined,
         }
+        if finding.chain:
+            payload["chain"] = list(finding.chain)
+        return payload
 
     payload = {
         "findings": [row(f, False) for f in new] + [row(f, True) for f in baselined],

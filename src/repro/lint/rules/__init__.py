@@ -1,7 +1,10 @@
 """Rule modules register themselves on import (see ``framework.RULES``)."""
 
 from repro.lint.rules import (  # noqa: F401
+    boundary_serialization,
     deprecation,
+    determinism_taint,
+    layering,
     lock_discipline,
     numeric_determinism,
     picklability,

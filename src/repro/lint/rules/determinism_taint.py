@@ -1,0 +1,286 @@
+"""Rule ``determinism-taint``: no entropy upstream of parity-critical output.
+
+The advisor's headline invariant is bit-identical fingerprints across
+serial/pool/vectorize/warm modes.  PR 8's ``numeric-determinism`` rule guards
+the *arithmetic* inside parity-critical modules, but it is lexical: a
+``time.time()`` three calls upstream of a fingerprint — in a helper the cost
+model happens to call — is invisible to it.  This rule closes that gap with
+the whole-program call graph:
+
+* **sources** are calls that produce nondeterministic values: ``time.*``
+  (except ``time.sleep``, which returns nothing), ``random.*`` /
+  ``np.random.*``, ``os.urandom``, ``id()``, unordered directory listings
+  (``os.listdir`` / ``os.scandir`` / ``glob.glob`` / ``glob.iglob`` not
+  directly wrapped in ``sorted(...)``), and ``dict.popitem()``;
+* **sinks** are the parity-critical modules' fingerprint/metric outputs:
+  every function defined in a module matched by the parity heuristics
+  (``costmodel/``, ``allocation/``, ``core/ranking.py``,
+  ``engine/signature.py``, or a ``# lint: parity-critical`` marker);
+* the rule computes the set of functions **reachable** from the sinks over
+  the call graph (call edges plus function references passed as arguments
+  and ``functools.partial``), and reports every source call inside a
+  reachable function.
+
+Each finding carries the full sink-to-source call chain; ``warlock lint
+--explain FINGERPRINT`` prints it.  Per-function facts ("contains a source",
+"calls f") are the summaries; the reachability pass propagates them over the
+graph, so a source is flagged no matter how many helper hops separate it
+from the fingerprint.
+
+Conservatism cuts the usual way: unresolved callees contribute no edges, so
+a source behind a truly dynamic dispatch is missed (no false positive, a
+possible false negative) — the runtime parity matrix in ``tests/test_parity``
+remains the backstop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.framework import (
+    Finding,
+    ModuleInfo,
+    ProjectIndex,
+    Rule,
+    register,
+)
+from repro.lint.graphs import ProjectGraph
+
+#: Path fragments/suffixes that make a module parity-critical (superset of
+#: numeric-determinism's scope: the fingerprint module is a sink too).
+PARITY_PATHS = ("/costmodel/", "/allocation/")
+PARITY_SUFFIXES = ("core/ranking.py", "engine/signature.py")
+
+#: Dotted source calls that are nondeterministic wherever they appear.
+ENTROPY_CALLS = frozenset(["os.urandom", "id"])
+
+#: Directory-listing calls whose order is filesystem-dependent unless the
+#: result is immediately sorted.
+LISTING_CALLS = frozenset(["os.listdir", "os.scandir", "glob.glob", "glob.iglob"])
+
+#: ``time.*`` members that return values (``time.sleep`` returns None and is
+#: not a taint source; everything else on the module is).
+_TIME_EXEMPT = frozenset(["sleep"])
+
+
+def is_parity_module(module: ModuleInfo) -> bool:
+    """True when ``module`` is in the parity-critical sink set."""
+    if "parity-critical" in module.markers:
+        return True
+    path = module.path
+    return any(part in path for part in PARITY_PATHS) or path.endswith(PARITY_SUFFIXES)
+
+
+def source_description(dotted: str) -> Optional[str]:
+    """Why ``dotted`` is a taint source, or None when it is not one."""
+    if dotted in ENTROPY_CALLS:
+        if dotted == "id":
+            return "id() is an address, different in every process"
+        return f"{dotted}() is entropy"
+    if dotted in LISTING_CALLS:
+        return f"{dotted}() order is filesystem-dependent; wrap it in sorted(...)"
+    parts = dotted.split(".")
+    if parts[0] == "time" and len(parts) == 2 and parts[1] not in _TIME_EXEMPT:
+        return f"{dotted}() is wall/monotonic clock"
+    if parts[0] == "random" and len(parts) == 2:
+        return f"{dotted}() is pseudo-random state"
+    if len(parts) >= 3 and parts[-3:-1] == ["np", "random"] or (
+        len(parts) == 3 and parts[0] in {"np", "numpy"} and parts[1] == "random"
+    ):
+        return f"{dotted}() is pseudo-random state"
+    if parts[-1] == "popitem":
+        return f"{dotted}() removes an arbitrary dict entry"
+    return None
+
+
+class _SourceSite:
+    """One source call found inside a function body."""
+
+    def __init__(self, node: ast.Call, dotted: str, reason: str) -> None:
+        self.node = node
+        self.dotted = dotted
+        self.reason = reason
+
+
+def _dotted_text(expr: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _source_sites(body: List[ast.stmt]) -> Iterator[_SourceSite]:
+    """Source calls in ``body``, excluding listings wrapped in sorted(...)."""
+    sorted_wrapped: Set[int] = set()
+    calls: List[Tuple[ast.Call, str]] = []
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_text(node.func)
+            if dotted is None:
+                continue
+            if dotted == "sorted" and node.args and isinstance(node.args[0], ast.Call):
+                sorted_wrapped.add(id(node.args[0]))
+            calls.append((node, dotted))
+    for node, dotted in calls:
+        reason = source_description(dotted)
+        if reason is None:
+            continue
+        if dotted in LISTING_CALLS and id(node) in sorted_wrapped:
+            continue
+        yield _SourceSite(node, dotted, reason)
+
+
+@register
+class DeterminismTaintRule(Rule):
+    name = "determinism-taint"
+    description = (
+        "entropy sources (time, random, id, unsorted listings) must not be "
+        "reachable from parity-critical fingerprint/metric code"
+    )
+
+    def __init__(self) -> None:
+        #: module path -> parity-critical (filled by collect).
+        self._parity_paths: Set[str] = set()
+        #: qname -> (parent qname on the sink-to-source walk, call line).
+        self._parents: Optional[Dict[str, Tuple[Optional[str], int]]] = None
+
+    def collect(self, module: ModuleInfo, project: ProjectIndex) -> None:
+        if is_parity_module(module):
+            self._parity_paths.add(module.path)
+
+    def _reachable(self, graph: ProjectGraph) -> Dict[str, Tuple[Optional[str], int]]:
+        """BFS parents for every function reachable from a parity sink."""
+        if self._parents is not None:
+            return self._parents
+        parents: Dict[str, Tuple[Optional[str], int]] = {}
+        frontier: List[str] = []
+        for qname in sorted(graph.functions):
+            node = graph.functions[qname]
+            if node.path in self._parity_paths:
+                parents[qname] = (None, node.line)
+                frontier.append(qname)
+        while frontier:
+            current = frontier.pop(0)
+            for site in graph.callees(current):
+                callee = site.callee
+                if callee is None or callee in parents:
+                    continue
+                if callee not in graph.functions:
+                    continue
+                parents[callee] = (current, site.line)
+                frontier.append(callee)
+        self._parents = parents
+        return parents
+
+    def _chain(
+        self, graph: ProjectGraph, qname: str, site: _SourceSite
+    ) -> Tuple[str, ...]:
+        """Sink-to-source call chain: parity root first, the source call last."""
+        assert self._parents is not None
+        # Walk child -> parent up to the root, then render top-down.
+        ancestry: List[Tuple[str, int]] = []  # (qname, line it is called from)
+        cursor: Optional[str] = qname
+        while cursor is not None:
+            parent, line = self._parents[cursor]
+            ancestry.append((cursor, line))
+            cursor = parent
+        ancestry.reverse()
+        links: List[str] = []
+        root_qname, _ = ancestry[0]
+        root = graph.functions[root_qname]
+        links.append(f"{root_qname} ({root.path}:{root.line}) [parity-critical]")
+        for (parent_qname, _), (child_qname, call_line) in zip(ancestry, ancestry[1:]):
+            parent_node = graph.functions[parent_qname]
+            child_node = graph.functions[child_qname]
+            links.append(
+                f"-> {child_qname} ({child_node.path}:{child_node.line}), "
+                f"called from {parent_node.path}:{call_line}"
+            )
+        sink = graph.functions[qname]
+        links.append(f"-> {site.dotted}() at {sink.path}:{site.node.lineno}")
+        return tuple(links)
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        graph = project.graph
+        if graph is None:
+            return
+        name = graph.module_of_path.get(module.path)
+        if name is None:
+            return
+        parents = self._reachable(graph)
+        # Walk this module's function bodies with their qualified names, so
+        # each source site lands in the right graph node.
+        for func in graph.functions_in_module(name):
+            if func.qname not in parents:
+                continue
+            body = _function_body(module, func.qname.split(":", 1)[1])
+            if body is None:
+                continue
+            for site in _source_sites(body):
+                root = _root_of(parents, func.qname)
+                root_node = graph.functions[root]
+                finding = module.finding(
+                    self.name,
+                    site.node,
+                    f"{site.dotted}() is reachable from parity-critical "
+                    f"{root} ({root_node.path}): {site.reason}; "
+                    f"nondeterminism upstream of a fingerprint breaks the "
+                    f"serial/pool/warm parity contract",
+                )
+                yield Finding(
+                    rule=finding.rule,
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    message=finding.message,
+                    snippet=finding.snippet,
+                    chain=self._chain(graph, func.qname, site),
+                )
+
+
+def _root_of(parents: Dict[str, Tuple[Optional[str], int]], qname: str) -> str:
+    cursor = qname
+    while True:
+        parent, _ = parents[cursor]
+        if parent is None:
+            return cursor
+        cursor = parent
+
+
+def _function_body(module: ModuleInfo, qualname: str) -> Optional[List[ast.stmt]]:
+    """The body of the function at dotted ``qualname``, nested defs excluded.
+
+    Statements inside nested function definitions belong to the nested
+    node's own body; the returned list keeps only this function's directly
+    owned statements.
+    """
+    parts = qualname.split(".")
+    body: List[ast.stmt] = list(module.tree.body)
+    target: Optional[ast.stmt] = None
+    for part in parts:
+        target = None
+        for stmt in body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+                and stmt.name == part
+            ):
+                target = stmt
+                break
+        if target is None:
+            return None
+        body = list(target.body)
+    if not isinstance(target, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return None
+    return [
+        stmt
+        for stmt in body
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]

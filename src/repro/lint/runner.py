@@ -3,11 +3,21 @@
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import subprocess
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set, TextIO
 
 from repro.lint import baseline as baseline_mod
-from repro.lint.framework import RULES, LintError, run_lint
+from repro.lint.framework import (
+    RULES,
+    Finding,
+    LintError,
+    ModuleInfo,
+    collect_files,
+    run_lint,
+)
 from repro.lint.reporters import render_json, render_text
 
 __all__ = ["add_lint_arguments", "main", "run_from_args"]
@@ -51,11 +61,109 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="list the registered rules and exit",
     )
+    parser.add_argument(
+        "--graph",
+        choices=["dot", "json"],
+        default=None,
+        metavar="FORMAT",
+        help="print the whole-program import/call graph (dot or json) and exit",
+    )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="FINGERPRINT",
+        help="print the full source-to-sink call chain of one finding and exit",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="report only findings in files with uncommitted git changes "
+        "(the graph is still built project-wide)",
+    )
+    parser.add_argument(
+        "--since",
+        default=None,
+        metavar="REV",
+        help="report only findings in files changed since the given git "
+        "revision (the graph is still built project-wide)",
+    )
 
 
-def run_from_args(args: argparse.Namespace, stream=None) -> int:
+def _git_output(arguments: List[str]) -> str:
+    try:
+        completed = subprocess.run(
+            ["git"] + arguments,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except FileNotFoundError as error:
+        raise LintError("git is not available for --changed/--since") from error
+    except subprocess.CalledProcessError as error:
+        detail = error.stderr.strip() or error.stdout.strip()
+        raise LintError(f"git {' '.join(arguments)} failed: {detail}") from error
+    return completed.stdout
+
+
+def changed_files(since: Optional[str]) -> Set[str]:
+    """Absolute paths of files changed in git (vs ``since``, or uncommitted)."""
+    root = _git_output(["rev-parse", "--show-toplevel"]).strip()
+    names: Set[str] = set()
+    if since is not None:
+        listings = [_git_output(["diff", "--name-only", since, "--"])]
+    else:
+        listings = [
+            _git_output(["diff", "--name-only", "HEAD", "--"]),
+            _git_output(["ls-files", "--others", "--exclude-standard"]),
+        ]
+    for listing in listings:
+        for line in listing.splitlines():
+            name = line.strip()
+            if name:
+                names.add(os.path.abspath(os.path.join(root, name)))
+    return names
+
+
+def _scope_findings(findings: List[Finding], changed: Set[str]) -> List[Finding]:
+    return [f for f in findings if os.path.abspath(f.path) in changed]
+
+
+def _print_graph(paths: Sequence[str], fmt: str, out: TextIO) -> int:
+    from repro.lint.graphs import build_project_graph
+
+    modules = []
+    for file in collect_files(paths):
+        with open(file, "r", encoding="utf-8") as handle:
+            modules.append(ModuleInfo(file, handle.read()))
+    graph = build_project_graph(modules)
+    if fmt == "dot":
+        print(graph.render_dot(), file=out)
+    else:
+        print(json.dumps(graph.render_json(), indent=2, sort_keys=True), file=out)
+    return 0
+
+
+def _explain(args: argparse.Namespace, fingerprint: str, out: TextIO) -> int:
+    result = run_lint(args.paths, args.rules)
+    matches = [f for f in result.findings if f.fingerprint == fingerprint]
+    if not matches:
+        raise LintError(
+            f"no finding with fingerprint {fingerprint!r} "
+            f"({len(result.findings)} findings in this run)"
+        )
+    for finding in matches:
+        print(finding.describe(), file=out)
+        if finding.chain:
+            for link in finding.chain:
+                print(f"  {link}", file=out)
+        else:
+            print("  (no call chain recorded for this rule)", file=out)
+    return 0
+
+
+def run_from_args(args: argparse.Namespace, stream: Optional[TextIO] = None) -> int:
     """Execute a parsed lint invocation; returns the process exit code."""
-    out = stream if stream is not None else sys.stdout
+    out: TextIO = stream if stream is not None else sys.stdout
     # Importing the rules package populates the registry before --list-rules.
     from repro.lint import rules as _rules  # noqa: F401
 
@@ -63,6 +171,10 @@ def run_from_args(args: argparse.Namespace, stream=None) -> int:
         for name in sorted(RULES):
             print(f"{name}: {RULES[name].description}", file=out)
         return 0
+    if args.graph is not None:
+        return _print_graph(args.paths, args.graph, out)
+    if args.explain is not None:
+        return _explain(args, args.explain, out)
 
     result = run_lint(args.paths, args.rules)
     if args.write_baseline:
@@ -73,8 +185,11 @@ def run_from_args(args: argparse.Namespace, stream=None) -> int:
         )
         return 0
 
+    findings = result.findings
+    if args.changed or args.since is not None:
+        findings = _scope_findings(findings, changed_files(args.since))
     allowed = baseline_mod.load_baseline(args.baseline)
-    new, baselined = baseline_mod.split_findings(result.findings, allowed)
+    new, baselined = baseline_mod.split_findings(findings, allowed)
     if args.format == "json":
         print(render_json(result, new, baselined), file=out)
     else:
@@ -82,7 +197,7 @@ def run_from_args(args: argparse.Namespace, stream=None) -> int:
     return 1 if new else 0
 
 
-def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
+def main(argv: Optional[Sequence[str]] = None, stream: Optional[TextIO] = None) -> int:
     """Standalone entry point (``python -m repro.lint``)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
@@ -95,3 +210,11 @@ def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
     except LintError as error:
         print(f"lint: error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # ``--graph dot | head`` closes stdout early; die quietly like a
+        # well-behaved filter instead of tracebacking.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 141  # 128 + SIGPIPE, the shell convention

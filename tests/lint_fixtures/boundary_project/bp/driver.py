@@ -1,0 +1,47 @@
+"""Call sites whose arguments reach a boundary through a helper chain."""
+
+import pickle
+
+from bp.models import CleanConfig, Config
+from bp.tasks import emit, run_in_pool, spill
+
+SHARED_STATE = {"hits": 0}
+
+
+def tally(state: dict) -> int:
+    return len(state)
+
+
+def cache_result(value: float) -> bytes:
+    # BAD: lambda reaches the cache-store pickle path via bp.tasks:spill.
+    return spill(lambda: value)
+
+
+def parallel_increment(numbers: list) -> object:
+    # BAD: nested function reaches the pool boundary via bp.tasks:run_in_pool.
+    def add_one(x: float) -> float:
+        return x + 1
+
+    return run_in_pool(add_one, numbers)
+
+
+def parallel_count() -> object:
+    # BAD: module-level mutable reaches the pool boundary; the worker gets a
+    # copy, so mutation silently diverges.
+    return run_in_pool(tally, SHARED_STATE)
+
+
+def publish() -> str:
+    # BAD: dataclass with a lambda field default crosses the JSON wire.
+    return emit(Config())
+
+
+def snapshot(path: str) -> bytes:
+    # BAD: open() handle reaches the cache-store path directly.
+    return pickle.dumps(open(path))
+
+
+def publish_clean(scale: float) -> str:
+    # OK: plain data and a clean dataclass cross the wire.
+    emit(CleanConfig(scale=scale))
+    return emit({"scale": scale})

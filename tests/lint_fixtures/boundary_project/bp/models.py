@@ -1,0 +1,18 @@
+"""Dataclasses used across serialization boundaries."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Config:
+    """BAD when serialized: the field default is a lambda."""
+
+    scale: float = 1.0
+    transform: object = field(default=lambda value: value)
+
+
+@dataclass
+class CleanConfig:
+    """OK: only plain data."""
+
+    scale: float = 1.0

@@ -1,0 +1,19 @@
+"""Helpers that forward values into serialization boundaries."""
+
+import json
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+
+def spill(payload: object) -> bytes:
+    return pickle.dumps(payload)
+
+
+def run_in_pool(fn: object, value: object) -> object:
+    with ProcessPoolExecutor() as pool:
+        future = pool.submit(fn, value)
+        return future.result()
+
+
+def emit(record: object) -> str:
+    return json.dumps(record)

@@ -1,0 +1,7 @@
+"""BAD: module-level import cycle with :mod:`cyc.beta`."""
+
+from cyc.beta import beta_value
+
+
+def alpha_value() -> int:
+    return beta_value() + 1

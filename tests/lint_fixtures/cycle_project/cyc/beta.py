@@ -1,0 +1,7 @@
+"""BAD: module-level import cycle with :mod:`cyc.alpha`."""
+
+from cyc.alpha import alpha_value
+
+
+def beta_value() -> int:
+    return alpha_value() + 1

@@ -1,0 +1,3 @@
+"""Package front door: re-exports the core entry point."""
+
+from gp.core import compute

@@ -1,0 +1,7 @@
+"""Aliased module import: attribute chains expand through the alias."""
+
+import gp.core as core
+
+
+def run_alias(x: float) -> float:
+    return core.compute(x)

@@ -1,0 +1,9 @@
+"""Leaf module holding the real definitions."""
+
+
+def compute(x: float) -> float:
+    return x + 1
+
+
+def twice(fn: object, x: float) -> float:
+    return fn(fn(x))

@@ -1,0 +1,10 @@
+"""functools.partial: the first argument is a deferred call."""
+
+import functools
+
+from gp import compute
+
+
+def run_partial(x: float) -> float:
+    callback = functools.partial(compute, x)
+    return callback()

@@ -1,0 +1,8 @@
+"""Relative imports: of a package re-export, and aliased from a sibling."""
+
+from . import compute
+from .core import twice as t2
+
+
+def run(x: float) -> float:
+    return t2(compute, x)

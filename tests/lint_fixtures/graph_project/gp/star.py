@@ -1,0 +1,7 @@
+"""Star import: names resolve through the star source."""
+
+from gp.core import *  # noqa: F403
+
+
+def run_star(x: float) -> float:
+    return compute(x)  # noqa: F405

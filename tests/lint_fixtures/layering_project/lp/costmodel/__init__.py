@@ -1,0 +1,8 @@
+"""BAD: the cost model (layer 0) imports the service front end (layer 3)."""
+
+from lp.service import serve
+
+
+def evaluate(value: float) -> float:
+    serve()
+    return value * 2.0

@@ -1,0 +1,16 @@
+"""OK: the engine (layer 1) imports downward, and reaches up only lazily."""
+
+from lp.costmodel import evaluate
+
+
+def sweep(value: float) -> float:
+    return evaluate(value)
+
+
+def report(value: float) -> float:
+    # A lazy (function-scope) import of a higher layer is the sanctioned
+    # escape hatch — it does not execute at import time.
+    from lp.service import serve
+
+    serve()
+    return value

@@ -1,0 +1,5 @@
+"""The top layer of the fixture project."""
+
+
+def serve() -> int:
+    return 1

@@ -1,0 +1,25 @@
+"""Helpers reachable from the parity-critical cost model."""
+
+import os
+import random
+import time
+
+
+def stamp_metrics(metrics: dict) -> dict:
+    return annotate(metrics)
+
+
+def annotate(metrics: dict) -> dict:
+    # BAD: wall-clock time flows into a parity-critical metric payload.
+    metrics["stamp"] = time.time()
+    return metrics
+
+
+def stable_listing(root: str) -> list:
+    # OK: the listing is sorted before use, so iteration order is stable.
+    return sorted(os.listdir(root))
+
+
+def unreachable_jitter() -> float:
+    # OK for the taint rule: nothing parity-critical ever calls this.
+    return random.random()

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
 
 import pytest
 
@@ -41,6 +42,14 @@ RULE_FIXTURES = [
     ("deprecation-hygiene", "deprecation", 4),
 ]
 
+# The graph rules run over whole fixture *projects* (packages with internal
+# imports), not single files — lexical fixtures cannot exercise them.
+PROJECT_FIXTURES = [
+    ("layering", "layering_project", 1),
+    ("determinism-taint", "taint_project", 1),
+    ("boundary-serialization", "boundary_project", 5),
+]
+
 
 class TestRules:
     @pytest.mark.parametrize("rule,stem,expected", RULE_FIXTURES)
@@ -67,7 +76,62 @@ class TestRules:
 
     def test_all_registered_rules_are_covered_by_fixtures(self):
         run_lint([fixture("deprecation_ok.py")])  # populate the registry
-        assert set(RULES) == {rule for rule, _, _ in RULE_FIXTURES}
+        covered = {rule for rule, _, _ in RULE_FIXTURES}
+        covered |= {rule for rule, _, _ in PROJECT_FIXTURES}
+        assert set(RULES) == covered
+
+
+class TestGraphRules:
+    @pytest.mark.parametrize("rule,project,expected", PROJECT_FIXTURES)
+    def test_bad_project_is_detected(self, rule, project, expected):
+        result = run_lint([fixture(project)], [rule])
+        assert len(result.findings) == expected
+        assert all(f.rule == rule for f in result.findings)
+        assert all(f.snippet for f in result.findings)
+
+    def test_layering_flags_only_the_module_level_upward_import(self):
+        # lp.costmodel (layer 0) imports lp.service (layer 3) at module
+        # level; lp.engine reaches lp.service too, but through a lazy
+        # (function-scope) import — the sanctioned escape hatch stays clean.
+        result = run_lint([fixture("layering_project")], ["layering"])
+        (finding,) = result.findings
+        assert finding.path.endswith(os.path.join("costmodel", "__init__.py"))
+        assert "upward import" in finding.message
+        assert "lp.costmodel (layer 0)" in finding.message
+        assert "lp.service (layer 3)" in finding.message
+
+    def test_layering_flags_module_level_import_cycles(self):
+        result = run_lint([fixture("cycle_project")], ["layering"])
+        (finding,) = result.findings
+        assert "import cycle" in finding.message
+        assert "cyc.alpha -> cyc.beta -> cyc.alpha" in finding.message
+
+    def test_taint_finding_records_the_full_chain(self):
+        # model.evaluate -> helpers.stamp_metrics -> helpers.annotate ->
+        # time.time(); the sorted(os.listdir()) helper and the unreachable
+        # random.random() stay clean (one finding total).
+        result = run_lint([fixture("taint_project")], ["determinism-taint"])
+        (finding,) = result.findings
+        assert "time.time()" in finding.message
+        assert "tp.costmodel.model:evaluate" in finding.message
+        assert len(finding.chain) == 4
+        assert "[parity-critical]" in finding.chain[0]
+        assert "tp.helpers:stamp_metrics" in finding.chain[1]
+        assert "tp.helpers:annotate" in finding.chain[2]
+        assert finding.chain[3].startswith("-> time.time()")
+
+    def test_boundary_findings_cover_each_hazard(self):
+        result = run_lint([fixture("boundary_project")], ["boundary-serialization"])
+        messages = [f.message for f in result.findings]
+        assert len(messages) == 5
+        for expected in [
+            "lambda reaches the cache-store pickle/npz path via bp.tasks:spill",
+            "nested function 'add_one' reaches the process-pool boundary",
+            "module-level mutable 'SHARED_STATE'",
+            "dataclass bp.models:Config crosses the JSON wire format",
+            "open() handle reaches the cache-store pickle/npz path",
+        ]:
+            assert any(expected in message for message in messages), expected
 
 
 class TestSuppressions:
@@ -142,6 +206,48 @@ class TestBaseline:
 
         assert fingerprint(first) == fingerprint(second)
 
+    def test_identical_lines_get_distinct_fingerprints(self, tmp_path):
+        # Two byte-identical offending lines used to collapse onto one
+        # fingerprint, so baselining the first silently absorbed the second;
+        # the occurrence index keeps them apart.
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "# lint: parity-critical\n"
+            "import math\n"
+            "x = math.pow(2.0, 3.0)\n"
+            "x = math.pow(2.0, 3.0)\n"
+        )
+        result = run_lint([str(path)], ["numeric-determinism"])
+        first, second = result.findings
+        assert first.snippet == second.snippet
+        assert first.fingerprint != second.fingerprint
+        assert second.fingerprint == f"{first.fingerprint}#2"
+
+    def test_baseline_absorbs_occurrences_one_by_one(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "# lint: parity-critical\n"
+            "import math\n"
+            "x = math.pow(2.0, 3.0)\n"
+            "x = math.pow(2.0, 3.0)\n"
+        )
+        result = run_lint([str(path)], ["numeric-determinism"])
+        baseline_path = str(tmp_path / "baseline.json")
+        # Baseline holding only the first occurrence absorbs exactly one.
+        write_baseline(baseline_path, result.findings[:1])
+        new, baselined = split_findings(
+            result.findings, load_baseline(baseline_path)
+        )
+        assert len(baselined) == 1
+        assert len(new) == 1
+        # Baselining both absorbs both.
+        write_baseline(baseline_path, result.findings)
+        new, baselined = split_findings(
+            result.findings, load_baseline(baseline_path)
+        )
+        assert new == []
+        assert len(baselined) == 2
+
     def test_missing_baseline_means_empty(self, tmp_path):
         assert load_baseline(str(tmp_path / "absent.json")) == {}
 
@@ -197,8 +303,50 @@ class TestCommandLine:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule, _, _ in RULE_FIXTURES:
+        for rule, _, _ in RULE_FIXTURES + PROJECT_FIXTURES:
             assert rule in out
+
+    def test_graph_dot_renders_import_edges(self, capsys):
+        assert lint_main([fixture("graph_project"), "--graph", "dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph imports {")
+        assert '"gp.relative" -> "gp.core"' in out
+        assert '"gp.star" -> "gp.core"' in out
+
+    def test_graph_dot_marks_lazy_edges_dashed(self, capsys):
+        assert lint_main([fixture("layering_project"), "--graph", "dot"]) == 0
+        out = capsys.readouterr().out
+        assert '"lp.costmodel" -> "lp.service";' in out
+        assert '"lp.engine" -> "lp.service" [style=dashed' in out
+
+    def test_graph_json_summarizes_both_graphs(self, capsys):
+        assert lint_main([fixture("graph_project"), "--graph", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "gp.core" in payload["modules"]
+        assert payload["summary"]["functions"] >= 5
+
+    def test_explain_prints_the_source_to_sink_chain(self, capsys):
+        result = run_lint([fixture("taint_project")], ["determinism-taint"])
+        (finding,) = result.findings
+        code = lint_main(
+            [
+                fixture("taint_project"),
+                "--rule",
+                "determinism-taint",
+                "--explain",
+                finding.fingerprint,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tp.costmodel.model:evaluate" in out
+        assert "[parity-critical]" in out
+        assert "-> tp.helpers:stamp_metrics" in out
+        assert "-> tp.helpers:annotate" in out
+        assert "-> time.time() at" in out
+
+    def test_explain_unknown_fingerprint_exits_2(self, capsys):
+        assert lint_main([fixture("taint_project"), "--explain", "nope"]) == 2
 
     def test_bad_path_exits_2(self, capsys):
         assert lint_main(["definitely/not/a/path"]) == 2
@@ -209,3 +357,83 @@ class TestCommandLine:
         code = cli_main(["lint", fixture("wire_contract_ok.py")])
         assert code == 0
         assert "0 findings" in capsys.readouterr().out
+
+
+VIOLATION = "# lint: parity-critical\nimport math\nx = math.pow(2.0, 3.0)\n"
+
+
+def _git(repo, *arguments):
+    subprocess.run(
+        ["git", *arguments],
+        cwd=str(repo),
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+
+
+@pytest.fixture
+def git_repo(tmp_path):
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "config", "user.email", "lint@example.com")
+    _git(tmp_path, "config", "user.name", "lint")
+    return tmp_path
+
+
+class TestGitScoping:
+    def test_changed_reports_only_uncommitted_files(
+        self, git_repo, monkeypatch, capsys
+    ):
+        (git_repo / "committed.py").write_text(VIOLATION)
+        _git(git_repo, "add", "committed.py")
+        _git(git_repo, "commit", "-q", "-m", "seed")
+        (git_repo / "fresh.py").write_text(VIOLATION)
+        monkeypatch.chdir(git_repo)
+
+        code = lint_main(
+            [".", "--changed", "--format", "json", "--baseline", "absent.json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["new"] == 1
+        assert all(f["path"].endswith("fresh.py") for f in payload["findings"])
+
+    def test_changed_with_a_clean_tree_passes(self, git_repo, monkeypatch, capsys):
+        (git_repo / "committed.py").write_text(VIOLATION)
+        _git(git_repo, "add", "committed.py")
+        _git(git_repo, "commit", "-q", "-m", "seed")
+        monkeypatch.chdir(git_repo)
+
+        # The violation exists but is committed: nothing is in scope.
+        code = lint_main([".", "--changed", "--baseline", "absent.json"])
+        assert code == 0
+        # Without scoping the same run fails.
+        capsys.readouterr()
+        assert lint_main([".", "--baseline", "absent.json"]) == 1
+
+    def test_since_scopes_to_files_changed_after_the_revision(
+        self, git_repo, monkeypatch, capsys
+    ):
+        (git_repo / "old.py").write_text(VIOLATION)
+        _git(git_repo, "add", "old.py")
+        _git(git_repo, "commit", "-q", "-m", "first")
+        (git_repo / "new.py").write_text(VIOLATION)
+        _git(git_repo, "add", "new.py")
+        _git(git_repo, "commit", "-q", "-m", "second")
+        monkeypatch.chdir(git_repo)
+
+        code = lint_main(
+            [
+                ".",
+                "--since",
+                "HEAD~1",
+                "--format",
+                "json",
+                "--baseline",
+                "absent.json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["new"] == 1
+        assert all(f["path"].endswith("new.py") for f in payload["findings"])
