@@ -60,6 +60,13 @@ class ProgressEvent:
     #: single-sweep requests leave both at 1.
     sweep: int = 1
     num_sweeps: int = 1
+    #: Live fabric workers serving this sweep (0 on local sweeps).
+    workers: int = 0
+    #: True when the sweep is running in degraded mode — the parallel or
+    #: fabric path failed (or no workers were reachable) and the engine fell
+    #: back to local serial evaluation.  Results are unaffected; only the
+    #: execution strategy changed.
+    degraded: bool = False
 
     @property
     def fraction(self) -> float:
@@ -79,6 +86,8 @@ class ProgressEvent:
             "label": self.label,
             "sweep": self.sweep,
             "num_sweeps": self.num_sweeps,
+            "workers": self.workers,
+            "degraded": self.degraded,
             "fraction": self.fraction,
         }
 
@@ -90,6 +99,10 @@ class ProgressEvent:
         )
         if self.num_sweeps > 1:
             text = f"sweep {self.sweep}/{self.num_sweeps}: " + text
+        if self.workers:
+            text += f" [{self.workers} worker(s)]"
+        if self.degraded:
+            text += " [degraded]"
         if self.label:
             text += f" {self.label}"
         return text

@@ -63,6 +63,14 @@ class CacheStats:
     #: (subsets of ``structure_hits`` / ``candidate_hits``).
     structure_disk_hits: int = 0
     candidate_disk_hits: int = 0
+    #: Store robustness counters, accumulated from the attached store's
+    #: :class:`~repro.engine.store.StoreLoadStats` deltas on each
+    #: :meth:`EvaluationCache.load` — how often warm starts were degraded by
+    #: a salt (version) mismatch, skipped individually corrupt entries, or
+    #: fell back to an empty load because a whole file was unreadable.
+    store_salt_mismatches: int = 0
+    store_corrupt_entries: int = 0
+    store_fallback_loads: int = 0
 
     @property
     def hits(self) -> int:
@@ -96,14 +104,30 @@ class CacheStats:
         lookups = self.lookups
         return self.disk_hits / lookups if lookups else 0.0
 
+    @property
+    def store_load_anomalies(self) -> int:
+        """Total store-load anomalies observed (mismatches + corrupt + fallbacks)."""
+        return (
+            self.store_salt_mismatches
+            + self.store_corrupt_entries
+            + self.store_fallback_loads
+        )
+
     def describe(self) -> str:
         """One-line summary used by the benchmark and the CLI."""
-        return (
+        line = (
             f"cache: {self.hits}/{self.lookups} hits ({self.hit_rate:.1%}); "
             f"structures {self.structure_hits}h/{self.structure_misses}m, "
             f"candidates {self.candidate_hits}h/{self.candidate_misses}m, "
             f"disk {self.disk_hits}h"
         )
+        if self.store_load_anomalies:
+            line += (
+                f"; store anomalies {self.store_salt_mismatches} salt/"
+                f"{self.store_corrupt_entries} corrupt/"
+                f"{self.store_fallback_loads} fallback"
+            )
+        return line
 
 
 # lint: not-thread-safe instances=cache
@@ -467,7 +491,21 @@ class EvaluationCache:
         version-mismatched store simply loads zero entries.  Returns the
         number of entries loaded.
         """
+        # Snapshot-delta: the store's load_stats are cumulative (save() also
+        # re-reads internally for its merge), so only the counters this load
+        # produced are folded into this cache's stats.
+        before = store.load_stats.copy()
         structures, candidates, reports = store.load()
+        after = store.load_stats
+        self.stats.store_salt_mismatches += (
+            after.salt_mismatches - before.salt_mismatches
+        )
+        self.stats.store_corrupt_entries += (
+            after.corrupt_entries - before.corrupt_entries
+        )
+        self.stats.store_fallback_loads += (
+            after.fallback_loads - before.fallback_loads
+        )
         dirty = self._dirty
         self.merge_structures(structures.items(), touched=False)
         target = self._candidates

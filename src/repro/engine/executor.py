@@ -40,6 +40,7 @@ serial path — same results, just slower.
 from __future__ import annotations
 
 import pickle
+import sys
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -60,7 +61,7 @@ from repro.costmodel import (
     resolve_prefetch_setting_batch,
     resolve_prefetch_settings_batch_candidates,
 )
-from repro.errors import AdvisorError, EvaluationCancelled
+from repro.errors import AdvisorError, EvaluationCancelled, FabricError
 from repro.fragmentation import FragmentationSpec, build_layout
 from repro.schema import StarSchema
 from repro.storage import SystemParameters
@@ -586,20 +587,58 @@ class EvaluationEngine:
         jobs = self.resolve_jobs(plan.num_candidates)
         try:
             candidates = None
-            if jobs > 1 and plan.num_candidates >= MIN_SPECS_FOR_PARALLEL:
+            degraded = False
+            # Completed candidates the failing backend already produced; the
+            # degraded serial retry resumes from them instead of re-evaluating.
+            partial: Dict[int, FragmentationCandidate] = {}
+            if self.options.fabric is not None:
+                try:
+                    candidates = self._evaluate_fabric(
+                        plan, context, on_progress, cancel
+                    )
+                except (OSError, FabricError) as error:
+                    # The coordinator could not bind (port taken, no network):
+                    # the sweep must still complete.  Evaluation errors —
+                    # WarlockError subclasses including EvaluationCancelled —
+                    # still propagate; they would fail locally too.
+                    print(
+                        f"warlock: sweep fabric unavailable "
+                        f"({type(error).__name__}: {error}); evaluating "
+                        f"locally (degraded mode)",
+                        file=sys.stderr,
+                    )
+                    degraded = True
+            if (
+                candidates is None
+                and jobs > 1
+                and plan.num_candidates >= MIN_SPECS_FOR_PARALLEL
+            ):
                 try:
                     candidates = self._evaluate_parallel(
-                        plan, context, jobs, on_progress, cancel
+                        plan, context, jobs, on_progress, cancel, partial=partial
                     )
-                except (OSError, BrokenProcessPool, pickle.PicklingError):
+                except (OSError, BrokenProcessPool, pickle.PicklingError) as error:
                     # Restricted environments (no /dev/shm, seccomp'd fork,
                     # workers killed on spawn): the serial path produces the
                     # same results.  Evaluation errors (WarlockError
                     # subclasses, including EvaluationCancelled) still
                     # propagate — they would fail serially too.
-                    pass
+                    print(
+                        f"warlock: process pool failed "
+                        f"({type(error).__name__}: {error}); retrying the "
+                        f"remaining candidates serially (degraded mode)",
+                        file=sys.stderr,
+                    )
+                    degraded = True
             if candidates is None:
-                candidates = self._evaluate_serial(plan, context, on_progress, cancel)
+                candidates = self._evaluate_serial(
+                    plan,
+                    context,
+                    on_progress,
+                    cancel,
+                    preloaded=partial or None,
+                    degraded=degraded,
+                )
         finally:
             # Spill new entries to the attached persistent store even when the
             # sweep was cancelled mid-way: every completed evaluation is a
@@ -610,7 +649,9 @@ class EvaluationEngine:
                 self.cache.persist()
         return candidates
 
-    def _progress_event(self, plan, completed, chunk, num_chunks, label=""):
+    def _progress_event(
+        self, plan, completed, chunk, num_chunks, label="", workers=0, degraded=False
+    ):
         """Build the chunk-boundary event (lazy import, see class docstring)."""
         from repro.api.progress import ProgressEvent
 
@@ -624,6 +665,8 @@ class EvaluationEngine:
             completed_units=completed * per_candidate,
             total_units=plan.num_candidates * per_candidate,
             label=label,
+            workers=workers,
+            degraded=degraded,
         )
 
     def _check_cancel(self, cancel, completed: int, total: int) -> None:
@@ -638,19 +681,40 @@ class EvaluationEngine:
         context: EngineContext,
         on_progress: Optional[Callable] = None,
         cancel: Any = None,
+        preloaded: Optional[Dict[int, FragmentationCandidate]] = None,
+        degraded: bool = False,
     ) -> List[FragmentationCandidate]:
         # Serial chunk granularity: one axis-structure group (capped, so a
         # sweep dominated by one structure still cancels and reports at a
         # bounded latency) in candidate-axis mode, one candidate otherwise —
         # the finest boundaries at which cancellation can stop without
         # discarding work.
-        if context.vectorize == "candidates" and context.class_matrix is not None:
-            chunks = plan.axis_groups(max_size=MAX_SERIAL_GROUP_CHUNK)
-        else:
-            chunks = [[index] for index in range(plan.num_candidates)]
+        #
+        # ``preloaded`` carries candidates a failed parallel backend already
+        # completed: the degraded retry covers only the remainder, and its
+        # events are flagged so wire consumers can tell the strategy changed.
         results: List[Optional[FragmentationCandidate]] = [None] * plan.num_candidates
+        pending = list(range(plan.num_candidates))
+        if preloaded:
+            for index, candidate in preloaded.items():
+                results[index] = candidate
+            pending = [index for index in pending if results[index] is None]
+        if context.vectorize == "candidates" and context.class_matrix is not None:
+            chunks = plan.axis_groups(
+                indices=pending, max_size=MAX_SERIAL_GROUP_CHUNK
+            )
+        else:
+            chunks = [[index] for index in pending]
         total = plan.num_candidates
-        completed = 0
+        completed = total - len(pending)
+        if not chunks:
+            # Everything was preloaded; report one already-complete logical
+            # chunk (never 0/0) so consumers still see a terminal event.
+            if on_progress is not None:
+                on_progress(
+                    self._progress_event(plan, completed, 1, 1, degraded=degraded)
+                )
+            return results  # type: ignore[return-value]
         for chunk_number, chunk in enumerate(chunks, start=1):
             self._check_cancel(cancel, completed, total)
             for index, candidate in zip(
@@ -666,6 +730,7 @@ class EvaluationEngine:
                         chunk_number,
                         len(chunks),
                         label=plan.specs[chunk[-1]].label,
+                        degraded=degraded,
                     )
                 )
         return results  # type: ignore[return-value]
@@ -677,13 +742,17 @@ class EvaluationEngine:
         jobs: int,
         on_progress: Optional[Callable] = None,
         cancel: Any = None,
+        partial: Optional[Dict[int, FragmentationCandidate]] = None,
     ) -> List[FragmentationCandidate]:
         results: List[Optional[FragmentationCandidate]] = [None] * plan.num_candidates
 
         # Answer what the shared cache already holds; only misses go to the
         # pool (a fully warm sweep never pays the pool at all), and worker
         # results are inserted back so later serial calls — comparisons,
-        # tuning studies — reuse them.
+        # tuning studies — reuse them.  ``partial`` (when given) records every
+        # candidate completed so far: if the pool breaks mid-sweep, the
+        # caller's degraded serial retry resumes from it instead of paying
+        # for the finished chunks again.
         pending = list(range(plan.num_candidates))
         if self.cache is not None:
             pending = []
@@ -693,6 +762,8 @@ class EvaluationEngine:
                     pending.append(index)
                 else:
                     results[index] = candidate
+                    if partial is not None:
+                        partial[index] = candidate
         warm = plan.num_candidates - len(pending)
         # The cancellation contract holds even for a fully-warm sweep: a
         # request whose signal is already set raises, never returns.
@@ -732,6 +803,8 @@ class EvaluationEngine:
                     label = ""
                     for index, candidate in batch.to_candidates(context):
                         results[index] = candidate
+                        if partial is not None:
+                            partial[index] = candidate
                         label = candidate.label
                         if self.cache is not None:
                             self.cache.put_candidate(
@@ -759,4 +832,100 @@ class EvaluationEngine:
         missing = [index for index, candidate in enumerate(results) if candidate is None]
         if missing:  # pragma: no cover - defensive, wait() either returns or raises
             raise AdvisorError(f"parallel evaluation lost candidates {missing}")
+        return results  # type: ignore[return-value]
+
+    def _evaluate_fabric(
+        self,
+        plan: EvaluationPlan,
+        context: EngineContext,
+        on_progress: Optional[Callable] = None,
+        cancel: Any = None,
+    ) -> List[FragmentationCandidate]:
+        """Lease the sweep's chunks to distributed fabric workers.
+
+        Chunking happens here, deterministically, *before* distribution —
+        the same axis-structure groups the serial path walks — so the result
+        set is independent of how many workers serve the sweep (or crash
+        mid-way).  The coordinator re-queues lost leases and degrades to
+        local inline evaluation when no workers are reachable; either way
+        this method returns the same candidates the local paths produce.
+        """
+        # Imported lazily: repro.fabric sits above the engine in the layer
+        # stack (it ships EngineContext values over its wire).
+        from repro.fabric.coordinator import SweepCoordinator
+        from repro.fabric.protocol import parse_address
+
+        results: List[Optional[FragmentationCandidate]] = [None] * plan.num_candidates
+        pending = list(range(plan.num_candidates))
+        if self.cache is not None:
+            pending = []
+            for index, spec in enumerate(plan.specs):
+                candidate = self.cache.get_candidate(context, spec)
+                if candidate is None:
+                    pending.append(index)
+                else:
+                    results[index] = candidate
+        warm = plan.num_candidates - len(pending)
+        self._check_cancel(cancel, warm, plan.num_candidates)
+        if not pending:
+            if on_progress is not None:
+                on_progress(self._progress_event(plan, warm, 1, 1))
+            return results  # type: ignore[return-value]
+        if context.vectorize == "candidates" and context.class_matrix is not None:
+            chunks = plan.axis_groups(indices=pending, max_size=MAX_SERIAL_GROUP_CHUNK)
+        else:
+            chunks = [[index] for index in pending]
+        host, port = parse_address(self.options.fabric)
+        coordinator = SweepCoordinator(
+            context,
+            chunks,
+            host=host,
+            port=port,
+            lease_timeout=self.options.fabric_lease,
+            grace=self.options.fabric_grace,
+            cache=self.cache,
+        )
+        completed = warm
+        done_chunks = 0
+        try:
+            if on_progress is not None:
+                on_progress(
+                    self._progress_event(
+                        plan,
+                        warm,
+                        0,
+                        len(chunks),
+                        workers=coordinator.live_workers(),
+                    )
+                )
+
+            def on_chunk(chunk, pairs):
+                nonlocal completed, done_chunks
+                label = ""
+                for index, candidate in pairs:
+                    results[index] = candidate
+                    label = candidate.label
+                    if self.cache is not None:
+                        self.cache.put_candidate(context, plan.specs[index], candidate)
+                completed += len(pairs)
+                done_chunks += 1
+                if on_progress is not None:
+                    on_progress(
+                        self._progress_event(
+                            plan,
+                            completed,
+                            done_chunks,
+                            len(chunks),
+                            label=label,
+                            workers=coordinator.live_workers(),
+                            degraded=coordinator.degraded,
+                        )
+                    )
+
+            coordinator.run(cancel=cancel, on_chunk=on_chunk)
+        finally:
+            coordinator.close()
+        missing = [index for index, candidate in enumerate(results) if candidate is None]
+        if missing:  # pragma: no cover - defensive, run() returns or raises
+            raise AdvisorError(f"fabric evaluation lost candidates {missing}")
         return results  # type: ignore[return-value]

@@ -96,6 +96,7 @@ import os
 import pickle
 import sqlite3
 import tempfile
+from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
@@ -109,6 +110,7 @@ __all__ = [
     "BATCHES_FILENAME",
     "CANDIDATES_FILENAME",
     "CacheStore",
+    "StoreLoadStats",
     "store_salt",
 ]
 
@@ -187,6 +189,39 @@ def _decode_key(salt: str, text: str) -> Optional[Tuple[str, ...]]:
     return tuple(parts[1:])
 
 
+@dataclass
+class StoreLoadStats:
+    """Cumulative robustness counters of a store's silent degradations.
+
+    The store's contract is "all failures degrade to no store, never to an
+    error" — which is right for results, but operators still need to *see*
+    the degradations (a recurring corrupt file means a disk problem or a
+    writer bug, a salt mismatch after every deploy means the store directory
+    is shared across incompatible versions).  Counters are cumulative over
+    the store object's life and cover every read path, including
+    :meth:`CacheStore.save`'s internal merge re-reads; consumers wanting
+    per-``load()`` deltas snapshot around the call (see
+    :meth:`~repro.engine.cache.EvaluationCache.load`).
+    """
+
+    #: Whole files skipped because their version salt did not match.
+    salt_mismatches: int = 0
+    #: Individual entries/groups skipped (undecodable payloads, malformed
+    #: or foreign-salted keys) while the rest of the file loaded fine.
+    corrupt_entries: int = 0
+    #: Whole files abandoned by the catch-all fallback (truncated sqlite,
+    #: unreadable npz, stale format).
+    fallback_loads: int = 0
+
+    def copy(self) -> "StoreLoadStats":
+        """A snapshot (for delta computation around one ``load()``)."""
+        return StoreLoadStats(
+            salt_mismatches=self.salt_mismatches,
+            corrupt_entries=self.corrupt_entries,
+            fallback_loads=self.fallback_loads,
+        )
+
+
 class CacheStore:
     """One persistent cache directory (see the module docstring for format).
 
@@ -194,7 +229,8 @@ class CacheStore:
     whatever the directory currently holds, :meth:`save` merges into it (and
     garbage-collects when a byte budget is set).  All failures — missing
     directory, corruption, version mismatch, unwritable filesystem — degrade
-    to "no store", never to an error.
+    to "no store", never to an error; :attr:`load_stats` counts those silent
+    degradations so health probes can surface them.
 
     Parameters
     ----------
@@ -212,6 +248,8 @@ class CacheStore:
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive when set, got {max_bytes}")
         self.max_bytes = max_bytes
+        #: Robustness counters over every read this store object performed.
+        self.load_stats = StoreLoadStats()
 
     @property
     def entries_path(self) -> str:
@@ -266,6 +304,7 @@ class CacheStore:
                     "SELECT value FROM meta WHERE key = 'salt'"
                 ).fetchall()
                 if not rows or rows[0][0] != self.salt:
+                    self.load_stats.salt_mismatches += 1
                     return {}, {}
                 for key_text, kind, payload in connection.execute(
                     "SELECT key, kind, payload FROM entries"
@@ -276,17 +315,20 @@ class CacheStore:
                     try:
                         key = _decode_key(self.salt, key_text)
                         if key is None:
+                            self.load_stats.corrupt_entries += 1
                             continue
                         if kind == "report":
                             reports[key] = json.loads(payload.decode("utf-8"))
                         else:
                             structures[key] = pickle.loads(payload)
                     except Exception:
+                        self.load_stats.corrupt_entries += 1
                         continue
             finally:
                 connection.close()
         except Exception:
             # Stale format, truncated file, undecodable entry: never trusted.
+            self.load_stats.fallback_loads += 1
             return {}, {}
         return structures, reports
 
@@ -300,6 +342,7 @@ class CacheStore:
                 return {}
             with np.load(path, allow_pickle=False) as data:
                 if str(data["__salt__"][()]) != self.salt:
+                    self.load_stats.salt_mismatches += 1
                     return {}
                 keys = json.loads(str(data["__index__"][()]))
                 for i, parts in enumerate(keys):
@@ -307,6 +350,7 @@ class CacheStore:
                     try:
                         key = _decode_key(self.salt, json.dumps(parts))
                         if key is None:
+                            self.load_stats.corrupt_entries += 1
                             continue
                         meta = json.loads(str(data[f"{i}/meta"][()]))
                         arrays = {
@@ -322,8 +366,10 @@ class CacheStore:
                             **arrays,
                         )
                     except Exception:
+                        self.load_stats.corrupt_entries += 1
                         continue
         except Exception:
+            self.load_stats.fallback_loads += 1
             return {}
         return entries
 
@@ -338,6 +384,7 @@ class CacheStore:
                 return {}
             with np.load(path, allow_pickle=False) as data:
                 if str(data["__salt__"][()]) != self.salt:
+                    self.load_stats.salt_mismatches += 1
                     return {}
                 num_groups = int(data["__groups__"][()])
                 for g in range(num_groups):
@@ -355,11 +402,13 @@ class CacheStore:
                         weights = tuple(meta["weights"])
                         offsets = meta["alloc_offsets"]
                     except Exception:
+                        self.load_stats.corrupt_entries += 1
                         continue
                     for j, key_parts in enumerate(meta["keys"]):
                         try:
                             key = _decode_key(self.salt, json.dumps(key_parts))
                             if key is None:
+                                self.load_stats.corrupt_entries += 1
                                 continue
                             # All per-candidate slices are copied: a view
                             # would pin the group's whole stacked cube (or
@@ -397,8 +446,10 @@ class CacheStore:
                                 ].copy(),
                             )
                         except Exception:
+                            self.load_stats.corrupt_entries += 1
                             continue
         except Exception:
+            self.load_stats.fallback_loads += 1
             return {}
         return entries
 

@@ -1,0 +1,56 @@
+"""Fault-tolerant distributed sweep fabric (coordinator/worker over TCP).
+
+ROADMAP item 2: shard candidate sweeps across machines so candidate spaces
+100-1000x the current enumeration become tractable.  The fabric is the
+engine's process-pool protocol lifted onto a socket — the coordinator ships
+one picklable :class:`~repro.engine.executor.EngineContext` per worker and
+leases axis-structure chunks of plan indices; workers evaluate each lease
+through :func:`~repro.engine.executor.evaluate_specs_in_context` (the exact
+code path the pool workers run) and return columnar
+:class:`~repro.engine.result.CandidateResultBatch` payloads.  Results are
+therefore **bit-identical to the local serial and pool paths by
+construction**, and every entry is content-addressed, so the delivery
+contract can be at-least-once: a re-queued lease that completes twice simply
+dedupes.
+
+Robustness is the headline, not an afterthought:
+
+* leases carry deadlines, extended by worker heartbeats and **re-queued** on
+  heartbeat loss or worker crash (:mod:`repro.fabric.coordinator`);
+* worker reconnects and result submission are governed by a shared
+  :class:`~repro.fabric.retry.RetryPolicy` (exponential backoff + jitter,
+  budgeted deadlines);
+* the coordinator **degrades gracefully**: with no live workers it evaluates
+  the remaining leases through the local serial path (one visible warning,
+  never an exception), and cooperative cancel propagates to workers at chunk
+  boundaries;
+* every frame of the wire protocol is checksummed
+  (:mod:`repro.fabric.protocol`) so a corrupted payload is detected and
+  retried, never trusted;
+* a seeded :class:`~repro.fabric.faults.FaultPlan` harness (environment
+  ``WARLOCK_FAULTS=``) injects worker kills, connection refusals,
+  delayed/dropped/duplicated messages and corrupted frames —
+  deterministically, so the chaos tests and the CI smoke step are
+  reproducible.
+
+Layering: the fabric sits next to :mod:`repro.api` (layer 5 in
+``setup.cfg``); the engine reaches it only through a lazy import (the same
+sanctioned upward hatch it uses for ``repro.api``), and the CLI's ``warlock
+worker`` subcommand is the process entry point.
+"""
+
+from repro.fabric.coordinator import SweepCoordinator
+from repro.fabric.faults import FaultInjected, FaultInjector, FaultPlan
+from repro.fabric.protocol import parse_address
+from repro.fabric.retry import RetryPolicy
+from repro.fabric.worker import run_worker
+
+__all__ = [
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "SweepCoordinator",
+    "parse_address",
+    "run_worker",
+]

@@ -1,0 +1,375 @@
+"""Sweep coordinator: a leased chunk queue over TCP.
+
+The coordinator owns the sweep's work queue.  Each chunk of plan indices is
+issued to a worker as a :class:`~repro.fabric.protocol.Lease` with a
+deadline; heartbeats extend the deadline, and a lease whose deadline lapses
+(worker crashed, network gone) is silently **re-queued** for the next worker.
+Delivery is therefore at-least-once — safe because every result is a
+content-addressed function of its inputs, so a duplicate completion of a
+re-queued lease dedupes by ``chunk_id`` instead of double-counting.
+
+Threading model: the listener thread accepts connections and hands each
+one-shot request to a short-lived handler thread.  Handlers only mutate the
+lease books under ``self._lock`` and enqueue result batches; everything
+heavier — decoding batches, filling the evaluation cache, progress callbacks,
+and the *degraded-mode* inline evaluation — happens in :meth:`run`, which
+executes on the caller's (the engine's) thread.  The engine's caches are
+``# lint: not-thread-safe``; keeping them off the handler threads is what
+makes that safe.
+
+Degraded mode is the last line of the robustness story: when no worker has
+made contact for ``grace`` seconds, :meth:`run` starts evaluating pending
+leases inline through the exact worker code path
+(:func:`~repro.engine.executor.evaluate_specs_in_context`), one chunk per
+poll so late-arriving workers can still pick up the remainder.  A sweep with
+zero reachable workers completes locally with a single stderr warning —
+never an exception, and bit-identical to the local run.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import EvaluationCancelled, FabricError
+from repro.fabric.protocol import Lease, read_message, write_message
+
+__all__ = ["SweepCoordinator"]
+
+#: Interval a worker is told to wait before re-polling an empty queue.
+_WAIT_INTERVAL = 0.2
+
+#: Poll period of the :meth:`SweepCoordinator.run` loop, in seconds.
+_POLL_INTERVAL = 0.05
+
+#: Per-connection socket timeout for one-shot request handling.
+_CONNECTION_TIMEOUT = 10.0
+
+
+class SweepCoordinator:
+    """Lease ``chunks`` of ``context``'s specs to fabric workers.
+
+    Parameters
+    ----------
+    context:
+        The picklable :class:`~repro.engine.executor.EngineContext` shipped
+        once to each worker (the pool initializer payload, over the wire).
+    chunks:
+        Axis-structure chunks of plan indices, in deterministic sweep order.
+        Chunking happens *before* distribution and does not depend on worker
+        count — which is why fabric results are fingerprint-identical to
+        local runs regardless of how many workers show up or die.
+    host, port:
+        Bind address of the work queue (raises ``OSError`` when taken; the
+        engine treats that as "no fabric" and falls back to the local path).
+    lease_timeout:
+        Seconds of heartbeat silence before a lease is re-queued.
+    grace:
+        Seconds of total worker silence before degraded inline evaluation
+        starts.
+    cache:
+        Optional :class:`~repro.engine.cache.EvaluationCache` used *only* by
+        degraded inline evaluation on the :meth:`run` thread.
+    """
+
+    def __init__(
+        self,
+        context: Any,
+        chunks: Sequence[Sequence[int]],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_timeout: float = 30.0,
+        grace: float = 2.0,
+        cache: Any = None,
+    ) -> None:
+        if lease_timeout <= 0:
+            raise FabricError(f"lease_timeout must be positive, got {lease_timeout!r}")
+        if grace < 0:
+            raise FabricError(f"grace must be non-negative, got {grace!r}")
+        self._context = context
+        self._chunks: List[Tuple[int, ...]] = [tuple(chunk) for chunk in chunks]
+        self.lease_timeout = lease_timeout
+        self.grace = grace
+        self._cache = cache
+
+        self._lock = threading.Lock()
+        self._pending: Deque[int] = deque(range(len(self._chunks)))
+        self._active: Dict[int, Tuple[float, str]] = {}
+        self._done: Set[int] = set()
+        self._results: "queue.Queue[Tuple[int, str, Any]]" = queue.Queue()
+        self._workers: Dict[str, float] = {}
+        self._cancelled = False
+        self._finished = False
+        self._closed = False
+
+        #: Robustness counters, reported in the end-of-run stats line.
+        self.requeued_leases = 0
+        self.duplicate_results = 0
+        self.corrupt_frames = 0
+        #: True once degraded inline evaluation has started.
+        self.degraded = False
+
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._listener.bind((host, port))
+            self._listener.listen(32)
+            self._listener.settimeout(_POLL_INTERVAL)
+        except OSError:
+            self._listener.close()
+            raise
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fabric-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- connection handling (listener + handler threads) ---------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed under us: shutdown
+            handler = threading.Thread(
+                target=self._serve, args=(conn,), name="fabric-conn", daemon=True
+            )
+            handler.start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        try:
+            with conn:
+                conn.settimeout(_CONNECTION_TIMEOUT)
+                message = read_message(conn)
+                reply = self._handle(message)
+                write_message(conn, reply)
+        except FabricError:
+            # A corrupted or truncated frame: drop the connection, let the
+            # sender's RetryPolicy re-send over a fresh one.
+            with self._lock:
+                self.corrupt_frames += 1
+        except OSError:
+            pass  # peer went away mid-exchange; its retry covers this
+
+    def _handle(self, message: Any) -> Tuple[Any, ...]:
+        """Serve one request.  Lease-book mutations only, under the lock."""
+        if not isinstance(message, tuple) or not message:
+            raise FabricError(f"malformed fabric message: {message!r}")
+        kind = message[0]
+        now = time.monotonic()
+        with self._lock:
+            if kind == "hello":
+                (_, worker_id) = message
+                self._workers[worker_id] = now
+                return ("welcome", self.lease_timeout)
+            if kind == "context":
+                return ("context", self._context)
+            if kind == "lease":
+                (_, worker_id) = message
+                self._workers[worker_id] = now
+                if self._cancelled:
+                    return ("cancel",)
+                if self._finished:
+                    return ("shutdown",)
+                chunk_id = self._next_pending()
+                if chunk_id is None:
+                    if not self._active and not self._pending:
+                        return ("shutdown",)
+                    return ("wait", _WAIT_INTERVAL)
+                self._active[chunk_id] = (now + self.lease_timeout, worker_id)
+                lease = Lease(chunk_id, self._chunks[chunk_id], self.lease_timeout)
+                return ("lease", lease)
+            if kind == "heartbeat":
+                (_, worker_id, chunk_id) = message
+                self._workers[worker_id] = now
+                if self._cancelled:
+                    return ("cancel",)
+                entry = self._active.get(chunk_id)
+                if entry is not None and entry[1] == worker_id:
+                    self._active[chunk_id] = (now + self.lease_timeout, worker_id)
+                return ("ok",)
+            if kind == "result":
+                (_, worker_id, chunk_id, batch) = message
+                self._workers[worker_id] = now
+                self._results.put((chunk_id, worker_id, batch))
+                return ("ok",)
+        raise FabricError(f"unknown fabric message kind: {message[0]!r}")
+
+    def _next_pending(self) -> Optional[int]:
+        """Pop the next leasable chunk id (skipping stale re-queue entries)."""
+        while self._pending:
+            chunk_id = self._pending.popleft()
+            if chunk_id not in self._done and chunk_id not in self._active:
+                return chunk_id
+        return None
+
+    # -- the run loop (caller thread) -----------------------------------------------
+
+    def live_workers(self) -> int:
+        """Workers heard from within one lease timeout."""
+        horizon = time.monotonic() - self.lease_timeout
+        with self._lock:
+            return sum(1 for last in self._workers.values() if last >= horizon)
+
+    def run(
+        self,
+        cancel: Any = None,
+        on_chunk: Optional[Callable[[Tuple[int, ...], List[Tuple[int, Any]]], None]] = None,
+    ) -> Dict[int, Any]:
+        """Drive the sweep to completion; returns ``{index: candidate}``.
+
+        ``on_chunk(chunk_indices, pairs)`` fires on the caller's thread once
+        per *first* completion of each chunk — cache insertion and progress
+        reporting belong there.  Raises
+        :class:`~repro.errors.EvaluationCancelled` when ``cancel`` trips;
+        workers observe the cancel at their next chunk boundary.
+        """
+        from repro.api.progress import cancel_requested
+
+        results: Dict[int, Any] = {}
+        last_contact = time.monotonic()
+        try:
+            while True:
+                with self._lock:
+                    if len(self._done) == len(self._chunks):
+                        self._finished = True
+                        break
+                if cancel_requested(cancel):
+                    with self._lock:
+                        self._cancelled = True
+                    raise EvaluationCancelled(
+                        "candidate sweep cancelled (fabric coordinator)"
+                    )
+                self._drain_results(results, on_chunk)
+                self._requeue_expired()
+                with self._lock:
+                    if self._workers:
+                        last_contact = max(last_contact, max(self._workers.values()))
+                    silent = time.monotonic() - last_contact
+                if silent >= self.grace:
+                    self._evaluate_one_inline(results, on_chunk)
+        finally:
+            with self._lock:
+                self._finished = True
+        self._print_stats()
+        return results
+
+    def _drain_results(
+        self,
+        results: Dict[int, Any],
+        on_chunk: Optional[Callable[[Tuple[int, ...], List[Tuple[int, Any]]], None]],
+    ) -> None:
+        block = True
+        while True:
+            try:
+                chunk_id, _, batch = self._results.get(
+                    timeout=_POLL_INTERVAL if block else 0
+                )
+            except queue.Empty:
+                return
+            block = False  # drain the rest without waiting
+            with self._lock:
+                if chunk_id in self._done:
+                    self.duplicate_results += 1
+                    continue
+                self._done.add(chunk_id)
+                self._active.pop(chunk_id, None)
+            try:
+                pairs = batch.to_candidates(self._context)
+            except Exception as error:
+                # An undecodable batch (made it past the frame checksum but
+                # not past numpy): treat like a lost result and re-queue.
+                with self._lock:
+                    self._done.discard(chunk_id)
+                    self._pending.append(chunk_id)
+                    self.corrupt_frames += 1
+                print(
+                    f"warlock fabric: discarding undecodable result batch for "
+                    f"chunk {chunk_id} ({type(error).__name__}: {error})",
+                    file=sys.stderr,
+                )
+                continue
+            results.update(pairs)
+            if on_chunk is not None:
+                on_chunk(self._chunks[chunk_id], pairs)
+
+    def _requeue_expired(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            expired = [
+                chunk_id
+                for chunk_id, (deadline, _) in self._active.items()
+                if now > deadline
+            ]
+            for chunk_id in expired:
+                del self._active[chunk_id]
+                self._pending.append(chunk_id)
+                self.requeued_leases += 1
+
+    def _evaluate_one_inline(
+        self,
+        results: Dict[int, Any],
+        on_chunk: Optional[Callable[[Tuple[int, ...], List[Tuple[int, Any]]], None]],
+    ) -> None:
+        """Degraded mode: evaluate one pending chunk on this thread."""
+        with self._lock:
+            chunk_id = self._next_pending()
+            if chunk_id is None:
+                # Everything left is actively leased; expiry will recycle it.
+                return
+            if not self.degraded:
+                self.degraded = True
+                print(
+                    "warlock: no fabric workers reachable; evaluating locally "
+                    "(degraded mode)",
+                    file=sys.stderr,
+                )
+        from repro.engine.executor import evaluate_specs_in_context
+
+        indices = self._chunks[chunk_id]
+        candidates = evaluate_specs_in_context(self._context, indices, self._cache)
+        pairs = list(zip(indices, candidates))
+        with self._lock:
+            self._done.add(chunk_id)
+        results.update(pairs)
+        if on_chunk is not None:
+            on_chunk(indices, pairs)
+
+    def _print_stats(self) -> None:
+        print(
+            f"warlock fabric: {len(self._done)}/{len(self._chunks)} chunk(s), "
+            f"{self.requeued_leases} requeued lease(s), "
+            f"{self.duplicate_results} duplicate result(s), "
+            f"{self.corrupt_frames} corrupt frame(s), "
+            f"{len(self._workers)} worker(s) seen"
+            + (" [degraded]" if self.degraded else ""),
+            file=sys.stderr,
+        )
+
+    def close(self) -> None:
+        """Stop accepting connections and release the port (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._finished = True
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - close never usefully fails
+            pass
+        self._accept_thread.join(timeout=1.0)
+
+    def __enter__(self) -> "SweepCoordinator":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

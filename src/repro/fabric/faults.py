@@ -1,0 +1,247 @@
+"""Deterministic fault injection for the sweep fabric.
+
+Every distributed code path in :mod:`repro.fabric` ships with a way to break
+it on purpose: a :class:`FaultPlan` — parsed from the ``WARLOCK_FAULTS``
+environment variable — describes which faults to inject, and a
+:class:`FaultInjector` carries the mutable counters and the **seeded** RNG
+that make a chaos run reproducible.  The injections cover the failure modes
+the fabric claims to survive:
+
+==================  =========================================================
+``kill_after=N``    kill the worker after evaluating its N-th lease, *before*
+                    the result is submitted (the lease must be re-queued)
+``refuse=N``        refuse the first N connection attempts (reconnect path)
+``delay=S``         sleep up to S seconds before a send (slow link)
+``delay_p=P``       probability of applying the delay (default 1 when
+                    ``delay`` is set)
+``drop=P``          drop the message instead of sending (the peer sees EOF)
+``dup=P``           send the request twice (at-least-once delivery: the
+                    duplicate must dedupe, not double-count)
+``corrupt=P``       flip one payload byte after the checksum was computed
+                    (the frame must be rejected, never trusted)
+``seed=K``          seed of the injector's private ``random.Random``
+==================  =========================================================
+
+Example: ``WARLOCK_FAULTS="kill_after=1,seed=7"`` makes a worker crash after
+its first chunk — the CI chaos step runs exactly that against a two-worker
+sweep and asserts the fingerprint still matches the local run.
+
+The plan is inert by default: :meth:`FaultPlan.from_env` returns ``None``
+when the variable is unset, and every injection hook no-ops on a ``None``
+injector, so production paths pay one ``is None`` check.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, fields
+from typing import Callable, Mapping, Optional
+
+from repro.errors import FabricError
+
+__all__ = ["FAULTS_ENV", "FaultInjected", "FaultInjector", "FaultPlan"]
+
+#: Environment variable carrying the fault plan (see module docstring).
+FAULTS_ENV = "WARLOCK_FAULTS"
+
+
+class FaultInjected(FabricError):
+    """Raised (or left to crash the process) when a planned fault fires.
+
+    Deliberately *not* caught by the worker loop: an injected kill must look
+    like a real crash — in-process test workers die as threads, the CLI
+    worker process exits non-zero — so the coordinator's lease re-queue is
+    exercised for real.
+    """
+
+
+#: Aliases accepted by :meth:`FaultPlan.parse` (short env keys -> fields).
+_KEY_ALIASES = {
+    "refuse": "refuse_connects",
+    "delay_p": "delay_probability",
+    "drop": "drop_probability",
+    "dup": "duplicate_probability",
+    "corrupt": "corrupt_probability",
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The declarative half: which faults to inject, and how often."""
+
+    #: Kill the worker after evaluating this many leases (``None`` = never).
+    kill_after: Optional[int] = None
+    #: Artificially refuse the first N connection attempts.
+    refuse_connects: int = 0
+    #: Maximum artificial delay before a send, in seconds.
+    delay: float = 0.0
+    #: Probability of applying the delay to any given send.
+    delay_probability: float = 1.0
+    #: Probability of dropping a message instead of sending it.
+    drop_probability: float = 0.0
+    #: Probability of sending a request twice.
+    duplicate_probability: float = 0.0
+    #: Probability of corrupting one payload byte of an outgoing frame.
+    corrupt_probability: float = 0.0
+    #: Seed of the injector's private RNG (reproducible chaos).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kill_after is not None and self.kill_after < 1:
+            raise FabricError(
+                f"FaultPlan.kill_after must be positive when set, "
+                f"got {self.kill_after!r}"
+            )
+        if self.refuse_connects < 0:
+            raise FabricError(
+                f"FaultPlan.refuse_connects must be non-negative, "
+                f"got {self.refuse_connects!r}"
+            )
+        if self.delay < 0:
+            raise FabricError(f"FaultPlan.delay must be non-negative, got {self.delay!r}")
+        for name in (
+            "delay_probability",
+            "drop_probability",
+            "duplicate_probability",
+            "corrupt_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FabricError(
+                    f"FaultPlan.{name} must be within [0, 1], got {value!r}"
+                )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the ``key=value,key=value`` environment format."""
+        values: dict = {}
+        known = {f.name: f for f in fields(cls)}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            if not sep:
+                raise FabricError(
+                    f"malformed {FAULTS_ENV} entry {part!r}: expected key=value"
+                )
+            name = _KEY_ALIASES.get(key.strip(), key.strip())
+            if name not in known:
+                raise FabricError(
+                    f"unknown {FAULTS_ENV} key {key.strip()!r}; known keys: "
+                    f"{', '.join(sorted(set(known) | set(_KEY_ALIASES)))}"
+                )
+            try:
+                if name in ("kill_after", "refuse_connects", "seed"):
+                    values[name] = int(raw)
+                else:
+                    values[name] = float(raw)
+            except ValueError:
+                raise FabricError(
+                    f"invalid {FAULTS_ENV} value for {name}: {raw!r}"
+                )
+        return cls(**values)
+
+    @classmethod
+    def from_env(cls, env: Optional[Mapping[str, str]] = None) -> Optional["FaultPlan"]:
+        """The plan from ``WARLOCK_FAULTS``, or ``None`` when unset/empty."""
+        source = os.environ if env is None else env
+        text = source.get(FAULTS_ENV, "").strip()
+        if not text:
+            return None
+        return cls.parse(text)
+
+    def injector(self) -> "FaultInjector":
+        """A fresh injector carrying this plan's counters and seeded RNG."""
+        return FaultInjector(self)
+
+
+class FaultInjector:
+    """The stateful half: counters plus the plan's seeded RNG.
+
+    One injector per worker process/thread; all hooks are called from that
+    worker's own loop, so no locking is needed.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        #: Connection attempts seen so far (drives ``refuse_connects``).
+        self.connects = 0
+        #: Leases fully evaluated so far (drives ``kill_after``).
+        self.chunks_evaluated = 0
+        #: Injection counters, for logs and test assertions.
+        self.refused = 0
+        self.delayed = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.corrupted = 0
+
+    # -- connection faults ------------------------------------------------------
+
+    def on_connect(self) -> None:
+        """Raise ``ConnectionRefusedError`` for the first N attempts."""
+        self.connects += 1
+        if self.connects <= self.plan.refuse_connects:
+            self.refused += 1
+            raise ConnectionRefusedError(
+                f"injected connection refusal {self.connects}/"
+                f"{self.plan.refuse_connects}"
+            )
+
+    # -- lifecycle faults -------------------------------------------------------
+
+    def on_chunk_evaluated(self) -> None:
+        """Raise :class:`FaultInjected` once ``kill_after`` chunks completed.
+
+        Fires *after* the evaluation and *before* the result submission, the
+        worst spot for the coordinator: the work is done but never delivered,
+        so only the lease deadline can recover it.
+        """
+        self.chunks_evaluated += 1
+        if (
+            self.plan.kill_after is not None
+            and self.chunks_evaluated >= self.plan.kill_after
+        ):
+            raise FaultInjected(
+                f"injected worker kill after {self.chunks_evaluated} chunk(s)"
+            )
+
+    # -- message faults ---------------------------------------------------------
+
+    def maybe_delay(self, sleep: Callable[[float], None]) -> None:
+        """Sleep up to ``plan.delay`` seconds with ``delay_probability``."""
+        if self.plan.delay > 0 and self.rng.random() < self.plan.delay_probability:
+            self.delayed += 1
+            sleep(self.rng.random() * self.plan.delay)
+
+    def should_drop(self) -> bool:
+        """True when this send should be dropped (peer sees a dead frame)."""
+        if self.plan.drop_probability and self.rng.random() < self.plan.drop_probability:
+            self.dropped += 1
+            return True
+        return False
+
+    def should_duplicate(self) -> bool:
+        """True when this request should be sent twice."""
+        if (
+            self.plan.duplicate_probability
+            and self.rng.random() < self.plan.duplicate_probability
+        ):
+            self.duplicated += 1
+            return True
+        return False
+
+    def transform_payload(self, payload: bytes) -> bytes:
+        """Flip one byte with ``corrupt_probability`` (post-checksum)."""
+        if (
+            self.plan.corrupt_probability
+            and payload
+            and self.rng.random() < self.plan.corrupt_probability
+        ):
+            self.corrupted += 1
+            position = self.rng.randrange(len(payload))
+            flipped = payload[position] ^ 0xFF
+            return payload[:position] + bytes([flipped]) + payload[position + 1 :]
+        return payload

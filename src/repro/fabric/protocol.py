@@ -1,0 +1,200 @@
+# lint: wire-types
+"""Framed pickle wire protocol of the sweep fabric.
+
+The fabric speaks the engine's process-pool protocol over a TCP socket: the
+payloads are the same picklable values the pool already ships between parent
+and workers (:class:`~repro.engine.executor.EngineContext` out,
+:class:`~repro.engine.result.CandidateResultBatch` back), wrapped in a
+minimal checksummed frame::
+
+    MAGIC(4) | length(4, big-endian) | crc32(4, big-endian) | payload
+
+Every frame is verified end to end — magic, bounded length, CRC — before its
+payload is unpickled, so a corrupted frame (torn write, injected bit flip)
+raises :class:`~repro.errors.FabricError` and the *connection* is abandoned,
+never the sweep: the sender retries under its
+:class:`~repro.fabric.retry.RetryPolicy`, which is safe because results are
+content-addressed and the coordinator dedupes by lease.
+
+Connections are one-shot request/response pairs (connect, one frame out, one
+frame in, close) — the simplest protocol that makes every fault mode
+(refused connect, dropped reply, duplicated request) locally recoverable.
+
+Messages are ``(kind, *fields)`` tuples; :class:`Lease` is the one structured
+record on the wire and carries ``to_dict()`` for diagnostics (this module is
+marked ``wire-types`` for ``warlock lint``).  Like the cache store, frames
+are **pickle**: a fabric endpoint must be trusted to the same degree as the
+code itself — bind coordinators to localhost or a private network you own.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import FabricError
+from repro.fabric.faults import FaultInjector
+from repro.fabric.retry import RetryPolicy
+
+__all__ = [
+    "DEFAULT_PORT",
+    "MAX_FRAME_BYTES",
+    "Lease",
+    "parse_address",
+    "read_message",
+    "request",
+    "write_message",
+]
+
+#: Default coordinator port (``--fabric host`` without an explicit port).
+DEFAULT_PORT = 8643
+
+#: Frame preamble: protocol magic + version (bump on incompatible change).
+_MAGIC = b"WLF1"
+
+#: Upper bound on accepted frames; a context or result batch for a large
+#: sweep is MBs, never GBs — anything bigger is a corrupted length field.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_HEADER = struct.Struct("!4sII")
+
+
+@dataclass(frozen=True)
+class Lease(object):
+    """One chunk lease: the unit of distributed work.
+
+    ``chunk_id`` identifies the chunk across re-issues — a lease re-queued
+    after a worker crash keeps its id, which is what lets the coordinator
+    dedupe a late duplicate result.  ``indices`` are plan indices into the
+    sweep's :class:`~repro.engine.executor.EngineContext` specs; ``timeout``
+    is the seconds of heartbeat silence after which the coordinator re-queues.
+    """
+
+    chunk_id: int
+    indices: Tuple[int, ...]
+    timeout: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (diagnostics and logs, not the wire itself)."""
+        return {
+            "chunk_id": self.chunk_id,
+            "indices": list(self.indices),
+            "timeout": self.timeout,
+        }
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """Parse a ``host:port`` (or bare ``host``) fabric address."""
+    if not isinstance(text, str) or not text.strip():
+        raise FabricError(f"fabric address must be a host:port string, got {text!r}")
+    host, sep, port_text = text.strip().rpartition(":")
+    if not sep:
+        return text.strip(), DEFAULT_PORT
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise FabricError(f"invalid fabric port {port_text!r} in {text!r}")
+    if not 0 <= port <= 65535:
+        raise FabricError(f"fabric port out of range: {port}")
+    return host or "127.0.0.1", port
+
+
+def _read_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        block = sock.recv(remaining)
+        if not block:
+            raise FabricError(
+                f"connection closed mid-frame ({count - remaining}/{count} bytes)"
+            )
+        chunks.append(block)
+        remaining -= len(block)
+    return b"".join(chunks)
+
+
+def write_message(
+    sock: socket.socket, message: Any, faults: Optional[FaultInjector] = None
+) -> None:
+    """Pickle and frame ``message`` onto ``sock`` (fault hooks apply here).
+
+    An injected *drop* closes the socket without sending (the peer sees EOF);
+    an injected *corruption* flips one payload byte after the CRC was
+    computed, so the receiver must reject the frame.
+    """
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    checksum = zlib.crc32(payload)
+    if faults is not None:
+        faults.maybe_delay(time.sleep)
+        if faults.should_drop():
+            sock.close()
+            return
+        payload = faults.transform_payload(payload)
+    sock.sendall(_HEADER.pack(_MAGIC, len(payload), checksum) + payload)
+
+
+def read_message(sock: socket.socket) -> Any:
+    """Read one frame, verify it, and unpickle its payload."""
+    header = _read_exact(sock, _HEADER.size)
+    magic, length, checksum = _HEADER.unpack(header)
+    if magic != _MAGIC:
+        raise FabricError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME_BYTES:
+        raise FabricError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    payload = _read_exact(sock, length)
+    if zlib.crc32(payload) != checksum:
+        raise FabricError("frame checksum mismatch (corrupted payload)")
+    try:
+        return pickle.loads(payload)
+    except Exception as error:
+        raise FabricError(f"undecodable frame payload: {error}")
+
+
+def _exchange(
+    address: Tuple[str, int],
+    message: Any,
+    timeout: float,
+    faults: Optional[FaultInjector],
+) -> Any:
+    if faults is not None:
+        faults.on_connect()
+    with socket.create_connection(address, timeout=timeout) as sock:
+        write_message(sock, message, faults=faults)
+        reply = read_message(sock)
+    if faults is not None and faults.should_duplicate():
+        # At-least-once on purpose: the same request goes out again and the
+        # *first* reply wins — the receiver must tolerate the replay.
+        try:
+            with socket.create_connection(address, timeout=timeout) as sock:
+                write_message(sock, message, faults=faults)
+                read_message(sock)
+        except (OSError, FabricError):
+            pass  # the duplicate is best-effort noise, never load-bearing
+    return reply
+
+
+def request(
+    address: Tuple[str, int],
+    message: Any,
+    timeout: float = 10.0,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultInjector] = None,
+    rng: Any = None,
+) -> Any:
+    """One request/response round trip, retried under ``retry``.
+
+    Retries cover connection errors, timeouts and rejected frames — all the
+    faults the injector can produce.  With ``retry=None`` a single attempt is
+    made.
+    """
+    def attempt() -> Any:
+        return _exchange(address, message, timeout, faults)
+
+    if retry is None:
+        return attempt()
+    return retry.call(attempt, retry_on=(OSError, FabricError), rng=rng)

@@ -1,0 +1,137 @@
+"""Retry policy shared by the fabric's reconnect and submission paths.
+
+One frozen value object answers every "how long do I keep trying" question in
+the fabric: worker reconnects, result submission, context fetches.  The
+schedule is classic capped exponential backoff with proportional jitter, plus
+an optional **deadline budget** bounding the *total* time slept — a worker
+whose coordinator is gone must give up in bounded time, not hammer a dead
+address forever.
+
+The policy is deterministic under a seeded RNG (the property tests pin this):
+jitter draws come from the ``random.Random`` instance the caller passes, so a
+seeded run replays the exact same schedule.  Nothing in here touches global
+randomness or wall clocks — the fabric is not parity-critical, but keeping
+the schedule a pure function of ``(policy, rng)`` is what makes the fault
+harness reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, Tuple, Type
+
+from repro.errors import AdvisorError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with jitter and a total-sleep budget.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts (the first try included).  ``1`` means no retries.
+    base_delay:
+        Sleep before the first retry, in seconds.
+    multiplier:
+        Growth factor of the backoff caps (``>= 1``).
+    max_delay:
+        Upper bound on any single sleep; the cap sequence
+        ``min(base_delay * multiplier**k, max_delay)`` is therefore monotone
+        non-decreasing.
+    jitter:
+        Proportional jitter fraction in ``[0, 1]``: each sleep is drawn
+        uniformly from ``[cap * (1 - jitter), cap * (1 + jitter)]``.
+    deadline:
+        Optional budget on the *total* seconds slept across all retries;
+        the schedule truncates (the final sleep is clipped) once the budget
+        is exhausted.  ``None`` means bounded only by ``max_attempts``.
+    """
+
+    max_attempts: int = 6
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_attempts, int) or self.max_attempts < 1:
+            raise AdvisorError(
+                f"RetryPolicy.max_attempts must be a positive integer, "
+                f"got {self.max_attempts!r}"
+            )
+        if self.base_delay < 0:
+            raise AdvisorError(
+                f"RetryPolicy.base_delay must be non-negative, got {self.base_delay!r}"
+            )
+        if self.multiplier < 1:
+            raise AdvisorError(
+                f"RetryPolicy.multiplier must be at least 1, got {self.multiplier!r}"
+            )
+        if self.max_delay < self.base_delay:
+            raise AdvisorError(
+                f"RetryPolicy.max_delay ({self.max_delay!r}) must not undercut "
+                f"base_delay ({self.base_delay!r})"
+            )
+        if not 0 <= self.jitter <= 1:
+            raise AdvisorError(
+                f"RetryPolicy.jitter must be within [0, 1], got {self.jitter!r}"
+            )
+        if self.deadline is not None and self.deadline < 0:
+            raise AdvisorError(
+                f"RetryPolicy.deadline must be non-negative, got {self.deadline!r}"
+            )
+
+    def cap(self, retry: int) -> float:
+        """The jitter-free backoff cap before retry number ``retry`` (0-based)."""
+        return min(self.base_delay * self.multiplier**retry, self.max_delay)
+
+    def delays(self, rng: Optional[random.Random] = None) -> Iterator[float]:
+        """The sleep schedule: one delay per retry, budget-clipped.
+
+        Yields at most ``max_attempts - 1`` delays.  With a ``deadline``, the
+        cumulative sum never exceeds it: the sleep that would cross the
+        budget is clipped to the remainder and ends the schedule.
+        """
+        rng = rng if rng is not None else random.Random()
+        remaining = self.deadline
+        for retry in range(self.max_attempts - 1):
+            cap = self.cap(retry)
+            delay = cap * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+            delay = max(0.0, delay)
+            if remaining is not None:
+                if remaining <= 0:
+                    return
+                if delay >= remaining:
+                    yield remaining
+                    return
+                remaining -= delay
+            yield delay
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> Any:
+        """Run ``fn`` under this policy, retrying on ``retry_on`` errors.
+
+        The last error is re-raised once the attempts (or the sleep budget)
+        are exhausted.  ``sleep`` is injectable so tests run instantly.
+        """
+        rng = rng if rng is not None else random.Random()
+        schedule = self.delays(rng)
+        while True:
+            try:
+                return fn()
+            except retry_on:
+                delay = next(schedule, None)
+                if delay is None:
+                    raise
+                sleep(delay)

@@ -1,0 +1,176 @@
+"""Fabric worker: pull leases, evaluate, heartbeat, submit.
+
+A worker is the process-pool worker turned inside out: instead of receiving
+chunks through a ``ProcessPoolExecutor``, it *pulls* leases from a
+coordinator over TCP and pushes back the same columnar
+:class:`~repro.engine.result.CandidateResultBatch` the pool protocol ships.
+The evaluation itself goes through
+:func:`~repro.engine.executor.evaluate_specs_in_context` with a private
+worker-local :class:`~repro.engine.cache.EvaluationCache` — exactly the pool
+worker's code path, which is what makes fabric results bit-identical to
+local runs.
+
+Every network interaction (the initial handshake, lease polls, result
+submission) runs under the worker's :class:`~repro.fabric.retry.RetryPolicy`;
+a coordinator that stays unreachable past the policy's budget ends the
+worker gracefully rather than hammering a dead address.  While a lease is
+being evaluated a daemon heartbeat thread renews it every
+``lease_timeout / 3`` seconds — heartbeat *failures* are tolerated (the
+lease just expires and is re-queued), heartbeat *cancel* replies stop the
+worker at the next chunk boundary.
+
+Fault injection hooks (:class:`~repro.fabric.faults.FaultInjector`) thread
+through every step; an injected kill (``kill_after=N``) escapes this module
+uncaught on purpose, so the crash is real from the coordinator's point of
+view.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import threading
+import time
+from typing import Any, Optional, Tuple
+
+from repro.errors import FabricError
+from repro.fabric.faults import FaultInjector
+from repro.fabric.protocol import Lease, request
+from repro.fabric.retry import RetryPolicy
+
+__all__ = ["run_worker"]
+
+#: Sequence counter making worker ids unique within one process (tests spin
+#: several worker threads in the same interpreter).
+_WORKER_SEQUENCE = threading.Lock()
+_WORKER_COUNT = 0
+
+
+def _next_worker_id() -> str:
+    global _WORKER_COUNT
+    with _WORKER_SEQUENCE:
+        _WORKER_COUNT += 1
+        count = _WORKER_COUNT
+    return f"{socket.gethostname()}-{os.getpid()}-{count}"
+
+
+def _heartbeat_loop(
+    address: Tuple[str, int],
+    worker_id: str,
+    lease: Lease,
+    stop: threading.Event,
+    cancelled: threading.Event,
+) -> None:
+    interval = max(lease.timeout / 3.0, 0.05)
+    while not stop.wait(interval):
+        try:
+            reply = request(address, ("heartbeat", worker_id, lease.chunk_id))
+        except (OSError, FabricError):
+            continue  # missed heartbeat: the lease may expire, which is safe
+        if reply and reply[0] == "cancel":
+            cancelled.set()
+            return
+
+
+def run_worker(
+    address: Tuple[str, int],
+    *,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultInjector] = None,
+    cancel: Any = None,
+    max_chunks: Optional[int] = None,
+) -> int:
+    """Serve one coordinator until it shuts down; returns chunks evaluated.
+
+    Parameters
+    ----------
+    address:
+        The coordinator's ``(host, port)``.
+    retry:
+        Policy for every network interaction (default: ~6 attempts over a
+        30 second budget).  Exhausting it ends the worker gracefully.
+    faults:
+        Optional fault injector (``WARLOCK_FAULTS``); its ``kill_after``
+        fault escapes uncaught, by design.
+    cancel:
+        Optional cooperative cancel signal, checked at chunk boundaries.
+    max_chunks:
+        Optional cap on chunks to evaluate before exiting (tests).
+    """
+    from repro.api.progress import cancel_requested
+    from repro.engine.cache import EvaluationCache
+    from repro.engine.executor import evaluate_specs_in_context
+    from repro.engine.result import CandidateResultBatch
+
+    if retry is None:
+        retry = RetryPolicy(max_attempts=8, deadline=30.0)
+    worker_id = _next_worker_id()
+
+    def call(message: Any) -> Any:
+        return request(address, message, retry=retry, faults=faults)
+
+    try:
+        reply = call(("hello", worker_id))
+        if not reply or reply[0] != "welcome":
+            raise FabricError(f"unexpected handshake reply: {reply!r}")
+        reply = call(("context",))
+        if not reply or reply[0] != "context":
+            raise FabricError(f"unexpected context reply: {reply!r}")
+        context = reply[1]
+    except (OSError, FabricError) as error:
+        # The coordinator never answered within the retry budget: end
+        # gracefully, like a pool worker whose parent is already gone.
+        print(
+            f"warlock fabric worker {worker_id}: coordinator unreachable "
+            f"({type(error).__name__}: {error}); giving up",
+            file=sys.stderr,
+        )
+        return 0
+    cache = EvaluationCache()  # worker-local, like a pool worker's
+
+    evaluated = 0
+    cancelled = threading.Event()
+    while not cancelled.is_set() and not cancel_requested(cancel):
+        if max_chunks is not None and evaluated >= max_chunks:
+            break
+        try:
+            reply = call(("lease", worker_id))
+        except (OSError, FabricError):
+            break  # coordinator gone past the retry budget: graceful exit
+        kind = reply[0] if reply else None
+        if kind in ("shutdown", "cancel") or kind is None:
+            break
+        if kind == "wait":
+            time.sleep(reply[1])
+            continue
+        if kind != "lease":
+            raise FabricError(f"unexpected lease reply: {reply!r}")
+        lease = reply[1]
+        stop = threading.Event()
+        heartbeat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(address, worker_id, lease, stop, cancelled),
+            name="fabric-heartbeat",
+            daemon=True,
+        )
+        heartbeat.start()
+        try:
+            candidates = evaluate_specs_in_context(context, lease.indices, cache)
+            batch = CandidateResultBatch.from_candidates(lease.indices, candidates)
+            if faults is not None:
+                # May raise FaultInjected — after the work, before the
+                # submission, so only the lease deadline can recover it.
+                faults.on_chunk_evaluated()
+        finally:
+            stop.set()
+        try:
+            call(("result", worker_id, lease.chunk_id, batch))
+        except (OSError, FabricError):
+            break  # submission lost; the lease will be re-queued
+        evaluated += 1
+    print(
+        f"warlock fabric worker {worker_id}: {evaluated} chunk(s) evaluated",
+        file=sys.stderr,
+    )
+    return evaluated

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Any, Callable, List, Optional
 
 from repro.errors import ServiceError
@@ -34,34 +35,81 @@ DEFAULT_CAPACITY = 64
 
 
 class RequestJob:
-    """Handle of one submitted request: result, error, completion event."""
+    """Handle of one submitted request: result, error, completion event.
+
+    ``deadline`` (a ``time.monotonic()`` instant, set by the executor when it
+    runs with a request timeout) budgets queue wait *plus* execution: a job
+    whose deadline passes while still queued is failed with a 504 without
+    running, and one that is still executing at the deadline has its
+    ``cancel`` token tripped so the sweep stops cooperatively at the next
+    chunk boundary — completed entries stay warm in the session cache either
+    way.  ``timed_out`` records which of the job's endings was deadline-
+    driven, so the front end can distinguish a 504 from a client-side 499.
+    """
 
     def __init__(
         self,
         fn: Callable[[], Any],
         label: str = "",
         on_done: Optional[Callable[[], None]] = None,
+        cancel: Any = None,
+        deadline: Optional[float] = None,
     ) -> None:
         self.fn = fn
         self.label = label
         self.result: Any = None
         self.error: Optional[BaseException] = None
+        self.cancel = cancel
+        self.deadline = deadline
+        self.timed_out = False
         self._on_done = on_done
         self._done = threading.Event()
 
+    def _remaining(self) -> Optional[float]:
+        """Seconds left until the deadline (``None`` without one)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def expire(self) -> None:
+        """Fail the job with a 504 without running it (queue-wait overrun)."""
+        self.timed_out = True
+        self.error = ServiceError(
+            f"request deadline exceeded while queued"
+            + (f" ({self.label})" if self.label else ""),
+            status=504,
+        )
+        self._finish()
+
     def run(self) -> None:
         """Execute the job (worker side); never raises."""
+        timer: Optional[threading.Timer] = None
+        remaining = self._remaining()
+        if remaining is not None and self.cancel is not None:
+
+            def fire() -> None:
+                self.timed_out = True
+                self.cancel.cancel()
+
+            timer = threading.Timer(max(remaining, 0.0), fire)
+            timer.daemon = True
+            timer.start()
         try:
             self.result = self.fn()
         except BaseException as error:  # noqa: BLE001 - relayed to the waiter
             self.error = error
         finally:
-            self._done.set()
-            if self._on_done is not None:
-                try:
-                    self._on_done()
-                except Exception:  # pragma: no cover - notification best-effort
-                    pass
+            if timer is not None:
+                timer.cancel()
+            self._finish()
+
+    def _finish(self) -> None:
+        self._done.set()
+        if self._on_done is not None:
+            try:
+                self._on_done()
+            except Exception:  # pragma: no cover - notification best-effort
+                pass
 
     @property
     def done(self) -> bool:
@@ -85,17 +133,28 @@ _STOP = object()
 
 
 class RequestExecutor:
-    """A fixed worker pool draining one bounded request queue."""
+    """A fixed worker pool draining one bounded request queue.
+
+    ``timeout`` (seconds, ``None`` = no deadline) stamps every submitted job
+    with a deadline covering queue wait plus execution — see
+    :class:`RequestJob` for the 504 semantics.
+    """
 
     def __init__(
-        self, workers: int = DEFAULT_WORKERS, capacity: int = DEFAULT_CAPACITY
+        self,
+        workers: int = DEFAULT_WORKERS,
+        capacity: int = DEFAULT_CAPACITY,
+        timeout: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be positive, got {workers}")
         if capacity < 1:
             raise ServiceError(f"capacity must be positive, got {capacity}")
+        if timeout is not None and timeout <= 0:
+            raise ServiceError(f"timeout must be positive or None, got {timeout}")
         self.workers = workers
         self.capacity = capacity
+        self.timeout = timeout
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=capacity)
         self._threads: List[threading.Thread] = []
         self._pending = 0
@@ -143,12 +202,21 @@ class RequestExecutor:
         fn: Callable[[], Any],
         label: str = "",
         on_done: Optional[Callable[[], None]] = None,
+        cancel: Any = None,
     ) -> RequestJob:
-        """Enqueue one request; 503 immediately when the queue is saturated."""
+        """Enqueue one request; 503 immediately when the queue is saturated.
+
+        ``cancel`` is the request's cooperative cancel token; with a
+        configured executor ``timeout`` it is tripped when the deadline
+        passes mid-execution.
+        """
         if self._shutdown:
             raise ServiceError("request executor is shut down", status=503)
         self.start()
-        job = RequestJob(fn, label=label, on_done=on_done)
+        deadline = (
+            time.monotonic() + self.timeout if self.timeout is not None else None
+        )
+        job = RequestJob(fn, label=label, on_done=on_done, cancel=cancel, deadline=deadline)
         with self._idle:
             self._pending += 1
         try:
@@ -181,7 +249,13 @@ class RequestExecutor:
             if item is _STOP:
                 break
             try:
-                item.run()
+                remaining = item._remaining()
+                if remaining is not None and remaining <= 0:
+                    # The deadline passed while the job sat in the queue:
+                    # answer 504 without burning a worker on doomed work.
+                    item.expire()
+                else:
+                    item.run()
             finally:
                 with self._idle:
                     self._pending -= 1

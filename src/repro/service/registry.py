@@ -277,6 +277,32 @@ class SessionRegistry:
             "evictions": self.evictions,
         }
 
+    def store_health(self) -> Dict[str, int]:
+        """Aggregate store robustness counters over the live sessions.
+
+        Sums the :class:`~repro.engine.cache.CacheStats` store counters
+        (salt mismatches, corrupt entries, fallback loads) of every
+        currently constructed session, for ``GET /healthz``.  Counters live
+        with their session, so an evicted session's anomalies leave the sum
+        — the probe reports the health of the warm state currently serving
+        requests, not service-lifetime history.  Reads are lock-free
+        snapshots of monotone ints: a concurrent cache load can at worst
+        make the sum momentarily stale, never wrong by more than the load
+        in flight.
+        """
+        totals = {"salt_mismatches": 0, "corrupt_entries": 0, "fallback_loads": 0}
+        with self._lock:
+            entries = list(self._entries.values())
+        for entry in entries:
+            session = entry.session
+            stats = session.stats if session is not None else None
+            if stats is None:
+                continue
+            totals["salt_mismatches"] += stats.store_salt_mismatches
+            totals["corrupt_entries"] += stats.store_corrupt_entries
+            totals["fallback_loads"] += stats.store_fallback_loads
+        return totals
+
     def close(self) -> None:
         """Close every live session (flushes caches to attached stores)."""
         with self._lock:

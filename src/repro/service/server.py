@@ -66,6 +66,7 @@ _REASONS = {
     499: "Client Closed Request",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -314,6 +315,7 @@ class AdvisorServer:
                     "cancelled": self.cancelled,
                     "pending": self.executor.pending,
                     "live_sessions": self.registry.live_sessions,
+                    "store": self.registry.store_health(),
                 },
             )
             return
@@ -384,6 +386,7 @@ class AdvisorServer:
             run,
             label=f"{name}:{payload.get('kind', '?')}",
             on_done=lambda: loop.call_soon_threadsafe(events.put_nowait, ("done", None)),
+            cancel=token,
         )
         # From here on the client has sent its full request; any further read
         # returns data we ignore — EOF means the client hung up, which turns
@@ -429,7 +432,11 @@ class AdvisorServer:
         try:
             response = self._result_payload(payload, job)
         except EvaluationCancelled as error:
-            await self._write_json(writer, 499, {"error": str(error)})
+            # A deadline-tripped cancel is the server's 504; every other
+            # cancel came from the client hanging up (499).  Either way the
+            # session's completed entries stay warm for a retry.
+            status = 504 if job.timed_out else 499
+            await self._write_json(writer, status, {"error": str(error)})
             return
         self.served += 1
         await self._write_json(writer, 200, response)
@@ -466,7 +473,12 @@ class AdvisorServer:
             final = f"event: result\ndata: {json.dumps(response)}\n\n"
             self.served += 1
         except EvaluationCancelled as error:
-            final = f"event: error\ndata: {json.dumps({'error': str(error)})}\n\n"
+            cause = "deadline" if job.timed_out else "cancelled"
+            final = (
+                "event: error\ndata: "
+                + json.dumps({"error": str(error), "cause": cause})
+                + "\n\n"
+            )
         except WarlockError as error:
             final = (
                 "event: error\ndata: "

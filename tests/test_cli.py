@@ -592,3 +592,49 @@ class TestConfigFile:
         config_path.write_text(json.dumps(example_config()))
         assert main(["recommend", "--config", str(config_path), "--top", "3"]) == 0
         assert "Top fragmentation candidates" in capsys.readouterr().out
+
+
+class TestFabricCli:
+    def test_fabric_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "recommend",
+                "--fabric",
+                "127.0.0.1:9000",
+                "--fabric-grace",
+                "5",
+                "--fabric-lease",
+                "10",
+            ]
+        )
+        assert args.fabric == "127.0.0.1:9000"
+        assert args.fabric_grace == 5.0
+        assert args.fabric_lease == 10.0
+
+    def test_fabric_defaults_to_off(self):
+        args = build_parser().parse_args(["recommend"])
+        assert args.fabric is None
+
+    def test_worker_subcommand_parses(self):
+        args = build_parser().parse_args(["worker", "127.0.0.1:8643"])
+        assert args.coordinator == "127.0.0.1:8643"
+        assert args.max_attempts == 30
+        assert args.connect_deadline == 60.0
+
+    def test_worker_against_dead_coordinator_exits_gracefully(self, capsys):
+        from repro.cli import main
+
+        # One attempt against a port nobody listens on: the retry budget is
+        # exhausted immediately and the worker ends without a traceback.
+        code = main(
+            ["worker", "127.0.0.1:9", "--max-attempts", "1", "--connect-deadline", "0"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "worker" in err
+
+    def test_serve_request_timeout_flag(self):
+        args = build_parser().parse_args(["serve", "--request-timeout", "30"])
+        assert args.request_timeout == 30.0
+        args = build_parser().parse_args(["serve"])
+        assert args.request_timeout is None

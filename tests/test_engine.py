@@ -453,3 +453,107 @@ class TestAdaptiveJobs:
             toy_schema, toy_workload, small_system, config, options=EngineOptions(jobs="auto")
         ).recommend()
         assert recommendation_fingerprint(serial) == recommendation_fingerprint(auto)
+
+
+class TestBrokenPoolDegradedRetry:
+    """Regression: a pool failure mid-sweep used to be swallowed silently and
+    re-evaluated *everything* serially; now it warns, flags the progress
+    events as degraded, and resumes from the chunks the pool already
+    returned — their indices are never re-dispatched."""
+
+    def test_broken_pool_resumes_serially_without_redispatch(
+        self, apb_small_schema, apb_workload, small_system, monkeypatch, capsys
+    ):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.engine import executor as executor_module
+        from repro.engine import recommendation_fingerprint
+        from repro.engine.result import CandidateResultBatch
+
+        reference = Warlock(apb_small_schema, apb_workload, small_system).recommend()
+
+        real_evaluate = executor_module.evaluate_specs_in_context
+
+        class FakeFuture:
+            def __init__(self):
+                self._result = None
+                self._exc = None
+
+            def result(self):
+                if self._exc is not None:
+                    raise self._exc
+                return self._result
+
+        pools = []
+
+        class PoisonedPool:
+            """First chunk evaluates for real; every later chunk breaks."""
+
+            def __init__(self, max_workers=None, initializer=None, initargs=()):
+                self.context = initargs[0]
+                self.submitted = []
+                pools.append(self)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+            def submit(self, fn, chunk):
+                future = FakeFuture()
+                if not self.submitted:
+                    candidates = real_evaluate(self.context, chunk, None)
+                    future._result = (
+                        CandidateResultBatch.from_candidates(chunk, candidates),
+                        [],
+                    )
+                else:
+                    future._exc = BrokenProcessPool("poisoned pool")
+                self.submitted.append(list(chunk))
+                return future
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        def deterministic_wait(futures, return_when=None):
+            # Healthy futures complete strictly before broken ones, so the
+            # engine records the good chunk into ``partial`` first.
+            done = {future for future in futures if future._exc is None}
+            if done:
+                return done, set(futures) - done
+            return set(futures), set()
+
+        serial_dispatched = []
+
+        def tracking_evaluate(context, indices, cache=None):
+            serial_dispatched.append(list(indices))
+            return real_evaluate(context, indices, cache)
+
+        monkeypatch.setattr(executor_module, "ProcessPoolExecutor", PoisonedPool)
+        monkeypatch.setattr(executor_module, "wait", deterministic_wait)
+        monkeypatch.setattr(
+            executor_module, "evaluate_specs_in_context", tracking_evaluate
+        )
+
+        events = []
+        advisor = Warlock(
+            apb_small_schema,
+            apb_workload,
+            small_system,
+            options=EngineOptions(jobs=2),
+        )
+        result = advisor.recommend(on_progress=events.append)
+
+        assert recommendation_fingerprint(result) == recommendation_fingerprint(
+            reference
+        )
+        assert "process pool failed" in capsys.readouterr().err
+        assert any(event.degraded for event in events)
+        # The chunk the pool completed before breaking is never re-dispatched
+        # by the degraded serial retry.
+        assert pools and len(pools[0].submitted) >= 2
+        pool_completed = set(pools[0].submitted[0])
+        retried = {index for chunk in serial_dispatched for index in chunk}
+        assert not retried & pool_completed
+        assert retried  # the remainder really went through the serial path

@@ -1,0 +1,480 @@
+"""Tests for the distributed sweep fabric (repro.fabric).
+
+The contract under test:
+
+* the framed pickle protocol rejects corrupted frames (magic, length, CRC)
+  instead of trusting them;
+* :class:`RetryPolicy` schedules are bounded, monotone-capped, jittered
+  within bounds and deterministic under a seeded RNG (hypothesis pins the
+  properties);
+* :class:`FaultPlan` parses the ``WARLOCK_FAULTS`` grammar and its injector
+  fires reproducibly;
+* a sweep over live workers is **fingerprint-identical** to the local run,
+  including when a worker is killed mid-sweep (the lease re-queue path) and
+  when messages are duplicated (at-least-once dedupe);
+* a sweep with zero reachable workers degrades to local inline evaluation
+  with a visible warning — never an exception.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EngineOptions, SystemParameters, Warlock, recommendation_fingerprint
+from repro.errors import AdvisorError, EvaluationCancelled, FabricError
+from repro.fabric import FaultInjected, FaultPlan, RetryPolicy, parse_address, run_worker
+from repro.fabric.protocol import (
+    DEFAULT_PORT,
+    Lease,
+    read_message,
+    write_message,
+)
+
+
+# -- retry policy (satellite: property tests) ---------------------------------------
+
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(1, 12),
+    base_delay=st.floats(0.0, 1.0, allow_nan=False),
+    multiplier=st.floats(1.0, 4.0, allow_nan=False),
+    max_delay=st.floats(1.0, 10.0, allow_nan=False),
+    jitter=st.floats(0.0, 1.0, allow_nan=False),
+    deadline=st.one_of(st.none(), st.floats(0.0, 5.0, allow_nan=False)),
+)
+
+
+class TestRetryPolicyProperties:
+    @settings(deadline=None, max_examples=100)
+    @given(policy=policies, seed=st.integers(0, 2**32 - 1))
+    def test_schedule_is_bounded(self, policy, seed):
+        delays = list(policy.delays(random.Random(seed)))
+        assert len(delays) <= policy.max_attempts - 1
+        assert all(delay >= 0.0 for delay in delays)
+        if policy.deadline is not None:
+            assert sum(delays) <= policy.deadline + 1e-9
+
+    @settings(deadline=None, max_examples=100)
+    @given(policy=policies)
+    def test_caps_are_monotone_non_decreasing(self, policy):
+        caps = [policy.cap(retry) for retry in range(policy.max_attempts)]
+        assert all(b >= a for a, b in zip(caps, caps[1:]))
+        assert all(cap <= policy.max_delay for cap in caps)
+
+    @settings(deadline=None, max_examples=100)
+    @given(policy=policies, seed=st.integers(0, 2**32 - 1))
+    def test_jitter_stays_within_bounds(self, policy, seed):
+        # Without a deadline every sleep is pure cap-plus-jitter; the budget
+        # only ever *clips* a sleep, so the upper bound holds universally.
+        delays = list(policy.delays(random.Random(seed)))
+        for retry, delay in enumerate(delays):
+            cap = policy.cap(retry)
+            assert delay <= cap * (1.0 + policy.jitter) + 1e-9
+            if policy.deadline is None:
+                assert delay >= cap * (1.0 - policy.jitter) - 1e-9
+
+    @settings(deadline=None, max_examples=60)
+    @given(policy=policies, seed=st.integers(0, 2**32 - 1))
+    def test_deterministic_under_seeded_rng(self, policy, seed):
+        first = list(policy.delays(random.Random(seed)))
+        second = list(policy.delays(random.Random(seed)))
+        assert first == second
+
+
+class TestRetryPolicyCall:
+    def test_invalid_parameters_are_rejected(self):
+        with pytest.raises(AdvisorError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(AdvisorError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(AdvisorError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(AdvisorError):
+            RetryPolicy(base_delay=1.0, max_delay=0.1)
+        with pytest.raises(AdvisorError):
+            RetryPolicy(deadline=-1.0)
+
+    def test_retries_then_succeeds(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "done"
+
+        slept = []
+        policy = RetryPolicy(max_attempts=5, base_delay=0.01, jitter=0.0)
+        assert policy.call(flaky, sleep=slept.append) == "done"
+        assert len(calls) == 3
+        assert len(slept) == 2
+
+    def test_attempt_exhaustion_reraises(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0)
+        calls = []
+
+        def always_down():
+            calls.append(1)
+            raise OSError("down")
+
+        with pytest.raises(OSError):
+            policy.call(always_down, sleep=lambda _: None)
+        assert len(calls) == 3
+
+    def test_deadline_exhaustion_cuts_attempts_short(self):
+        # Budget covers the first sleep only: two attempts, not five.
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=1.0, max_delay=1.0, jitter=0.0, deadline=1.0
+        )
+        calls = []
+
+        def always_down():
+            calls.append(1)
+            raise OSError("down")
+
+        slept = []
+        with pytest.raises(OSError):
+            policy.call(always_down, sleep=slept.append)
+        assert len(calls) == 2
+        assert sum(slept) <= policy.deadline + 1e-9
+
+    def test_zero_deadline_means_no_retries(self):
+        policy = RetryPolicy(max_attempts=5, deadline=0.0)
+        calls = []
+
+        def always_down():
+            calls.append(1)
+            raise OSError("down")
+
+        with pytest.raises(OSError):
+            policy.call(always_down, sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_unlisted_errors_propagate_immediately(self):
+        policy = RetryPolicy(max_attempts=5)
+        calls = []
+
+        def typo():
+            calls.append(1)
+            raise ValueError("not retryable")
+
+        with pytest.raises(ValueError):
+            policy.call(typo, sleep=lambda _: None)
+        assert len(calls) == 1
+
+
+# -- fault plans --------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_parse_full_grammar(self):
+        plan = FaultPlan.parse(
+            "kill_after=2, refuse=3, delay=0.5, delay_p=0.25, drop=0.1, "
+            "dup=0.2, corrupt=0.3, seed=42"
+        )
+        assert plan.kill_after == 2
+        assert plan.refuse_connects == 3
+        assert plan.delay == 0.5
+        assert plan.delay_probability == 0.25
+        assert plan.drop_probability == 0.1
+        assert plan.duplicate_probability == 0.2
+        assert plan.corrupt_probability == 0.3
+        assert plan.seed == 42
+
+    def test_parse_rejects_malformed_entries(self):
+        with pytest.raises(FabricError, match="expected key=value"):
+            FaultPlan.parse("kill_after")
+        with pytest.raises(FabricError, match="unknown"):
+            FaultPlan.parse("explode=1")
+        with pytest.raises(FabricError, match="invalid"):
+            FaultPlan.parse("drop=lots")
+        with pytest.raises(FabricError):
+            FaultPlan.parse("kill_after=0")
+        with pytest.raises(FabricError):
+            FaultPlan.parse("drop=1.5")
+
+    def test_from_env(self):
+        assert FaultPlan.from_env(env={}) is None
+        assert FaultPlan.from_env(env={"WARLOCK_FAULTS": "  "}) is None
+        plan = FaultPlan.from_env(env={"WARLOCK_FAULTS": "kill_after=1,seed=7"})
+        assert plan.kill_after == 1 and plan.seed == 7
+
+    def test_injector_is_deterministic_per_seed(self):
+        plan = FaultPlan.parse("drop=0.5,seed=9")
+        first = [plan.injector().should_drop() for _ in range(1)]
+        decisions_a = [plan.injector() for _ in range(1)][0]
+        decisions_b = plan.injector()
+        a = [decisions_a.should_drop() for _ in range(20)]
+        b = [decisions_b.should_drop() for _ in range(20)]
+        assert a == b
+        assert first[0] == a[0]
+
+    def test_refuse_connects_fires_exactly_n_times(self):
+        injector = FaultPlan.parse("refuse=2").injector()
+        for _ in range(2):
+            with pytest.raises(ConnectionRefusedError):
+                injector.on_connect()
+        injector.on_connect()  # third attempt goes through
+        assert injector.refused == 2
+
+    def test_kill_after_raises_fault_injected(self):
+        injector = FaultPlan.parse("kill_after=2").injector()
+        injector.on_chunk_evaluated()
+        with pytest.raises(FaultInjected):
+            injector.on_chunk_evaluated()
+
+    def test_corrupt_flips_exactly_one_byte(self):
+        injector = FaultPlan.parse("corrupt=1.0,seed=3").injector()
+        payload = bytes(range(64))
+        mutated = injector.transform_payload(payload)
+        assert mutated != payload
+        assert len(mutated) == len(payload)
+        assert sum(1 for a, b in zip(payload, mutated) if a != b) == 1
+
+
+# -- wire protocol ------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_parse_address(self):
+        assert parse_address("10.0.0.1:9000") == ("10.0.0.1", 9000)
+        assert parse_address("example.org") == ("example.org", DEFAULT_PORT)
+        assert parse_address(":9000") == ("127.0.0.1", 9000)
+        with pytest.raises(FabricError):
+            parse_address("")
+        with pytest.raises(FabricError):
+            parse_address("host:notaport")
+        with pytest.raises(FabricError):
+            parse_address("host:70000")
+
+    def test_round_trip_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            message = ("lease", Lease(3, (1, 2, 5), 30.0))
+            write_message(left, message)
+            received = read_message(right)
+        finally:
+            left.close()
+            right.close()
+        assert received == message
+        assert received[1].to_dict() == {
+            "chunk_id": 3,
+            "indices": [1, 2, 5],
+            "timeout": 30.0,
+        }
+
+    def test_corrupted_payload_is_rejected(self):
+        left, right = socket.socketpair()
+        injector = FaultPlan.parse("corrupt=1.0,seed=1").injector()
+        try:
+            write_message(left, ("hello", "w1"), faults=injector)
+            with pytest.raises(FabricError, match="checksum"):
+                read_message(right)
+        finally:
+            left.close()
+            right.close()
+        assert injector.corrupted == 1
+
+    def test_bad_magic_and_oversized_length_are_rejected(self):
+        import struct
+
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack("!4sII", b"EVIL", 4, 0) + b"ruin")
+            with pytest.raises(FabricError, match="magic"):
+                read_message(right)
+        finally:
+            left.close()
+            right.close()
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack("!4sII", b"WLF1", 2**31, 0))
+            with pytest.raises(FabricError, match="exceeds"):
+                read_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_truncated_frame_is_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            import pickle
+            import struct
+            import zlib
+
+            payload = pickle.dumps(("hello", "w1"))
+            frame = struct.pack("!4sII", b"WLF1", len(payload), zlib.crc32(payload))
+            left.sendall(frame + payload[:-3])
+            left.close()
+            with pytest.raises(FabricError, match="mid-frame"):
+                read_message(right)
+        finally:
+            right.close()
+
+
+# -- end-to-end sweeps --------------------------------------------------------------
+
+
+def _free_port() -> int:
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def _worker_retry() -> RetryPolicy:
+    return RetryPolicy(max_attempts=20, base_delay=0.05, max_delay=0.2, deadline=15.0)
+
+
+@pytest.fixture(scope="module")
+def fabric_scenario(apb_small_schema, apb_workload):
+    return apb_small_schema, apb_workload, SystemParameters(num_disks=8)
+
+
+@pytest.fixture(scope="module")
+def local_fingerprint(fabric_scenario):
+    schema, workload, system = fabric_scenario
+    return recommendation_fingerprint(Warlock(schema, workload, system).recommend())
+
+
+def _fabric_advisor(fabric_scenario, port, grace=60.0, lease=1.0):
+    schema, workload, system = fabric_scenario
+    return Warlock(
+        schema,
+        workload,
+        system,
+        options=EngineOptions(
+            fabric=f"127.0.0.1:{port}", fabric_grace=grace, fabric_lease=lease
+        ),
+    )
+
+
+def _spawn_worker(port, faults=None):
+    def target():
+        try:
+            run_worker(
+                ("127.0.0.1", port), retry=_worker_retry(), faults=faults
+            )
+        except FaultInjected:
+            pass  # the injected crash is this thread's whole purpose
+        except (OSError, FabricError):
+            pass  # coordinator already gone: the test asserted by then
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestFabricSweeps:
+    def test_zero_workers_degrades_to_local(
+        self, fabric_scenario, local_fingerprint, capsys
+    ):
+        advisor = _fabric_advisor(
+            fabric_scenario, _free_port(), grace=0.0, lease=1.0
+        )
+        result = advisor.recommend()
+        assert recommendation_fingerprint(result) == local_fingerprint
+        err = capsys.readouterr().err
+        assert "no fabric workers reachable" in err
+        assert "[degraded]" in err
+
+    def test_two_workers_match_local_fingerprint(
+        self, fabric_scenario, local_fingerprint
+    ):
+        port = _free_port()
+        advisor = _fabric_advisor(fabric_scenario, port)
+        events = []
+        threads = [_spawn_worker(port), _spawn_worker(port)]
+        result = advisor.recommend(on_progress=events.append)
+        for thread in threads:
+            thread.join(timeout=10)
+        assert recommendation_fingerprint(result) == local_fingerprint
+        assert max(event.workers for event in events) >= 1
+        assert not any(event.degraded for event in events)
+
+    def test_killed_worker_lease_is_requeued(
+        self, fabric_scenario, local_fingerprint, capsys
+    ):
+        port = _free_port()
+        advisor = _fabric_advisor(fabric_scenario, port)
+        chaos = FaultPlan.parse("kill_after=1,seed=7").injector()
+        threads = [_spawn_worker(port, faults=chaos), _spawn_worker(port)]
+        result = advisor.recommend()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert recommendation_fingerprint(result) == local_fingerprint
+        assert chaos.chunks_evaluated == 1
+        err = capsys.readouterr().err
+        assert "requeued lease(s)" in err
+
+    def test_duplicated_requests_dedupe(
+        self, fabric_scenario, local_fingerprint, capsys
+    ):
+        port = _free_port()
+        advisor = _fabric_advisor(fabric_scenario, port)
+        noisy = FaultPlan.parse("dup=1.0,seed=11").injector()
+        thread = _spawn_worker(port, faults=noisy)
+        result = advisor.recommend()
+        thread.join(timeout=10)
+        assert recommendation_fingerprint(result) == local_fingerprint
+        assert noisy.duplicated > 0
+
+    def test_engine_falls_back_when_the_port_is_taken(
+        self, fabric_scenario, local_fingerprint, capsys
+    ):
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            advisor = _fabric_advisor(fabric_scenario, port)
+            result = advisor.recommend()
+        finally:
+            blocker.close()
+        assert recommendation_fingerprint(result) == local_fingerprint
+        assert "sweep fabric unavailable" in capsys.readouterr().err
+
+    def test_cancellation_propagates_at_chunk_boundaries(self, fabric_scenario):
+        from repro.api.progress import CancellationToken
+
+        port = _free_port()
+        advisor = _fabric_advisor(fabric_scenario, port, grace=0.0)
+        token = CancellationToken()
+
+        def cancel_after_first(event):
+            token.cancel()
+
+        with pytest.raises(EvaluationCancelled):
+            advisor.recommend(on_progress=cancel_after_first, cancel=token)
+
+
+class TestFabricOptions:
+    def test_fabric_address_is_validated_at_options_time(self):
+        EngineOptions(fabric="127.0.0.1:8643")  # valid
+        EngineOptions(fabric="somehost")  # bare host: default port
+        with pytest.raises(AdvisorError):
+            EngineOptions(fabric="host:notaport")
+        with pytest.raises(AdvisorError):
+            EngineOptions(fabric=123)
+        with pytest.raises(AdvisorError):
+            EngineOptions(fabric_grace=-1.0)
+        with pytest.raises(AdvisorError):
+            EngineOptions(fabric_lease=0.0)
+
+    def test_fabric_knobs_round_trip_through_dicts(self):
+        options = EngineOptions(
+            fabric="127.0.0.1:9000", fabric_grace=5.0, fabric_lease=10.0
+        )
+        clone = EngineOptions.from_dict(options.to_dict())
+        assert clone.fabric == "127.0.0.1:9000"
+        assert clone.fabric_grace == 5.0
+        assert clone.fabric_lease == 10.0
+        assert "fabric=127.0.0.1:9000" in options.describe()

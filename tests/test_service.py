@@ -566,3 +566,152 @@ class TestEvictionOverHTTP:
             assert listing["evictions"] >= 1
         finally:
             server.stop()
+
+
+class TestRequestDeadlines:
+    """Per-request deadlines (``--request-timeout``): queue wait plus
+    execution share one budget; overruns answer 504, mid-sweep overruns trip
+    the cooperative cancel token at the next chunk boundary."""
+
+    def test_without_timeout_jobs_carry_no_deadline(self):
+        executor = RequestExecutor(workers=1)
+        job = executor.submit(lambda: "ok")
+        assert job.wait(timeout=10)
+        assert job.deadline is None and not job.timed_out
+        assert job.outcome() == "ok"
+        executor.shutdown()
+
+    def test_invalid_timeout_is_rejected(self):
+        with pytest.raises(ServiceError):
+            RequestExecutor(workers=1, timeout=0.0)
+        with pytest.raises(ServiceError):
+            RequestExecutor(workers=1, timeout=-3.0)
+
+    def test_deadline_expires_queued_jobs_with_504(self):
+        executor = RequestExecutor(workers=1, capacity=4, timeout=0.2)
+        release = threading.Event()
+        running = threading.Event()
+
+        def block():
+            running.set()
+            return release.wait()
+
+        blocker = executor.submit(block)
+        assert running.wait(timeout=10)
+        queued = executor.submit(lambda: "late")
+        time.sleep(0.4)  # the deadline lapses while the job sits queued
+        release.set()
+        assert queued.wait(timeout=10)
+        assert queued.timed_out
+        with pytest.raises(ServiceError) as excinfo:
+            queued.outcome()
+        assert excinfo.value.status == 504
+        assert "while queued" in str(excinfo.value)
+        assert blocker.outcome() is True  # the running job itself survived
+        executor.shutdown()
+
+    def test_deadline_trips_the_cancel_token_mid_execution(self):
+        from repro.api.progress import CancellationToken
+        from repro.errors import EvaluationCancelled
+
+        executor = RequestExecutor(workers=1, timeout=0.1)
+        token = CancellationToken()
+
+        def slow_sweep():
+            for _ in range(500):
+                if token.cancelled:
+                    raise EvaluationCancelled("chunk boundary observed cancel")
+                time.sleep(0.01)
+            return "never finishes in time"
+
+        job = executor.submit(slow_sweep, cancel=token)
+        assert job.wait(timeout=10)
+        assert job.timed_out
+        with pytest.raises(EvaluationCancelled):
+            job.outcome()
+        executor.shutdown()
+
+    def test_http_recommend_answers_504_on_deadline(self, scenario):
+        from repro.service import AdvisorServer
+
+        schema, workload, system, config = scenario
+        srv = AdvisorServer(
+            registry=SessionRegistry(max_sessions=2),
+            executor=RequestExecutor(workers=1, capacity=4, timeout=0.005),
+        )
+        srv.registry.register("slow", schema, workload, system, config=config)
+        srv.start_in_background()
+        try:
+            code, body = http_error(
+                srv, "POST", "/warehouses/slow/submit", {"kind": "recommend"}
+            )
+        finally:
+            srv.stop()
+        assert code == 504
+        assert "error" in body
+
+
+class TestHealthzStoreCounters:
+    """GET /healthz surfaces the aggregated store robustness counters."""
+
+    def test_store_block_present_and_zero_on_clean_sessions(self, server):
+        status, health = http_json(server, "GET", "/healthz")
+        assert status == 200
+        assert set(health["store"]) == {
+            "salt_mismatches",
+            "corrupt_entries",
+            "fallback_loads",
+        }
+        assert all(isinstance(v, int) for v in health["store"].values())
+
+    def test_corrupted_store_shows_up_in_healthz(self, scenario, server, tmp_path):
+        from repro.engine.store import (
+            BATCHES_FILENAME,
+            CANDIDATES_FILENAME,
+            ENTRIES_FILENAME,
+        )
+
+        schema, workload, system, config = scenario
+        cache_dir = tmp_path / "rotten"
+        cache_dir.mkdir()
+        for name in (ENTRIES_FILENAME, BATCHES_FILENAME, CANDIDATES_FILENAME):
+            (cache_dir / name).write_bytes(b"\x00\x01 rubble")
+        server.registry.register(
+            "rotten",
+            schema,
+            workload,
+            system,
+            config=config,
+            options=EngineOptions(cache_dir=str(cache_dir), persist=False),
+        )
+        try:
+            # Any request builds the session, which loads (and counts) the
+            # corrupted store.
+            http_json(
+                server, "POST", "/warehouses/rotten/submit", {"kind": "recommend"}
+            )
+            status, health = http_json(server, "GET", "/healthz")
+        finally:
+            http_json(server, "DELETE", "/warehouses/rotten")
+        assert status == 200
+        assert health["store"]["fallback_loads"] >= 1
+
+    def test_registry_store_health_aggregates_live_sessions_only(self, scenario):
+        schema, workload, system, config = scenario
+        registry = SessionRegistry(max_sessions=2)
+        registry.register("idle", schema, workload, system, config=config)
+        # No session built yet: nothing to aggregate.
+        assert registry.store_health() == {
+            "salt_mismatches": 0,
+            "corrupt_entries": 0,
+            "fallback_loads": 0,
+        }
+        entry = registry.acquire("idle")
+        with entry.lock:
+            session = entry.ensure_session()
+        session.cache.stats.store_corrupt_entries += 2
+        session.cache.stats.store_fallback_loads += 1
+        health = registry.store_health()
+        assert health["corrupt_entries"] == 2
+        assert health["fallback_loads"] == 1
+        registry.close()

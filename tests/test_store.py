@@ -498,3 +498,72 @@ class TestStoreMaintenance:
         warm = _advisor(scenario, tmp_path)
         assert recommendation_fingerprint(warm.recommend()) == fingerprint
         assert warm.cache.stats.disk_hit_rate >= 0.9
+
+
+class TestRobustnessCounters:
+    """Every degraded load is counted: salt mismatches, corrupt entries,
+    fallback (whole-file) loads — surfaced via ``CacheStats`` and, through
+    the session registry, ``GET /healthz``."""
+
+    def test_clean_loads_count_nothing(self, scenario, tmp_path):
+        _advisor(scenario, tmp_path).recommend()
+        warm = _advisor(scenario, tmp_path)
+        stats = warm.cache.stats
+        assert stats.store_salt_mismatches == 0
+        assert stats.store_corrupt_entries == 0
+        assert stats.store_fallback_loads == 0
+        assert stats.store_load_anomalies == 0
+
+    def test_salt_mismatch_is_counted_per_file(self, scenario, tmp_path, monkeypatch):
+        _advisor(scenario, tmp_path).recommend()
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        mismatched = _advisor(scenario, tmp_path)
+        # All three store files (entries, batches, candidates) carry the salt.
+        assert mismatched.cache.stats.store_salt_mismatches == 3
+        assert mismatched.cache.stats.store_fallback_loads == 0
+
+    @pytest.mark.parametrize(
+        "filename", [ENTRIES_FILENAME, BATCHES_FILENAME, CANDIDATES_FILENAME]
+    )
+    def test_corrupting_each_file_kind_counts_a_fallback(
+        self, scenario, tmp_path, filename
+    ):
+        _advisor(scenario, tmp_path).recommend()
+        (tmp_path / filename).write_bytes(b"\x00\x01 this is rubble")
+        degraded = _advisor(scenario, tmp_path)
+        stats = degraded.cache.stats
+        assert stats.store_fallback_loads == 1
+        assert stats.store_salt_mismatches == 0
+        # The other two files still load; the sweep still answers warm.
+        assert degraded.cache.loaded_from_disk > 0
+
+    def test_undecodable_entry_is_counted_as_corrupt(self, scenario, tmp_path):
+        import sqlite3
+
+        from repro.engine.store import _encode_key
+
+        _advisor(scenario, tmp_path).recommend()
+        connection = sqlite3.connect(tmp_path / ENTRIES_FILENAME)
+        connection.execute(
+            "INSERT INTO entries VALUES (?, ?, ?)",
+            (_encode_key(store_salt(), ("bad-entry",)), "structure", b"\x80trunc"),
+        )
+        connection.commit()
+        connection.close()
+        degraded = _advisor(scenario, tmp_path)
+        assert degraded.cache.stats.store_corrupt_entries >= 1
+        assert degraded.cache.stats.store_fallback_loads == 0
+        assert degraded.cache.loaded_from_disk > 0
+
+    def test_counters_survive_describe(self, scenario, tmp_path):
+        _advisor(scenario, tmp_path).recommend()
+        (tmp_path / CANDIDATES_FILENAME).write_bytes(b"rubble")
+        degraded = _advisor(scenario, tmp_path)
+        assert "store anomalies" in degraded.cache.stats.describe()
+        assert "1 fallback" in degraded.cache.stats.describe()
+
+    def test_store_load_stats_copy_is_independent(self, tmp_path):
+        store = CacheStore(tmp_path)
+        snapshot = store.load_stats.copy()
+        store.load_stats.corrupt_entries += 5
+        assert snapshot.corrupt_entries == 0
